@@ -1,0 +1,74 @@
+// Ablation: the atomic block size b_atomic = 2^k (section II-B2). The
+// paper reports k = 10 as optimal for a 24 MB LLC and shows R3 at k = 6
+// vs. k = 10 in Fig. 2; this sweep reproduces the trade-off — too-small
+// blocks inflate administrative cost and recursion depth, too-large blocks
+// cannot resolve the heterogeneous substructure.
+// Also sweeps alpha (the tiles-in-LLC factor of Eq. 1 & 2).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "kernels/sparse_kernels.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx::bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Ablation: atomic block size and alpha ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+
+  CooMatrix coo = MakeWorkloadMatrix("R3", env.scale);
+  CsrMatrix csr = CooToCsr(coo);
+  const BaselineResult baseline = RunSpspsp(csr, csr);
+  std::printf("R3 surrogate, C = A*A; spspsp baseline %.4fs\n\n",
+              baseline.seconds);
+
+  std::printf("--- b_atomic sweep (adaptive tiling) ---\n");
+  TablePrinter table({"b_atomic", "tiles(d/sp)", "partition[s]",
+                      "atmult[s]", "vs spspsp", "ATM bytes"});
+  for (index_t b = 16; b <= 512; b *= 2) {
+    AtmConfig config = env.config;
+    config.b_atomic = b;
+    PartitionStats pstats;
+    ATMatrix atm = PartitionToAtm(coo, config, &pstats);
+    AtMult op(config, env.cost_model);
+    const double seconds = MeasureSeconds([&] { op.Multiply(atm, atm); });
+    table.AddRow({std::to_string(b),
+                  std::to_string(pstats.dense_tiles) + "/" +
+                      std::to_string(pstats.sparse_tiles),
+                  TablePrinter::Fmt(pstats.TotalSeconds(), 4),
+                  TablePrinter::Fmt(seconds, 4),
+                  TablePrinter::Fmt(baseline.seconds / seconds, 2) + "x",
+                  TablePrinter::FmtBytes(atm.MemoryBytes())});
+  }
+  table.Print();
+
+  std::printf("\n--- alpha sweep (Eq. 1 & 2 cache budget factor) ---\n");
+  TablePrinter alpha_table({"alpha", "b_atomic", "tiles", "atmult[s]",
+                            "vs spspsp"});
+  for (int alpha : {1, 2, 3, 6, 12}) {
+    AtmConfig config = env.config;
+    config.alpha = alpha;
+    config.beta = alpha;
+    ATMatrix atm = PartitionToAtm(coo, config);
+    AtMult op(config, env.cost_model);
+    const double seconds = MeasureSeconds([&] { op.Multiply(atm, atm); });
+    alpha_table.AddRow(
+        {std::to_string(alpha), std::to_string(config.AtomicBlockSize()),
+         std::to_string(atm.num_tiles()), TablePrinter::Fmt(seconds, 4),
+         TablePrinter::Fmt(baseline.seconds / seconds, 2) + "x"});
+  }
+  alpha_table.Print();
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared infrastructure of the figure/table reproduction harnesses: the
+// benchmark configuration (scaled to the host via environment variables),
+// timing helpers, and the baseline kernel runners every figure compares
+// against.
+//
+// Environment knobs (all optional):
+//   ATMX_SCALE    linear workload scale vs. Table I (default 0.03)
+//   ATMX_LLC      simulated last-level cache bytes   (default 1 MiB)
+//   ATMX_TEAMS    worker teams                       (default 1)
+//   ATMX_THREADS  threads per team                   (default 1)
+//   ATMX_CALIBRATE set to 1 to micro-calibrate the cost model first
+
+#ifndef ATMX_BENCH_BENCH_COMMON_H_
+#define ATMX_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table_printer.h"
+#include "cost/cost_model.h"
+#include "gen/workloads.h"
+#include "storage/coo_matrix.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx::bench {
+
+struct BenchEnv {
+  double scale = 0.03;
+  AtmConfig config;
+  CostModel cost_model;
+
+  // Parses the ATMX_* environment variables.
+  static BenchEnv FromEnvironment();
+
+  // Header line describing the environment (printed by every bench).
+  std::string Describe() const;
+};
+
+// Wall time of fn() in seconds; re-runs short measurements (< 50 ms) twice
+// more and reports the median so the suite stays fast yet stable.
+double MeasureSeconds(const std::function<void()>& fn);
+
+// The paper's baselines (section IV-C), all sequential like the MATLAB/R
+// algorithms the paper compares to:
+//   spspsp_gemm — plain Gustavson CSR x CSR -> CSR (the "1.0" baseline)
+//   spspd_gemm  — CSR x CSR -> dense array
+//   spdd_gemm   — CSR x (densified B) -> dense array
+//   ddd_gemm    — densified A x densified B -> dense array
+struct BaselineResult {
+  double seconds = 0.0;
+  std::size_t result_bytes = 0;
+  bool ran = false;  // dense baselines are skipped for infeasible sizes
+};
+
+BaselineResult RunSpspsp(const CsrMatrix& a, const CsrMatrix& b);
+BaselineResult RunSpspd(const CsrMatrix& a, const CsrMatrix& b);
+// max_dense_dim guards the O(n^2) dense materializations on big inputs.
+BaselineResult RunSpdd(const CsrMatrix& a, const CsrMatrix& b,
+                       index_t max_dense_dim);
+BaselineResult RunDdd(const CsrMatrix& a, const CsrMatrix& b,
+                      index_t max_dense_dim);
+
+// Formats a relative performance number ("3.42x") or "-" if not run.
+std::string FmtSpeedup(const BaselineResult& baseline, double atmult_seconds);
+std::string FmtRel(const BaselineResult& baseline,
+                   const BaselineResult& reference);
+
+}  // namespace atmx::bench
+
+#endif  // ATMX_BENCH_BENCH_COMMON_H_

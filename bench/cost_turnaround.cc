@@ -1,0 +1,78 @@
+// Supporting experiment: the density turnaround point rho0_R
+// (section II-C3). Sweeps the operand density of a square tile
+// self-multiplication and reports measured sparse-kernel vs. dense-kernel
+// runtimes alongside the cost model's prediction. The measured crossover
+// is the empirical basis of the read threshold (paper default 0.25).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+#include "kernels/dense_kernels.h"
+#include "kernels/sparse_kernels.h"
+#include "storage/convert.h"
+
+namespace atmx::bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Density turnaround rho0_R (cost-model support) ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+
+  const index_t n = 384;
+  TablePrinter table({"rho", "spspd[s]", "ddd[s]", "ratio sp/d",
+                      "model sp/d", "winner"});
+  double measured_crossover = -1.0;
+  double previous_ratio = 0.0;
+  for (double rho : {0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40,
+                     0.50, 0.70}) {
+    CooMatrix coo = GenerateUniform(
+        n, n, static_cast<index_t>(rho * n * n), 77);
+    CsrMatrix sparse = CooToCsr(coo);
+    DenseMatrix dense = CooToDense(coo);
+    const double actual_rho = sparse.Density();
+
+    DenseMatrix c(n, n);
+    const double sparse_seconds = MeasureSeconds([&] {
+      c.Fill(0.0);
+      SsdGemm(sparse, Window::Full(n, n), sparse, Window::Full(n, n),
+              c.MutView(), 0, n);
+    });
+    const double dense_seconds = MeasureSeconds([&] {
+      c.Fill(0.0);
+      DddGemm(dense.View(), dense.View(), c.MutView(), 0, n);
+    });
+
+    const double ratio = sparse_seconds / dense_seconds;
+    MultiplyShape shape{n, n, n, actual_rho, actual_rho, 1.0};
+    const double model_ratio =
+        env.cost_model.ComputeCost(KernelType::kSSD, shape) /
+        env.cost_model.ComputeCost(KernelType::kDDD, shape);
+    if (measured_crossover < 0 && ratio >= 1.0 && previous_ratio > 0.0) {
+      measured_crossover = actual_rho;
+    }
+    previous_ratio = ratio;
+    table.AddRow({TablePrinter::Fmt(actual_rho, 3),
+                  TablePrinter::Fmt(sparse_seconds, 4),
+                  TablePrinter::Fmt(dense_seconds, 4),
+                  TablePrinter::Fmt(ratio, 2),
+                  TablePrinter::Fmt(model_ratio, 2),
+                  ratio < 1.0 ? "sparse" : "dense"});
+  }
+  table.Print();
+  std::printf("\nmeasured crossover: %s, cost-model rho0_R: %.3f, "
+              "paper configuration: 0.25\n",
+              measured_crossover > 0
+                  ? TablePrinter::Fmt(measured_crossover, 3).c_str()
+                  : "(none in sweep)",
+              env.cost_model.ReadTurnaround());
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

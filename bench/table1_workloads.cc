@@ -1,0 +1,58 @@
+// Reproduces Table I: the workload inventory — dimensions, non-zero
+// counts, densities, binary (COO triple) size, and the self-multiplication
+// result size — for the real-world surrogates R1-R9 and the R-MAT matrices
+// G1-G9, at the configured scale.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "kernels/sparse_kernels.h"
+#include "storage/convert.h"
+
+namespace atmx::bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  std::printf("=== Table I: sparse matrices (scaled surrogates) ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+  std::printf(
+      "Result size = CSR bytes of C = A*A (computed; the paper reports the "
+      "COO result size of the full-scale matrices).\n\n");
+
+  TablePrinter table({"No.", "Name", "Domain", "Dimensions", "Nnz",
+                      "rho[%]", "Bin.Size", "ResultNnz", "ResultSize"});
+  for (const WorkloadSpec& spec : Table1Specs()) {
+    CooMatrix coo = MakeWorkloadMatrix(spec.id, env.scale);
+    CsrMatrix csr = CooToCsr(coo);
+
+    std::string result_nnz = "-";
+    std::string result_size = "-";
+    // The self-product of the two largest hypersparse surrogates is cheap;
+    // compute the result for every workload.
+    CsrMatrix product = SpGemmCsr(csr, csr);
+    result_nnz = std::to_string(product.nnz());
+    result_size = TablePrinter::FmtBytes(product.MemoryBytes());
+
+    table.AddRow({spec.id, spec.name, spec.domain,
+                  std::to_string(coo.rows()) + " x " +
+                      std::to_string(coo.cols()),
+                  std::to_string(coo.nnz()),
+                  TablePrinter::Fmt(coo.Density() * 100.0, 3),
+                  TablePrinter::FmtBytes(coo.TripleBytes()), result_nnz,
+                  result_size});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs. the paper: R1 is the densest (14.8%% full scale), "
+      "R7-R9 are hypersparse (<0.05%%), all G matrices share dimension and "
+      "nnz but differ in skew.\n");
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main() {
+  atmx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Gene-expression factorization loop (paper, section I): non-negative
+// matrix factorization V ~ W*H repeatedly multiplies the large sparse
+// gene-expression matrix V with dense factor matrices — the core products
+// are W^T*V and V*H^T. This example runs multiplicative NMF updates with
+// the heavy sparse x dense products executed through ATMULT.
+//
+//   $ ./gene_clustering [rank] [iterations]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "gen/workloads.h"
+#include "ops/atmult.h"
+#include "ops/reference_mult.h"
+#include "ops/transpose.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace {
+
+using namespace atmx;
+
+DenseMatrix RandomFactor(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      m.At(i, j) = rng.NextDouble() + 0.1;  // strictly positive
+    }
+  }
+  return m;
+}
+
+// Full Frobenius objective ||V - W*H||_F, computed without materializing
+// W*H: ||V||^2 - 2<V, WH> + tr(H^T (W^T W) H). Multiplicative NMF updates
+// are guaranteed not to increase this quantity.
+double FrobeniusFit(const CsrMatrix& v, const DenseMatrix& w,
+                    const DenseMatrix& h) {
+  const index_t rank = w.cols();
+  double v_sq = 0.0;
+  double cross = 0.0;
+  for (index_t i = 0; i < v.rows(); ++i) {
+    auto cols = v.RowCols(i);
+    auto vals = v.RowValues(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      v_sq += vals[p] * vals[p];
+      double wh = 0.0;
+      for (index_t r = 0; r < rank; ++r) {
+        wh += w.At(i, r) * h.At(r, cols[p]);
+      }
+      cross += vals[p] * wh;
+    }
+  }
+  DenseMatrix wtw = ReferenceMultiply(Transpose(w), w);
+  // tr(H^T WtW H) = sum_{r,s} WtW(r,s) * <H_r, H_s>.
+  DenseMatrix hht = ReferenceMultiply(h, Transpose(h));
+  double wh_sq = 0.0;
+  for (index_t r = 0; r < rank; ++r) {
+    for (index_t q = 0; q < rank; ++q) {
+      wh_sq += wtw.At(r, q) * hht.At(r, q);
+    }
+  }
+  return std::sqrt(std::max(0.0, v_sq - 2.0 * cross + wh_sq));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t rank = argc > 1 ? std::atoll(argv[1]) : 8;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  AtmConfig config;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  config.cores_per_socket = 2;
+
+  // The human_gene surrogate (R2): scale-free co-expression topology.
+  CooMatrix v_coo = MakeWorkloadMatrix("R2", 0.02);
+  const index_t m = v_coo.rows();
+  const index_t n = v_coo.cols();
+  // NMF needs non-negative data; take absolute values.
+  for (CooEntry& e : v_coo.entries()) e.value = std::fabs(e.value);
+  CsrMatrix v_csr = CooToCsr(v_coo);
+  std::printf("V: %lld x %lld gene-expression surrogate, %lld non-zeros\n",
+              (long long)m, (long long)n, (long long)v_coo.nnz());
+
+  ATMatrix v = PartitionToAtm(v_coo, config);
+  ATMatrix vt = AtmFromCsr(Transpose(v_csr), config);
+  AtMult multiply(config);
+
+  DenseMatrix w = RandomFactor(m, rank, 1);
+  DenseMatrix h = RandomFactor(rank, n, 2);
+  std::printf("rank-%lld NMF, %d multiplicative updates\n\n",
+              (long long)rank, iterations);
+  std::printf("initial ||V - WH||_F: %.2f\n", FrobeniusFit(v_csr, w, h));
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // H <- H .* (W^T V) ./ (W^T W H). The sparse-heavy product W^T*V runs
+    // as (V^T * W)^T through ATMULT; the small rank x rank products stay
+    // dense.
+    AtMultStats stats;
+    ATMatrix w_atm = AtmFromDense(w, config);
+    ATMatrix vtw = multiply.Multiply(vt, w_atm, &stats);  // n x rank
+    DenseMatrix wtv = Transpose(CsrToDense(vtw.ToCsr()));  // rank x n
+    DenseMatrix wtw = ReferenceMultiply(Transpose(w), w);  // rank x rank
+    DenseMatrix wtwh = ReferenceMultiply(wtw, h);
+    for (index_t r = 0; r < rank; ++r) {
+      for (index_t j = 0; j < n; ++j) {
+        h.At(r, j) *= wtv.At(r, j) / (wtwh.At(r, j) + 1e-9);
+      }
+    }
+
+    // W <- W .* (V H^T) ./ (W H H^T).
+    ATMatrix ht_atm = AtmFromDense(Transpose(h), config);
+    AtMultStats stats2;
+    ATMatrix vht = multiply.Multiply(v, ht_atm, &stats2);  // m x rank
+    DenseMatrix vht_dense = CsrToDense(vht.ToCsr());
+    DenseMatrix hht = ReferenceMultiply(h, Transpose(h));
+    DenseMatrix whht = ReferenceMultiply(w, hht);
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t r = 0; r < rank; ++r) {
+        w.At(i, r) *= vht_dense.At(i, r) / (whht.At(i, r) + 1e-9);
+      }
+    }
+
+    std::printf("iter %d: ||V - WH||_F %.2f  (V*H^T via ATMULT: %.1f ms, "
+                "%lld tile pairs)\n",
+                iter + 1, FrobeniusFit(v_csr, w, h),
+                stats2.total_seconds * 1e3,
+                (long long)stats2.pair_multiplications);
+  }
+
+  // Cluster assignment: argmax factor per gene (demo output).
+  std::vector<index_t> cluster_size(rank, 0);
+  for (index_t i = 0; i < m; ++i) {
+    index_t best = 0;
+    for (index_t r = 1; r < rank; ++r) {
+      if (w.At(i, r) > w.At(i, best)) best = r;
+    }
+    cluster_size[best]++;
+  }
+  std::printf("\ncluster sizes:");
+  for (index_t r = 0; r < rank; ++r) {
+    std::printf(" %lld", (long long)cluster_size[r]);
+  }
+  std::printf("\n");
+  return 0;
+}

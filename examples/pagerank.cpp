@@ -1,0 +1,97 @@
+// PageRank by power iteration — a matrix-vector workload on the AT MATRIX.
+// The paper cites CSR as the spmv format of choice (Vuduc [13]); the
+// heterogeneous tile structure additionally runs dense tiles through the
+// dense inner kernel. The iteration is
+//     r' = d * P^T r + (1 - d)/n
+// with P the row-normalized adjacency matrix of a skewed R-MAT graph.
+//
+//   $ ./pagerank [nodes] [iterations]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/timer.h"
+#include "gen/rmat.h"
+#include "ops/spmv.h"
+#include "ops/transpose.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace atmx;
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 8192;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 30;
+  constexpr double kDamping = 0.85;
+
+  AtmConfig config;
+  config.llc_bytes = 1 << 20;
+
+  RmatParams params;
+  params.rows = params.cols = n;
+  params.nnz = n * 12;
+  params.a = 0.62;
+  params.b = 0.14;
+  params.c = 0.14;
+  params.seed = 17;
+  CooMatrix adj = GenerateRmat(params);
+  std::printf("graph: %lld nodes, %lld edges (R-MAT, skewed)\n",
+              (long long)n, (long long)adj.nnz());
+
+  // Row-normalize: P(i, j) = 1/outdeg(i); transpose for r' = P^T r.
+  CsrMatrix a = CooToCsr(adj);
+  {
+    CooMatrix normalized(n, n);
+    for (index_t i = 0; i < n; ++i) {
+      const double deg = static_cast<double>(a.RowNnz(i));
+      for (index_t c : a.RowCols(i)) normalized.Add(i, c, 1.0 / deg);
+    }
+    a = Transpose(CooToCsr(normalized));
+  }
+  ATMatrix pt = AtmFromCsr(a, config);
+  std::printf("P^T as AT MATRIX: %lld tiles (%lld dense)\n\n",
+              (long long)pt.num_tiles(), (long long)pt.NumDenseTiles());
+
+  std::vector<value_t> rank(n, 1.0 / n);
+  WallTimer timer;
+  double delta = 1.0;
+  int iter = 0;
+  for (; iter < iterations && delta > 1e-10; ++iter) {
+    std::vector<value_t> next = SpMV(pt, rank);
+    // Damping + dangling-mass redistribution.
+    double dangling = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      // Columns of P^T with no entries are dangling nodes; their mass is
+      // spread uniformly. Approximate by renormalizing the total.
+      dangling += next[i];
+    }
+    const double teleport = (1.0 - kDamping) / n;
+    const double redistribute = kDamping * (1.0 - dangling) / n;
+    delta = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double updated = kDamping * next[i] + teleport + redistribute;
+      delta += std::fabs(updated - rank[i]);
+      rank[i] = updated;
+    }
+  }
+  std::printf("converged after %d iterations (L1 delta %.2e) in %.1f ms\n",
+              iter, delta, timer.ElapsedMillis());
+
+  // Top-5 ranked nodes.
+  std::vector<index_t> order(n);
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](index_t x, index_t y) { return rank[x] > rank[y]; });
+  std::printf("top nodes:");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  #%lld (%.5f)", (long long)order[i], rank[order[i]]);
+  }
+  std::printf("\n");
+  // Mass conservation check.
+  const double total = std::accumulate(rank.begin(), rank.end(), 0.0);
+  std::printf("total rank mass: %.6f (should be ~1)\n", total);
+  return 0;
+}

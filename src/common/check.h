@@ -1,0 +1,52 @@
+// Invariant-checking macros.
+//
+// ATMX_CHECK* terminate the process on violation; they guard programming
+// invariants, not user input (user input goes through Status, see status.h).
+// ATMX_DCHECK* compile away in NDEBUG builds and may be used in hot loops.
+
+#ifndef ATMX_COMMON_CHECK_H_
+#define ATMX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace atmx::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ATMX_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace atmx::internal
+
+#define ATMX_CHECK(cond)                                   \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::atmx::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                      \
+  } while (false)
+
+#define ATMX_CHECK_OP(a, op, b) ATMX_CHECK((a)op(b))
+#define ATMX_CHECK_EQ(a, b) ATMX_CHECK_OP(a, ==, b)
+#define ATMX_CHECK_NE(a, b) ATMX_CHECK_OP(a, !=, b)
+#define ATMX_CHECK_LT(a, b) ATMX_CHECK_OP(a, <, b)
+#define ATMX_CHECK_LE(a, b) ATMX_CHECK_OP(a, <=, b)
+#define ATMX_CHECK_GT(a, b) ATMX_CHECK_OP(a, >, b)
+#define ATMX_CHECK_GE(a, b) ATMX_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define ATMX_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define ATMX_DCHECK(cond) ATMX_CHECK(cond)
+#endif
+
+#define ATMX_DCHECK_EQ(a, b) ATMX_DCHECK((a) == (b))
+#define ATMX_DCHECK_LT(a, b) ATMX_DCHECK((a) < (b))
+#define ATMX_DCHECK_LE(a, b) ATMX_DCHECK((a) <= (b))
+#define ATMX_DCHECK_GE(a, b) ATMX_DCHECK((a) >= (b))
+
+#endif  // ATMX_COMMON_CHECK_H_

@@ -1,0 +1,58 @@
+#include "common/config.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace atmx {
+
+const char* TilingModeName(TilingMode mode) {
+  switch (mode) {
+    case TilingMode::kNone:
+      return "none";
+    case TilingMode::kFixed:
+      return "fixed";
+    case TilingMode::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+index_t AtmConfig::MaxDenseTileSize() const {
+  ATMX_CHECK_GT(llc_bytes, 0);
+  ATMX_CHECK_GT(alpha, 0);
+  // Eq. (1): tau_max^d = sqrt(LLC / (alpha * S_d)), rounded down to a power
+  // of two so dense tiles stay aligned to the quadtree block grid.
+  const double tau =
+      std::sqrt(static_cast<double>(llc_bytes) /
+                (static_cast<double>(alpha) * kDenseElemBytes));
+  const index_t floor_tau = std::max<index_t>(1, static_cast<index_t>(tau));
+  return std::max<index_t>(16, PrevPowerOfTwo(floor_tau));
+}
+
+index_t AtmConfig::AtomicBlockSize() const {
+  if (b_atomic > 0) {
+    ATMX_CHECK(IsPowerOfTwo(b_atomic));
+    return b_atomic;
+  }
+  // Paper section II-B2: the best-performing minimum tile size equals the
+  // maximum dense tile size (k = 10, b_atomic = 1024 on a 24 MB LLC).
+  return MaxDenseTileSize();
+}
+
+std::string AtmConfig::ToString() const {
+  std::ostringstream os;
+  os << "AtmConfig{llc=" << llc_bytes << "B, sockets=" << num_sockets
+     << ", cores/socket=" << cores_per_socket << ", alpha=" << alpha
+     << ", beta=" << beta << ", b_atomic=" << AtomicBlockSize()
+     << ", rho_read=" << rho_read << ", rho_write=" << rho_write
+     << ", tiling=" << TilingModeName(tiling)
+     << ", est=" << (density_estimation ? 1 : 0)
+     << ", mixed=" << (mixed_tiles ? 1 : 0)
+     << ", jit=" << (dynamic_conversion ? 1 : 0) << "}";
+  return os.str();
+}
+
+}  // namespace atmx

@@ -1,0 +1,50 @@
+// Small integer math helpers (powers of two, divisions, clamping).
+
+#ifndef ATMX_COMMON_MATH_UTIL_H_
+#define ATMX_COMMON_MATH_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace atmx {
+
+inline bool IsPowerOfTwo(index_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+// Smallest power of two >= x (x >= 1).
+inline index_t NextPowerOfTwo(index_t x) {
+  ATMX_CHECK_GE(x, 1);
+  return static_cast<index_t>(
+      std::bit_ceil(static_cast<std::uint64_t>(x)));
+}
+
+// floor(log2(x)) for x >= 1.
+inline int FloorLog2(index_t x) {
+  ATMX_CHECK_GE(x, 1);
+  return 63 - std::countl_zero(static_cast<std::uint64_t>(x));
+}
+
+// ceil(log2(x)) for x >= 1.
+inline int CeilLog2(index_t x) {
+  int f = FloorLog2(x);
+  return IsPowerOfTwo(x) ? f : f + 1;
+}
+
+inline index_t CeilDiv(index_t a, index_t b) {
+  ATMX_CHECK_GT(b, 0);
+  return (a + b - 1) / b;
+}
+
+// Rounds x down to the previous power of two (x >= 1).
+inline index_t PrevPowerOfTwo(index_t x) {
+  ATMX_CHECK_GE(x, 1);
+  return index_t{1} << FloorLog2(x);
+}
+
+}  // namespace atmx
+
+#endif  // ATMX_COMMON_MATH_UTIL_H_

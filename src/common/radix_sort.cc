@@ -1,0 +1,59 @@
+#include "common/radix_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace atmx {
+
+std::vector<index_t> SortedPermutation(
+    const std::vector<std::uint64_t>& keys) {
+  const std::size_t n = keys.size();
+  std::vector<index_t> perm(n);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  if (n < 2) return perm;
+
+  // Small inputs: comparison sort beats the counting passes.
+  if (n < 4096) {
+    std::sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+      return keys[a] < keys[b];
+    });
+    return perm;
+  }
+
+  // Only the bytes covered by the maximum key carry information.
+  std::uint64_t max_key = 0;
+  for (std::uint64_t k : keys) max_key = std::max(max_key, k);
+  int passes = 0;
+  while (max_key != 0) {
+    ++passes;
+    max_key >>= 8;
+  }
+
+  std::vector<index_t> scratch(n);
+  index_t* from = perm.data();
+  index_t* to = scratch.data();
+  std::size_t counts[256];
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * 8;
+    std::fill(std::begin(counts), std::end(counts), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[(keys[from[i]] >> shift) & 0xff]++;
+    }
+    std::size_t offset = 0;
+    for (int b = 0; b < 256; ++b) {
+      const std::size_t count = counts[b];
+      counts[b] = offset;
+      offset += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      to[counts[(keys[from[i]] >> shift) & 0xff]++] = from[i];
+    }
+    std::swap(from, to);
+  }
+  if (from != perm.data()) {
+    std::copy(scratch.begin(), scratch.end(), perm.begin());
+  }
+  return perm;
+}
+
+}  // namespace atmx

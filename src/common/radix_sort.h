@@ -1,0 +1,24 @@
+// LSD radix sort for 64-bit keys with an index payload. The partitioner's
+// Z-ordering step sorts one Morton key per element; for the multi-million
+// element matrices this library targets, a byte-wise counting sort is
+// several times faster than comparison sorting and touches only the bytes
+// the key range actually uses.
+
+#ifndef ATMX_COMMON_RADIX_SORT_H_
+#define ATMX_COMMON_RADIX_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atmx {
+
+// Returns the permutation `perm` such that keys[perm[0]] <= keys[perm[1]]
+// <= ... The sort is stable.
+std::vector<index_t> SortedPermutation(
+    const std::vector<std::uint64_t>& keys);
+
+}  // namespace atmx
+
+#endif  // ATMX_COMMON_RADIX_SORT_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All synthetic workload generators take an explicit seed so that every
+// experiment in the benchmark suite is reproducible bit-for-bit.
+
+#ifndef ATMX_COMMON_RNG_H_
+#define ATMX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace atmx {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+// Fast, high-quality, and identical across platforms, unlike std::mt19937
+// whose distributions are implementation-defined.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_COMMON_RNG_H_

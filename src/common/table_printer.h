@@ -1,0 +1,36 @@
+// Column-aligned plain-text tables for the benchmark harnesses, so every
+// figure/table reproduction prints rows in a uniform, diff-friendly format.
+
+#ifndef ATMX_COMMON_TABLE_PRINTER_H_
+#define ATMX_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace atmx {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; missing trailing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats the whole table, header + separator + rows.
+  std::string ToString() const;
+
+  // Convenience: prints ToString() to stdout.
+  void Print() const;
+
+  // Cell formatting helpers.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtBytes(std::size_t bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,44 @@
+// Simple wall-clock timer for benchmarks and operator-internal breakdowns.
+
+#ifndef ATMX_COMMON_TIMER_H_
+#define ATMX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace atmx {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple disjoint intervals, e.g. the total time
+// the ATMULT optimizer spends in tile conversions.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_ += timer_.ElapsedSeconds(); }
+  void Add(double seconds) { total_ += seconds; }
+  void Reset() { total_ = 0.0; }
+  double TotalSeconds() const { return total_; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_COMMON_TIMER_H_

@@ -1,0 +1,24 @@
+// Fundamental scalar and index types used across the library.
+
+#ifndef ATMX_COMMON_TYPES_H_
+#define ATMX_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace atmx {
+
+// Row/column index and extent type. Signed so that index arithmetic
+// (differences, reverse loops) is well-defined.
+using index_t = std::int64_t;
+
+// Matrix element value type. The paper works with double-precision elements
+// (S_d = 8 bytes dense, S_sp = 16 bytes in CSR including the column index).
+using value_t = double;
+
+// Element sizes used in the tile-size formulas (Eq. 1 & 2 of the paper).
+inline constexpr index_t kDenseElemBytes = 8;
+inline constexpr index_t kSparseElemBytes = 16;
+
+}  // namespace atmx
+
+#endif  // ATMX_COMMON_TYPES_H_

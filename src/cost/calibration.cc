@@ -1,0 +1,134 @@
+#include "cost/calibration.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kernels/dense_kernels.h"
+#include "kernels/mixed_kernels.h"
+#include "kernels/sparse_kernels.h"
+#include "storage/convert.h"
+
+namespace atmx {
+
+namespace {
+
+CsrMatrix MakeProbeCsr(index_t n, double density, Rng* rng) {
+  CooMatrix coo(n, n);
+  const auto target = static_cast<index_t>(density * n * n);
+  coo.Reserve(target);
+  for (index_t i = 0; i < target; ++i) {
+    coo.Add(static_cast<index_t>(rng->NextBounded(n)),
+            static_cast<index_t>(rng->NextBounded(n)),
+            rng->NextDouble() + 0.5);
+  }
+  return CooToCsr(coo);
+}
+
+DenseMatrix MakeProbeDense(index_t n, Rng* rng) {
+  DenseMatrix m(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) m.At(i, j) = rng->NextDouble() + 0.5;
+  }
+  return m;
+}
+
+// Median wall time (ns) of `reps` runs of fn(), after one untimed warm-up
+// run (first-touch page faults and cold caches would otherwise skew the
+// small probes and destabilize the fitted thresholds).
+template <typename Fn>
+double MedianNanos(int reps, Fn&& fn) {
+  fn();  // warm-up
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.ElapsedSeconds() * 1e9);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+CostParams Calibrate(const CalibrationOptions& options) {
+  Rng rng(options.seed);
+  const index_t n = options.tile_size;
+  const double volume =
+      static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+
+  DenseMatrix da = MakeProbeDense(n, &rng);
+  DenseMatrix db = MakeProbeDense(n, &rng);
+  CsrMatrix sa = MakeProbeCsr(n, options.probe_density, &rng);
+  CsrMatrix sb = MakeProbeCsr(n, options.probe_density, &rng);
+  const double rho_a = sa.Density();
+  const double rho_b = sb.Density();
+  const Window wa = Window::Full(n, n);
+  const Window wb = Window::Full(n, n);
+
+  DenseMatrix out(n, n);
+  CostParams fitted;
+
+  // ddd: per m*k*n.
+  fitted.c_ddd =
+      MedianNanos(options.repetitions,
+                  [&] { DddGemm(da.View(), db.View(), out.MutView(), 0, n); }) /
+      volume;
+
+  // sdd: per nnzA * n.
+  fitted.c_sdd = MedianNanos(options.repetitions, [&] {
+                   SddGemm(sa, wa, db.View(), out.MutView(), 0, n);
+                 }) /
+                 (static_cast<double>(sa.nnz()) * n);
+
+  // dsd: per m * nnzB.
+  fitted.c_dsd = MedianNanos(options.repetitions, [&] {
+                   DsdGemm(da.View(), sb, wb, out.MutView(), 0, n);
+                 }) /
+                 (static_cast<double>(n) * sb.nnz());
+
+  // ssd: per expected intermediate product.
+  fitted.c_ssd = MedianNanos(options.repetitions, [&] {
+                   SsdGemm(sa, wa, sb, wb, out.MutView(), 0, n);
+                 }) /
+                 (rho_a * rho_b * volume);
+
+  // sss: the extra over ssd is the SPA-insert + flush cost per
+  // intermediate product.
+  const double intermediates = rho_a * rho_b * volume;
+  const double t_sss =
+      MedianNanos(options.repetitions, [&] { SpGemmCsr(sa, sb); });
+  const double t_ssd_equiv = fitted.c_ssd * intermediates;
+  fitted.sparse_write =
+      std::max(1.0, (t_sss - t_ssd_equiv) / std::max(1.0, intermediates));
+
+  // Dense write: zero-fill per element. Probed on an out-of-cache buffer:
+  // result tiles are written once and are typically not cache-resident,
+  // so the streaming rate — not the L2-resident rate — is what the write
+  // threshold must reflect.
+  {
+    const index_t big_rows = std::max<index_t>(16 * n, 2048);
+    DenseMatrix big(big_rows, n);
+    fitted.dense_write = std::max(
+        0.05, MedianNanos(options.repetitions, [&] { big.Fill(0.0); }) /
+                  (static_cast<double>(big_rows) * n));
+  }
+
+  // Conversions.
+  const double area = static_cast<double>(n) * n;
+  fitted.convert_sparse_to_dense =
+      std::max(0.1, MedianNanos(options.repetitions,
+                                [&] { CsrToDense(sa); }) /
+                        (0.25 * area + rho_a * area));
+  DenseMatrix sa_dense = CsrToDense(sa);
+  fitted.convert_dense_to_sparse =
+      std::max(0.1, MedianNanos(options.repetitions,
+                                [&] { DenseToCsr(sa_dense); }) /
+                        (0.25 * area + rho_a * area));
+
+  return fitted;
+}
+
+}  // namespace atmx

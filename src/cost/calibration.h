@@ -1,0 +1,31 @@
+// Micro-benchmark calibration of the cost-model constants. The paper notes
+// the cost model "is not only dependent on the second matrix density, but
+// also on the system configuration"; calibration refits the per-work-unit
+// constants to the host so that turnaround densities reflect real kernel
+// crossovers rather than hand-tuned defaults.
+
+#ifndef ATMX_COST_CALIBRATION_H_
+#define ATMX_COST_CALIBRATION_H_
+
+#include "cost/cost_model.h"
+
+namespace atmx {
+
+struct CalibrationOptions {
+  // Edge length of the square calibration tiles.
+  index_t tile_size = 256;
+  // Operand density used for the sparse kernel probes.
+  double probe_density = 0.15;
+  // Repetitions per probe (median-of is taken, after one warm-up run).
+  int repetitions = 5;
+  // Deterministic seed for the probe matrices.
+  std::uint64_t seed = 0x5ca1ab1e;
+};
+
+// Runs the kernel probes and returns fitted constants (in ns per work
+// unit). Takes a few hundred milliseconds.
+CostParams Calibrate(const CalibrationOptions& options = {});
+
+}  // namespace atmx
+
+#endif  // ATMX_COST_CALIBRATION_H_

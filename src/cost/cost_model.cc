@@ -1,0 +1,83 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace atmx {
+
+std::string CostParams::ToString() const {
+  std::ostringstream os;
+  os << "CostParams{ddd=" << c_ddd << ", sdd=" << c_sdd << ", dsd=" << c_dsd
+     << ", ssd=" << c_ssd << ", row=" << row_overhead
+     << ", wd=" << dense_write << ", ws=" << sparse_write
+     << ", sort=" << sparse_sort << ", s2d=" << convert_sparse_to_dense
+     << ", d2s=" << convert_dense_to_sparse << "}";
+  return os.str();
+}
+
+double CostModel::ComputeCost(KernelType kernel,
+                              const MultiplyShape& s) const {
+  const double m = static_cast<double>(s.m);
+  const double k = static_cast<double>(s.k);
+  const double n = static_cast<double>(s.n);
+  const double volume = m * k * n;
+  switch (kernel) {
+    case KernelType::kDDD:
+    case KernelType::kDDS:
+      return params_.c_ddd * volume;
+    case KernelType::kSDD:
+    case KernelType::kSDS:
+      // nnzA_window rows of B are streamed densely.
+      return params_.c_sdd * s.rho_a * volume + params_.row_overhead * m;
+    case KernelType::kDSD:
+    case KernelType::kDSS:
+      // Every A element is visited; only non-zero B rows contribute.
+      return params_.c_dsd * s.rho_b * volume +
+             0.25 * params_.c_ddd * m * k;  // A scan
+    case KernelType::kSSD:
+    case KernelType::kSSS:
+      // Expected intermediate products + per-A-element row lookups.
+      return params_.c_ssd * s.rho_a * s.rho_b * volume +
+             params_.row_overhead * (m + s.rho_a * m * k);
+  }
+  ATMX_CHECK(false);
+  return 0.0;
+}
+
+double CostModel::WriteCost(bool c_dense, index_t m, index_t n, double rho_c,
+                            double intermediates) const {
+  const double area = static_cast<double>(m) * static_cast<double>(n);
+  if (c_dense) {
+    return params_.dense_write * area;
+  }
+  const double stored = rho_c * area;
+  const double per_row = std::max(1.0, stored / std::max<double>(1.0, m));
+  return params_.sparse_write * intermediates +
+         params_.sparse_sort * stored * std::log2(1.0 + per_row);
+}
+
+double CostModel::ConversionCost(bool to_dense, index_t m, index_t n,
+                                 double rho) const {
+  const double area = static_cast<double>(m) * static_cast<double>(n);
+  if (to_dense) {
+    // Zero the array, then scatter the nnz elements.
+    return params_.convert_sparse_to_dense * (0.25 * area + rho * area);
+  }
+  // Scan the array, append the nnz elements.
+  return params_.convert_dense_to_sparse * (0.25 * area + rho * area);
+}
+
+double CostModel::ReadTurnaround() const {
+  // ssd cost rho^2 * c_ssd * mkn crosses ddd cost c_ddd * mkn at
+  // rho = sqrt(c_ddd / c_ssd).
+  return std::sqrt(params_.c_ddd / params_.c_ssd);
+}
+
+double CostModel::WriteTurnaround() const {
+  // dense_write * area == sparse_write * rho * area.
+  return params_.dense_write / params_.sparse_write;
+}
+
+}  // namespace atmx

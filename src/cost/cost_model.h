@@ -1,0 +1,97 @@
+// Eight-fold multiplication cost model (section III-C, building on the
+// authors' SpMacho cost model [9]). The runtime of each kernel is modelled
+// from the operand shapes (m x k) * (k x n), the operand densities, and the
+// *estimated* result density. The optimizer uses these costs to pick
+// representations and to decide just-in-time tile conversions; the density
+// turnaround points rho0_R / rho0_W are the cost-crossover densities.
+//
+// All costs are in abstract work units (roughly nanoseconds once
+// calibrated, see calibration.h); only cost *ratios* drive decisions.
+
+#ifndef ATMX_COST_COST_MODEL_H_
+#define ATMX_COST_COST_MODEL_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "kernels/kernel_common.h"
+
+namespace atmx {
+
+// Per-work-unit constants of the kernel cost functions. Defaults are
+// hand-tuned so that the read crossover sqrt(c_ddd/c_ssd) sits at the
+// paper's rho0_R = 0.25 and the write crossover at roughly rho0_W = 0.03;
+// Calibrate() (calibration.h) refits them to the host.
+struct CostParams {
+  // Compute: cost per executed multiply-add, by operand representation.
+  double c_ddd = 1.0;   // dense x dense: per m*k*n
+  double c_sdd = 5.0;   // sparse x dense: per nnzA_w * n
+  double c_dsd = 6.0;   // dense x sparse: per m * nnzB_w (column indirection)
+  double c_ssd = 16.0;  // sparse x sparse: per expected intermediate product
+
+  // Row-loop overhead per visited sparse row (binary searches, pointers).
+  double row_overhead = 8.0;
+
+  // Write-side: dense targets pay a one-off allocation/zeroing per element;
+  // sparse targets pay per intermediate product (SPA insert) plus a sort
+  // term per stored element. The dense/sparse write asymmetry here is what
+  // makes rho0_W << rho0_R.
+  double dense_write = 0.25;
+  double sparse_write = 8.0;
+  double sparse_sort = 2.0;
+
+  // Conversion costs per element moved (JIT conversions, section III-C).
+  double convert_sparse_to_dense = 1.5;  // scatter nnz + zero m*n
+  double convert_dense_to_sparse = 3.0;  // scan m*n + append nnz
+
+  std::string ToString() const;
+};
+
+// Shape/density description of one tile-pair multiplication.
+struct MultiplyShape {
+  index_t m = 0;
+  index_t k = 0;
+  index_t n = 0;
+  double rho_a = 0.0;  // density of the A window
+  double rho_b = 0.0;  // density of the B window
+  double rho_c = 0.0;  // estimated density of the C tile
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(const CostParams& params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  // Compute-side cost of one pair multiplication with the given kernel
+  // (excludes the C write side, which is paid per C tile, not per pair).
+  double ComputeCost(KernelType kernel, const MultiplyShape& s) const;
+
+  // Write-side cost of materializing an m x n C tile of estimated density
+  // rho_c in the given representation, fed by `intermediates` SPA inserts.
+  double WriteCost(bool c_dense, index_t m, index_t n, double rho_c,
+                   double intermediates) const;
+
+  // Cost of converting an m x n tile of density rho between
+  // representations.
+  double ConversionCost(bool to_dense, index_t m, index_t n,
+                        double rho) const;
+
+  // Read-side density turnaround rho0_R: the operand density at which the
+  // dense kernel overtakes the sparse kernel in the symmetric
+  // (rho_a == rho_b) self-multiplication case — the paper's heuristic for
+  // the partitioner's materialization threshold.
+  double ReadTurnaround() const;
+
+  // Write-side turnaround rho0_W: result density at which a dense target
+  // becomes cheaper to write than a sparse one.
+  double WriteTurnaround() const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_COST_COST_MODEL_H_

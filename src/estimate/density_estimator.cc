@@ -1,0 +1,85 @@
+#include "estimate/density_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace atmx {
+
+DensityMap EstimateProductDensity(const DensityMap& a, const DensityMap& b) {
+  ATMX_CHECK_EQ(a.cols(), b.rows());
+  ATMX_CHECK_EQ(a.block(), b.block());
+
+  DensityMap c(a.rows(), b.cols(), a.block());
+  const index_t grid_k = a.grid_cols();
+  const index_t grid_j = b.grid_cols();
+
+  // Sparse iteration: only non-zero blocks of A and B contribute, so we
+  // pre-index the non-zero block columns of every B block-row. This keeps
+  // the estimator cheap even for hypersparse high-dimension matrices (its
+  // cost is the paper's concern in section IV-D).
+  std::vector<std::vector<index_t>> b_row_nonzero(grid_k);
+  for (index_t bk = 0; bk < grid_k; ++bk) {
+    for (index_t bj = 0; bj < grid_j; ++bj) {
+      if (b.At(bk, bj) > 0.0) b_row_nonzero[bk].push_back(bj);
+    }
+  }
+
+  // Accumulate log(1 - rho_C) row-block-wise.
+  std::vector<double> log_zero(grid_j);
+  for (index_t bi = 0; bi < c.grid_rows(); ++bi) {
+    std::fill(log_zero.begin(), log_zero.end(), 0.0);
+    for (index_t bk = 0; bk < grid_k; ++bk) {
+      const double rho_a = a.At(bi, bk);
+      if (rho_a <= 0.0) continue;
+      // w_K contraction columns in this block column, each an independent
+      // chance for a non-zero product.
+      const double w = static_cast<double>(a.BlockWidth(bk));
+      for (index_t bj : b_row_nonzero[bk]) {
+        const double p = rho_a * b.At(bk, bj);
+        log_zero[bj] += p >= 1.0
+                            ? -std::numeric_limits<double>::infinity()
+                            : w * std::log1p(-p);
+      }
+    }
+    for (index_t bj = 0; bj < grid_j; ++bj) {
+      // 1 - e^{log P(zero)}.
+      c.Set(bi, bj, std::clamp(-std::expm1(log_zero[bj]), 0.0, 1.0));
+    }
+  }
+  return c;
+}
+
+DensityMap CombineAdditive(const DensityMap& x, const DensityMap& y) {
+  ATMX_CHECK_EQ(x.rows(), y.rows());
+  ATMX_CHECK_EQ(x.cols(), y.cols());
+  ATMX_CHECK_EQ(x.block(), y.block());
+  DensityMap out(x.rows(), x.cols(), x.block());
+  for (index_t bi = 0; bi < out.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < out.grid_cols(); ++bj) {
+      const double rx = x.At(bi, bj);
+      const double ry = y.At(bi, bj);
+      out.Set(bi, bj, 1.0 - (1.0 - rx) * (1.0 - ry));
+    }
+  }
+  return out;
+}
+
+std::size_t EstimateMemoryBytes(const DensityMap& map, double threshold) {
+  double bytes = 0.0;
+  for (index_t bi = 0; bi < map.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < map.grid_cols(); ++bj) {
+      const double area = static_cast<double>(map.BlockArea(bi, bj));
+      const double rho = map.At(bi, bj);
+      if (rho >= threshold) {
+        bytes += area * kDenseElemBytes;
+      } else {
+        bytes += rho * area * kSparseElemBytes;
+      }
+    }
+  }
+  return static_cast<std::size_t>(bytes);
+}
+
+}  // namespace atmx

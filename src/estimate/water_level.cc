@@ -1,0 +1,82 @@
+#include "estimate/water_level.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "estimate/density_estimator.h"
+
+namespace atmx {
+
+WaterLevelResult SolveWaterLevel(const DensityMap& estimate,
+                                 std::size_t mem_limit_bytes) {
+  struct Bar {
+    double density;
+    double area;
+  };
+  std::vector<Bar> bars;
+  bars.reserve(estimate.grid_rows() * estimate.grid_cols());
+  double sparse_total = 0.0;  // all-sparse memory
+  for (index_t bi = 0; bi < estimate.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < estimate.grid_cols(); ++bj) {
+      const double area = static_cast<double>(estimate.BlockArea(bi, bj));
+      const double rho = estimate.At(bi, bj);
+      bars.push_back({rho, area});
+      sparse_total += rho * area * kSparseElemBytes;
+    }
+  }
+  // Lower the level from the top: bars surface in descending density order.
+  std::sort(bars.begin(), bars.end(),
+            [](const Bar& a, const Bar& b) { return a.density > b.density; });
+
+  WaterLevelResult result;
+  result.threshold = 1.0 + 1e-12;  // above all bars: everything sparse
+  result.projected_bytes = static_cast<std::size_t>(sparse_total);
+  result.feasible = sparse_total <= static_cast<double>(mem_limit_bytes);
+
+  // If no level meets the limit, fall back to the level of minimum
+  // memory (dense exactly where rho >= 0.5): the SLA is missed either
+  // way, so miss it by as little as possible.
+  double min_memory = sparse_total;
+  double min_threshold = result.threshold;
+
+  double memory = sparse_total;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    // Surface bar i: its block flips from sparse to dense.
+    memory += bars[i].area * (kDenseElemBytes -
+                              bars[i].density * kSparseElemBytes);
+    // Blocks of equal density flip together (the threshold comparison is
+    // `>=`), so only commit the level once the density strictly drops.
+    if (i + 1 < bars.size() && bars[i + 1].density == bars[i].density) {
+      continue;
+    }
+    if (memory < min_memory) {
+      min_memory = memory;
+      min_threshold = bars[i].density;
+    }
+    if (memory <= static_cast<double>(mem_limit_bytes)) {
+      result.threshold = bars[i].density;
+      result.projected_bytes = static_cast<std::size_t>(memory);
+      result.feasible = true;
+    } else if (bars[i].density < 0.5) {
+      // Every further bar has rho < 0.5, for which the dense flip strictly
+      // adds memory — lowering the level cannot help anymore.
+      break;
+    }
+  }
+  if (!result.feasible) {
+    result.threshold = min_threshold;
+    result.projected_bytes = static_cast<std::size_t>(min_memory);
+  }
+  return result;
+}
+
+double EffectiveWriteThreshold(const DensityMap& estimate, double rho_write,
+                               std::size_t mem_limit_bytes) {
+  // Fast path: unlimited memory keeps the performance-optimal threshold.
+  const std::size_t optimistic = EstimateMemoryBytes(estimate, rho_write);
+  if (optimistic <= mem_limit_bytes) return rho_write;
+  const WaterLevelResult wl = SolveWaterLevel(estimate, mem_limit_bytes);
+  return std::max(rho_write, wl.threshold);
+}
+
+}  // namespace atmx

@@ -1,0 +1,67 @@
+#include "gen/rmat.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace atmx {
+
+CooMatrix GenerateRmat(const RmatParams& params) {
+  ATMX_CHECK_GT(params.rows, 0);
+  ATMX_CHECK_GT(params.cols, 0);
+  ATMX_CHECK_GE(params.nnz, 0);
+  ATMX_CHECK_LE(params.nnz, params.rows * params.cols);
+  const double d = 1.0 - params.a - params.b - params.c;
+  ATMX_CHECK(params.a >= 0 && params.b >= 0 && params.c >= 0 && d >= -1e-9);
+
+  Rng rng(params.seed);
+  CooMatrix coo(params.rows, params.cols);
+  coo.Reserve(static_cast<std::size_t>(params.nnz));
+
+  const int levels = CeilLog2(std::max(params.rows, params.cols));
+  const index_t side = index_t{1} << levels;
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(params.nnz * 1.3));
+
+  while (static_cast<index_t>(seen.size()) < params.nnz) {
+    index_t r = 0, c = 0;
+    index_t half = side / 2;
+    for (int level = 0; level < levels; ++level) {
+      double pa = params.a, pb = params.b, pc = params.c;
+      if (params.smooth) {
+        // +-10% multiplicative noise, renormalized.
+        const double na = pa * (0.9 + 0.2 * rng.NextDouble());
+        const double nb = pb * (0.9 + 0.2 * rng.NextDouble());
+        const double nc = pc * (0.9 + 0.2 * rng.NextDouble());
+        const double nd = d * (0.9 + 0.2 * rng.NextDouble());
+        const double sum = na + nb + nc + nd;
+        pa = na / sum;
+        pb = nb / sum;
+        pc = nc / sum;
+      }
+      const double u = rng.NextDouble();
+      if (u < pa) {
+        // upper-left: nothing to add
+      } else if (u < pa + pb) {
+        c += half;
+      } else if (u < pa + pb + pc) {
+        r += half;
+      } else {
+        r += half;
+        c += half;
+      }
+      half /= 2;
+    }
+    if (r >= params.rows || c >= params.cols) continue;  // padding area
+    const std::uint64_t key = (static_cast<std::uint64_t>(r) << 32) |
+                              static_cast<std::uint64_t>(c);
+    if (!seen.insert(key).second) continue;  // duplicate, re-draw
+    coo.Add(r, c, rng.NextDouble() + 0.5);
+  }
+  return coo;
+}
+
+}  // namespace atmx

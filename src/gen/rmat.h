@@ -1,0 +1,36 @@
+// R-MAT recursive graph/matrix generator (Chakrabarti, Zhan, Faloutsos
+// [30]), used by the paper to create the synthetic G1-G9 matrices with
+// controlled skew: parameters {a, b, c, d} give the probability that an
+// element falls into the upper-left, upper-right, lower-left, lower-right
+// quarter at each recursion level; a == b == c == d yields a near-uniform
+// matrix, growing `a` concentrates non-zeros in the upper-left corner.
+
+#ifndef ATMX_GEN_RMAT_H_
+#define ATMX_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "storage/coo_matrix.h"
+
+namespace atmx {
+
+struct RmatParams {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t nnz = 0;   // number of *distinct* coordinates generated
+  double a = 0.25;   // upper-left
+  double b = 0.25;   // upper-right
+  double c = 0.25;   // lower-left (d = 1 - a - b - c)
+  std::uint64_t seed = 42;
+  // Probability smoothing (+-10% noise per level) as recommended by the
+  // R-MAT authors to avoid artificial self-similarity staircases.
+  bool smooth = true;
+};
+
+// Generates an R-MAT matrix. Duplicate coordinates are re-drawn until
+// exactly `nnz` distinct elements exist (values uniform in [0.5, 1.5)).
+CooMatrix GenerateRmat(const RmatParams& params);
+
+}  // namespace atmx
+
+#endif  // ATMX_GEN_RMAT_H_

@@ -1,0 +1,209 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace atmx {
+
+namespace {
+
+std::uint64_t CoordKey(index_t r, index_t c) {
+  return (static_cast<std::uint64_t>(r) << 32) |
+         static_cast<std::uint64_t>(c);
+}
+
+value_t RandomValue(Rng* rng) { return rng->NextDouble() + 0.5; }
+
+}  // namespace
+
+CooMatrix GenerateUniform(index_t rows, index_t cols, index_t nnz,
+                          std::uint64_t seed) {
+  ATMX_CHECK_LE(nnz, rows * cols);
+  Rng rng(seed);
+  CooMatrix coo(rows, cols);
+  coo.Reserve(static_cast<std::size_t>(nnz));
+  if (nnz > rows * cols / 2) {
+    // Dense regime: rejection sampling would thrash; use per-cell
+    // Bernoulli with matching expectation instead (approximate count).
+    const double p = static_cast<double>(nnz) /
+                     (static_cast<double>(rows) * cols);
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t j = 0; j < cols; ++j) {
+        if (rng.NextDouble() < p) coo.Add(i, j, RandomValue(&rng));
+      }
+    }
+    return coo;
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz) * 2);
+  while (static_cast<index_t>(seen.size()) < nnz) {
+    const index_t r = static_cast<index_t>(rng.NextBounded(rows));
+    const index_t c = static_cast<index_t>(rng.NextBounded(cols));
+    if (seen.insert(CoordKey(r, c)).second) {
+      coo.Add(r, c, RandomValue(&rng));
+    }
+  }
+  return coo;
+}
+
+CooMatrix GenerateBanded(index_t n, index_t bandwidth, double band_density,
+                         std::uint64_t seed) {
+  ATMX_CHECK_GT(n, 0);
+  ATMX_CHECK_GE(bandwidth, 0);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t j0 = std::max<index_t>(0, i - bandwidth);
+    const index_t j1 = std::min(n, i + bandwidth + 1);
+    for (index_t j = j0; j < j1; ++j) {
+      if (j == i || rng.NextDouble() < band_density) {
+        coo.Add(i, j, RandomValue(&rng));
+      }
+    }
+  }
+  return coo;
+}
+
+CooMatrix GenerateBandedBlocks(index_t n, index_t bandwidth,
+                               double band_density, index_t blocklet,
+                               std::uint64_t seed) {
+  ATMX_CHECK_GT(blocklet, 0);
+  Rng rng(seed);
+  CooMatrix coo = GenerateBanded(n, bandwidth, band_density, seed + 1);
+  // Dense node blocklets on the diagonal (e.g. 3 dof per FEM node).
+  for (index_t s = 0; s + blocklet <= n; s += blocklet) {
+    for (index_t i = s; i < s + blocklet; ++i) {
+      for (index_t j = s; j < s + blocklet; ++j) {
+        coo.Add(i, j, RandomValue(&rng));
+      }
+    }
+  }
+  coo.CoalesceDuplicates();
+  return coo;
+}
+
+CooMatrix GenerateDiagonalDenseBlocks(index_t n, index_t num_blocks,
+                                      index_t block_size,
+                                      double block_density,
+                                      index_t background_nnz,
+                                      std::uint64_t seed) {
+  ATMX_CHECK_GT(num_blocks, 0);
+  ATMX_CHECK_LE(num_blocks * block_size, n);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  // Evenly spaced dense diagonal blocks.
+  const index_t spacing = n / num_blocks;
+  for (index_t bk = 0; bk < num_blocks; ++bk) {
+    const index_t s = bk * spacing;
+    for (index_t i = s; i < s + block_size; ++i) {
+      for (index_t j = s; j < s + block_size; ++j) {
+        if (rng.NextDouble() < block_density) {
+          coo.Add(i, j, RandomValue(&rng));
+        }
+      }
+    }
+  }
+  // Uniform background coupling.
+  for (index_t e = 0; e < background_nnz; ++e) {
+    coo.Add(static_cast<index_t>(rng.NextBounded(n)),
+            static_cast<index_t>(rng.NextBounded(n)), RandomValue(&rng));
+  }
+  coo.CoalesceDuplicates();
+  return coo;
+}
+
+CooMatrix GenerateHamiltonian(index_t n, index_t num_blocks,
+                              double diag_fill, double offdiag_block_prob,
+                              double offdiag_fill, std::uint64_t seed) {
+  ATMX_CHECK_GT(num_blocks, 0);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  // Contiguous shell blocks of varying size (1x, 2x, 3x pattern keeps the
+  // structure deterministic but non-uniform, like CI configuration shells).
+  std::vector<index_t> bounds = {0};
+  {
+    double unit = static_cast<double>(n) / (num_blocks * 2.0);
+    index_t pos = 0;
+    for (index_t b = 0; b < num_blocks && pos < n; ++b) {
+      pos += static_cast<index_t>(unit * (1 + (b % 3)));
+      bounds.push_back(std::min(pos, n));
+    }
+    if (bounds.back() != n) bounds.push_back(n);
+  }
+  const index_t nb = static_cast<index_t>(bounds.size()) - 1;
+
+  auto fill_block = [&](index_t bi, index_t bj, double fill) {
+    for (index_t i = bounds[bi]; i < bounds[bi + 1]; ++i) {
+      for (index_t j = bounds[bj]; j < bounds[bj + 1]; ++j) {
+        if (rng.NextDouble() < fill) coo.Add(i, j, RandomValue(&rng));
+      }
+    }
+  };
+
+  for (index_t b = 0; b < nb; ++b) fill_block(b, b, diag_fill);
+  for (index_t bi = 0; bi < nb; ++bi) {
+    for (index_t bj = bi + 1; bj < nb; ++bj) {
+      if (rng.NextDouble() < offdiag_block_prob) {
+        fill_block(bi, bj, offdiag_fill);
+        fill_block(bj, bi, offdiag_fill);  // Hamiltonians are symmetric
+      }
+    }
+  }
+  coo.CoalesceDuplicates();
+  return coo;
+}
+
+CooMatrix GenerateScaleFreeCorrelation(index_t n, index_t nnz,
+                                       double zipf_exponent,
+                                       std::uint64_t seed) {
+  ATMX_CHECK_GT(n, 0);
+  Rng rng(seed);
+  // Chung-Lu sampling from Zipf weights: P(endpoint = i) ~ (i+1)^-e.
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -zipf_exponent);
+    cdf[i] = total;
+  }
+  auto draw = [&]() {
+    const double u = rng.NextDouble() * total;
+    return static_cast<index_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  };
+
+  CooMatrix coo(n, n);
+  coo.Reserve(static_cast<std::size_t>(nnz));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz) * 2);
+  while (static_cast<index_t>(seen.size()) < nnz) {
+    index_t i = draw();
+    index_t j = draw();
+    if (!seen.insert(CoordKey(i, j)).second) continue;
+    const value_t v = RandomValue(&rng);
+    coo.Add(i, j, v);
+    // Correlation matrices are symmetric; mirror when the slot is free.
+    if (i != j && static_cast<index_t>(seen.size()) < nnz &&
+        seen.insert(CoordKey(j, i)).second) {
+      coo.Add(j, i, v);
+    }
+  }
+  return coo;
+}
+
+DenseMatrix GenerateFullDense(index_t rows, index_t cols,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      m.At(i, j) = RandomValue(&rng);
+    }
+  }
+  return m;
+}
+
+}  // namespace atmx

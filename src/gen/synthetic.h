@@ -1,0 +1,62 @@
+// Synthetic matrix generators covering the non-zero topology classes of
+// the paper's real-world workloads (Table I): banded FEM matrices, block
+// matrices with dense substructures, scale-free correlation matrices, and
+// plain uniform/dense fillers. All generators are deterministic in the
+// seed.
+
+#ifndef ATMX_GEN_SYNTHETIC_H_
+#define ATMX_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/coo_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// `nnz` distinct uniformly distributed elements.
+CooMatrix GenerateUniform(index_t rows, index_t cols, index_t nnz,
+                          std::uint64_t seed);
+
+// Band matrix: elements only within |i - j| <= bandwidth, filled to the
+// given density *within the band* (plus the main diagonal). FEM-style
+// uniform hypersparse topology (R7/R9 class).
+CooMatrix GenerateBanded(index_t n, index_t bandwidth, double band_density,
+                         std::uint64_t seed);
+
+// Structural-mechanics style: banded coupling plus small dense node blocks
+// (blocklet x blocklet) along the diagonal (pkustk14 / R8 class).
+CooMatrix GenerateBandedBlocks(index_t n, index_t bandwidth,
+                               double band_density, index_t blocklet,
+                               std::uint64_t seed);
+
+// Dense diagonal blocks (power-network / TSOPF class, R3): num_blocks
+// dense blocks of edge block_size on the diagonal with fill
+// `block_density`, plus a uniform background of `background_nnz` elements.
+CooMatrix GenerateDiagonalDenseBlocks(index_t n, index_t num_blocks,
+                                      index_t block_size,
+                                      double block_density,
+                                      index_t background_nnz,
+                                      std::uint64_t seed);
+
+// Hamiltonian-like (nuclear CI, R1/R5/R6 class): dense diagonal blocks of
+// varying size plus a fraction of dense off-diagonal coupling blocks.
+CooMatrix GenerateHamiltonian(index_t n, index_t num_blocks,
+                              double diag_fill, double offdiag_block_prob,
+                              double offdiag_fill, std::uint64_t seed);
+
+// Gene-coexpression-like (human_gene / mouse_gene class, R2/R4):
+// Chung-Lu-style with Zipf(exponent) weights — hub genes form a dense core
+// while the tail stays hypersparse.
+CooMatrix GenerateScaleFreeCorrelation(index_t n, index_t nnz,
+                                       double zipf_exponent,
+                                       std::uint64_t seed);
+
+// Fully populated rectangular matrix with values in [0.5, 1.5).
+DenseMatrix GenerateFullDense(index_t rows, index_t cols,
+                              std::uint64_t seed);
+
+}  // namespace atmx
+
+#endif  // ATMX_GEN_SYNTHETIC_H_

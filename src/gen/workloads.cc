@@ -1,0 +1,138 @@
+#include "gen/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "common/check.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+
+namespace atmx {
+
+const std::vector<WorkloadSpec>& Table1Specs() {
+  static const std::vector<WorkloadSpec>& specs =
+      *new std::vector<WorkloadSpec>{
+          // Real-world surrogates (Table I upper half).
+          {"R1", "Hamiltonian1*", "Nuclear Physics", 17040, 42.95e6},
+          {"R2", "human_gene*", "Gene Expr. (BioInf.)", 22283, 24.67e6},
+          {"R3", "TSOPF_RS_b2383*", "Power Network (Eng.)", 38120, 32.31e6},
+          {"R4", "mouse_gene*", "Gene Expr. (BioInf.)", 45101, 28.97e6},
+          {"R5", "Hamiltonian2*", "Nuclear Physics", 52928, 188.93e6},
+          {"R6", "Hamiltonian3*", "Nuclear Physics", 77205, 319.30e6},
+          {"R7", "barrier2-4*", "Semicond. Device (Eng.)", 113000, 2.13e6},
+          {"R8", "pkustk14*", "Structural Problem (Eng.)", 152000, 11.20e6},
+          {"R9", "msdoor*", "Structural Problem (Eng.)", 416000, 19.17e6},
+          // R-MAT generated matrices (Table I lower half).
+          {"G1", "RMAT1", "generated", 100000, 20e6, 0.25, 0.25, 0.25},
+          {"G2", "RMAT2", "generated", 100000, 20e6, 0.35, 0.22, 0.22},
+          {"G3", "RMAT3", "generated", 100000, 20e6, 0.45, 0.18, 0.18},
+          {"G4", "RMAT4", "generated", 100000, 20e6, 0.55, 0.15, 0.15},
+          {"G5", "RMAT5", "generated", 100000, 20e6, 0.61, 0.13, 0.13},
+          {"G6", "RMAT6", "generated", 100000, 20e6, 0.64, 0.12, 0.12},
+          {"G7", "RMAT7", "generated", 100000, 20e6, 0.67, 0.11, 0.11},
+          {"G8", "RMAT8", "generated", 100000, 20e6, 0.70, 0.10, 0.10},
+          {"G9", "RMAT9", "generated", 100000, 20e6, 0.73, 0.09, 0.09},
+      };
+  return specs;
+}
+
+const WorkloadSpec& FindWorkload(const std::string& id) {
+  for (const WorkloadSpec& spec : Table1Specs()) {
+    if (spec.id == id) return spec;
+  }
+  ATMX_CHECK(false);
+  static const WorkloadSpec kInvalid{};
+  return kInvalid;
+}
+
+double DefaultWorkloadScale() { return 0.125; }
+
+CooMatrix MakeWorkloadMatrix(const std::string& id, double scale,
+                             std::uint64_t seed) {
+  ATMX_CHECK(scale > 0.0 && scale <= 1.0);
+  const WorkloadSpec& spec = FindWorkload(id);
+  const index_t dim = std::max<index_t>(
+      64, static_cast<index_t>(std::llround(spec.full_dim * scale)));
+  // Real-world surrogates scale nnz with scale^2 (preserving the density
+  // of Table I). The R-MAT series instead scales with scale^1.5 so that
+  // the *collision parameter* of the self-product — expected contributions
+  // per output cell, (nnz/n)^2 / n — matches the full-scale experiment;
+  // the skew-dependent output-size shrinking of Figs. 8a/8c only exists in
+  // that regime.
+  const bool is_rmat = spec.id[0] == 'G';
+  const index_t nnz = std::max<index_t>(
+      dim, static_cast<index_t>(spec.full_nnz *
+                                (is_rmat ? std::pow(scale, 1.5)
+                                         : scale * scale)));
+  const std::uint64_t s = seed ^ (std::hash<std::string>{}(id) | 1);
+  // Per-row element count; drives band widths of the FEM surrogates.
+  const double per_row = static_cast<double>(nnz) / dim;
+
+  if (spec.id == "R1" || spec.id == "R5" || spec.id == "R6") {
+    // Nuclear CI Hamiltonians: dense shell blocks, symmetric coupling.
+    // Tuned so the realized density tracks Table I (14.8% / 6.7% / 5.4%).
+    const double target_rho = spec.FullDensity();
+    const index_t num_blocks = spec.id == "R1" ? 10 : 24;
+    // Diagonal shells are distinctly dense; couplings carry the rest.
+    const double diag_fill = std::min(0.95, target_rho * 4.5);
+    const double offdiag_prob = 0.30;
+    // Solve the remaining mass: offdiag covers ~ (1 - 1/nb) of the area
+    // with probability offdiag_prob.
+    const double diag_share = 1.2 / num_blocks;  // varying block sizes
+    const double offdiag_fill = std::max(
+        0.0, (target_rho - diag_fill * diag_share) /
+                 std::max(0.05, offdiag_prob * (1.0 - diag_share)));
+    return GenerateHamiltonian(dim, num_blocks, diag_fill, offdiag_prob,
+                               std::min(0.9, offdiag_fill), s);
+  }
+  if (spec.id == "R2" || spec.id == "R4") {
+    // Gene co-expression: scale-free hub structure (dense core).
+    const double exponent = spec.id == "R2" ? 0.85 : 0.80;
+    return GenerateScaleFreeCorrelation(dim, nnz, exponent, s);
+  }
+  if (spec.id == "R3") {
+    // TSOPF power network: many distinctly dense diagonal blocks (Fig. 2).
+    const index_t block_size = std::max<index_t>(8, dim / 56);
+    // Clamp so the evenly spaced blocks fit even at tiny scales.
+    const index_t num_blocks =
+        std::max<index_t>(1, std::min<index_t>(40, dim / (2 * block_size)));
+    const double fill = std::min(
+        0.9, 0.9 * static_cast<double>(nnz) /
+                 (static_cast<double>(num_blocks) * block_size * block_size));
+    const double in_blocks =
+        fill * static_cast<double>(num_blocks) * block_size * block_size;
+    const index_t background = std::max<index_t>(
+        0, nnz - static_cast<index_t>(in_blocks));
+    return GenerateDiagonalDenseBlocks(dim, num_blocks, block_size, fill,
+                                       background, s);
+  }
+  if (spec.id == "R7" || spec.id == "R9") {
+    // FEM / device matrices: narrow uniform band, hypersparse.
+    const index_t bw = std::max<index_t>(4, static_cast<index_t>(per_row));
+    const double band_density = per_row / (2.0 * bw + 1.0);
+    return GenerateBanded(dim, bw, std::min(1.0, band_density), s);
+  }
+  if (spec.id == "R8") {
+    // Structural problem: band plus small dense node blocklets.
+    const index_t bw =
+        std::max<index_t>(6, static_cast<index_t>(per_row * 1.5));
+    const index_t blocklet = 6;
+    const double band_density =
+        std::min(1.0, 0.7 * per_row / (2.0 * bw + 1.0));
+    return GenerateBandedBlocks(dim, bw, band_density, blocklet, s);
+  }
+  // G1..G9: R-MAT.
+  RmatParams params;
+  params.rows = dim;
+  params.cols = dim;
+  params.nnz = nnz;
+  params.a = spec.rmat_a;
+  params.b = spec.rmat_b;
+  params.c = spec.rmat_c;
+  params.seed = s;
+  return GenerateRmat(params);
+}
+
+}  // namespace atmx

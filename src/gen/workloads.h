@@ -1,0 +1,54 @@
+// Workload registry reproducing Table I of the paper: the nine real-world
+// matrices (as synthetic surrogates of the same non-zero topology class —
+// see DESIGN.md, substitutions) and the nine skew-controlled R-MAT
+// matrices G1-G9.
+//
+// Every workload can be generated at a linear scale factor: dimensions
+// scale by `scale`, non-zeros by `scale^2`, so the population density and
+// topology class of the original are preserved while the suite stays
+// runnable on small machines. scale = 1 reproduces the full Table I sizes.
+
+#ifndef ATMX_GEN_WORKLOADS_H_
+#define ATMX_GEN_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/coo_matrix.h"
+
+namespace atmx {
+
+struct WorkloadSpec {
+  std::string id;      // "R1".."R9", "G1".."G9"
+  std::string name;    // e.g. "Hamiltonian1*" (the * marks a surrogate)
+  std::string domain;  // Table I matrix domain
+  index_t full_dim;    // Table I dimension (square matrices)
+  double full_nnz;     // Table I element count
+  // R-MAT parameters for the generated matrices (a, b, c; d implied).
+  double rmat_a = 0.0;
+  double rmat_b = 0.0;
+  double rmat_c = 0.0;
+
+  double FullDensity() const {
+    return full_nnz /
+           (static_cast<double>(full_dim) * static_cast<double>(full_dim));
+  }
+};
+
+// All 18 Table I workloads in paper order.
+const std::vector<WorkloadSpec>& Table1Specs();
+
+// Spec lookup by id; check-fails on unknown ids.
+const WorkloadSpec& FindWorkload(const std::string& id);
+
+// Generates the workload matrix at the given linear scale (0 < scale <= 1).
+CooMatrix MakeWorkloadMatrix(const std::string& id, double scale,
+                             std::uint64_t seed = 0);
+
+// Default scale used by the benchmark suite on laptop-class machines.
+double DefaultWorkloadScale();
+
+}  // namespace atmx
+
+#endif  // ATMX_GEN_WORKLOADS_H_

@@ -1,0 +1,24 @@
+// Dense x dense kernels. The views carry an explicit leading dimension, so
+// referenced submatrix multiplication comes for free, exactly like passing
+// lda/ldb/ldc offsets to a BLAS gemm (section III-B).
+
+#ifndef ATMX_KERNELS_DENSE_KERNELS_H_
+#define ATMX_KERNELS_DENSE_KERNELS_H_
+
+#include "kernels/sparse_accumulator.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// ddd_gemm: C[i0:i1, :] += A[i0:i1, :] * B. Shapes: A is m x k, B is k x n,
+// C is m x n. Row-range form enables intra-tile parallelism.
+void DddGemm(const DenseView& a, const DenseView& b, const DenseMutView& c,
+             index_t i0, index_t i1);
+
+// dds_gemm row step: accumulates row i of A * B into the SPA (sparse C).
+void DdsAccumulateRow(const DenseView& a, const DenseView& b, index_t i,
+                      SparseAccumulator* spa);
+
+}  // namespace atmx
+
+#endif  // ATMX_KERNELS_DENSE_KERNELS_H_

@@ -1,0 +1,84 @@
+#include "kernels/kernel_dispatch.h"
+
+#include "kernels/dense_kernels.h"
+#include "kernels/mixed_kernels.h"
+#include "kernels/sparse_kernels.h"
+
+namespace atmx {
+
+const char* KernelTypeName(KernelType type) {
+  switch (type) {
+    case KernelType::kDDD:
+      return "ddd_gemm";
+    case KernelType::kDSD:
+      return "dspd_gemm";
+    case KernelType::kSDD:
+      return "spdd_gemm";
+    case KernelType::kSSD:
+      return "spspd_gemm";
+    case KernelType::kDDS:
+      return "ddsp_gemm";
+    case KernelType::kDSS:
+      return "dsps_gemm";
+    case KernelType::kSDS:
+      return "spds_gemm";
+    case KernelType::kSSS:
+      return "spspsp_gemm";
+  }
+  return "unknown";
+}
+
+KernelType MakeKernelType(bool a_dense, bool b_dense, bool c_dense) {
+  if (c_dense) {
+    if (a_dense) return b_dense ? KernelType::kDDD : KernelType::kDSD;
+    return b_dense ? KernelType::kSDD : KernelType::kSSD;
+  }
+  if (a_dense) return b_dense ? KernelType::kDDS : KernelType::kDSS;
+  return b_dense ? KernelType::kSDS : KernelType::kSSS;
+}
+
+KernelType DispatchKernelType(const Operand& a, const Operand& b,
+                              bool c_dense) {
+  return MakeKernelType(a.is_dense, b.is_dense, c_dense);
+}
+
+void MultiplyIntoDense(const Operand& a, const Operand& b,
+                       const DenseMutView& c, index_t i0, index_t i1) {
+  ATMX_DCHECK_EQ(a.cols(), b.rows());
+  ATMX_DCHECK_EQ(a.rows(), c.rows);
+  ATMX_DCHECK_EQ(b.cols(), c.cols);
+  if (a.is_dense) {
+    if (b.is_dense) {
+      DddGemm(a.dense, b.dense, c, i0, i1);
+    } else {
+      DsdGemm(a.dense, *b.csr, b.window, c, i0, i1);
+    }
+  } else {
+    if (b.is_dense) {
+      SddGemm(*a.csr, a.window, b.dense, c, i0, i1);
+    } else {
+      SsdGemm(*a.csr, a.window, *b.csr, b.window, c, i0, i1);
+    }
+  }
+}
+
+void AccumulateRowInto(const Operand& a, const Operand& b, index_t i,
+                       SparseAccumulator* spa) {
+  ATMX_DCHECK_EQ(a.cols(), b.rows());
+  ATMX_DCHECK_EQ(spa->width(), b.cols());
+  if (a.is_dense) {
+    if (b.is_dense) {
+      DdsAccumulateRow(a.dense, b.dense, i, spa);
+    } else {
+      DssAccumulateRow(a.dense, *b.csr, b.window, i, spa);
+    }
+  } else {
+    if (b.is_dense) {
+      SdsAccumulateRow(*a.csr, a.window, b.dense, i, spa);
+    } else {
+      SssAccumulateRow(*a.csr, a.window, *b.csr, b.window, i, spa);
+    }
+  }
+}
+
+}  // namespace atmx

@@ -1,0 +1,32 @@
+// Uniform dispatch over the eight multiplication kernels based on the
+// representations of A, B and the target. The ATMULT operator and its
+// optimizer (section III) only talk to this interface, which keeps the
+// optimization logic decoupled from the kernel implementations — the
+// paper's plug-in property.
+
+#ifndef ATMX_KERNELS_KERNEL_DISPATCH_H_
+#define ATMX_KERNELS_KERNEL_DISPATCH_H_
+
+#include "kernels/kernel_common.h"
+#include "kernels/sparse_accumulator.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// Dense-target dispatch: C[i0:i1, :] += (A * B)[i0:i1, :]. Shapes must
+// agree: a.rows()==c.rows, b.cols()==c.cols, a.cols()==b.rows().
+void MultiplyIntoDense(const Operand& a, const Operand& b,
+                       const DenseMutView& c, index_t i0, index_t i1);
+
+// Sparse-target dispatch: accumulate result row i into the SPA (width must
+// equal b.cols()).
+void AccumulateRowInto(const Operand& a, const Operand& b, index_t i,
+                       SparseAccumulator* spa);
+
+// Kernel variant implied by the operand/target representations.
+KernelType DispatchKernelType(const Operand& a, const Operand& b,
+                              bool c_dense);
+
+}  // namespace atmx
+
+#endif  // ATMX_KERNELS_KERNEL_DISPATCH_H_

@@ -1,0 +1,85 @@
+#include "kernels/mixed_kernels.h"
+
+namespace atmx {
+
+void SddGemm(const CsrMatrix& a, const Window& wa, const DenseView& b,
+             const DenseMutView& c, index_t i0, index_t i1) {
+  ATMX_DCHECK_EQ(wa.cols(), b.rows);
+  ATMX_DCHECK_EQ(wa.rows(), c.rows);
+  ATMX_DCHECK_EQ(b.cols, c.cols);
+  const auto& a_cols = a.col_idx();
+  const auto& a_vals = a.values();
+  const index_t n = b.cols;
+
+  for (index_t i = i0; i < i1; ++i) {
+    value_t* __restrict c_row = c.RowPtr(i);
+    index_t ap0, ap1;
+    CsrRowRange(a, wa.r0 + i, wa.c0, wa.c1, &ap0, &ap1);
+    for (index_t p = ap0; p < ap1; ++p) {
+      const value_t av = a_vals[p];
+      const value_t* __restrict b_row = b.RowPtr(a_cols[p] - wa.c0);
+      for (index_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void DsdGemm(const DenseView& a, const CsrMatrix& b, const Window& wb,
+             const DenseMutView& c, index_t i0, index_t i1) {
+  ATMX_DCHECK_EQ(a.cols, wb.rows());
+  ATMX_DCHECK_EQ(a.rows, c.rows);
+  ATMX_DCHECK_EQ(wb.cols(), c.cols);
+  const auto& b_cols = b.col_idx();
+  const auto& b_vals = b.values();
+  const index_t kk = a.cols;
+
+  for (index_t i = i0; i < i1; ++i) {
+    const value_t* __restrict a_row = a.RowPtr(i);
+    value_t* __restrict c_row = c.RowPtr(i);
+    for (index_t k = 0; k < kk; ++k) {
+      const value_t av = a_row[k];
+      if (av == 0.0) continue;
+      index_t bp0, bp1;
+      CsrRowRange(b, wb.r0 + k, wb.c0, wb.c1, &bp0, &bp1);
+      for (index_t q = bp0; q < bp1; ++q) {
+        c_row[b_cols[q] - wb.c0] += av * b_vals[q];
+      }
+    }
+  }
+}
+
+void SdsAccumulateRow(const CsrMatrix& a, const Window& wa,
+                      const DenseView& b, index_t i, SparseAccumulator* spa) {
+  ATMX_DCHECK_EQ(wa.cols(), b.rows);
+  const auto& a_cols = a.col_idx();
+  const auto& a_vals = a.values();
+  const index_t n = b.cols;
+
+  index_t ap0, ap1;
+  CsrRowRange(a, wa.r0 + i, wa.c0, wa.c1, &ap0, &ap1);
+  for (index_t p = ap0; p < ap1; ++p) {
+    const value_t av = a_vals[p];
+    const value_t* b_row = b.RowPtr(a_cols[p] - wa.c0);
+    for (index_t j = 0; j < n; ++j) spa->Add(j, av * b_row[j]);
+  }
+}
+
+void DssAccumulateRow(const DenseView& a, const CsrMatrix& b,
+                      const Window& wb, index_t i, SparseAccumulator* spa) {
+  ATMX_DCHECK_EQ(a.cols, wb.rows());
+  const auto& b_cols = b.col_idx();
+  const auto& b_vals = b.values();
+  const index_t kk = a.cols;
+  const value_t* a_row = a.RowPtr(i);
+
+  for (index_t k = 0; k < kk; ++k) {
+    const value_t av = a_row[k];
+    if (av == 0.0) continue;
+    index_t bp0, bp1;
+    CsrRowRange(b, wb.r0 + k, wb.c0, wb.c1, &bp0, &bp1);
+    for (index_t q = bp0; q < bp1; ++q) {
+      spa->Add(b_cols[q] - wb.c0, av * b_vals[q]);
+    }
+  }
+}
+
+}  // namespace atmx

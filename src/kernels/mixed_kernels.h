@@ -1,0 +1,34 @@
+// Mixed sparse/dense kernels (spdd, dspd, spds, dsps in the paper's
+// nomenclature). Vendor libraries often lack several of these (e.g. a
+// dense x sparse -> dense routine, section III-A), so all are implemented
+// here, window-referenced like the pure kernels.
+
+#ifndef ATMX_KERNELS_MIXED_KERNELS_H_
+#define ATMX_KERNELS_MIXED_KERNELS_H_
+
+#include "kernels/kernel_common.h"
+#include "kernels/sparse_accumulator.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// spdd_gemm: C[i0:i1, :] += A[wa] (sparse) * B (dense view).
+void SddGemm(const CsrMatrix& a, const Window& wa, const DenseView& b,
+             const DenseMutView& c, index_t i0, index_t i1);
+
+// dspd_gemm: C[i0:i1, :] += A (dense view) * B[wb] (sparse).
+void DsdGemm(const DenseView& a, const CsrMatrix& b, const Window& wb,
+             const DenseMutView& c, index_t i0, index_t i1);
+
+// spds_gemm row step: row i of A[wa] (sparse) * B (dense) into the SPA.
+void SdsAccumulateRow(const CsrMatrix& a, const Window& wa,
+                      const DenseView& b, index_t i, SparseAccumulator* spa);
+
+// dsps_gemm row step: row i of A (dense) * B[wb] (sparse) into the SPA.
+void DssAccumulateRow(const DenseView& a, const CsrMatrix& b,
+                      const Window& wb, index_t i, SparseAccumulator* spa);
+
+}  // namespace atmx
+
+#endif  // ATMX_KERNELS_MIXED_KERNELS_H_

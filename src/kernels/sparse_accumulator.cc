@@ -1,0 +1,41 @@
+#include "kernels/sparse_accumulator.h"
+
+#include <algorithm>
+
+namespace atmx {
+
+void SparseAccumulator::Resize(index_t width) {
+  ATMX_CHECK_GE(width, 0);
+  values_.assign(width, 0.0);
+  flags_.assign(width, 0);
+  occupied_.clear();
+}
+
+void SparseAccumulator::FlushToBuilder(CsrBuilder* builder) {
+  std::sort(occupied_.begin(), occupied_.end());
+  for (index_t j : occupied_) {
+    builder->Append(j, values_[j]);
+    values_[j] = 0.0;
+    flags_[j] = 0;
+  }
+  occupied_.clear();
+}
+
+void SparseAccumulator::FlushToDenseRow(value_t* row) {
+  for (index_t j : occupied_) {
+    row[j] += values_[j];
+    values_[j] = 0.0;
+    flags_[j] = 0;
+  }
+  occupied_.clear();
+}
+
+void SparseAccumulator::Clear() {
+  for (index_t j : occupied_) {
+    values_[j] = 0.0;
+    flags_[j] = 0;
+  }
+  occupied_.clear();
+}
+
+}  // namespace atmx

@@ -1,0 +1,58 @@
+// Dense-valued sparse accumulator (SPA), the core of Gustavson's sparse
+// matrix multiplication [11]: a value array of one output-row width plus an
+// occupancy list. Eq. (2)'s beta bound exists precisely so that these
+// arrays fit in the LLC for any sparse tile width.
+
+#ifndef ATMX_KERNELS_SPARSE_ACCUMULATOR_H_
+#define ATMX_KERNELS_SPARSE_ACCUMULATOR_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "storage/csr_matrix.h"
+
+namespace atmx {
+
+class SparseAccumulator {
+ public:
+  SparseAccumulator() = default;
+  explicit SparseAccumulator(index_t width) { Resize(width); }
+
+  // (Re)initializes for rows of the given width; clears content.
+  void Resize(index_t width);
+
+  index_t width() const { return static_cast<index_t>(values_.size()); }
+  index_t touched() const { return static_cast<index_t>(occupied_.size()); }
+  bool empty() const { return occupied_.empty(); }
+
+  // values_[j] += v, registering j on first touch.
+  void Add(index_t j, value_t v) {
+    ATMX_DCHECK(j >= 0 && j < width());
+    if (!flags_[j]) {
+      flags_[j] = 1;
+      occupied_.push_back(j);
+    }
+    values_[j] += v;
+  }
+
+  // Appends the accumulated row (sorted by column, zeros kept — an explicit
+  // cancellation to 0.0 still counts as a stored element, matching CSR
+  // semantics of numeric kernels) into `builder`, then clears.
+  void FlushToBuilder(CsrBuilder* builder);
+
+  // Adds the accumulated row into a dense row pointer, then clears.
+  void FlushToDenseRow(value_t* row);
+
+  // Drops all content in O(touched).
+  void Clear();
+
+ private:
+  std::vector<value_t> values_;
+  std::vector<unsigned char> flags_;
+  std::vector<index_t> occupied_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_KERNELS_SPARSE_ACCUMULATOR_H_

@@ -1,0 +1,76 @@
+#include "kernels/sparse_kernels.h"
+
+namespace atmx {
+
+void SssAccumulateRow(const CsrMatrix& a, const Window& wa,
+                      const CsrMatrix& b, const Window& wb, index_t i,
+                      SparseAccumulator* spa) {
+  ATMX_DCHECK_EQ(wa.cols(), wb.rows());
+  ATMX_DCHECK(i >= 0 && i < wa.rows());
+  const auto& a_cols = a.col_idx();
+  const auto& a_vals = a.values();
+  const auto& b_cols = b.col_idx();
+  const auto& b_vals = b.values();
+
+  index_t ap0, ap1;
+  CsrRowRange(a, wa.r0 + i, wa.c0, wa.c1, &ap0, &ap1);
+  for (index_t p = ap0; p < ap1; ++p) {
+    const index_t b_row = wb.r0 + (a_cols[p] - wa.c0);
+    const value_t av = a_vals[p];
+    index_t bp0, bp1;
+    CsrRowRange(b, b_row, wb.c0, wb.c1, &bp0, &bp1);
+    for (index_t q = bp0; q < bp1; ++q) {
+      spa->Add(b_cols[q] - wb.c0, av * b_vals[q]);
+    }
+  }
+}
+
+void SsdGemm(const CsrMatrix& a, const Window& wa, const CsrMatrix& b,
+             const Window& wb, const DenseMutView& c, index_t i0, index_t i1) {
+  ATMX_DCHECK_EQ(wa.cols(), wb.rows());
+  ATMX_DCHECK_EQ(wa.rows(), c.rows);
+  ATMX_DCHECK_EQ(wb.cols(), c.cols);
+  const auto& a_cols = a.col_idx();
+  const auto& a_vals = a.values();
+  const auto& b_cols = b.col_idx();
+  const auto& b_vals = b.values();
+
+  for (index_t i = i0; i < i1; ++i) {
+    value_t* __restrict c_row = c.RowPtr(i);
+    index_t ap0, ap1;
+    CsrRowRange(a, wa.r0 + i, wa.c0, wa.c1, &ap0, &ap1);
+    for (index_t p = ap0; p < ap1; ++p) {
+      const index_t b_row = wb.r0 + (a_cols[p] - wa.c0);
+      const value_t av = a_vals[p];
+      index_t bp0, bp1;
+      CsrRowRange(b, b_row, wb.c0, wb.c1, &bp0, &bp1);
+      for (index_t q = bp0; q < bp1; ++q) {
+        c_row[b_cols[q] - wb.c0] += av * b_vals[q];
+      }
+    }
+  }
+}
+
+CsrMatrix SpGemmCsr(const CsrMatrix& a, const CsrMatrix& b) {
+  ATMX_CHECK_EQ(a.cols(), b.rows());
+  const Window wa = Window::Full(a.rows(), a.cols());
+  const Window wb = Window::Full(b.rows(), b.cols());
+  CsrBuilder builder(a.rows(), b.cols());
+  SparseAccumulator spa(b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    SssAccumulateRow(a, wa, b, wb, i, &spa);
+    spa.FlushToBuilder(&builder);
+    builder.FinishRowsUpTo(i + 1);
+  }
+  return builder.Build();
+}
+
+DenseMatrix SpGemmDense(const CsrMatrix& a, const CsrMatrix& b) {
+  ATMX_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  SsdGemm(a, Window::Full(a.rows(), a.cols()), b,
+          Window::Full(b.rows(), b.cols()), c.MutView(), 0, a.rows());
+  return c;
+}
+
+}  // namespace atmx

@@ -1,0 +1,41 @@
+// Sparse x sparse kernels, based on Gustavson's row-wise algorithm [11]
+// with a sparse accumulator, restricted to reference windows.
+//
+// Window semantics for a pair multiplication A[wa] * B[wb]:
+//   - result shape: wa.rows() x wb.cols(),
+//   - contraction:  wa.cols() == wb.rows(); A column (wa.c0 + t) multiplies
+//     B row (wb.r0 + t),
+//   - result row i corresponds to A row (wa.r0 + i); result column j to B
+//     column (wb.c0 + j).
+
+#ifndef ATMX_KERNELS_SPARSE_KERNELS_H_
+#define ATMX_KERNELS_SPARSE_KERNELS_H_
+
+#include "kernels/kernel_common.h"
+#include "kernels/sparse_accumulator.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// spspsp_gemm row step: accumulates result row i into the SPA.
+void SssAccumulateRow(const CsrMatrix& a, const Window& wa,
+                      const CsrMatrix& b, const Window& wb, index_t i,
+                      SparseAccumulator* spa);
+
+// spspd_gemm: C[i0:i1, :] += A[wa] * B[wb] into a dense target window.
+void SsdGemm(const CsrMatrix& a, const Window& wa, const CsrMatrix& b,
+             const Window& wb, const DenseMutView& c, index_t i0, index_t i1);
+
+// Convenience full multiplication C = A * B with C returned as CSR; this is
+// the paper's spspsp_gemm *baseline* (plain Gustavson over the whole
+// matrix, no tiling). Exposed for benchmarks and tests.
+CsrMatrix SpGemmCsr(const CsrMatrix& a, const CsrMatrix& b);
+
+// Baseline spspd_gemm: full sparse x sparse into a freshly allocated dense
+// result.
+DenseMatrix SpGemmDense(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace atmx
+
+#endif  // ATMX_KERNELS_SPARSE_KERNELS_H_

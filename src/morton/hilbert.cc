@@ -1,0 +1,58 @@
+#include "morton/hilbert.h"
+
+#include "common/check.h"
+
+namespace atmx {
+
+namespace {
+
+// Rotates/reflects the quadrant coordinate frame (the classic xy2d
+// transform from Warren's and Wikipedia's reference implementation).
+inline void Rotate(index_t n, index_t* row, index_t* col, index_t rx,
+                   index_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *row = n - 1 - *row;
+      *col = n - 1 - *col;
+    }
+    const index_t tmp = *row;
+    *row = *col;
+    *col = tmp;
+  }
+}
+
+}  // namespace
+
+std::uint64_t HilbertEncode(index_t row, index_t col, int order) {
+  ATMX_DCHECK(order >= 0 && order <= 31);
+  ATMX_DCHECK(row >= 0 && row < (index_t{1} << order));
+  ATMX_DCHECK(col >= 0 && col < (index_t{1} << order));
+  std::uint64_t d = 0;
+  index_t x = col;
+  index_t y = row;
+  for (index_t s = (index_t{1} << order) / 2; s > 0; s /= 2) {
+    const index_t rx = (x & s) > 0 ? 1 : 0;
+    const index_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(s, &y, &x, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(std::uint64_t d, int order, index_t* row, index_t* col) {
+  ATMX_DCHECK(order >= 0 && order <= 31);
+  index_t x = 0, y = 0;
+  std::uint64_t t = d;
+  for (index_t s = 1; s < (index_t{1} << order); s *= 2) {
+    const index_t rx = static_cast<index_t>(1 & (t / 2));
+    const index_t ry = static_cast<index_t>(1 & (t ^ rx));
+    Rotate(s, &y, &x, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  *row = y;
+  *col = x;
+}
+
+}  // namespace atmx

@@ -1,0 +1,77 @@
+#include "morton/morton.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace atmx {
+
+namespace {
+
+// Spreads the lower 32 bits of x so that bit i moves to bit 2*i.
+inline std::uint64_t SpreadBits(std::uint64_t x) {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Inverse of SpreadBits: collects every second bit back into the low 32.
+inline std::uint64_t CompactBits(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t MortonEncode(index_t row, index_t col) {
+  ATMX_DCHECK_GE(row, 0);
+  ATMX_DCHECK_GE(col, 0);
+  return (SpreadBits(static_cast<std::uint64_t>(row)) << 1) |
+         SpreadBits(static_cast<std::uint64_t>(col));
+}
+
+void MortonDecode(std::uint64_t z, index_t* row, index_t* col) {
+  *row = static_cast<index_t>(CompactBits(z >> 1));
+  *col = static_cast<index_t>(CompactBits(z));
+}
+
+index_t ZSpaceSide(index_t rows, index_t cols) {
+  ATMX_CHECK_GT(rows, 0);
+  ATMX_CHECK_GT(cols, 0);
+  return NextPowerOfTwo(std::max(rows, cols));
+}
+
+void ZSplit(std::uint64_t z_start, std::uint64_t z_end, ZQuad children[4]) {
+  const std::uint64_t range = z_end - z_start;
+  ATMX_DCHECK(range >= 4 && (range & (range - 1)) == 0);
+  const std::uint64_t stride = range / 4;
+  for (int q = 0; q < 4; ++q) {
+    children[q].start = z_start + static_cast<std::uint64_t>(q) * stride;
+    children[q].end = children[q].start + stride;
+  }
+}
+
+void ZRangeOrigin(std::uint64_t z_start, index_t* row, index_t* col) {
+  MortonDecode(z_start, row, col);
+}
+
+index_t ZRangeSide(std::uint64_t z_start, std::uint64_t z_end) {
+  const std::uint64_t range = z_end - z_start;
+  ATMX_DCHECK(range >= 1 && (range & (range - 1)) == 0);
+  // range == 4^h, side == 2^h.
+  const int log2_range = FloorLog2(static_cast<index_t>(range));
+  ATMX_DCHECK(log2_range % 2 == 0);
+  return index_t{1} << (log2_range / 2);
+}
+
+}  // namespace atmx

@@ -1,0 +1,109 @@
+// ATMULT (section III, Alg. 2): the tile-granular matrix multiplication
+// operator C = A * B over AT MATRICES.
+//
+// Pipeline per operation:
+//   1. estimate the result density map (probability propagation, III-D),
+//   2. derive the effective write threshold rhoD_W via the water-level
+//      method under the configured memory limit (III-E),
+//   3. form (tile-row of A) x (tile-col of B) pairs; each pair is one task
+//      producing one C tile, scheduled on the worker team of the tile-row's
+//      home NUMA node (III-F),
+//   4. per matching tile pair, compute the reference windows (III-B), let
+//      the dynamic optimizer pick representations / trigger JIT conversions
+//      (III-C), and run the corresponding kernel (III-A).
+
+#ifndef ATMX_OPS_ATMULT_H_
+#define ATMX_OPS_ATMULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "cost/cost_model.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// Timing breakdown and counters of one ATMULT operation (the quantities
+// behind Figs. 8b, 9c, 9d of the paper).
+struct AtMultStats {
+  double estimate_seconds = 0.0;
+  double optimize_seconds = 0.0;  // decisions + JIT conversions
+  double multiply_seconds = 0.0;  // kernel execution
+  double total_seconds = 0.0;
+
+  double effective_write_threshold = 0.0;
+  index_t pair_multiplications = 0;
+  index_t sparse_to_dense_conversions = 0;
+  index_t dense_to_sparse_conversions = 0;
+  index_t dense_result_tiles = 0;
+  index_t sparse_result_tiles = 0;
+
+  // NUMA locality accounting (see topology/numa_sim.h).
+  std::uint64_t local_read_bytes = 0;
+  std::uint64_t remote_read_bytes = 0;
+  std::uint64_t local_write_bytes = 0;
+  std::uint64_t remote_write_bytes = 0;
+
+  // Fractions are computed against the summed phase times: multiply and
+  // optimize accumulate per-task across worker teams (CPU-seconds), so
+  // dividing by the wall-clock total would undercount under parallelism.
+  double PhaseSeconds() const {
+    return estimate_seconds + optimize_seconds + multiply_seconds;
+  }
+  double OptimizeFraction() const {
+    const double phases = PhaseSeconds();
+    return phases > 0 ? optimize_seconds / phases : 0.0;
+  }
+  double EstimateFraction() const {
+    const double phases = PhaseSeconds();
+    return phases > 0 ? estimate_seconds / phases : 0.0;
+  }
+  double LocalFraction() const;
+
+  std::string ToString() const;
+};
+
+class AtMult {
+ public:
+  explicit AtMult(const AtmConfig& config,
+                  const CostModel& cost_model = CostModel());
+
+  const AtmConfig& config() const { return config_; }
+
+  // C = A * B. Both operands must share the atomic block size.
+  ATMatrix Multiply(const ATMatrix& a, const ATMatrix& b,
+                    AtMultStats* stats = nullptr) const;
+
+  // C' = C + A * B — the full operator signature of section III. The
+  // accumulator C must have shape a.rows() x b.cols() and the same atomic
+  // block size; its tiling may be arbitrary (it is re-tiled into the
+  // result's band structure while accumulating).
+  ATMatrix MultiplyAdd(const ATMatrix& c, const ATMatrix& a,
+                       const ATMatrix& b, AtMultStats* stats = nullptr) const;
+
+  // Convenience overloads for the plain operand types the paper's
+  // operator accepts (CSR and dense arrays). The plain operand is
+  // partitioned internally with this operator's configuration; prefer the
+  // AT MATRIX overload when the operand is reused across multiplications
+  // (partitioning then amortizes, cf. Fig. 7).
+  ATMatrix Multiply(const CsrMatrix& a, const ATMatrix& b,
+                    AtMultStats* stats = nullptr) const;
+  ATMatrix Multiply(const ATMatrix& a, const CsrMatrix& b,
+                    AtMultStats* stats = nullptr) const;
+  ATMatrix Multiply(const DenseMatrix& a, const ATMatrix& b,
+                    AtMultStats* stats = nullptr) const;
+  ATMatrix Multiply(const ATMatrix& a, const DenseMatrix& b,
+                    AtMultStats* stats = nullptr) const;
+
+ private:
+  ATMatrix MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
+                        const ATMatrix& b, AtMultStats* stats) const;
+
+  AtmConfig config_;
+  CostModel cost_model_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_ATMULT_H_

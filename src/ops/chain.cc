@@ -1,0 +1,178 @@
+#include "ops/chain.h"
+
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "common/check.h"
+#include "estimate/density_estimator.h"
+
+namespace atmx {
+
+double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
+                            const CostModel& model, double rho_write) {
+  ATMX_CHECK_EQ(x.cols(), y.rows());
+  ATMX_CHECK_EQ(x.block(), y.block());
+  const CostParams& p = model.params();
+
+  // Expected intermediate products: every element of X block-column K
+  // pairs with the elements in one specific row of Y block-row K, so
+  //   E[products] = sum_K nnzX(col K) * nnzY(row K) / height(K).
+  const index_t grid_k = x.grid_cols();
+  double products = 0.0;
+  for (index_t bk = 0; bk < grid_k; ++bk) {
+    double x_col_nnz = 0.0;
+    for (index_t bi = 0; bi < x.grid_rows(); ++bi) {
+      x_col_nnz += x.At(bi, bk) * static_cast<double>(x.BlockArea(bi, bk));
+    }
+    double y_row_nnz = 0.0;
+    for (index_t bj = 0; bj < y.grid_cols(); ++bj) {
+      y_row_nnz += y.At(bk, bj) * static_cast<double>(y.BlockArea(bk, bj));
+    }
+    products +=
+        x_col_nnz * y_row_nnz / static_cast<double>(y.BlockHeight(bk));
+  }
+
+  // Write side from the estimated result topology: dense blocks pay the
+  // array-touch rate, sparse blocks pay the SPA rate per stored element.
+  DensityMap result = EstimateProductDensity(x, y);
+  double write_cost = 0.0;
+  for (index_t bi = 0; bi < result.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < result.grid_cols(); ++bj) {
+      const double area =
+          static_cast<double>(result.BlockArea(bi, bj));
+      const double rho = result.At(bi, bj);
+      if (rho >= rho_write) {
+        write_cost += p.dense_write * area;
+      } else {
+        write_cost += p.sparse_write * rho * area;
+      }
+    }
+  }
+  return p.c_ssd * products + write_cost;
+}
+
+namespace {
+
+void AppendPlanString(const ChainPlan& plan, int i, int j,
+                      std::ostringstream* os) {
+  if (i == j) {
+    *os << 'A' << i;
+    return;
+  }
+  *os << '(';
+  AppendPlanString(plan, i, plan.split[i][j], os);
+  *os << '*';
+  AppendPlanString(plan, plan.split[i][j] + 1, j, os);
+  *os << ')';
+}
+
+}  // namespace
+
+std::string ChainPlan::ToString() const {
+  if (split.empty()) return "()";
+  std::ostringstream os;
+  AppendPlanString(*this, 0, static_cast<int>(split.size()) - 1, &os);
+  return os.str();
+}
+
+ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
+                    const CostModel& model, double rho_write) {
+  const int n = static_cast<int>(maps.size());
+  ATMX_CHECK_GE(n, 1);
+  for (int i = 0; i + 1 < n; ++i) {
+    ATMX_CHECK_EQ(maps[i]->cols(), maps[i + 1]->rows());
+  }
+
+  ChainPlan plan;
+  plan.split.assign(n, std::vector<int>(n, -1));
+  if (n == 1) return plan;
+
+  // cost[i][j] / map[i][j]: best cost and estimated topology of the
+  // product A_i..A_j. Maps are carried along the DP so that downstream
+  // products are priced against realistic intermediate topologies.
+  std::vector<std::vector<double>> cost(
+      n, std::vector<double>(n, std::numeric_limits<double>::infinity()));
+  std::vector<std::vector<std::unique_ptr<DensityMap>>> map(n);
+  for (int i = 0; i < n; ++i) {
+    map[i].resize(n);
+    cost[i][i] = 0.0;
+  }
+
+  auto map_of = [&](int i, int j) -> const DensityMap& {
+    return i == j ? *maps[i] : *map[i][j];
+  };
+
+  for (int length = 2; length <= n; ++length) {
+    for (int i = 0; i + length - 1 < n; ++i) {
+      const int j = i + length - 1;
+      for (int k = i; k < j; ++k) {
+        const double candidate =
+            cost[i][k] + cost[k + 1][j] +
+            EstimateMultiplyCost(map_of(i, k), map_of(k + 1, j), model,
+                                 rho_write);
+        if (candidate < cost[i][j]) {
+          cost[i][j] = candidate;
+          plan.split[i][j] = k;
+        }
+      }
+      const int best = plan.split[i][j];
+      map[i][j] = std::make_unique<DensityMap>(EstimateProductDensity(
+          map_of(i, best), map_of(best + 1, j)));
+    }
+  }
+  plan.estimated_cost = cost[0][n - 1];
+  return plan;
+}
+
+double EstimateLeftToRightCost(const std::vector<const DensityMap*>& maps,
+                               const CostModel& model, double rho_write) {
+  ATMX_CHECK_GE(maps.size(), 1u);
+  double total = 0.0;
+  DensityMap running = *maps[0];
+  for (std::size_t i = 1; i < maps.size(); ++i) {
+    total += EstimateMultiplyCost(running, *maps[i], model, rho_write);
+    running = EstimateProductDensity(running, *maps[i]);
+  }
+  return total;
+}
+
+namespace {
+
+ATMatrix ExecuteSubchain(const std::vector<const ATMatrix*>& chain,
+                         const ChainPlan& plan, const AtMult& op, int i,
+                         int j, AtMultStats* stats_accum) {
+  if (i == j) {
+    return *chain[i];  // deep copy of the leaf (chain inputs are reusable)
+  }
+  const int k = plan.split[i][j];
+  ATMatrix left = ExecuteSubchain(chain, plan, op, i, k, stats_accum);
+  ATMatrix right = ExecuteSubchain(chain, plan, op, k + 1, j, stats_accum);
+  AtMultStats stats;
+  ATMatrix result = op.Multiply(left, right, &stats);
+  if (stats_accum != nullptr) {
+    stats_accum->total_seconds += stats.total_seconds;
+    stats_accum->estimate_seconds += stats.estimate_seconds;
+    stats_accum->optimize_seconds += stats.optimize_seconds;
+    stats_accum->multiply_seconds += stats.multiply_seconds;
+    stats_accum->pair_multiplications += stats.pair_multiplications;
+    stats_accum->sparse_to_dense_conversions +=
+        stats.sparse_to_dense_conversions;
+    stats_accum->dense_to_sparse_conversions +=
+        stats.dense_to_sparse_conversions;
+  }
+  return result;
+}
+
+}  // namespace
+
+ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
+                      const ChainPlan& plan, const AtMult& op,
+                      AtMultStats* stats_accum) {
+  ATMX_CHECK_GE(chain.size(), 1u);
+  ATMX_CHECK_EQ(chain.size(), plan.split.size());
+  return ExecuteSubchain(chain, plan, op, 0,
+                         static_cast<int>(chain.size()) - 1, stats_accum);
+}
+
+}  // namespace atmx

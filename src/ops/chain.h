@@ -1,0 +1,58 @@
+// Sparse matrix-chain multiplication optimizer.
+//
+// The paper's introduction motivates adaptive physical organization with
+// the observation (from the authors' SpMacho work [9]) that a fixed choice
+// of evaluation order and storage types hurts sparse matrix *chain*
+// multiplications. This module closes that loop: a dynamic-programming
+// optimizer that picks the cheapest parenthesization of A1 * A2 * ... * An
+// using the density-map estimator to predict every intermediate's topology
+// and the kernel cost model to price every candidate product.
+
+#ifndef ATMX_OPS_CHAIN_H_
+#define ATMX_OPS_CHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "estimate/density_map.h"
+#include "ops/atmult.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// Predicted cost (in cost-model work units) of one product X * Y given
+// only the operands' density maps: expected intermediate products priced
+// at the sparse-kernel rate plus the write cost of the estimated result.
+// Cheap enough to evaluate O(n^3) times inside the chain DP.
+double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
+                            const CostModel& model, double rho_write);
+
+struct ChainPlan {
+  // split[i][j] = k: evaluate (A_i..A_k) * (A_{k+1}..A_j). Valid for
+  // j > i; leaves are single matrices.
+  std::vector<std::vector<int>> split;
+  double estimated_cost = 0.0;
+
+  // Human-readable parenthesization, e.g. "((A0*A1)*A2)".
+  std::string ToString() const;
+};
+
+// Dynamic-programming plan over the chain's density maps. All maps must
+// share the block size, and neighbours must have compatible shapes.
+ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
+                    const CostModel& model, double rho_write);
+
+// Cost of evaluating the chain strictly left-to-right, for comparison.
+double EstimateLeftToRightCost(const std::vector<const DensityMap*>& maps,
+                               const CostModel& model, double rho_write);
+
+// Executes the chain according to the plan using the given operator.
+// `stats_accum`, if non-null, accumulates the per-product statistics.
+ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
+                      const ChainPlan& plan, const AtMult& op,
+                      AtMultStats* stats_accum = nullptr);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_CHAIN_H_

@@ -1,0 +1,132 @@
+#include "ops/elementwise.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+
+CsrMatrix Add(const CsrMatrix& a, const CsrMatrix& b, value_t alpha,
+              value_t beta) {
+  ATMX_CHECK_EQ(a.rows(), b.rows());
+  ATMX_CHECK_EQ(a.cols(), b.cols());
+  CsrBuilder builder(a.rows(), a.cols());
+  builder.Reserve(a.nnz() + b.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto ac = a.RowCols(i);
+    auto av = a.RowValues(i);
+    auto bc = b.RowCols(i);
+    auto bv = b.RowValues(i);
+    std::size_t pa = 0, pb = 0;
+    while (pa < ac.size() || pb < bc.size()) {
+      if (pb == bc.size() || (pa < ac.size() && ac[pa] < bc[pb])) {
+        builder.Append(ac[pa], alpha * av[pa]);
+        ++pa;
+      } else if (pa == ac.size() || bc[pb] < ac[pa]) {
+        builder.Append(bc[pb], beta * bv[pb]);
+        ++pb;
+      } else {
+        builder.Append(ac[pa], alpha * av[pa] + beta * bv[pb]);
+        ++pa;
+        ++pb;
+      }
+    }
+    builder.FinishRowsUpTo(i + 1);
+  }
+  return builder.Build();
+}
+
+CsrMatrix Hadamard(const CsrMatrix& a, const CsrMatrix& b) {
+  ATMX_CHECK_EQ(a.rows(), b.rows());
+  ATMX_CHECK_EQ(a.cols(), b.cols());
+  CsrBuilder builder(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto ac = a.RowCols(i);
+    auto av = a.RowValues(i);
+    auto bc = b.RowCols(i);
+    auto bv = b.RowValues(i);
+    std::size_t pa = 0, pb = 0;
+    while (pa < ac.size() && pb < bc.size()) {
+      if (ac[pa] < bc[pb]) {
+        ++pa;
+      } else if (bc[pb] < ac[pa]) {
+        ++pb;
+      } else {
+        builder.Append(ac[pa], av[pa] * bv[pb]);
+        ++pa;
+        ++pb;
+      }
+    }
+    builder.FinishRowsUpTo(i + 1);
+  }
+  return builder.Build();
+}
+
+CsrMatrix Scale(const CsrMatrix& a, value_t alpha) {
+  CsrMatrix out = a;
+  for (value_t& v : out.mutable_values()) v *= alpha;
+  return out;
+}
+
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b, value_t alpha,
+                value_t beta) {
+  ATMX_CHECK_EQ(a.rows(), b.rows());
+  ATMX_CHECK_EQ(a.cols(), b.cols());
+  DenseMatrix out(a.rows(), a.cols());
+  const value_t* pa = a.data();
+  const value_t* pb = b.data();
+  value_t* po = out.data();
+  const std::size_t n = static_cast<std::size_t>(a.rows()) * a.cols();
+  for (std::size_t i = 0; i < n; ++i) po[i] = alpha * pa[i] + beta * pb[i];
+  return out;
+}
+
+DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  ATMX_CHECK_EQ(a.rows(), b.rows());
+  ATMX_CHECK_EQ(a.cols(), b.cols());
+  DenseMatrix out(a.rows(), a.cols());
+  const value_t* pa = a.data();
+  const value_t* pb = b.data();
+  value_t* po = out.data();
+  const std::size_t n = static_cast<std::size_t>(a.rows()) * a.cols();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+void ScaleInPlace(ATMatrix* a, value_t alpha) {
+  ATMX_CHECK(alpha != 0.0);
+  for (Tile& t : a->mutable_tiles()) {
+    if (t.is_dense()) {
+      DenseMatrix& d = t.mutable_dense();
+      value_t* p = d.data();
+      const std::size_t n = static_cast<std::size_t>(d.rows()) * d.cols();
+      for (std::size_t i = 0; i < n; ++i) p[i] *= alpha;
+    } else {
+      for (value_t& v : t.mutable_sparse().mutable_values()) v *= alpha;
+    }
+  }
+}
+
+ATMatrix AtmAdd(const ATMatrix& a, const ATMatrix& b, const AtmConfig& config,
+                value_t alpha, value_t beta) {
+  ATMX_CHECK_EQ(a.rows(), b.rows());
+  ATMX_CHECK_EQ(a.cols(), b.cols());
+  CooMatrix merged(a.rows(), a.cols());
+  merged.Reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  // Bind the exports before iterating: entries() of a temporary would
+  // dangle.
+  const CooMatrix a_coo = a.ToCoo();
+  for (const CooEntry& e : a_coo.entries()) {
+    merged.Add(e.row, e.col, alpha * e.value);
+  }
+  const CooMatrix b_coo = b.ToCoo();
+  for (const CooEntry& e : b_coo.entries()) {
+    merged.Add(e.row, e.col, beta * e.value);
+  }
+  merged.CoalesceDuplicates();
+  return PartitionToAtm(std::move(merged), config);
+}
+
+}  // namespace atmx

@@ -1,0 +1,45 @@
+// Element-wise operations on the matrix representations. These complement
+// the multiplication operator for the applications the paper motivates
+// (e.g. the multiplicative update rules of NMF combine products with
+// element-wise scaling and division).
+
+#ifndef ATMX_OPS_ELEMENTWISE_H_
+#define ATMX_OPS_ELEMENTWISE_H_
+
+#include "common/config.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// alpha*A + beta*B over CSR matrices (row-wise sorted merge).
+CsrMatrix Add(const CsrMatrix& a, const CsrMatrix& b, value_t alpha = 1.0,
+              value_t beta = 1.0);
+
+// Element-wise (Hadamard) product A .* B over CSR matrices (row-wise
+// sorted intersection).
+CsrMatrix Hadamard(const CsrMatrix& a, const CsrMatrix& b);
+
+// Returns alpha * A.
+CsrMatrix Scale(const CsrMatrix& a, value_t alpha);
+
+// Dense counterparts.
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b,
+                value_t alpha = 1.0, value_t beta = 1.0);
+DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b);
+
+// In-place scaling of every tile payload of an AT MATRIX. alpha == 0 is
+// rejected (it would silently turn the matrix into an all-zero pattern
+// with stale nnz bookkeeping); use a fresh empty matrix instead.
+void ScaleInPlace(ATMatrix* a, value_t alpha);
+
+// alpha*A + beta*B over AT MATRICES. The operand tilings may differ; the
+// result is freshly partitioned under `config` (the sum's topology can
+// differ substantially from either operand's).
+ATMatrix AtmAdd(const ATMatrix& a, const ATMatrix& b, const AtmConfig& config,
+                value_t alpha = 1.0, value_t beta = 1.0);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_ELEMENTWISE_H_

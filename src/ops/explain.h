@@ -1,0 +1,61 @@
+// EXPLAIN for matrix multiplications — the relational-optimizer analogy
+// the paper draws (section III-D compares density estimation to join
+// cardinality estimation). Produces the *plan* of C = A * B without
+// executing it: the estimated result topology, the chosen write
+// threshold, and per tile-pair the windows, estimated densities, selected
+// kernel, and whether a JIT conversion would fire.
+
+#ifndef ATMX_OPS_EXPLAIN_H_
+#define ATMX_OPS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "cost/cost_model.h"
+#include "kernels/kernel_common.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// One planned pair multiplication.
+struct PlannedPair {
+  index_t ti = 0;  // C tile row band
+  index_t tj = 0;  // C tile col band
+  index_t k0 = 0;  // contraction range
+  index_t k1 = 0;
+  double rho_a = 0.0;
+  double rho_b = 0.0;
+  KernelType kernel = KernelType::kSSS;
+  bool converts_a = false;
+  bool converts_b = false;
+  double projected_cost = 0.0;
+};
+
+struct MultiplyPlan {
+  index_t num_row_bands = 0;
+  index_t num_col_bands = 0;
+  double effective_write_threshold = 0.0;
+  double estimated_result_nnz = 0.0;
+  std::size_t estimated_result_bytes = 0;
+  index_t dense_target_tiles = 0;
+  index_t sparse_target_tiles = 0;
+  index_t planned_conversions = 0;
+  double total_projected_cost = 0.0;
+  std::vector<PlannedPair> pairs;
+
+  // Multi-line human-readable plan; `max_pairs` rows of pair detail.
+  std::string ToString(index_t max_pairs = 24) const;
+};
+
+// Plans C = A * B under the given configuration and cost model, mirroring
+// every decision AtMult::Multiply would take (estimate, water level,
+// target representations, pair kernels, JIT conversions) without running
+// any kernel.
+MultiplyPlan ExplainMultiply(const ATMatrix& a, const ATMatrix& b,
+                             const AtmConfig& config,
+                             const CostModel& cost_model = CostModel());
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_EXPLAIN_H_

@@ -1,0 +1,83 @@
+#include "ops/norms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atmx {
+
+double FrobeniusNorm(const CsrMatrix& a) {
+  double sum = 0.0;
+  for (value_t v : a.values()) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double FrobeniusNorm(const DenseMatrix& a) {
+  double sum = 0.0;
+  const value_t* p = a.data();
+  const std::size_t n = static_cast<std::size_t>(a.rows()) * a.cols();
+  for (std::size_t i = 0; i < n; ++i) sum += p[i] * p[i];
+  return std::sqrt(sum);
+}
+
+double FrobeniusNorm(const ATMatrix& a) {
+  double sum = 0.0;
+  for (const Tile& t : a.tiles()) {
+    if (t.is_dense()) {
+      const double norm = FrobeniusNorm(t.dense());
+      sum += norm * norm;
+    } else {
+      const double norm = FrobeniusNorm(t.sparse());
+      sum += norm * norm;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<value_t> RowSums(const CsrMatrix& a) {
+  std::vector<value_t> sums(a.rows(), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (value_t v : a.RowValues(i)) sums[i] += v;
+  }
+  return sums;
+}
+
+std::vector<value_t> RowNorms(const CsrMatrix& a) {
+  std::vector<value_t> norms(a.rows(), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (value_t v : a.RowValues(i)) sum += v * v;
+    norms[i] = std::sqrt(sum);
+  }
+  return norms;
+}
+
+std::vector<index_t> RowNnz(const CsrMatrix& a) {
+  std::vector<index_t> counts(a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) counts[i] = a.RowNnz(i);
+  return counts;
+}
+
+double MaxAbsValue(const CsrMatrix& a) {
+  double max_abs = 0.0;
+  for (value_t v : a.values()) max_abs = std::max(max_abs, std::fabs(v));
+  return max_abs;
+}
+
+double MaxAbsValue(const ATMatrix& a) {
+  double max_abs = 0.0;
+  for (const Tile& t : a.tiles()) {
+    if (t.is_dense()) {
+      const value_t* p = t.dense().data();
+      const std::size_t n =
+          static_cast<std::size_t>(t.rows()) * t.cols();
+      for (std::size_t i = 0; i < n; ++i) {
+        max_abs = std::max(max_abs, std::fabs(p[i]));
+      }
+    } else {
+      max_abs = std::max(max_abs, MaxAbsValue(t.sparse()));
+    }
+  }
+  return max_abs;
+}
+
+}  // namespace atmx

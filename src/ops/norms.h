@@ -1,0 +1,36 @@
+// Norms and reductions over the matrix representations — the small
+// numeric utilities the example applications (NMF fit, CG residuals,
+// similarity normalization) need alongside multiplication.
+
+#ifndef ATMX_OPS_NORMS_H_
+#define ATMX_OPS_NORMS_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// Frobenius norm sqrt(sum a_ij^2).
+double FrobeniusNorm(const CsrMatrix& a);
+double FrobeniusNorm(const DenseMatrix& a);
+double FrobeniusNorm(const ATMatrix& a);
+
+// Per-row sums and Euclidean row norms.
+std::vector<value_t> RowSums(const CsrMatrix& a);
+std::vector<value_t> RowNorms(const CsrMatrix& a);
+
+// Number of stored elements per row (the degree vector of a graph's
+// adjacency matrix).
+std::vector<index_t> RowNnz(const CsrMatrix& a);
+
+// Largest absolute element value.
+double MaxAbsValue(const CsrMatrix& a);
+double MaxAbsValue(const ATMatrix& a);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_NORMS_H_

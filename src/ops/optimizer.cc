@@ -1,0 +1,94 @@
+#include "ops/optimizer.h"
+
+#include "common/timer.h"
+#include "storage/convert.h"
+
+namespace atmx {
+
+PairDecision DecidePairRepresentations(const CostModel& model,
+                                       const MultiplyShape& shape,
+                                       bool a_is_dense, bool b_is_dense,
+                                       bool a_cached, bool b_cached,
+                                       bool c_dense, bool allow_conversion) {
+  PairDecision best;
+  best.a_dense = a_is_dense;
+  best.b_dense = b_is_dense;
+  best.projected_cost = model.ComputeCost(
+      MakeKernelType(a_is_dense, b_is_dense, c_dense), shape);
+  if (!allow_conversion) return best;
+
+  for (int a_choice = 0; a_choice < 2; ++a_choice) {
+    for (int b_choice = 0; b_choice < 2; ++b_choice) {
+      const bool a_dense = a_choice == 1;
+      const bool b_dense = b_choice == 1;
+      if (a_dense == a_is_dense && b_dense == b_is_dense) continue;
+      double cost = model.ComputeCost(
+          MakeKernelType(a_dense, b_dense, c_dense), shape);
+      // Conversion is charged on the *whole tile* the window belongs to
+      // but reused across pairs once cached; the shape's m/k/n describe
+      // the window, which is the lower bound of the converted area — the
+      // cautious choice: we only convert when even the window-local
+      // benefit pays for it.
+      if (a_dense != a_is_dense && !a_cached) {
+        cost += model.ConversionCost(a_dense, shape.m, shape.k, shape.rho_a);
+      }
+      if (b_dense != b_is_dense && !b_cached) {
+        cost += model.ConversionCost(b_dense, shape.k, shape.n, shape.rho_b);
+      }
+      if (cost < best.projected_cost) {
+        best.projected_cost = cost;
+        best.a_dense = a_dense;
+        best.b_dense = b_dense;
+      }
+    }
+  }
+  best.a_converted = best.a_dense != a_is_dense;
+  best.b_converted = best.b_dense != b_is_dense;
+  return best;
+}
+
+const DenseMatrix& ConversionCache::GetDense(Side side, index_t tile_idx,
+                                             const Tile& tile,
+                                             double* conversion_seconds) {
+  ATMX_CHECK(!tile.is_dense());
+  const std::uint64_t key = Key(side, tile_idx);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dense_.find(key);
+  if (it == dense_.end()) {
+    WallTimer timer;
+    auto converted = std::make_unique<DenseMatrix>(CsrToDense(tile.sparse()));
+    *conversion_seconds += timer.ElapsedSeconds();
+    ++sparse_to_dense_count_;
+    it = dense_.emplace(key, std::move(converted)).first;
+  }
+  return *it->second;
+}
+
+const CsrMatrix& ConversionCache::GetSparse(Side side, index_t tile_idx,
+                                            const Tile& tile,
+                                            double* conversion_seconds) {
+  ATMX_CHECK(tile.is_dense());
+  const std::uint64_t key = Key(side, tile_idx);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sparse_.find(key);
+  if (it == sparse_.end()) {
+    WallTimer timer;
+    auto converted = std::make_unique<CsrMatrix>(DenseToCsr(tile.dense()));
+    *conversion_seconds += timer.ElapsedSeconds();
+    ++dense_to_sparse_count_;
+    it = sparse_.emplace(key, std::move(converted)).first;
+  }
+  return *it->second;
+}
+
+bool ConversionCache::HasDense(Side side, index_t tile_idx) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dense_.count(Key(side, tile_idx)) > 0;
+}
+
+bool ConversionCache::HasSparse(Side side, index_t tile_idx) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sparse_.count(Key(side, tile_idx)) > 0;
+}
+
+}  // namespace atmx

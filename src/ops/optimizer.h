@@ -1,0 +1,76 @@
+// Dynamic multiplication optimizer (section III-C): per tile-pair it
+// decides — via the cost model — which representation each operand window
+// should be multiplied in, converting tiles just-in-time when that lowers
+// the projected runtime. Conversions are cached for the remainder of the
+// operation ("just-in-time partial data conversions").
+
+#ifndef ATMX_OPS_OPTIMIZER_H_
+#define ATMX_OPS_OPTIMIZER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "kernels/kernel_common.h"
+#include "tile/tile.h"
+
+namespace atmx {
+
+// Which representations the pair multiplication should run with.
+struct PairDecision {
+  bool a_dense = false;
+  bool b_dense = false;
+  bool a_converted = false;  // decision differs from the stored kind
+  bool b_converted = false;
+  double projected_cost = 0.0;
+};
+
+// Chooses representations for one pair multiplication. `a_cached` /
+// `b_cached` flag whether the *other* representation of the tile is already
+// available (cached conversion => zero conversion cost in the comparison).
+PairDecision DecidePairRepresentations(const CostModel& model,
+                                       const MultiplyShape& shape,
+                                       bool a_is_dense, bool b_is_dense,
+                                       bool a_cached, bool b_cached,
+                                       bool c_dense, bool allow_conversion);
+
+// Thread-safe cache of converted tile payloads, keyed by (operand, tile
+// index). Lives for the duration of one ATMULT operation.
+class ConversionCache {
+ public:
+  // Identifies the operand matrix a tile belongs to.
+  enum Side { kLeft = 0, kRight = 1 };
+
+  // Dense payload of `tile` (converting and caching on first use).
+  // `conversion_seconds` is incremented by the conversion time when one
+  // happens.
+  const DenseMatrix& GetDense(Side side, index_t tile_idx, const Tile& tile,
+                              double* conversion_seconds);
+
+  // Sparse payload of `tile`, analogous.
+  const CsrMatrix& GetSparse(Side side, index_t tile_idx, const Tile& tile,
+                             double* conversion_seconds);
+
+  bool HasDense(Side side, index_t tile_idx) const;
+  bool HasSparse(Side side, index_t tile_idx) const;
+
+  index_t sparse_to_dense_count() const { return sparse_to_dense_count_; }
+  index_t dense_to_sparse_count() const { return dense_to_sparse_count_; }
+
+ private:
+  static std::uint64_t Key(Side side, index_t tile_idx) {
+    return (static_cast<std::uint64_t>(side) << 62) |
+           static_cast<std::uint64_t>(tile_idx);
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<DenseMatrix>> dense_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CsrMatrix>> sparse_;
+  index_t sparse_to_dense_count_ = 0;
+  index_t dense_to_sparse_count_ = 0;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_OPTIMIZER_H_

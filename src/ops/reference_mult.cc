@@ -1,0 +1,22 @@
+#include "ops/reference_mult.h"
+
+#include "common/check.h"
+
+namespace atmx {
+
+DenseMatrix ReferenceMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  ATMX_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      value_t sum = 0.0;
+      for (index_t k = 0; k < a.cols(); ++k) {
+        sum += a.At(i, k) * b.At(k, j);
+      }
+      c.At(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+}  // namespace atmx

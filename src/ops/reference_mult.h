@@ -1,0 +1,17 @@
+// Naive reference multiplication used by the test suite to validate every
+// optimized path. Deliberately independent of the kernel implementations
+// (plain triple loop over dense arrays).
+
+#ifndef ATMX_OPS_REFERENCE_MULT_H_
+#define ATMX_OPS_REFERENCE_MULT_H_
+
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// C = A * B, plain i-j-k triple loop. Intended for small test shapes.
+DenseMatrix ReferenceMultiply(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_REFERENCE_MULT_H_

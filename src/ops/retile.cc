@@ -1,0 +1,100 @@
+#include "ops/retile.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace atmx {
+
+namespace {
+
+// CSR column slice [c0, c1) of `src`, with column ids rebased to c0.
+CsrMatrix SliceCsrColumns(const CsrMatrix& src, index_t c0, index_t c1) {
+  std::vector<index_t> row_ptr(src.rows() + 1, 0);
+  // First pass: per-row counts in the slice.
+  std::vector<std::pair<index_t, index_t>> ranges(src.rows());
+  for (index_t i = 0; i < src.rows(); ++i) {
+    src.RowColRange(i, c0, c1, &ranges[i].first, &ranges[i].second);
+    row_ptr[i + 1] = row_ptr[i] + (ranges[i].second - ranges[i].first);
+  }
+  std::vector<index_t> col_idx(row_ptr.back());
+  std::vector<value_t> values(row_ptr.back());
+  for (index_t i = 0; i < src.rows(); ++i) {
+    index_t out = row_ptr[i];
+    for (index_t p = ranges[i].first; p < ranges[i].second; ++p) {
+      col_idx[out] = src.col_idx()[p] - c0;
+      values[out] = src.values()[p];
+      ++out;
+    }
+  }
+  return CsrMatrix(src.rows(), c1 - c0, std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+DenseMatrix SliceDenseColumns(const DenseMatrix& src, index_t c0,
+                              index_t c1) {
+  DenseMatrix out(src.rows(), c1 - c0);
+  for (index_t i = 0; i < src.rows(); ++i) {
+    const value_t* from = src.data() + i * src.ld() + c0;
+    value_t* to = out.data() + i * out.ld();
+    std::copy(from, from + (c1 - c0), to);
+  }
+  return out;
+}
+
+}  // namespace
+
+ATMatrix RetileColumns(const ATMatrix& a,
+                       const std::vector<index_t>& col_bounds,
+                       const AtmConfig& config) {
+  std::vector<Tile> tiles;
+  tiles.reserve(a.tiles().size());
+  for (const Tile& t : a.tiles()) {
+    // Cut points strictly inside this tile's column extent.
+    std::vector<index_t> cuts = {t.col0()};
+    for (index_t bound : col_bounds) {
+      if (bound > t.col0() && bound < t.col_end()) cuts.push_back(bound);
+    }
+    cuts.push_back(t.col_end());
+    std::sort(cuts.begin(), cuts.end());
+
+    if (cuts.size() == 2) {
+      tiles.push_back(t);  // no cut: keep as-is
+      continue;
+    }
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      const index_t local0 = cuts[s] - t.col0();
+      const index_t local1 = cuts[s + 1] - t.col0();
+      if (t.is_dense()) {
+        tiles.push_back(Tile::MakeDense(
+            t.row0(), cuts[s],
+            SliceDenseColumns(t.dense(), local0, local1)));
+      } else {
+        tiles.push_back(Tile::MakeSparse(
+            t.row0(), cuts[s], SliceCsrColumns(t.sparse(), local0, local1)));
+      }
+    }
+  }
+  DensityMap map = a.density_map();  // topology is unchanged
+  ATMatrix out(a.rows(), a.cols(), a.b_atomic(), std::move(tiles),
+               std::move(map));
+  // Preserve the round-robin tile-row placement.
+  const auto& bounds = out.row_bounds();
+  for (Tile& tile : out.mutable_tiles()) {
+    const auto band = std::lower_bound(bounds.begin(), bounds.end(),
+                                       tile.row0()) -
+                      bounds.begin();
+    tile.set_home_node(
+        static_cast<int>(band % std::max(1, config.num_sockets)));
+  }
+  return out;
+}
+
+ATMatrix AlignContraction(const ATMatrix& a, const ATMatrix& b,
+                          const AtmConfig& config) {
+  ATMX_CHECK_EQ(a.cols(), b.rows());
+  return RetileColumns(a, b.row_bounds(), config);
+}
+
+}  // namespace atmx

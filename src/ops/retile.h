@@ -1,0 +1,36 @@
+// Pre-multiplication re-tiling — the optimization the paper leaves as
+// future work (section IV-C): "Such situations could be avoided by a
+// dynamic re-tiling of the left-hand matrix as a part of a
+// pre-multiplication optimization".
+//
+// When A's tiles span several row bands of B, every pair multiplication
+// slices A's tiles with reference windows; for sparse tiles each slice
+// costs a binary column search per row. Splitting A's tiles at B's
+// contraction boundaries once, up front, removes that overhead for the
+// whole operation.
+
+#ifndef ATMX_OPS_RETILE_H_
+#define ATMX_OPS_RETILE_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// Splits every tile of `a` at the given additional column boundaries
+// (sorted, within [0, a.cols()]). Tile representations are preserved;
+// the result's tiles are rectangular slices of the originals.
+ATMatrix RetileColumns(const ATMatrix& a,
+                       const std::vector<index_t>& col_bounds,
+                       const AtmConfig& config);
+
+// Convenience for C = A * B: returns A with its column tiling aligned to
+// B's row bands, so no pair multiplication needs to slice A.
+ATMatrix AlignContraction(const ATMatrix& a, const ATMatrix& b,
+                          const AtmConfig& config);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_RETILE_H_

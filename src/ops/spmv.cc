@@ -1,0 +1,116 @@
+#include "ops/spmv.h"
+
+#include "common/check.h"
+#include "topology/thread_pool.h"
+
+namespace atmx {
+
+std::vector<value_t> SpMV(const CsrMatrix& a, const std::vector<value_t>& x) {
+  ATMX_CHECK_EQ(static_cast<index_t>(x.size()), a.cols());
+  std::vector<value_t> y(a.rows(), 0.0);
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const auto& row_ptr = a.row_ptr();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    value_t sum = 0.0;
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      sum += values[p] * x[col_idx[p]];
+    }
+    y[i] = sum;
+  }
+  return y;
+}
+
+namespace {
+
+// Accumulates one tile's contribution into y (indices in matrix coords).
+void ApplyTile(const Tile& t, const std::vector<value_t>& x,
+               std::vector<value_t>* y) {
+  if (t.is_dense()) {
+    const DenseMatrix& d = t.dense();
+    for (index_t i = 0; i < d.rows(); ++i) {
+      const value_t* row = d.data() + i * d.ld();
+      value_t sum = 0.0;
+      for (index_t j = 0; j < d.cols(); ++j) {
+        sum += row[j] * x[t.col0() + j];
+      }
+      (*y)[t.row0() + i] += sum;
+    }
+  } else {
+    const CsrMatrix& s = t.sparse();
+    const auto& col_idx = s.col_idx();
+    const auto& values = s.values();
+    const auto& row_ptr = s.row_ptr();
+    for (index_t i = 0; i < s.rows(); ++i) {
+      value_t sum = 0.0;
+      for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+        sum += values[p] * x[t.col0() + col_idx[p]];
+      }
+      (*y)[t.row0() + i] += sum;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<value_t> SpMVParallel(const ATMatrix& a,
+                                  const std::vector<value_t>& x,
+                                  const AtmConfig& config) {
+  ATMX_CHECK_EQ(static_cast<index_t>(x.size()), a.cols());
+  const int teams = config.EffectiveTeams();
+  // A tile is processed by the band containing its first row, but tall
+  // tiles write rows owned by other bands — so each team accumulates into
+  // its own partial vector (one driver thread per team keeps this safe),
+  // reduced at the end.
+  std::vector<std::vector<value_t>> partials(
+      teams, std::vector<value_t>(a.rows(), 0.0));
+  TeamScheduler scheduler(teams, config.EffectiveThreadsPerTeam());
+  scheduler.RunTasks(
+      a.num_row_bands(),
+      [teams](index_t band) { return static_cast<int>(band % teams); },
+      [&](WorkerTeam& team, index_t band) {
+        for (index_t ti : a.TilesInRowBand(band)) {
+          const Tile& t = a.tiles()[ti];
+          if (t.row0() != a.row_bounds()[band]) continue;  // counted once
+          ApplyTile(t, x, &partials[team.team_id()]);
+        }
+      });
+  std::vector<value_t> y(a.rows(), 0.0);
+  for (const auto& partial : partials) {
+    for (index_t i = 0; i < a.rows(); ++i) y[i] += partial[i];
+  }
+  return y;
+}
+
+std::vector<value_t> SpMV(const ATMatrix& a, const std::vector<value_t>& x) {
+  ATMX_CHECK_EQ(static_cast<index_t>(x.size()), a.cols());
+  std::vector<value_t> y(a.rows(), 0.0);
+  for (const Tile& t : a.tiles()) {
+    if (t.is_dense()) {
+      const DenseMatrix& d = t.dense();
+      for (index_t i = 0; i < d.rows(); ++i) {
+        const value_t* row = d.data() + i * d.ld();
+        value_t sum = 0.0;
+        for (index_t j = 0; j < d.cols(); ++j) {
+          sum += row[j] * x[t.col0() + j];
+        }
+        y[t.row0() + i] += sum;
+      }
+    } else {
+      const CsrMatrix& s = t.sparse();
+      const auto& col_idx = s.col_idx();
+      const auto& values = s.values();
+      const auto& row_ptr = s.row_ptr();
+      for (index_t i = 0; i < s.rows(); ++i) {
+        value_t sum = 0.0;
+        for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+          sum += values[p] * x[t.col0() + col_idx[p]];
+        }
+        y[t.row0() + i] += sum;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace atmx

@@ -1,0 +1,34 @@
+// Sparse matrix-vector multiplication. CSR tends to perform best for spmv
+// across matrix classes (Vuduc [13], cited by the paper as the reason CSR
+// is the sparse tile format); the AT MATRIX variant multiplies tile-wise so
+// dense tiles use the dense inner kernel.
+
+#ifndef ATMX_OPS_SPMV_H_
+#define ATMX_OPS_SPMV_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "storage/csr_matrix.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// y = A * x. x.size() == A.cols(); returns y of size A.rows().
+std::vector<value_t> SpMV(const CsrMatrix& a, const std::vector<value_t>& x);
+
+// y = A * x over the heterogeneous tile structure.
+std::vector<value_t> SpMV(const ATMatrix& a, const std::vector<value_t>& x);
+
+// Team-parallel y = A * x: row bands are scheduled on the worker team of
+// their home NUMA node (the same placement discipline as ATMULT, section
+// III-F); tiles within a band run sequentially so no output element is
+// written by two teams.
+std::vector<value_t> SpMVParallel(const ATMatrix& a,
+                                  const std::vector<value_t>& x,
+                                  const AtmConfig& config);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_SPMV_H_

@@ -1,0 +1,83 @@
+#include "ops/transpose.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace atmx {
+
+CsrMatrix Transpose(const CsrMatrix& a) {
+  const index_t rows = a.rows();
+  const index_t cols = a.cols();
+  const index_t nnz = a.nnz();
+
+  std::vector<index_t> row_ptr(cols + 1, 0);
+  for (index_t c : a.col_idx()) row_ptr[c + 1]++;
+  for (index_t j = 0; j < cols; ++j) row_ptr[j + 1] += row_ptr[j];
+
+  std::vector<index_t> col_idx(nnz);
+  std::vector<value_t> values(nnz);
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t i = 0; i < rows; ++i) {
+    auto cs = a.RowCols(i);
+    auto vs = a.RowValues(i);
+    for (std::size_t p = 0; p < cs.size(); ++p) {
+      const index_t q = cursor[cs[p]]++;
+      col_idx[q] = i;  // rows visited in order => columns stay sorted
+      values[q] = vs[p];
+    }
+  }
+  return CsrMatrix(cols, rows, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+DenseMatrix Transpose(const DenseMatrix& a) {
+  DenseMatrix b(a.cols(), a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      b.At(j, i) = a.At(i, j);
+    }
+  }
+  return b;
+}
+
+CooMatrix Transpose(const CooMatrix& a) {
+  CooMatrix b(a.cols(), a.rows());
+  b.Reserve(a.entries().size());
+  for (const CooEntry& e : a.entries()) b.Add(e.col, e.row, e.value);
+  return b;
+}
+
+ATMatrix Transpose(const ATMatrix& a, int num_nodes) {
+  std::vector<Tile> tiles;
+  tiles.reserve(a.tiles().size());
+  for (const Tile& t : a.tiles()) {
+    if (t.is_dense()) {
+      tiles.push_back(Tile::MakeDenseCounted(t.col0(), t.row0(),
+                                             Transpose(t.dense()), t.nnz()));
+    } else {
+      tiles.push_back(
+          Tile::MakeSparse(t.col0(), t.row0(), Transpose(t.sparse())));
+    }
+  }
+  DensityMap map(a.cols(), a.rows(), a.b_atomic());
+  const DensityMap& src = a.density_map();
+  for (index_t bi = 0; bi < src.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < src.grid_cols(); ++bj) {
+      map.Set(bj, bi, src.At(bi, bj));
+    }
+  }
+  ATMatrix out(a.cols(), a.rows(), a.b_atomic(), std::move(tiles),
+               std::move(map));
+  // Round-robin home nodes over the transposed tile-rows.
+  const auto& bounds = out.row_bounds();
+  for (Tile& tile : out.mutable_tiles()) {
+    const auto band = std::lower_bound(bounds.begin(), bounds.end(),
+                                       tile.row0()) -
+                      bounds.begin();
+    tile.set_home_node(static_cast<int>(band % std::max(1, num_nodes)));
+  }
+  return out;
+}
+
+}  // namespace atmx

@@ -1,0 +1,33 @@
+// Matrix transposition. Needed by the text-mining example (cosine
+// similarity D = A * A^T, paper section I) and generally useful alongside
+// the multiplication operator.
+
+#ifndef ATMX_OPS_TRANSPOSE_H_
+#define ATMX_OPS_TRANSPOSE_H_
+
+#include "storage/coo_matrix.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// B = A^T for CSR, via a counting sort over columns (Gustavson's permuted
+// transposition); O(nnz + rows + cols).
+CsrMatrix Transpose(const CsrMatrix& a);
+
+// B = A^T for dense matrices.
+DenseMatrix Transpose(const DenseMatrix& a);
+
+// B = A^T for COO (swaps coordinates; order is unspecified).
+CooMatrix Transpose(const CooMatrix& a);
+
+// B = A^T for an AT MATRIX: every tile is transposed in place and mirrored
+// across the diagonal, preserving the adaptive tiling (a transposed
+// quadtree tiling is again a valid quadtree tiling). Home nodes are
+// re-assigned round-robin by the new tile-rows.
+ATMatrix Transpose(const ATMatrix& a, int num_nodes = 1);
+
+}  // namespace atmx
+
+#endif  // ATMX_OPS_TRANSPOSE_H_

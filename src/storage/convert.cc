@@ -1,0 +1,126 @@
+#include "storage/convert.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace atmx {
+
+CsrMatrix CooToCsr(const CooMatrix& coo) {
+  const index_t rows = coo.rows();
+  const index_t nnz = coo.nnz();
+  std::vector<index_t> row_ptr(rows + 1, 0);
+  for (const CooEntry& e : coo.entries()) row_ptr[e.row + 1]++;
+  for (index_t i = 0; i < rows; ++i) row_ptr[i + 1] += row_ptr[i];
+
+  std::vector<index_t> col_idx(nnz);
+  std::vector<value_t> values(nnz);
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (const CooEntry& e : coo.entries()) {
+    const index_t p = cursor[e.row]++;
+    col_idx[p] = e.col;
+    values[p] = e.value;
+  }
+
+  // Sort columns within each row and sum duplicates.
+  index_t out = 0;
+  std::vector<index_t> new_row_ptr(rows + 1, 0);
+  std::vector<std::pair<index_t, value_t>> row_buf;
+  for (index_t i = 0; i < rows; ++i) {
+    const index_t begin = row_ptr[i];
+    const index_t end = row_ptr[i + 1];
+    row_buf.clear();
+    for (index_t p = begin; p < end; ++p) {
+      row_buf.emplace_back(col_idx[p], values[p]);
+    }
+    std::sort(row_buf.begin(), row_buf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < row_buf.size();) {
+      index_t col = row_buf[k].first;
+      value_t sum = 0.0;
+      while (k < row_buf.size() && row_buf[k].first == col) {
+        sum += row_buf[k].second;
+        ++k;
+      }
+      col_idx[out] = col;
+      values[out] = sum;
+      ++out;
+    }
+    new_row_ptr[i + 1] = out;
+  }
+  col_idx.resize(out);
+  values.resize(out);
+  return CsrMatrix(rows, coo.cols(), std::move(new_row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+DenseMatrix CooToDense(const CooMatrix& coo) {
+  DenseMatrix dense(coo.rows(), coo.cols());
+  for (const CooEntry& e : coo.entries()) dense.At(e.row, e.col) += e.value;
+  return dense;
+}
+
+DenseMatrix CsrToDense(const CsrMatrix& csr) {
+  return CsrWindowToDense(csr, 0, csr.rows(), 0, csr.cols());
+}
+
+DenseMatrix CsrWindowToDense(const CsrMatrix& csr, index_t r0, index_t r1,
+                             index_t c0, index_t c1) {
+  ATMX_CHECK(r0 >= 0 && r1 <= csr.rows() && r0 <= r1);
+  ATMX_CHECK(c0 >= 0 && c1 <= csr.cols() && c0 <= c1);
+  DenseMatrix dense(r1 - r0, c1 - c0);
+  const auto& col_idx = csr.col_idx();
+  const auto& values = csr.values();
+  for (index_t i = r0; i < r1; ++i) {
+    index_t first, last;
+    csr.RowColRange(i, c0, c1, &first, &last);
+    value_t* out_row = dense.data() + (i - r0) * dense.ld();
+    for (index_t p = first; p < last; ++p) {
+      out_row[col_idx[p] - c0] = values[p];
+    }
+  }
+  return dense;
+}
+
+CsrMatrix DenseToCsr(const DenseMatrix& dense) {
+  return DenseWindowToCsr(dense.View());
+}
+
+CsrMatrix DenseWindowToCsr(const DenseView& view) {
+  CsrBuilder builder(view.rows, view.cols);
+  for (index_t i = 0; i < view.rows; ++i) {
+    const value_t* row = view.RowPtr(i);
+    for (index_t j = 0; j < view.cols; ++j) {
+      if (row[j] != 0.0) builder.Append(j, row[j]);
+    }
+    builder.FinishRowsUpTo(i + 1);
+  }
+  return builder.Build();
+}
+
+CooMatrix CsrToCoo(const CsrMatrix& csr) {
+  CooMatrix coo(csr.rows(), csr.cols());
+  coo.Reserve(csr.nnz());
+  for (index_t i = 0; i < csr.rows(); ++i) {
+    auto cols = csr.RowCols(i);
+    auto vals = csr.RowValues(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      coo.Add(i, cols[p], vals[p]);
+    }
+  }
+  return coo;
+}
+
+CooMatrix DenseToCoo(const DenseMatrix& dense) {
+  CooMatrix coo(dense.rows(), dense.cols());
+  for (index_t i = 0; i < dense.rows(); ++i) {
+    for (index_t j = 0; j < dense.cols(); ++j) {
+      if (dense.At(i, j) != 0.0) coo.Add(i, j, dense.At(i, j));
+    }
+  }
+  return coo;
+}
+
+}  // namespace atmx

@@ -1,0 +1,41 @@
+// Conversions between the plain matrix representations. These are the same
+// routines the ATMULT dynamic optimizer invokes for just-in-time tile
+// conversions (section III-C), so they are deliberately allocation-lean.
+
+#ifndef ATMX_STORAGE_CONVERT_H_
+#define ATMX_STORAGE_CONVERT_H_
+
+#include "storage/coo_matrix.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+// COO -> CSR. Entries may be in any order; duplicates are summed.
+CsrMatrix CooToCsr(const CooMatrix& coo);
+
+// COO -> dense array. Duplicates are summed.
+DenseMatrix CooToDense(const CooMatrix& coo);
+
+// CSR -> dense array.
+DenseMatrix CsrToDense(const CsrMatrix& csr);
+
+// CSR window [r0, r1) x [c0, c1) -> dense array of shape (r1-r0) x (c1-c0).
+DenseMatrix CsrWindowToDense(const CsrMatrix& csr, index_t r0, index_t r1,
+                             index_t c0, index_t c1);
+
+// Dense -> CSR keeping only non-zero elements.
+CsrMatrix DenseToCsr(const DenseMatrix& dense);
+
+// Dense window -> CSR of the window's shape.
+CsrMatrix DenseWindowToCsr(const DenseView& view);
+
+// CSR -> COO (row-major order).
+CooMatrix CsrToCoo(const CsrMatrix& csr);
+
+// Dense -> COO (row-major order of non-zeros).
+CooMatrix DenseToCoo(const DenseMatrix& dense);
+
+}  // namespace atmx
+
+#endif  // ATMX_STORAGE_CONVERT_H_

@@ -1,0 +1,139 @@
+#include "storage/csr_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace atmx {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  ATMX_CHECK_GE(rows, 0);
+  ATMX_CHECK_GE(cols, 0);
+}
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+                     std::vector<index_t> col_idx, std::vector<value_t> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  ATMX_CHECK_EQ(static_cast<index_t>(row_ptr_.size()), rows_ + 1);
+  ATMX_CHECK_EQ(col_idx_.size(), values_.size());
+  ATMX_CHECK_EQ(row_ptr_.back(), static_cast<index_t>(values_.size()));
+}
+
+double CsrMatrix::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+void CsrMatrix::RowColRange(index_t i, index_t col_begin, index_t col_end,
+                            index_t* first, index_t* last) const {
+  ATMX_DCHECK(i >= 0 && i < rows_);
+  const index_t* base = col_idx_.data();
+  const index_t* lo = base + row_ptr_[i];
+  const index_t* hi = base + row_ptr_[i + 1];
+  *first = std::lower_bound(lo, hi, col_begin) - base;
+  *last = std::lower_bound(lo, hi, col_end) - base;
+}
+
+value_t CsrMatrix::At(index_t i, index_t j) const {
+  index_t first, last;
+  RowColRange(i, j, j + 1, &first, &last);
+  return first < last ? values_[first] : 0.0;
+}
+
+index_t CsrMatrix::CountNnzInWindow(index_t r0, index_t r1, index_t c0,
+                                    index_t c1) const {
+  index_t count = 0;
+  for (index_t i = r0; i < r1; ++i) {
+    index_t first, last;
+    RowColRange(i, c0, c1, &first, &last);
+    count += last - first;
+  }
+  return count;
+}
+
+std::size_t CsrMatrix::MemoryBytes() const {
+  return values_.size() * kSparseElemBytes +
+         row_ptr_.size() * sizeof(index_t);
+}
+
+bool CsrMatrix::CheckValid() const {
+  if (static_cast<index_t>(row_ptr_.size()) != rows_ + 1) return false;
+  if (row_ptr_.front() != 0) return false;
+  if (row_ptr_.back() != nnz()) return false;
+  for (index_t i = 0; i < rows_; ++i) {
+    if (row_ptr_[i] > row_ptr_[i + 1]) return false;
+    for (index_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      if (col_idx_[p] < 0 || col_idx_[p] >= cols_) return false;
+      if (p > row_ptr_[i] && col_idx_[p - 1] >= col_idx_[p]) return false;
+    }
+  }
+  return true;
+}
+
+CsrBuilder::CsrBuilder(index_t rows, index_t cols)
+    : rows_(rows), cols_(cols) {
+  ATMX_CHECK_GE(rows, 0);
+  ATMX_CHECK_GE(cols, 0);
+  row_ptr_.reserve(rows + 1);
+  row_ptr_.push_back(0);
+}
+
+void CsrBuilder::Reserve(std::size_t nnz) {
+  col_idx_.reserve(nnz);
+  values_.reserve(nnz);
+}
+
+void CsrBuilder::Append(index_t col, value_t value) {
+  ATMX_DCHECK(col >= 0 && col < cols_);
+  col_idx_.push_back(col);
+  values_.push_back(value);
+}
+
+void CsrBuilder::FinishRowsUpTo(index_t next_row) {
+  ATMX_CHECK(next_row > current_row_ && next_row <= rows_);
+  // Sort the just-finished row's columns (values move along).
+  const index_t begin = row_ptr_.back();
+  const index_t end = static_cast<index_t>(col_idx_.size());
+  if (end - begin > 1) {
+    // Sort index permutation, then apply. Rows are short in practice
+    // (bounded by the tile width), so the temporary is small.
+    std::vector<index_t> perm(end - begin);
+    std::iota(perm.begin(), perm.end(), 0);
+    const index_t* cols_base = col_idx_.data() + begin;
+    const bool sorted =
+        std::is_sorted(cols_base, cols_base + (end - begin));
+    if (!sorted) {
+      std::sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+        return cols_base[a] < cols_base[b];
+      });
+      std::vector<index_t> tmp_cols(end - begin);
+      std::vector<value_t> tmp_vals(end - begin);
+      for (index_t k = 0; k < end - begin; ++k) {
+        tmp_cols[k] = col_idx_[begin + perm[k]];
+        tmp_vals[k] = values_[begin + perm[k]];
+      }
+      std::copy(tmp_cols.begin(), tmp_cols.end(), col_idx_.begin() + begin);
+      std::copy(tmp_vals.begin(), tmp_vals.end(), values_.begin() + begin);
+    }
+  }
+  while (current_row_ < next_row) {
+    ++current_row_;
+    row_ptr_.push_back(end);
+  }
+  // All but the first of the advanced rows are empty; fix the just-closed
+  // row's end (already `end`) — intermediate rows share the same offset.
+}
+
+CsrMatrix CsrBuilder::Build() {
+  if (current_row_ < rows_) FinishRowsUpTo(rows_);
+  return CsrMatrix(rows_, cols_, std::move(row_ptr_), std::move(col_idx_),
+                   std::move(values_));
+}
+
+}  // namespace atmx

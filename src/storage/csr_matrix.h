@@ -1,0 +1,109 @@
+// Compressed sparse row (CSR) matrix. Column indices inside each row are
+// kept sorted at creation time so that column ranges can be located with a
+// binary search — the prerequisite for referenced submatrix multiplication
+// on sparse tiles (section III-B).
+
+#ifndef ATMX_STORAGE_CSR_MATRIX_H_
+#define ATMX_STORAGE_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace atmx {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  // Empty matrix of the given shape (all rows empty).
+  CsrMatrix(index_t rows, index_t cols);
+  // Takes ownership of prebuilt CSR arrays. row_ptr must have rows+1
+  // monotone entries; col_idx must be sorted within each row.
+  CsrMatrix(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<value_t> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  double Density() const;
+
+  const std::vector<index_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<index_t>& col_idx() const { return col_idx_; }
+  const std::vector<value_t>& values() const { return values_; }
+  // Mutable access to the stored values (the pattern stays fixed); used by
+  // in-place element-wise updates.
+  std::vector<value_t>& mutable_values() { return values_; }
+
+  index_t RowNnz(index_t i) const {
+    ATMX_DCHECK(i >= 0 && i < rows_);
+    return row_ptr_[i + 1] - row_ptr_[i];
+  }
+
+  std::span<const index_t> RowCols(index_t i) const {
+    return {col_idx_.data() + row_ptr_[i],
+            static_cast<std::size_t>(RowNnz(i))};
+  }
+  std::span<const value_t> RowValues(index_t i) const {
+    return {values_.data() + row_ptr_[i], static_cast<std::size_t>(RowNnz(i))};
+  }
+
+  // Positions [first, last) within row i whose column ids fall into
+  // [col_begin, col_end). Binary search (rows are column-sorted).
+  void RowColRange(index_t i, index_t col_begin, index_t col_end,
+                   index_t* first, index_t* last) const;
+
+  // Value at (i, j), 0 if not stored. Binary search within the row.
+  value_t At(index_t i, index_t j) const;
+
+  // Exact element count inside the window [r0, r1) x [c0, c1).
+  index_t CountNnzInWindow(index_t r0, index_t r1, index_t c0,
+                           index_t c1) const;
+
+  // Memory footprint: S_sp = 16 bytes per element (value + column index)
+  // plus the row pointer array.
+  std::size_t MemoryBytes() const;
+
+  // Internal consistency check (monotone row_ptr, sorted in-range columns).
+  bool CheckValid() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_;   // rows_ + 1 entries
+  std::vector<index_t> col_idx_;   // nnz entries, sorted per row
+  std::vector<value_t> values_;    // nnz entries
+};
+
+// Incremental CSR builder: rows must be appended in order; columns within a
+// row need not be pre-sorted (sorted on FinishRow).
+class CsrBuilder {
+ public:
+  CsrBuilder(index_t rows, index_t cols);
+
+  void Reserve(std::size_t nnz);
+
+  // Appends (col, value) to the current row.
+  void Append(index_t col, value_t value);
+
+  // Closes the current row (sorts its columns) and advances to row
+  // `next_row`; intermediate rows stay empty.
+  void FinishRowsUpTo(index_t next_row);
+
+  // Finalizes remaining rows and returns the matrix.
+  CsrMatrix Build();
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  index_t current_row_ = 0;
+  std::vector<index_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_STORAGE_CSR_MATRIX_H_

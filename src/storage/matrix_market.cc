@@ -1,0 +1,109 @@
+#include "storage/matrix_market.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace atmx {
+
+namespace {
+
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+}  // namespace
+
+Result<CooMatrix> ReadMatrixMarket(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+
+  auto header = SplitWhitespace(line);
+  if (header.size() < 5 || header[0] != "%%MatrixMarket" ||
+      ToLower(header[1]) != "matrix" || ToLower(header[2]) != "coordinate") {
+    return Status::InvalidArgument(
+        "not a MatrixMarket coordinate file: " + path);
+  }
+  const std::string field = ToLower(header[3]);
+  const std::string symmetry = ToLower(header[4]);
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    return Status::Unimplemented("unsupported field type: " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    return Status::Unimplemented("unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) {
+      return Status::IoError("truncated header in " + path);
+    }
+  } while (!line.empty() && line[0] == '%');
+
+  index_t rows, cols, declared_nnz;
+  {
+    std::istringstream is(line);
+    if (!(is >> rows >> cols >> declared_nnz)) {
+      return Status::InvalidArgument("bad size line in " + path);
+    }
+  }
+  if (rows < 0 || cols < 0 || declared_nnz < 0) {
+    return Status::InvalidArgument("negative sizes in " + path);
+  }
+
+  CooMatrix coo(rows, cols);
+  coo.Reserve(static_cast<std::size_t>(symmetric ? 2 * declared_nnz
+                                                 : declared_nnz));
+  for (index_t k = 0; k < declared_nnz; ++k) {
+    index_t r, c;
+    double v = 1.0;
+    if (!(in >> r >> c)) {
+      return Status::IoError("truncated entries in " + path);
+    }
+    if (!pattern && !(in >> v)) {
+      return Status::IoError("truncated entry value in " + path);
+    }
+    // MatrixMarket is 1-based.
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      return Status::OutOfRange("entry out of bounds in " + path);
+    }
+    coo.Add(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.Add(c - 1, r - 1, v);
+  }
+  return coo;
+}
+
+Status WriteMatrixMarket(const CooMatrix& coo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.rows() << ' ' << coo.cols() << ' ' << coo.nnz() << '\n';
+  char buf[96];
+  for (const CooEntry& e : coo.entries()) {
+    std::snprintf(buf, sizeof(buf), "%lld %lld %.17g\n",
+                  static_cast<long long>(e.row + 1),
+                  static_cast<long long>(e.col + 1), e.value);
+    out << buf;
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace atmx

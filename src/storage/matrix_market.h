@@ -1,0 +1,26 @@
+// MatrixMarket (.mtx) I/O so that the real Florida Sparse Matrix Collection
+// files used in the paper (Table I) can be dropped into the benchmark suite
+// when available; the suite otherwise runs on synthetic surrogates.
+
+#ifndef ATMX_STORAGE_MATRIX_MARKET_H_
+#define ATMX_STORAGE_MATRIX_MARKET_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/coo_matrix.h"
+
+namespace atmx {
+
+// Reads a MatrixMarket coordinate file. Supports `real`, `integer` and
+// `pattern` fields (pattern entries get value 1.0) and the `general` and
+// `symmetric` symmetry modes (symmetric files are expanded to both
+// triangles).
+Result<CooMatrix> ReadMatrixMarket(const std::string& path);
+
+// Writes `coo` as a general real coordinate MatrixMarket file.
+Status WriteMatrixMarket(const CooMatrix& coo, const std::string& path);
+
+}  // namespace atmx
+
+#endif  // ATMX_STORAGE_MATRIX_MARKET_H_

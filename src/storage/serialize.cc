@@ -1,0 +1,330 @@
+#include "storage/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace atmx {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'T', 'M', 'X', 'B', 'I', 'N', '1'};
+
+enum class TypeTag : std::uint64_t {
+  kCoo = 1,
+  kCsr = 2,
+  kDense = 3,
+  kAtm = 4,
+};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void U64(std::uint64_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void F64(double v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void Bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+  }
+  template <typename T>
+  void Array(const std::vector<T>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  bool U64(std::uint64_t* v) {
+    in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in_);
+  }
+  bool F64(double* v) {
+    in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in_);
+  }
+  template <typename T>
+  bool Array(std::vector<T>* v, std::uint64_t max_elems = (1ULL << 33)) {
+    std::uint64_t n;
+    if (!U64(&n) || n > max_elems) return false;
+    v->resize(n);
+    in_.read(reinterpret_cast<char*>(v->data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    return static_cast<bool>(in_) || n == 0;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+Status WriteHeader(Writer* w, TypeTag tag) {
+  w->Bytes(kMagic, sizeof(kMagic));
+  w->U64(static_cast<std::uint64_t>(tag));
+  return w->ok() ? Status::Ok() : Status::IoError("write failed");
+}
+
+void WriteCsrPayload(Writer* w, const CsrMatrix& m) {
+  w->U64(static_cast<std::uint64_t>(m.rows()));
+  w->U64(static_cast<std::uint64_t>(m.cols()));
+  w->Array(m.row_ptr());
+  w->Array(m.col_idx());
+  w->Array(m.values());
+}
+
+Result<CsrMatrix> ReadCsrPayload(Reader* r) {
+  std::uint64_t rows, cols;
+  std::vector<index_t> row_ptr, col_idx;
+  std::vector<value_t> values;
+  if (!r->U64(&rows) || !r->U64(&cols) || !r->Array(&row_ptr) ||
+      !r->Array(&col_idx) || !r->Array(&values)) {
+    return Status::IoError("truncated CSR payload");
+  }
+  if (row_ptr.size() != rows + 1 || col_idx.size() != values.size() ||
+      (rows > 0 && row_ptr.back() != static_cast<index_t>(values.size()))) {
+    return Status::InvalidArgument("inconsistent CSR payload");
+  }
+  CsrMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols),
+              std::move(row_ptr), std::move(col_idx), std::move(values));
+  if (!m.CheckValid()) {
+    return Status::InvalidArgument("corrupt CSR payload");
+  }
+  return m;
+}
+
+void WriteDensePayload(Writer* w, const DenseMatrix& m) {
+  w->U64(static_cast<std::uint64_t>(m.rows()));
+  w->U64(static_cast<std::uint64_t>(m.cols()));
+  w->U64(static_cast<std::uint64_t>(m.rows()) * m.cols());
+  w->Bytes(m.data(),
+           static_cast<std::size_t>(m.rows()) * m.cols() * sizeof(value_t));
+}
+
+Result<DenseMatrix> ReadDensePayload(Reader* r) {
+  std::uint64_t rows, cols;
+  if (!r->U64(&rows) || !r->U64(&cols)) {
+    return Status::IoError("truncated dense header");
+  }
+  std::vector<value_t> data;
+  if (!r->Array(&data) || data.size() != rows * cols) {
+    return Status::IoError("truncated dense payload");
+  }
+  DenseMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  std::memcpy(m.data(), data.data(), data.size() * sizeof(value_t));
+  return m;
+}
+
+}  // namespace
+
+// -- public API -----------------------------------------------------------
+
+Status SaveMatrix(const CooMatrix& m, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  ATMX_RETURN_IF_ERROR(WriteHeader(&w, TypeTag::kCoo));
+  w.U64(static_cast<std::uint64_t>(m.rows()));
+  w.U64(static_cast<std::uint64_t>(m.cols()));
+  w.Array(m.entries());
+  return w.ok() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status SaveMatrix(const CsrMatrix& m, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  ATMX_RETURN_IF_ERROR(WriteHeader(&w, TypeTag::kCsr));
+  WriteCsrPayload(&w, m);
+  return w.ok() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status SaveMatrix(const DenseMatrix& m, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  ATMX_RETURN_IF_ERROR(WriteHeader(&w, TypeTag::kDense));
+  WriteDensePayload(&w, m);
+  return w.ok() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status SaveMatrix(const ATMatrix& m, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  ATMX_RETURN_IF_ERROR(WriteHeader(&w, TypeTag::kAtm));
+  w.U64(static_cast<std::uint64_t>(m.rows()));
+  w.U64(static_cast<std::uint64_t>(m.cols()));
+  w.U64(static_cast<std::uint64_t>(m.b_atomic()));
+  // Density map values.
+  w.Array(m.density_map().values());
+  // Tiles.
+  w.U64(static_cast<std::uint64_t>(m.num_tiles()));
+  for (const Tile& t : m.tiles()) {
+    w.U64(t.is_dense() ? 1 : 0);
+    w.U64(static_cast<std::uint64_t>(t.row0()));
+    w.U64(static_cast<std::uint64_t>(t.col0()));
+    w.U64(static_cast<std::uint64_t>(t.home_node()));
+    if (t.is_dense()) {
+      WriteDensePayload(&w, t.dense());
+    } else {
+      WriteCsrPayload(&w, t.sparse());
+    }
+  }
+  return w.ok() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+namespace {
+
+Result<TypeTag> OpenAndReadHeader(Reader* r, const std::string& path) {
+  if (!r->ok()) return Status::IoError("cannot open " + path);
+  std::vector<char> magic;
+  // Read magic as raw bytes.
+  magic.resize(sizeof(kMagic));
+  std::uint64_t tag_value = 0;
+  // Use Array-free raw reads via U64s: magic is exactly 8 bytes.
+  std::uint64_t magic_word;
+  if (!r->U64(&magic_word)) return Status::IoError("truncated header");
+  std::uint64_t expected_word;
+  std::memcpy(&expected_word, kMagic, sizeof(expected_word));
+  if (magic_word != expected_word) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!r->U64(&tag_value)) return Status::IoError("truncated header");
+  if (tag_value < 1 || tag_value > 4) {
+    return Status::InvalidArgument("unknown type tag in " + path);
+  }
+  return static_cast<TypeTag>(tag_value);
+}
+
+}  // namespace
+
+Result<CooMatrix> LoadCooMatrix(const std::string& path) {
+  Reader r(path);
+  Result<TypeTag> tag = OpenAndReadHeader(&r, path);
+  if (!tag.ok()) return tag.status();
+  if (tag.value() != TypeTag::kCoo) {
+    return Status::InvalidArgument("not a COO file: " + path);
+  }
+  std::uint64_t rows, cols;
+  if (!r.U64(&rows) || !r.U64(&cols)) {
+    return Status::IoError("truncated COO header");
+  }
+  std::vector<CooEntry> entries;
+  if (!r.Array(&entries)) return Status::IoError("truncated COO entries");
+  CooMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  for (const CooEntry& e : entries) {
+    if (e.row < 0 || e.row >= m.rows() || e.col < 0 || e.col >= m.cols()) {
+      return Status::InvalidArgument("entry out of bounds in " + path);
+    }
+  }
+  m.entries() = std::move(entries);
+  return m;
+}
+
+Result<CsrMatrix> LoadCsrMatrix(const std::string& path) {
+  Reader r(path);
+  Result<TypeTag> tag = OpenAndReadHeader(&r, path);
+  if (!tag.ok()) return tag.status();
+  if (tag.value() != TypeTag::kCsr) {
+    return Status::InvalidArgument("not a CSR file: " + path);
+  }
+  return ReadCsrPayload(&r);
+}
+
+Result<DenseMatrix> LoadDenseMatrix(const std::string& path) {
+  Reader r(path);
+  Result<TypeTag> tag = OpenAndReadHeader(&r, path);
+  if (!tag.ok()) return tag.status();
+  if (tag.value() != TypeTag::kDense) {
+    return Status::InvalidArgument("not a dense file: " + path);
+  }
+  return ReadDensePayload(&r);
+}
+
+Result<ATMatrix> LoadATMatrix(const std::string& path) {
+  Reader r(path);
+  Result<TypeTag> tag = OpenAndReadHeader(&r, path);
+  if (!tag.ok()) return tag.status();
+  if (tag.value() != TypeTag::kAtm) {
+    return Status::InvalidArgument("not an AT MATRIX file: " + path);
+  }
+  std::uint64_t rows, cols, block;
+  if (!r.U64(&rows) || !r.U64(&cols) || !r.U64(&block) || block == 0) {
+    return Status::IoError("truncated AT MATRIX header");
+  }
+  DensityMap map(static_cast<index_t>(rows), static_cast<index_t>(cols),
+                 static_cast<index_t>(block));
+  std::vector<double> densities;
+  if (!r.Array(&densities) ||
+      densities.size() != map.values().size()) {
+    return Status::IoError("truncated density map");
+  }
+  for (index_t bi = 0; bi < map.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < map.grid_cols(); ++bj) {
+      map.Set(bi, bj, densities[bi * map.grid_cols() + bj]);
+    }
+  }
+
+  std::uint64_t num_tiles;
+  if (!r.U64(&num_tiles) || num_tiles > (1ULL << 24)) {
+    return Status::IoError("bad tile count");
+  }
+  std::vector<Tile> tiles;
+  tiles.reserve(num_tiles);
+  for (std::uint64_t t = 0; t < num_tiles; ++t) {
+    std::uint64_t is_dense, row0, col0, home;
+    if (!r.U64(&is_dense) || !r.U64(&row0) || !r.U64(&col0) ||
+        !r.U64(&home)) {
+      return Status::IoError("truncated tile header");
+    }
+    if (is_dense != 0) {
+      Result<DenseMatrix> payload = ReadDensePayload(&r);
+      if (!payload.ok()) return payload.status();
+      tiles.push_back(Tile::MakeDense(static_cast<index_t>(row0),
+                                      static_cast<index_t>(col0),
+                                      std::move(payload).value()));
+    } else {
+      Result<CsrMatrix> payload = ReadCsrPayload(&r);
+      if (!payload.ok()) return payload.status();
+      tiles.push_back(Tile::MakeSparse(static_cast<index_t>(row0),
+                                       static_cast<index_t>(col0),
+                                       std::move(payload).value()));
+    }
+    tiles.back().set_home_node(static_cast<int>(home));
+  }
+  ATMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols),
+             static_cast<index_t>(block), std::move(tiles), std::move(map));
+  if (!m.CheckValid()) {
+    return Status::InvalidArgument("corrupt AT MATRIX in " + path);
+  }
+  return m;
+}
+
+Result<std::string> PeekMatrixType(const std::string& path) {
+  Reader r(path);
+  Result<TypeTag> tag = OpenAndReadHeader(&r, path);
+  if (!tag.ok()) return tag.status();
+  switch (tag.value()) {
+    case TypeTag::kCoo:
+      return std::string("coo");
+    case TypeTag::kCsr:
+      return std::string("csr");
+    case TypeTag::kDense:
+      return std::string("dense");
+    case TypeTag::kAtm:
+      return std::string("atm");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace atmx

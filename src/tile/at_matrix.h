@@ -1,0 +1,94 @@
+// The Adaptive Tile Matrix (AT MATRIX, section II): a heterogeneous,
+// tiled representation of a large matrix, produced by the quadtree
+// partitioner (partitioner.h). Tiles are square, power-of-two aligned in
+// units of atomic blocks, variable in size, and individually dense or
+// sparse.
+
+#ifndef ATMX_TILE_AT_MATRIX_H_
+#define ATMX_TILE_AT_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "estimate/density_map.h"
+#include "storage/coo_matrix.h"
+#include "storage/csr_matrix.h"
+#include "tile/tile.h"
+
+namespace atmx {
+
+class ATMatrix {
+ public:
+  ATMatrix() = default;
+  // Assembles an AT MATRIX from materialized tiles. The tiles must
+  // partition the rows x cols area (checked in debug builds via nnz
+  // bookkeeping; full geometric validation is available via CheckValid).
+  ATMatrix(index_t rows, index_t cols, index_t b_atomic,
+           std::vector<Tile> tiles, DensityMap density_map);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t b_atomic() const { return b_atomic_; }
+  index_t nnz() const { return nnz_; }
+  double Density() const;
+  std::size_t MemoryBytes() const;
+
+  const std::vector<Tile>& tiles() const { return tiles_; }
+  std::vector<Tile>& mutable_tiles() { return tiles_; }
+  index_t num_tiles() const { return static_cast<index_t>(tiles_.size()); }
+  index_t NumDenseTiles() const;
+  index_t NumSparseTiles() const;
+
+  // Per-atomic-block density grid (input to the result estimator).
+  const DensityMap& density_map() const { return density_map_; }
+
+  // Row/column band structure: the sorted union of all tile boundaries.
+  // Every tile covers each band it intersects completely, which makes the
+  // reference-window arithmetic of ATMULT exact.
+  const std::vector<index_t>& row_bounds() const { return row_bounds_; }
+  const std::vector<index_t>& col_bounds() const { return col_bounds_; }
+  index_t num_row_bands() const {
+    return static_cast<index_t>(row_bounds_.size()) - 1;
+  }
+  index_t num_col_bands() const {
+    return static_cast<index_t>(col_bounds_.size()) - 1;
+  }
+
+  // Tiles intersecting row band `band`, ordered by col0 (they tile the full
+  // width). Returned as indices into tiles().
+  std::span<const index_t> TilesInRowBand(index_t band) const;
+  // Tiles intersecting column band `band`, ordered by row0.
+  std::span<const index_t> TilesInColBand(index_t band) const;
+
+  // Element lookup (0.0 for unstored); O(log #tiles) band search.
+  value_t At(index_t row, index_t col) const;
+
+  // Lossless exports for verification and interoperability.
+  CsrMatrix ToCsr() const;
+  CooMatrix ToCoo() const;
+
+  // Structural invariants: tiles disjointly cover the matrix, bands are
+  // consistent, nnz bookkeeping adds up.
+  bool CheckValid() const;
+
+ private:
+  void BuildBands();
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t b_atomic_ = 1;
+  index_t nnz_ = 0;
+  std::vector<Tile> tiles_;
+  DensityMap density_map_;
+
+  std::vector<index_t> row_bounds_;
+  std::vector<index_t> col_bounds_;
+  std::vector<std::vector<index_t>> row_band_tiles_;
+  std::vector<std::vector<index_t>> col_band_tiles_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_TILE_AT_MATRIX_H_

@@ -1,0 +1,385 @@
+#include "tile/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/radix_sort.h"
+#include "common/timer.h"
+#include "morton/morton.h"
+#include "storage/convert.h"
+#include "topology/tile_size_policy.h"
+
+namespace atmx {
+
+std::string PartitionStats::ToString() const {
+  std::ostringstream os;
+  os << "PartitionStats{sort=" << sort_seconds
+     << "s, blockcnt=" << blockcount_seconds
+     << "s, recursion=" << recursion_seconds
+     << "s, materialize=" << materialize_seconds
+     << "s, dense_tiles=" << dense_tiles << ", sparse_tiles=" << sparse_tiles
+     << "}";
+  return os.str();
+}
+
+namespace {
+
+enum class NodeStatus { kOutOfBounds, kForward, kMaterialized };
+
+struct NodeResult {
+  NodeStatus status = NodeStatus::kOutOfBounds;
+  index_t nnz = 0;
+  bool dense_class = false;
+};
+
+struct PartitionContext {
+  const CooMatrix* coo = nullptr;                 // Z-sorted entries
+  const std::vector<std::uint64_t>* zcodes = nullptr;  // element Z-values
+  std::vector<index_t> block_counts;              // Z-ordered; -1 == OOB
+  index_t b = 1;                                  // atomic block edge
+  int log2_b = 0;
+  index_t rows = 0;
+  index_t cols = 0;
+  double rho_read = 0.25;
+  bool allow_dense = true;
+  bool allow_melt = true;
+  const TileSizePolicy* policy = nullptr;
+  std::vector<Tile> tiles;
+  AccumulatingTimer materialize_timer;
+};
+
+// Geometry of the aligned block square covered by block-Z-range [z0, z1),
+// clipped to the matrix bounds.
+struct RegionBox {
+  index_t r0, c0, rows, cols;
+};
+
+RegionBox RegionOf(const PartitionContext& ctx, std::uint64_t z0,
+                   std::uint64_t z1) {
+  index_t br, bc;
+  ZRangeOrigin(z0, &br, &bc);
+  const index_t side_blocks = ZRangeSide(z0, z1);
+  RegionBox box;
+  box.r0 = br * ctx.b;
+  box.c0 = bc * ctx.b;
+  box.rows = std::min(side_blocks * ctx.b, ctx.rows - box.r0);
+  box.cols = std::min(side_blocks * ctx.b, ctx.cols - box.c0);
+  return box;
+}
+
+// Builds the CSR payload of a tile from its (Morton-contiguous) element
+// slice via a counting sort over local rows, then a per-row column sort.
+CsrMatrix CsrFromSlice(const CooEntry* entries, index_t count, index_t r0,
+                       index_t c0, index_t rows, index_t cols) {
+  std::vector<index_t> row_ptr(rows + 1, 0);
+  for (index_t e = 0; e < count; ++e) row_ptr[entries[e].row - r0 + 1]++;
+  for (index_t i = 0; i < rows; ++i) row_ptr[i + 1] += row_ptr[i];
+
+  std::vector<index_t> col_idx(count);
+  std::vector<value_t> values(count);
+  std::vector<index_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t e = 0; e < count; ++e) {
+    const index_t p = cursor[entries[e].row - r0]++;
+    col_idx[p] = entries[e].col - c0;
+    values[p] = entries[e].value;
+  }
+  // Sort columns within each row (paper: sorted at creation time to enable
+  // binary column-id search).
+  std::vector<std::pair<index_t, value_t>> row_buf;
+  for (index_t i = 0; i < rows; ++i) {
+    const index_t begin = row_ptr[i];
+    const index_t end = row_ptr[i + 1];
+    if (end - begin <= 1 ||
+        std::is_sorted(col_idx.begin() + begin, col_idx.begin() + end)) {
+      continue;
+    }
+    row_buf.clear();
+    for (index_t p = begin; p < end; ++p) {
+      row_buf.emplace_back(col_idx[p], values[p]);
+    }
+    std::sort(row_buf.begin(), row_buf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (index_t p = begin; p < end; ++p) {
+      col_idx[p] = row_buf[p - begin].first;
+      values[p] = row_buf[p - begin].second;
+    }
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+// Materializes the region [z0, z1) as one tile of the given class.
+void MaterializeRegion(PartitionContext* ctx, std::uint64_t z0,
+                       std::uint64_t z1, index_t nnz, bool dense_class) {
+  ctx->materialize_timer.Start();
+  const RegionBox box = RegionOf(*ctx, z0, z1);
+  // Element slice: block range [z0, z1) covers element Z-values
+  // [z0 * b^2, z1 * b^2).
+  const auto& zcodes = *ctx->zcodes;
+  const std::uint64_t e_lo = z0 << (2 * ctx->log2_b);
+  const std::uint64_t e_hi = z1 << (2 * ctx->log2_b);
+  const auto it_lo = std::lower_bound(zcodes.begin(), zcodes.end(), e_lo);
+  const auto it_hi = std::lower_bound(zcodes.begin(), zcodes.end(), e_hi);
+  const index_t first = it_lo - zcodes.begin();
+  const index_t count = it_hi - it_lo;
+  ATMX_CHECK_EQ(count, nnz);
+  const CooEntry* slice = ctx->coo->entries().data() + first;
+
+  if (dense_class) {
+    DenseMatrix payload(box.rows, box.cols);
+    for (index_t e = 0; e < count; ++e) {
+      payload.At(slice[e].row - box.r0, slice[e].col - box.c0) +=
+          slice[e].value;
+    }
+    ctx->tiles.push_back(Tile::MakeDense(box.r0, box.c0, std::move(payload)));
+  } else {
+    ctx->tiles.push_back(Tile::MakeSparse(
+        box.r0, box.c0,
+        CsrFromSlice(slice, count, box.r0, box.c0, box.rows, box.cols)));
+  }
+  ctx->materialize_timer.Stop();
+}
+
+// Alg. 1, RecQtPart: returns what the region [z0, z1) wants its parent to
+// do with it. kForward regions are not yet materialized — the parent may
+// melt them with homogeneous siblings; the recursion root materializes any
+// region still forwarded at the top.
+NodeResult RecQtPart(PartitionContext* ctx, std::uint64_t z0,
+                     std::uint64_t z1) {
+  if (z1 - z0 == 1) {
+    const index_t count = ctx->block_counts[z0];
+    if (count < 0) return {NodeStatus::kOutOfBounds, 0, false};
+    const RegionBox box = RegionOf(*ctx, z0, z1);
+    const double area =
+        static_cast<double>(box.rows) * static_cast<double>(box.cols);
+    const double rho = area > 0 ? static_cast<double>(count) / area : 0.0;
+    const bool dense_class = ctx->allow_dense && rho >= ctx->rho_read;
+    return {NodeStatus::kForward, count, dense_class};
+  }
+
+  ZQuad quads[4];
+  ZSplit(z0, z1, quads);
+  NodeResult child[4];
+  for (int q = 0; q < 4; ++q) {
+    child[q] = RecQtPart(ctx, quads[q].start, quads[q].end);
+  }
+
+  // Homogeneity check over the in-bounds children.
+  bool any_forward = false;
+  bool any_materialized = false;
+  bool homogeneous = true;
+  index_t total_nnz = 0;
+  bool dense_class = false;
+  bool first = true;
+  for (int q = 0; q < 4; ++q) {
+    switch (child[q].status) {
+      case NodeStatus::kOutOfBounds:
+        continue;
+      case NodeStatus::kMaterialized:
+        any_materialized = true;
+        continue;
+      case NodeStatus::kForward:
+        total_nnz += child[q].nnz;
+        if (first) {
+          dense_class = child[q].dense_class;
+          first = false;
+        } else if (child[q].dense_class != dense_class) {
+          homogeneous = false;
+        }
+        any_forward = true;
+        continue;
+    }
+  }
+
+  if (!any_forward && !any_materialized) {
+    return {NodeStatus::kOutOfBounds, 0, false};
+  }
+
+  if (ctx->allow_melt && !any_materialized && homogeneous) {
+    // Would the melted tile respect the maximum tile bounds (Eq. 1 & 2)?
+    const RegionBox box = RegionOf(*ctx, z0, z1);
+    const index_t side = std::max(box.rows, box.cols);
+    const bool fits = dense_class
+                          ? ctx->policy->DenseTileFits(side)
+                          : ctx->policy->SparseTileFits(side, total_nnz);
+    if (fits) return {NodeStatus::kForward, total_nnz, dense_class};
+  }
+
+  // Heterogeneous (or melt-limit hit): materialize every still-forwarded
+  // child as its own tile.
+  for (int q = 0; q < 4; ++q) {
+    if (child[q].status == NodeStatus::kForward) {
+      MaterializeRegion(ctx, quads[q].start, quads[q].end, child[q].nnz,
+                        child[q].dense_class);
+    }
+  }
+  return {NodeStatus::kMaterialized, total_nnz, false};
+}
+
+DensityMap DensityMapFromBlockCounts(const PartitionContext& ctx) {
+  DensityMap map(ctx.rows, ctx.cols, ctx.b);
+  for (std::uint64_t z = 0; z < ctx.block_counts.size(); ++z) {
+    const index_t count = ctx.block_counts[z];
+    if (count < 0) continue;
+    index_t br, bc;
+    MortonDecode(z, &br, &bc);
+    if (br >= map.grid_rows() || bc >= map.grid_cols()) continue;
+    const double area = static_cast<double>(map.BlockArea(br, bc));
+    map.Set(br, bc, area > 0 ? static_cast<double>(count) / area : 0.0);
+  }
+  return map;
+}
+
+// Single-tile representation for TilingMode::kNone.
+ATMatrix BuildUnpartitioned(CooMatrix coo, const AtmConfig& config,
+                            PartitionStats* stats) {
+  const index_t b = config.AtomicBlockSize();
+  WallTimer timer;
+  DensityMap map = DensityMap::FromCoo(coo, b);
+  std::vector<Tile> tiles;
+  if (coo.rows() > 0 && coo.cols() > 0) {
+    const bool dense_class =
+        config.mixed_tiles && coo.Density() >= config.rho_read;
+    if (dense_class) {
+      tiles.push_back(Tile::MakeDense(0, 0, CooToDense(coo)));
+    } else {
+      tiles.push_back(Tile::MakeSparse(0, 0, CooToCsr(coo)));
+    }
+  }
+  if (stats != nullptr) {
+    stats->materialize_seconds = timer.ElapsedSeconds();
+    stats->dense_tiles = !tiles.empty() && tiles[0].is_dense() ? 1 : 0;
+    stats->sparse_tiles = static_cast<index_t>(tiles.size()) -
+                          stats->dense_tiles;
+  }
+  ATMatrix atm(coo.rows(), coo.cols(), b, std::move(tiles), std::move(map));
+  return atm;
+}
+
+void AssignHomeNodes(ATMatrix* atm, int num_nodes) {
+  // Round-robin by tile-row band of the tile's first row (section III-F).
+  const auto& bounds = atm->row_bounds();
+  for (Tile& tile : atm->mutable_tiles()) {
+    const auto band = std::lower_bound(bounds.begin(), bounds.end(),
+                                       tile.row0()) -
+                      bounds.begin();
+    tile.set_home_node(static_cast<int>(band % num_nodes));
+  }
+}
+
+}  // namespace
+
+ATMatrix PartitionToAtm(CooMatrix coo, const AtmConfig& config,
+                        PartitionStats* stats) {
+  PartitionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = PartitionStats();
+
+  if (coo.rows() == 0 || coo.cols() == 0) {
+    return ATMatrix(coo.rows(), coo.cols(), config.AtomicBlockSize(), {},
+                    DensityMap(coo.rows(), coo.cols(),
+                               config.AtomicBlockSize()));
+  }
+
+  if (config.tiling == TilingMode::kNone) {
+    ATMatrix atm = BuildUnpartitioned(std::move(coo), config, stats);
+    AssignHomeNodes(&atm, config.num_sockets);
+    return atm;
+  }
+
+  PartitionContext ctx;
+  ctx.b = config.AtomicBlockSize();
+  ctx.log2_b = FloorLog2(ctx.b);
+  ctx.rows = coo.rows();
+  ctx.cols = coo.cols();
+  ctx.rho_read = config.rho_read;
+  ctx.allow_dense = config.mixed_tiles;
+  ctx.allow_melt = config.tiling == TilingMode::kAdaptive;
+  TileSizePolicy policy(config);
+  ctx.policy = &policy;
+
+  // --- 1. Locality-aware element reordering (Z-curve sort). -------------
+  WallTimer timer;
+  std::vector<std::uint64_t> zcodes(coo.nnz());
+  {
+    const auto& entries = coo.entries();
+    for (index_t e = 0; e < coo.nnz(); ++e) {
+      zcodes[e] = MortonEncode(entries[e].row, entries[e].col);
+    }
+    std::vector<index_t> perm = SortedPermutation(zcodes);
+    std::vector<CooEntry> sorted_entries(coo.nnz());
+    std::vector<std::uint64_t> sorted_codes(coo.nnz());
+    for (index_t e = 0; e < coo.nnz(); ++e) {
+      sorted_entries[e] = entries[perm[e]];
+      sorted_codes[e] = zcodes[perm[e]];
+    }
+    coo.entries() = std::move(sorted_entries);
+    zcodes = std::move(sorted_codes);
+  }
+  stats->sort_seconds = timer.ElapsedSeconds();
+  ctx.coo = &coo;
+  ctx.zcodes = &zcodes;
+
+  // --- 2. ZBlockCnts: per-atomic-block counts in Z-order. ---------------
+  timer.Restart();
+  const index_t z_side = ZSpaceSide(ctx.rows, ctx.cols);
+  const index_t grid_side = std::max<index_t>(1, z_side / ctx.b);
+  ctx.block_counts.assign(
+      static_cast<std::size_t>(grid_side) * grid_side, 0);
+  // Mark padding blocks entirely outside the matrix bounds.
+  for (std::uint64_t z = 0; z < ctx.block_counts.size(); ++z) {
+    index_t br, bc;
+    MortonDecode(z, &br, &bc);
+    if (br * ctx.b >= ctx.rows || bc * ctx.b >= ctx.cols) {
+      ctx.block_counts[z] = -1;
+    }
+  }
+  for (const CooEntry& e : coo.entries()) {
+    const std::uint64_t z = MortonEncode(e.row / ctx.b, e.col / ctx.b);
+    ATMX_DCHECK(ctx.block_counts[z] >= 0);
+    ctx.block_counts[z]++;
+  }
+  stats->blockcount_seconds = timer.ElapsedSeconds();
+
+  // --- 3. Recursive partitioning + materialization (Alg. 1). ------------
+  timer.Restart();
+  NodeResult root = RecQtPart(&ctx, 0, ctx.block_counts.size());
+  if (root.status == NodeStatus::kForward) {
+    MaterializeRegion(&ctx, 0, ctx.block_counts.size(), root.nnz,
+                      root.dense_class);
+  }
+  stats->materialize_seconds = ctx.materialize_timer.TotalSeconds();
+  stats->recursion_seconds =
+      timer.ElapsedSeconds() - stats->materialize_seconds;
+
+  DensityMap map = DensityMapFromBlockCounts(ctx);
+  for (const Tile& t : ctx.tiles) {
+    if (t.is_dense()) {
+      stats->dense_tiles++;
+    } else {
+      stats->sparse_tiles++;
+    }
+  }
+
+  ATMatrix atm(ctx.rows, ctx.cols, ctx.b, std::move(ctx.tiles),
+               std::move(map));
+  AssignHomeNodes(&atm, config.num_sockets);
+  return atm;
+}
+
+ATMatrix AtmFromCsr(const CsrMatrix& csr, const AtmConfig& config,
+                    PartitionStats* stats) {
+  return PartitionToAtm(CsrToCoo(csr), config, stats);
+}
+
+ATMatrix AtmFromDense(const DenseMatrix& dense, const AtmConfig& config,
+                      PartitionStats* stats) {
+  return PartitionToAtm(DenseToCoo(dense), config, stats);
+}
+
+}  // namespace atmx

@@ -1,0 +1,60 @@
+#include "tile/tile.h"
+
+#include <utility>
+
+namespace atmx {
+
+const char* TileKindName(TileKind kind) {
+  return kind == TileKind::kDense ? "dense" : "sparse";
+}
+
+Tile Tile::MakeSparse(index_t row0, index_t col0, CsrMatrix payload) {
+  Tile tile;
+  tile.kind_ = TileKind::kSparse;
+  tile.row0_ = row0;
+  tile.col0_ = col0;
+  tile.rows_ = payload.rows();
+  tile.cols_ = payload.cols();
+  tile.nnz_ = payload.nnz();
+  tile.sparse_ = std::move(payload);
+  return tile;
+}
+
+Tile Tile::MakeDense(index_t row0, index_t col0, DenseMatrix payload) {
+  const index_t nnz = payload.CountNonZeros();
+  return MakeDenseCounted(row0, col0, std::move(payload), nnz);
+}
+
+Tile Tile::MakeDenseCounted(index_t row0, index_t col0, DenseMatrix payload,
+                            index_t nnz) {
+  Tile tile;
+  tile.kind_ = TileKind::kDense;
+  tile.row0_ = row0;
+  tile.col0_ = col0;
+  tile.rows_ = payload.rows();
+  tile.cols_ = payload.cols();
+  tile.nnz_ = nnz;
+  tile.dense_ = std::move(payload);
+  return tile;
+}
+
+double Tile::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz_) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+std::size_t Tile::MemoryBytes() const {
+  return kind_ == TileKind::kDense ? dense_.MemoryBytes()
+                                   : sparse_.MemoryBytes();
+}
+
+value_t Tile::At(index_t row, index_t col) const {
+  ATMX_DCHECK(row >= row0_ && row < row_end());
+  ATMX_DCHECK(col >= col0_ && col < col_end());
+  const index_t r = row - row0_;
+  const index_t c = col - col0_;
+  return kind_ == TileKind::kDense ? dense_.At(r, c) : sparse_.At(r, c);
+}
+
+}  // namespace atmx

@@ -1,0 +1,87 @@
+// A matrix tile: the physical unit of the AT MATRIX (section II-B). Each
+// tile is the bounding box of a square, power-of-two-aligned region of
+// atomic blocks (clipped at the matrix boundary) and stores its elements
+// either as a dense row-major array or as a CSR matrix, chosen by the
+// read density threshold rho0_R.
+
+#ifndef ATMX_TILE_TILE_H_
+#define ATMX_TILE_TILE_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+
+enum class TileKind { kSparse, kDense };
+
+const char* TileKindName(TileKind kind);
+
+class Tile {
+ public:
+  Tile() = default;
+
+  static Tile MakeSparse(index_t row0, index_t col0, CsrMatrix payload);
+  static Tile MakeDense(index_t row0, index_t col0, DenseMatrix payload);
+  // As MakeDense but with the non-zero count supplied by a caller that
+  // already scanned the payload (avoids a second full pass).
+  static Tile MakeDenseCounted(index_t row0, index_t col0,
+                               DenseMatrix payload, index_t nnz);
+
+  TileKind kind() const { return kind_; }
+  bool is_dense() const { return kind_ == TileKind::kDense; }
+
+  // Bounding box in matrix coordinates, [row0, row0+rows) x [col0, ...).
+  index_t row0() const { return row0_; }
+  index_t col0() const { return col0_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t row_end() const { return row0_ + rows_; }
+  index_t col_end() const { return col0_ + cols_; }
+
+  index_t nnz() const { return nnz_; }
+  double Density() const;
+  std::size_t MemoryBytes() const;
+
+  const CsrMatrix& sparse() const {
+    ATMX_DCHECK(kind_ == TileKind::kSparse);
+    return sparse_;
+  }
+  const DenseMatrix& dense() const {
+    ATMX_DCHECK(kind_ == TileKind::kDense);
+    return dense_;
+  }
+  DenseMatrix& mutable_dense() {
+    ATMX_DCHECK(kind_ == TileKind::kDense);
+    return dense_;
+  }
+  CsrMatrix& mutable_sparse() {
+    ATMX_DCHECK(kind_ == TileKind::kSparse);
+    return sparse_;
+  }
+
+  // Element lookup in matrix coordinates (must lie inside the tile).
+  value_t At(index_t row, index_t col) const;
+
+  // Home NUMA node (assigned round-robin by tile-row, section III-F).
+  int home_node() const { return home_node_; }
+  void set_home_node(int node) { home_node_ = node; }
+
+ private:
+  TileKind kind_ = TileKind::kSparse;
+  index_t row0_ = 0;
+  index_t col0_ = 0;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  int home_node_ = 0;
+  CsrMatrix sparse_;
+  DenseMatrix dense_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_TILE_TILE_H_

@@ -1,0 +1,32 @@
+#include "topology/numa_sim.h"
+
+#include <sstream>
+
+namespace atmx {
+
+void LocalityStats::Reset() {
+  local_read_bytes_.store(0);
+  remote_read_bytes_.store(0);
+  local_write_bytes_.store(0);
+  remote_write_bytes_.store(0);
+}
+
+double LocalityStats::LocalFraction() const {
+  const std::uint64_t local = local_read_bytes() + local_write_bytes();
+  const std::uint64_t remote = remote_read_bytes() + remote_write_bytes();
+  const std::uint64_t total = local + remote;
+  return total == 0 ? 1.0
+                    : static_cast<double>(local) / static_cast<double>(total);
+}
+
+std::string LocalityStats::ToString() const {
+  std::ostringstream os;
+  os << "LocalityStats{local_read=" << local_read_bytes()
+     << "B, remote_read=" << remote_read_bytes()
+     << "B, local_write=" << local_write_bytes()
+     << "B, remote_write=" << remote_write_bytes()
+     << "B, local_fraction=" << LocalFraction() << "}";
+  return os.str();
+}
+
+}  // namespace atmx

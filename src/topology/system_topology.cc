@@ -1,0 +1,89 @@
+#include "topology/system_topology.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace atmx {
+
+namespace {
+
+// Reads a sysfs cache-size file of the form "12345K"; returns 0 on failure.
+index_t ReadSysfsCacheBytes(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  long long value = 0;
+  char suffix = 0;
+  in >> value >> suffix;
+  if (!in || value <= 0) return 0;
+  switch (suffix) {
+    case 'K':
+      return value * 1024;
+    case 'M':
+      return value * 1024 * 1024;
+    default:
+      return value;
+  }
+}
+
+}  // namespace
+
+SystemTopology SystemTopology::Detect() {
+  SystemTopology topo;
+  topo.num_sockets = 1;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  topo.cores_per_socket = hw > 0 ? static_cast<int>(hw) : 1;
+
+  // Count NUMA nodes via sysfs if present.
+  int nodes = 0;
+  for (int n = 0; n < 64; ++n) {
+    std::ostringstream path;
+    path << "/sys/devices/system/node/node" << n;
+    std::ifstream probe(path.str() + "/cpulist");
+    if (!probe) break;
+    ++nodes;
+  }
+  if (nodes > 1) {
+    topo.num_sockets = nodes;
+    topo.cores_per_socket =
+        std::max(1, topo.cores_per_socket / topo.num_sockets);
+  }
+
+  // LLC: take the highest cache index of cpu0.
+  index_t llc = 0;
+  for (int idx = 0; idx < 8; ++idx) {
+    std::ostringstream path;
+    path << "/sys/devices/system/cpu/cpu0/cache/index" << idx << "/size";
+    index_t bytes = ReadSysfsCacheBytes(path.str());
+    if (bytes > 0) llc = bytes;
+  }
+  if (llc > 0) topo.llc_bytes = llc;
+  return topo;
+}
+
+SystemTopology SystemTopology::PaperMachine() {
+  SystemTopology topo;
+  topo.num_sockets = 4;
+  topo.cores_per_socket = 10;
+  topo.llc_bytes = 24LL * 1024 * 1024;
+  return topo;
+}
+
+void SystemTopology::ApplyTo(AtmConfig* config) const {
+  config->num_sockets = num_sockets;
+  config->cores_per_socket = cores_per_socket;
+  config->llc_bytes = llc_bytes;
+}
+
+std::string SystemTopology::ToString() const {
+  std::ostringstream os;
+  os << "SystemTopology{sockets=" << num_sockets
+     << ", cores/socket=" << cores_per_socket << ", llc=" << llc_bytes
+     << "B}";
+  return os.str();
+}
+
+}  // namespace atmx

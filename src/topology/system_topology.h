@@ -1,0 +1,43 @@
+// Explicit model of the machine topology the AT MATRIX adapts to: number of
+// NUMA sockets, cores per socket, and last-level cache size.
+//
+// The paper evaluates on a 4-socket Intel E7-4870 (10 cores/socket, 24 MB
+// LLC). This reproduction treats topology as configuration: Detect() probes
+// the actual host, and experiments can override any field to study
+// topology-dependent behaviour (tile sizing, team formation, placement) on
+// machines the paper's hardware is not available on.
+
+#ifndef ATMX_TOPOLOGY_SYSTEM_TOPOLOGY_H_
+#define ATMX_TOPOLOGY_SYSTEM_TOPOLOGY_H_
+
+#include <string>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace atmx {
+
+struct SystemTopology {
+  int num_sockets = 1;
+  int cores_per_socket = 1;
+  index_t llc_bytes = 4 * 1024 * 1024;
+
+  int TotalCores() const { return num_sockets * cores_per_socket; }
+
+  // Probes the host via sysconf/sysfs; falls back to a 1-socket model when
+  // information is unavailable.
+  static SystemTopology Detect();
+
+  // The paper's evaluation machine (section IV-A): 4 sockets x 10 cores,
+  // 24 MB LLC per socket.
+  static SystemTopology PaperMachine();
+
+  // Copies the topology fields into an AtmConfig.
+  void ApplyTo(AtmConfig* config) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_TOPOLOGY_SYSTEM_TOPOLOGY_H_

@@ -1,0 +1,115 @@
+#include "topology/thread_pool.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace atmx {
+
+WorkerTeam::WorkerTeam(int team_id, int num_threads) : team_id_(team_id) {
+  ATMX_CHECK_GE(num_threads, 1);
+  threads_.reserve(num_threads - 1);
+  for (int i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  job_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerTeam::ParallelRun(const std::function<void(int)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    pending_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  job_ready_.notify_all();
+  fn(0);  // The caller participates as thread 0.
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerTeam::WorkerLoop(int thread_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (job != nullptr) (*job)(thread_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+void WorkerTeam::ParallelFor(index_t n, index_t grain,
+                             const std::function<void(index_t, index_t)>& fn) {
+  if (n <= 0) return;
+  ATMX_CHECK_GT(grain, 0);
+  if (n <= grain || size() == 1) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<index_t> next{0};
+  ParallelRun([&](int) {
+    for (;;) {
+      const index_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      fn(begin, std::min(begin + grain, n));
+    }
+  });
+}
+
+TeamScheduler::TeamScheduler(int num_teams, int threads_per_team) {
+  ATMX_CHECK_GE(num_teams, 1);
+  teams_.reserve(num_teams);
+  for (int t = 0; t < num_teams; ++t) {
+    teams_.push_back(std::make_unique<WorkerTeam>(t, threads_per_team));
+  }
+}
+
+TeamScheduler::~TeamScheduler() = default;
+
+void TeamScheduler::RunTasks(
+    index_t num_tasks, const std::function<int(index_t)>& home_of,
+    const std::function<void(WorkerTeam&, index_t)>& run) {
+  std::vector<std::vector<index_t>> queues(teams_.size());
+  for (index_t task = 0; task < num_tasks; ++task) {
+    const int home = home_of(task);
+    ATMX_CHECK(home >= 0 && home < num_teams());
+    queues[home].push_back(task);
+  }
+  // One driver thread per team drains that team's queue; tile
+  // multiplications inside a task parallelize over the team's threads.
+  std::vector<std::thread> drivers;
+  drivers.reserve(teams_.size());
+  for (std::size_t t = 0; t < teams_.size(); ++t) {
+    drivers.emplace_back([this, t, &queues, &run] {
+      for (index_t task : queues[t]) run(*teams_[t], task);
+    });
+  }
+  for (auto& d : drivers) d.join();
+}
+
+}  // namespace atmx

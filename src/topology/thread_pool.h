@@ -1,0 +1,90 @@
+// Two-level parallel execution (section III-F): worker *teams* — one per
+// NUMA socket — each consisting of several threads. Inter-tile parallelism
+// runs different (tile-row, tile-col) pairs on different teams; intra-tile
+// parallelism splits one tile multiplication across a team's threads.
+
+#ifndef ATMX_TOPOLOGY_THREAD_POOL_H_
+#define ATMX_TOPOLOGY_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atmx {
+
+// A fixed group of persistent threads that execute broadcast jobs. On real
+// NUMA hardware the team would be pinned to one socket; this reproduction
+// records the socket id so placement decisions and locality accounting work
+// identically (see numa_sim.h).
+class WorkerTeam {
+ public:
+  // team_id doubles as the NUMA node the team is (logically) pinned to.
+  WorkerTeam(int team_id, int num_threads);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  int team_id() const { return team_id_; }
+  int size() const { return static_cast<int>(threads_.size()) + 1; }
+
+  // Runs fn(thread_index) on every team thread (including the calling
+  // thread as index 0) and returns when all are done. Not reentrant.
+  void ParallelRun(const std::function<void(int)>& fn);
+
+  // Dynamic parallel-for over [0, n) in chunks of `grain`:
+  // fn(begin, end) with end - begin <= grain.
+  void ParallelFor(index_t n, index_t grain,
+                   const std::function<void(index_t, index_t)>& fn);
+
+ private:
+  void WorkerLoop(int thread_index);
+
+  const int team_id_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// A set of worker teams; tasks are queued per team (the home node of the
+// task's A tile-row) and every team drains its own queue sequentially,
+// which is exactly the paper's scheduling: "all tile-multiplications
+// referring to a particular tile-row-column pair are executed one after
+// another, and by the same worker team".
+class TeamScheduler {
+ public:
+  TeamScheduler(int num_teams, int threads_per_team);
+  ~TeamScheduler();
+
+  TeamScheduler(const TeamScheduler&) = delete;
+  TeamScheduler& operator=(const TeamScheduler&) = delete;
+
+  int num_teams() const { return static_cast<int>(teams_.size()); }
+  WorkerTeam& team(int t) { return *teams_[t]; }
+
+  // Executes tasks 0..num_tasks-1. `home_of(task)` assigns each task to a
+  // team queue; `run(team, task)` performs the work and may use
+  // `team.ParallelFor` for intra-task parallelism. Blocks until all tasks
+  // finish.
+  void RunTasks(index_t num_tasks,
+                const std::function<int(index_t)>& home_of,
+                const std::function<void(WorkerTeam&, index_t)>& run);
+
+ private:
+  std::vector<std::unique_ptr<WorkerTeam>> teams_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_TOPOLOGY_THREAD_POOL_H_

@@ -1,0 +1,24 @@
+#include "topology/tile_size_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace atmx {
+
+TileSizePolicy::TileSizePolicy(const AtmConfig& config) {
+  ATMX_CHECK_GT(config.llc_bytes, 0);
+  ATMX_CHECK_GT(config.alpha, 0);
+  ATMX_CHECK_GT(config.beta, 0);
+
+  atomic_block_ = config.AtomicBlockSize();
+  max_dense_tile_ = std::max(config.MaxDenseTileSize(), atomic_block_);
+  max_sparse_dim_ =
+      std::max<index_t>(atomic_block_,
+                        config.llc_bytes / (config.beta * kDenseElemBytes));
+  // A single atomic block is always a legal tile (tiles cannot be smaller);
+  // the bounds below only gate the *melting* of blocks into larger tiles.
+  max_sparse_bytes_ = config.llc_bytes / config.alpha;
+}
+
+}  // namespace atmx

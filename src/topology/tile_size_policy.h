@@ -1,0 +1,50 @@
+// Tile-size policy: the maximum dense/sparse tile sizes of Eq. (1) and
+// Eq. (2) in section II-B, derived from the last-level cache size so that
+// alpha tiles (and beta accumulator arrays of one tile width) fit in cache.
+
+#ifndef ATMX_TOPOLOGY_TILE_SIZE_POLICY_H_
+#define ATMX_TOPOLOGY_TILE_SIZE_POLICY_H_
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace atmx {
+
+class TileSizePolicy {
+ public:
+  explicit TileSizePolicy(const AtmConfig& config);
+
+  // Atomic block edge b_atomic = 2^k (minimum tile size, section II-B2).
+  index_t atomic_block() const { return atomic_block_; }
+
+  // Eq. (1): tau_max^d = sqrt(LLC / (alpha * S_d)).
+  index_t max_dense_tile() const { return max_dense_tile_; }
+
+  // Eq. (2) second bound: tau <= LLC / (beta * S_d) — at least beta
+  // accumulator arrays of one tile width must fit in the LLC.
+  index_t max_sparse_dim() const { return max_sparse_dim_; }
+
+  // Eq. (2) first bound evaluated for a concrete tile: a sparse tile with
+  // `nnz` elements may not occupy more than LLC / alpha bytes.
+  index_t max_sparse_bytes() const { return max_sparse_bytes_; }
+
+  // Whether a dense tile of the given edge length satisfies Eq. (1).
+  bool DenseTileFits(index_t side) const { return side <= max_dense_tile_; }
+
+  // Whether a sparse tile of the given edge length and element count
+  // satisfies both bounds of Eq. (2).
+  bool SparseTileFits(index_t side, index_t nnz) const {
+    return side <= max_sparse_dim_ &&
+           nnz * kSparseElemBytes <= max_sparse_bytes_;
+  }
+
+ private:
+  index_t atomic_block_;
+  index_t max_dense_tile_;
+  index_t max_sparse_dim_;
+  index_t max_sparse_bytes_;
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_TOPOLOGY_TILE_SIZE_POLICY_H_

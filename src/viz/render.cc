@@ -1,0 +1,142 @@
+#include "viz/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace atmx {
+
+namespace {
+
+char DensityGlyph(double rho) {
+  static constexpr char kRamp[] = {' ', '.', ':', '+', 'o', 'x', '%', '@'};
+  if (rho <= 0.0) return kRamp[0];
+  const int idx = std::min<int>(7, 1 + static_cast<int>(rho * 7.0));
+  return kRamp[idx];
+}
+
+}  // namespace
+
+std::string RenderDensityMapAscii(const DensityMap& map, index_t max_cells) {
+  if (map.grid_rows() == 0 || map.grid_cols() == 0) return "(empty)\n";
+  const index_t step_r = CeilDiv(map.grid_rows(), max_cells);
+  const index_t step_c = CeilDiv(map.grid_cols(), max_cells);
+  std::ostringstream os;
+  for (index_t bi = 0; bi < map.grid_rows(); bi += step_r) {
+    for (index_t bj = 0; bj < map.grid_cols(); bj += step_c) {
+      const double rho = map.RegionDensity(bi, bj, step_r, step_c);
+      os << DensityGlyph(rho);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string RenderTileLayoutAscii(const ATMatrix& atm, index_t max_cells) {
+  if (atm.rows() == 0 || atm.cols() == 0) return "(empty)\n";
+  const index_t cell_rows = std::min(max_cells, atm.rows());
+  const index_t cell_cols = std::min(max_cells, atm.cols());
+  std::vector<std::string> canvas(cell_rows, std::string(cell_cols, ' '));
+
+  for (const Tile& t : atm.tiles()) {
+    const index_t r0 = t.row0() * cell_rows / atm.rows();
+    const index_t r1 =
+        std::max(r0 + 1, t.row_end() * cell_rows / atm.rows());
+    const index_t c0 = t.col0() * cell_cols / atm.cols();
+    const index_t c1 =
+        std::max(c0 + 1, t.col_end() * cell_cols / atm.cols());
+    const char glyph = t.is_dense() ? '#' : DensityGlyph(t.Density());
+    for (index_t r = r0; r < std::min(r1, cell_rows); ++r) {
+      for (index_t c = c0; c < std::min(c1, cell_cols); ++c) {
+        canvas[r][c] = glyph;
+      }
+    }
+  }
+  std::ostringstream os;
+  for (const auto& line : canvas) os << line << '\n';
+  os << "legend: '#'=dense tile, ' .:+ox%@'=sparse tile density ramp\n";
+  return os.str();
+}
+
+Status WriteDensityMapPgm(const DensityMap& map, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "P2\n" << map.grid_cols() << ' ' << map.grid_rows() << "\n255\n";
+  for (index_t bi = 0; bi < map.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < map.grid_cols(); ++bj) {
+      // Dark = dense. Gamma lift so faint blocks stay visible.
+      const double rho = std::clamp(map.At(bi, bj), 0.0, 1.0);
+      const int gray =
+          255 - static_cast<int>(255.0 * std::pow(rho, 0.35));
+      out << gray << (bj + 1 < map.grid_cols() ? ' ' : '\n');
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status WriteTileLayoutPgm(const ATMatrix& atm, const std::string& path,
+                          index_t pixels_per_block) {
+  const index_t block = atm.b_atomic();
+  const index_t width =
+      CeilDiv(atm.cols(), block) * pixels_per_block;
+  const index_t height =
+      CeilDiv(atm.rows(), block) * pixels_per_block;
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("empty matrix");
+  }
+  std::vector<int> pixels(static_cast<std::size_t>(width) * height, 255);
+
+  auto px = [&](index_t r, index_t c) -> int& {
+    return pixels[static_cast<std::size_t>(r) * width + c];
+  };
+
+  for (const Tile& t : atm.tiles()) {
+    const index_t r0 = t.row0() / block * pixels_per_block;
+    const index_t c0 = t.col0() / block * pixels_per_block;
+    const index_t r1 = CeilDiv(t.row_end(), block) * pixels_per_block;
+    const index_t c1 = CeilDiv(t.col_end(), block) * pixels_per_block;
+    if (t.is_dense()) {
+      // Diagonal hatch, as in the paper's Fig. 2.
+      for (index_t r = r0; r < r1; ++r) {
+        for (index_t c = c0; c < c1; ++c) {
+          px(r, c) = ((r + c) % 3 == 0) ? 0 : 200;
+        }
+      }
+    } else {
+      const double rho = std::clamp(t.Density(), 0.0, 1.0);
+      const int gray =
+          255 - static_cast<int>(255.0 * std::pow(rho, 0.35));
+      for (index_t r = r0; r < r1; ++r) {
+        for (index_t c = c0; c < c1; ++c) px(r, c) = gray;
+      }
+    }
+    // Tile border.
+    for (index_t r = r0; r < r1; ++r) {
+      px(r, c0) = 0;
+      px(r, c1 - 1) = 0;
+    }
+    for (index_t c = c0; c < c1; ++c) {
+      px(r0, c) = 0;
+      px(r1 - 1, c) = 0;
+    }
+  }
+
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "P2\n" << width << ' ' << height << "\n255\n";
+  for (index_t r = 0; r < height; ++r) {
+    for (index_t c = 0; c < width; ++c) {
+      out << pixels[static_cast<std::size_t>(r) * width + c]
+          << (c + 1 < width ? ' ' : '\n');
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace atmx

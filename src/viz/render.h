@@ -1,0 +1,39 @@
+// Text and PGM renderers for tile layouts and density maps — the
+// reproduction of the paper's Fig. 2 panels (AT MATRIX layout at different
+// granularities, estimated vs. actual result density).
+
+#ifndef ATMX_VIZ_RENDER_H_
+#define ATMX_VIZ_RENDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "estimate/density_map.h"
+#include "tile/at_matrix.h"
+
+namespace atmx {
+
+// ASCII rendering of a density map: one character per (downsampled) block,
+// ' ' for empty through '@' for full; `max_cells` bounds the output edge.
+std::string RenderDensityMapAscii(const DensityMap& map,
+                                  index_t max_cells = 64);
+
+// ASCII rendering of the tile layout: grid cells show tile interiors
+// ('#' dense tiles, '.'/':'/'+' sparse by density, ' ' empty) and tile
+// boundaries are implied by homogeneous regions; includes a legend line.
+std::string RenderTileLayoutAscii(const ATMatrix& atm,
+                                  index_t max_cells = 64);
+
+// Grayscale PGM (P2) of a density map, one pixel per block. Darker pixels
+// mean denser blocks, like the paper's figures.
+Status WriteDensityMapPgm(const DensityMap& map, const std::string& path);
+
+// PGM of the tile layout: sparse tiles render their density in gray, dense
+// tiles render a diagonal hatch pattern (as in Fig. 2), tile borders are
+// drawn black.
+Status WriteTileLayoutPgm(const ATMatrix& atm, const std::string& path,
+                          index_t pixels_per_block = 4);
+
+}  // namespace atmx
+
+#endif  // ATMX_VIZ_RENDER_H_

@@ -1,0 +1,116 @@
+#include "tile/at_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+// Hand-built 2x2 tiling of an 8x8 matrix.
+ATMatrix HandTiledMatrix() {
+  std::vector<Tile> tiles;
+  // Upper-left 4x4 dense.
+  DenseMatrix ul(4, 4);
+  ul.Fill(1.0);
+  tiles.push_back(Tile::MakeDense(0, 0, std::move(ul)));
+  // Upper-right 4x4 sparse with one element.
+  CooMatrix ur(4, 4);
+  ur.Add(0, 3, 2.0);
+  tiles.push_back(Tile::MakeSparse(0, 4, CooToCsr(ur)));
+  // Lower-left empty sparse.
+  tiles.push_back(Tile::MakeSparse(4, 0, CsrMatrix(4, 4)));
+  // Lower-right sparse diagonal.
+  CooMatrix lr(4, 4);
+  for (index_t i = 0; i < 4; ++i) lr.Add(i, i, 3.0);
+  tiles.push_back(Tile::MakeSparse(4, 4, CooToCsr(lr)));
+
+  DensityMap map(8, 8, 4);
+  map.Set(0, 0, 1.0);
+  map.Set(0, 1, 1.0 / 16);
+  map.Set(1, 1, 4.0 / 16);
+  return ATMatrix(8, 8, 4, std::move(tiles), std::move(map));
+}
+
+TEST(ATMatrixTest, Accounting) {
+  ATMatrix atm = HandTiledMatrix();
+  EXPECT_EQ(atm.rows(), 8);
+  EXPECT_EQ(atm.cols(), 8);
+  EXPECT_EQ(atm.num_tiles(), 4);
+  EXPECT_EQ(atm.NumDenseTiles(), 1);
+  EXPECT_EQ(atm.NumSparseTiles(), 3);
+  EXPECT_EQ(atm.nnz(), 16 + 1 + 0 + 4);
+  EXPECT_TRUE(atm.CheckValid());
+}
+
+TEST(ATMatrixTest, BandStructure) {
+  ATMatrix atm = HandTiledMatrix();
+  ASSERT_EQ(atm.num_row_bands(), 2);
+  ASSERT_EQ(atm.num_col_bands(), 2);
+  EXPECT_EQ(atm.row_bounds()[1], 4);
+  auto band0 = atm.TilesInRowBand(0);
+  ASSERT_EQ(band0.size(), 2u);
+  // Ordered by col0.
+  EXPECT_EQ(atm.tiles()[band0[0]].col0(), 0);
+  EXPECT_EQ(atm.tiles()[band0[1]].col0(), 4);
+  auto colband1 = atm.TilesInColBand(1);
+  ASSERT_EQ(colband1.size(), 2u);
+  EXPECT_EQ(atm.tiles()[colband1[0]].row0(), 0);
+  EXPECT_EQ(atm.tiles()[colband1[1]].row0(), 4);
+}
+
+TEST(ATMatrixTest, ElementLookup) {
+  ATMatrix atm = HandTiledMatrix();
+  EXPECT_DOUBLE_EQ(atm.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(atm.At(0, 7), 2.0);
+  EXPECT_DOUBLE_EQ(atm.At(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(atm.At(6, 6), 3.0);
+}
+
+TEST(ATMatrixTest, ToCsrRoundTrip) {
+  ATMatrix atm = HandTiledMatrix();
+  CsrMatrix csr = atm.ToCsr();
+  EXPECT_EQ(csr.nnz(), atm.nnz());
+  EXPECT_TRUE(csr.CheckValid());
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(csr.At(i, j), atm.At(i, j));
+    }
+  }
+}
+
+TEST(ATMatrixTest, MemoryBytesSumsTiles) {
+  ATMatrix atm = HandTiledMatrix();
+  std::size_t expected = 0;
+  for (const Tile& t : atm.tiles()) expected += t.MemoryBytes();
+  EXPECT_EQ(atm.MemoryBytes(), expected);
+}
+
+TEST(ATMatrixTest, InvalidWhenTilesOverlap) {
+  std::vector<Tile> tiles;
+  DenseMatrix d1(4, 4), d2(4, 4);
+  tiles.push_back(Tile::MakeDense(0, 0, std::move(d1)));
+  tiles.push_back(Tile::MakeDense(0, 0, std::move(d2)));  // overlap
+  ATMatrix atm(4, 8, 4, std::move(tiles), DensityMap(4, 8, 4));
+  EXPECT_FALSE(atm.CheckValid());
+}
+
+TEST(ATMatrixTest, InvalidWhenAreaUncovered) {
+  std::vector<Tile> tiles;
+  DenseMatrix d1(4, 4);
+  tiles.push_back(Tile::MakeDense(0, 0, std::move(d1)));
+  ATMatrix atm(8, 8, 4, std::move(tiles), DensityMap(8, 8, 4));
+  EXPECT_FALSE(atm.CheckValid());
+}
+
+TEST(ATMatrixTest, EmptyMatrix) {
+  ATMatrix atm;
+  EXPECT_EQ(atm.rows(), 0);
+  EXPECT_EQ(atm.nnz(), 0);
+  EXPECT_EQ(atm.num_tiles(), 0);
+}
+
+}  // namespace
+}  // namespace atmx

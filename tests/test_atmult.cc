@@ -1,0 +1,247 @@
+// End-to-end correctness of the ATMULT operator across matrix topologies,
+// tiling modes, optimization-step configurations (the Fig. 10 ablation
+// levels), parallelism settings, and memory limits. Every result is
+// validated against the plain Gustavson baseline.
+
+#include "ops/atmult.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "kernels/sparse_kernels.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+AtmConfig TestConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  config.cores_per_socket = 2;
+  return config;
+}
+
+void ExpectProductMatches(const CooMatrix& a_coo, const CooMatrix& b_coo,
+                          const AtmConfig& config,
+                          AtMultStats* stats = nullptr) {
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  ATMatrix b = PartitionToAtm(b_coo, config);
+  AtMult op(config);
+  ATMatrix c = op.Multiply(a, b, stats);
+  EXPECT_TRUE(c.CheckValid());
+
+  CsrMatrix expected = SpGemmCsr(CooToCsr(a_coo), CooToCsr(b_coo));
+  ExpectDenseNear(CsrToDense(expected), CsrToDense(c.ToCsr()), 1e-9);
+}
+
+TEST(AtMultTest, UniformSparseSelfMultiply) {
+  CooMatrix coo = RandomCoo(96, 96, 900, 1);
+  ExpectProductMatches(coo, coo, TestConfig());
+}
+
+TEST(AtMultTest, RectangularShapes) {
+  CooMatrix a = RandomCoo(70, 40, 500, 2);
+  CooMatrix b = RandomCoo(40, 110, 600, 3);
+  ExpectProductMatches(a, b, TestConfig());
+}
+
+TEST(AtMultTest, HeterogeneousTimesUniform) {
+  CooMatrix a = GenerateDiagonalDenseBlocks(128, 4, 24, 0.9, 300, 4);
+  CooMatrix b = RandomCoo(128, 128, 1000, 5);
+  ExpectProductMatches(a, b, TestConfig());
+}
+
+TEST(AtMultTest, SparseTimesFullDense) {
+  // The paper's conversion stress test (section II-C3): heterogeneous
+  // sparse times a full matrix forces tile conversions.
+  CooMatrix a = GenerateDiagonalDenseBlocks(96, 3, 16, 0.9, 200, 6);
+  CooMatrix b = DenseToCoo(GenerateFullDense(96, 48, 7));
+  AtMultStats stats;
+  ExpectProductMatches(a, b, TestConfig(), &stats);
+  EXPECT_GT(stats.pair_multiplications, 0);
+}
+
+TEST(AtMultTest, FullDenseTimesSparse) {
+  CooMatrix a = DenseToCoo(GenerateFullDense(48, 96, 8));
+  CooMatrix b = GenerateDiagonalDenseBlocks(96, 3, 16, 0.9, 200, 9);
+  ExpectProductMatches(a, b, TestConfig());
+}
+
+TEST(AtMultTest, EmptyOperand) {
+  CooMatrix a(64, 64);
+  CooMatrix b = RandomCoo(64, 64, 200, 10);
+  AtmConfig config = TestConfig();
+  ATMatrix atm_a = PartitionToAtm(a, config);
+  ATMatrix atm_b = PartitionToAtm(b, config);
+  AtMult op(config);
+  ATMatrix c = op.Multiply(atm_a, atm_b);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_TRUE(c.CheckValid());
+}
+
+TEST(AtMultTest, SkewedRmatSelfMultiply) {
+  RmatParams params;
+  params.rows = params.cols = 128;
+  params.nnz = 1500;
+  params.a = 0.65;
+  params.b = 0.12;
+  params.c = 0.12;
+  params.seed = 11;
+  CooMatrix coo = GenerateRmat(params);
+  ExpectProductMatches(coo, coo, TestConfig());
+}
+
+// --- Fig. 10 optimization-step configurations, all must be correct. ------
+
+struct StepConfig {
+  const char* name;
+  TilingMode tiling;
+  bool estimation;
+  bool mixed;
+  bool conversion;
+};
+
+class AtMultStepTest : public ::testing::TestWithParam<StepConfig> {};
+
+TEST_P(AtMultStepTest, AllOptimizationLevelsProduceTheSameResult) {
+  const StepConfig& step = GetParam();
+  AtmConfig config = TestConfig();
+  config.tiling = step.tiling;
+  config.density_estimation = step.estimation;
+  config.mixed_tiles = step.mixed;
+  config.dynamic_conversion = step.conversion;
+
+  CooMatrix a = GenerateDiagonalDenseBlocks(96, 3, 20, 0.85, 400, 12);
+  ExpectProductMatches(a, a, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Steps, AtMultStepTest,
+    ::testing::Values(
+        StepConfig{"step1_baseline", TilingMode::kNone, false, false, false},
+        StepConfig{"step2_fixed_sparse", TilingMode::kFixed, false, false,
+                   false},
+        StepConfig{"step3_fixed_est", TilingMode::kFixed, true, false, false},
+        StepConfig{"step4_fixed_mixed", TilingMode::kFixed, true, true,
+                   false},
+        StepConfig{"step5_adaptive", TilingMode::kAdaptive, true, true,
+                   false},
+        StepConfig{"step6_atmult", TilingMode::kAdaptive, true, true, true}),
+    [](const ::testing::TestParamInfo<StepConfig>& info) {
+      return info.param.name;
+    });
+
+// --- Parallelism configurations. -----------------------------------------
+
+struct ParallelCase {
+  int teams;
+  int threads;
+};
+
+class AtMultParallelTest : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(AtMultParallelTest, ResultIndependentOfParallelism) {
+  AtmConfig config = TestConfig();
+  config.num_worker_teams = GetParam().teams;
+  config.threads_per_team = GetParam().threads;
+  config.num_sockets = GetParam().teams;
+  CooMatrix a = GenerateDiagonalDenseBlocks(128, 4, 24, 0.9, 500, 13);
+  CooMatrix b = RandomCoo(128, 128, 1200, 14);
+  ExpectProductMatches(a, b, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, AtMultParallelTest,
+                         ::testing::Values(ParallelCase{1, 1},
+                                           ParallelCase{1, 4},
+                                           ParallelCase{2, 2},
+                                           ParallelCase{4, 1},
+                                           ParallelCase{3, 3}));
+
+// --- Stats and memory-limit behaviour. -----------------------------------
+
+TEST(AtMultStatsTest, BreakdownIsPopulated) {
+  AtmConfig config = TestConfig();
+  CooMatrix a = GenerateDiagonalDenseBlocks(128, 4, 24, 0.9, 500, 15);
+  ATMatrix atm = PartitionToAtm(a, config);
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(atm, atm, &stats);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.multiply_seconds, 0.0);
+  EXPECT_GE(stats.estimate_seconds, 0.0);
+  EXPECT_GT(stats.pair_multiplications, 0);
+  EXPECT_EQ(stats.dense_result_tiles + stats.sparse_result_tiles,
+            c.num_tiles());
+  EXPECT_GE(stats.LocalFraction(), 0.0);
+  EXPECT_LE(stats.LocalFraction(), 1.0);
+  EXPECT_NE(stats.ToString().find("pairs="), std::string::npos);
+}
+
+TEST(AtMultStatsTest, MemoryLimitRaisesWriteThreshold) {
+  AtmConfig config = TestConfig();
+  CooMatrix a = GenerateDiagonalDenseBlocks(128, 4, 32, 0.95, 600, 16);
+
+  AtMult unlimited(config);
+  ATMatrix atm = PartitionToAtm(a, config);
+  AtMultStats stats_unlimited;
+  ATMatrix c1 = unlimited.Multiply(atm, atm, &stats_unlimited);
+
+  config.result_mem_limit_bytes = c1.MemoryBytes() / 2;
+  AtMult limited(config);
+  AtMultStats stats_limited;
+  ATMatrix c2 = limited.Multiply(atm, atm, &stats_limited);
+
+  EXPECT_GE(stats_limited.effective_write_threshold,
+            stats_unlimited.effective_write_threshold);
+  // Estimated block densities steer the layout; allow a small estimation
+  // slack over the unconstrained size.
+  EXPECT_LE(static_cast<double>(c2.MemoryBytes()),
+            1.05 * static_cast<double>(c1.MemoryBytes()));
+  // Same numeric content regardless of representation.
+  ExpectDenseNear(CsrToDense(c1.ToCsr()), CsrToDense(c2.ToCsr()), 1e-9);
+}
+
+TEST(AtMultStatsTest, ConversionsHappenForSparseTimesFullDense) {
+  AtmConfig config = TestConfig();
+  // Small LLC: the sparse memory bound of Eq. (2) keeps the moderately
+  // dense blocks as *separate* tiles instead of melting them with the
+  // empty background (one big tile would dilute the window density).
+  config.llc_bytes = 16 * 1024;
+  // Tiles just below the read threshold stay sparse at partitioning time;
+  // against a full dense B the optimizer should convert (section IV-D).
+  CooMatrix a = GenerateDiagonalDenseBlocks(96, 3, 32, 0.22, 100, 17);
+  CooMatrix b = DenseToCoo(GenerateFullDense(96, 96, 18));
+  ATMatrix atm_a = PartitionToAtm(a, config);
+  ATMatrix atm_b = PartitionToAtm(b, config);
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(atm_a, atm_b, &stats);
+  EXPECT_GT(stats.sparse_to_dense_conversions, 0);
+  CsrMatrix expected = SpGemmCsr(CooToCsr(a), CooToCsr(b));
+  ExpectDenseNear(CsrToDense(expected), CsrToDense(c.ToCsr()), 1e-9);
+}
+
+TEST(AtMultTest, ChainedMultiplication) {
+  // (A*A)*A via AT MATRIX chaining — the result's density map feeds the
+  // next estimate.
+  AtmConfig config = TestConfig();
+  CooMatrix a_coo = RandomCoo(64, 64, 400, 19);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  AtMult op(config);
+  ATMatrix aa = op.Multiply(a, a);
+  ATMatrix aaa = op.Multiply(aa, a);
+  CsrMatrix a_csr = CooToCsr(a_coo);
+  CsrMatrix expected = SpGemmCsr(SpGemmCsr(a_csr, a_csr), a_csr);
+  ExpectDenseNear(CsrToDense(expected), CsrToDense(aaa.ToCsr()), 1e-8);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,174 @@
+// Numerical and structural edge cases of ATMULT: identities,
+// permutations, cancellation, plain-operand overloads, degenerate shapes.
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "kernels/sparse_kernels.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+AtmConfig EdgeConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  config.cores_per_socket = 2;
+  return config;
+}
+
+CooMatrix Identity(index_t n) {
+  CooMatrix eye(n, n);
+  for (index_t i = 0; i < n; ++i) eye.Add(i, i, 1.0);
+  return eye;
+}
+
+TEST(AtMultEdgeTest, IdentityIsNeutral) {
+  AtmConfig config = EdgeConfig();
+  CooMatrix a_coo = RandomCoo(48, 48, 400, 1);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  ATMatrix eye = PartitionToAtm(Identity(48), config);
+  AtMult op(config);
+  ExpectDenseNear(CooToDense(a_coo),
+                  CsrToDense(op.Multiply(a, eye).ToCsr()), 1e-12);
+  ExpectDenseNear(CooToDense(a_coo),
+                  CsrToDense(op.Multiply(eye, a).ToCsr()), 1e-12);
+}
+
+TEST(AtMultEdgeTest, PermutationReordersRows) {
+  AtmConfig config = EdgeConfig();
+  const index_t n = 32;
+  CooMatrix perm(n, n);
+  for (index_t i = 0; i < n; ++i) perm.Add(i, (i * 7 + 3) % n, 1.0);
+  CooMatrix a_coo = RandomCoo(n, n, 150, 2);
+  AtMult op(config);
+  ATMatrix result = op.Multiply(PartitionToAtm(perm, config),
+                                PartitionToAtm(a_coo, config));
+  DenseMatrix a_dense = CooToDense(a_coo);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t src = (i * 7 + 3) % n;
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(result.At(i, j), a_dense.At(src, j));
+    }
+  }
+}
+
+TEST(AtMultEdgeTest, CancellationProducesExplicitZeros) {
+  // A product entry that sums to exactly zero: with a *sparse* target the
+  // entry is kept as a stored zero (CSR pattern semantics, matching the
+  // Gustavson baseline); with a dense target the value is simply 0.0 and
+  // carries no pattern. Force sparse targets by disabling estimation.
+  AtmConfig config = EdgeConfig();
+  config.density_estimation = false;  // all result tiles sparse
+  CooMatrix a(4, 4);
+  a.Add(0, 0, 1.0);
+  a.Add(0, 1, -1.0);
+  CooMatrix b(4, 4);
+  b.Add(0, 2, 5.0);
+  b.Add(1, 2, 5.0);
+  AtMult op(config);
+  ATMatrix c = op.Multiply(PartitionToAtm(a, config),
+                           PartitionToAtm(b, config));
+  EXPECT_DOUBLE_EQ(c.At(0, 2), 0.0);
+  CsrMatrix expected = SpGemmCsr(CooToCsr(a), CooToCsr(b));
+  EXPECT_EQ(expected.nnz(), 1);  // the baseline stores the zero
+  EXPECT_EQ(c.nnz(), expected.nnz());
+}
+
+TEST(AtMultEdgeTest, NegativeValuesAndMixedSigns) {
+  AtmConfig config = EdgeConfig();
+  CooMatrix a_coo = RandomCoo(40, 40, 350, 3);  // values in [-1, 1)
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  AtMult op(config);
+  ATMatrix c = op.Multiply(a, a);
+  CsrMatrix expected = SpGemmCsr(CooToCsr(a_coo), CooToCsr(a_coo));
+  ExpectDenseNear(CsrToDense(expected), CsrToDense(c.ToCsr()), 1e-10);
+}
+
+TEST(AtMultEdgeTest, PlainCsrOperandOverloads) {
+  AtmConfig config = EdgeConfig();
+  CooMatrix a_coo = RandomCoo(36, 36, 250, 4);
+  CsrMatrix a_csr = CooToCsr(a_coo);
+  ATMatrix a_atm = PartitionToAtm(a_coo, config);
+  AtMult op(config);
+  DenseMatrix expected =
+      CsrToDense(SpGemmCsr(a_csr, a_csr));
+  ExpectDenseNear(expected, CsrToDense(op.Multiply(a_csr, a_atm).ToCsr()),
+                  1e-10);
+  ExpectDenseNear(expected, CsrToDense(op.Multiply(a_atm, a_csr).ToCsr()),
+                  1e-10);
+}
+
+TEST(AtMultEdgeTest, PlainDenseOperandOverloads) {
+  AtmConfig config = EdgeConfig();
+  CooMatrix a_coo = RandomCoo(30, 24, 200, 5);
+  DenseMatrix b_dense = GenerateFullDense(24, 18, 6);
+  ATMatrix a_atm = PartitionToAtm(a_coo, config);
+  AtMult op(config);
+  CsrMatrix expected = SpGemmCsr(CooToCsr(a_coo), DenseToCsr(b_dense));
+  ExpectDenseNear(CsrToDense(expected),
+                  CsrToDense(op.Multiply(a_atm, b_dense).ToCsr()), 1e-10);
+  DenseMatrix c_dense = GenerateFullDense(18, 30, 7);
+  ATMatrix b_atm = AtmFromDense(b_dense, config);
+  CsrMatrix expected2 = SpGemmCsr(DenseToCsr(c_dense),
+                                  DenseToCsr(CooToDense(
+                                      atmx::testing::RandomCoo(30, 8, 60,
+                                                               8))));
+  // dense x ATM overload with a fresh dense LHS.
+  ATMatrix rhs = PartitionToAtm(RandomCoo(30, 8, 60, 8), config);
+  ExpectDenseNear(CsrToDense(expected2),
+                  CsrToDense(op.Multiply(c_dense, rhs).ToCsr()), 1e-10);
+}
+
+TEST(AtMultEdgeTest, SingleRowAndSingleColumn) {
+  AtmConfig config = EdgeConfig();
+  CooMatrix row(1, 64);
+  for (index_t j = 0; j < 64; j += 3) row.Add(0, j, 1.0 + j);
+  CooMatrix col(64, 1);
+  for (index_t i = 0; i < 64; i += 2) col.Add(i, 0, 2.0 - i * 0.1);
+  AtMult op(config);
+  // (1 x 64) * (64 x 1) = scalar.
+  ATMatrix inner = op.Multiply(PartitionToAtm(row, config),
+                               PartitionToAtm(col, config));
+  EXPECT_EQ(inner.rows(), 1);
+  EXPECT_EQ(inner.cols(), 1);
+  double expected = 0.0;
+  DenseMatrix rd = CooToDense(row);
+  DenseMatrix cd = CooToDense(col);
+  for (index_t k = 0; k < 64; ++k) expected += rd.At(0, k) * cd.At(k, 0);
+  EXPECT_NEAR(inner.At(0, 0), expected, 1e-10);
+  // (64 x 1) * (1 x 64) = rank-1 outer product.
+  ATMatrix outer = op.Multiply(PartitionToAtm(col, config),
+                               PartitionToAtm(row, config));
+  EXPECT_EQ(outer.rows(), 64);
+  EXPECT_EQ(outer.cols(), 64);
+  EXPECT_NEAR(outer.At(0, 0), cd.At(0, 0) * rd.At(0, 0), 1e-12);
+}
+
+TEST(AtMultEdgeTest, BlockDiagonalStaysBlockDiagonal) {
+  AtmConfig config = EdgeConfig();
+  CooMatrix a = GenerateDiagonalDenseBlocks(64, 4, 16, 1.0, 0, 9);
+  AtMult op(config);
+  ATMatrix c = op.Multiply(PartitionToAtm(a, config),
+                           PartitionToAtm(a, config));
+  // Off-diagonal blocks of the product must be empty.
+  for (index_t i = 0; i < 16; ++i) {
+    for (index_t j = 16; j < 32; ++j) {
+      EXPECT_EQ(c.At(i, j), 0.0);
+    }
+  }
+  // Diagonal blocks are fully populated.
+  EXPECT_NE(c.At(0, 0), 0.0);
+  EXPECT_NE(c.At(17, 30), 0.0);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,133 @@
+#include "ops/chain.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "kernels/sparse_kernels.h"
+#include "ops/reference_mult.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+AtmConfig ChainConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  return config;
+}
+
+TEST(ChainCostTest, ScalesWithExpectedIntermediates) {
+  // Denser operands must be predicted costlier.
+  CooMatrix thin = RandomCoo(64, 64, 200, 1);
+  CooMatrix thick = RandomCoo(64, 64, 2000, 2);
+  DensityMap thin_map = DensityMap::FromCoo(thin, 16);
+  DensityMap thick_map = DensityMap::FromCoo(thick, 16);
+  CostModel model;
+  const double cheap = EstimateMultiplyCost(thin_map, thin_map, model, 0.03);
+  const double pricey =
+      EstimateMultiplyCost(thick_map, thick_map, model, 0.03);
+  EXPECT_GT(pricey, cheap * 10);
+}
+
+TEST(ChainCostTest, IntermediateCountMatchesAnalyticUniform) {
+  // Uniform rho: expected products = nnz_x * nnz_y / k.
+  CooMatrix x = RandomCoo(128, 128, 1500, 3);
+  DensityMap map = DensityMap::FromCoo(x, 32);
+  CostModel model;
+  const double cost = EstimateMultiplyCost(map, map, model, 1.1);
+  // With rho_write > 1 the write side is all-sparse: cost =
+  // c_ssd * products + sparse_write * E[stored]; products dominates and
+  // must be within ~30% of nnz^2 / n for a uniform matrix.
+  const double products = 1500.0 * 1500.0 / 128.0;
+  EXPECT_GT(cost, model.params().c_ssd * products * 0.7);
+  EXPECT_LT(cost, model.params().c_ssd * products * 2.5);
+}
+
+TEST(ChainPlanTest, SingleMatrixPlan) {
+  CooMatrix a = RandomCoo(32, 32, 100, 4);
+  DensityMap map = DensityMap::FromCoo(a, 16);
+  ChainPlan plan = PlanChain({&map}, CostModel(), 0.03);
+  EXPECT_EQ(plan.estimated_cost, 0.0);
+  EXPECT_EQ(plan.ToString(), "A0");
+}
+
+TEST(ChainPlanTest, PrefersCheapSideFirst) {
+  // A (dense-ish n x n) * B (dense-ish n x n) * v (n x 1 thin): the
+  // classic case — evaluating B*v first (right-to-left) avoids the huge
+  // A*B intermediate.
+  const index_t n = 128;
+  CooMatrix a_coo = RandomCoo(n, n, 4000, 5);
+  CooMatrix b_coo = RandomCoo(n, n, 4000, 6);
+  CooMatrix v_coo = RandomCoo(n, 2, 2 * n / 4, 7);
+  DensityMap a = DensityMap::FromCoo(a_coo, 16);
+  DensityMap b = DensityMap::FromCoo(b_coo, 16);
+  DensityMap v = DensityMap::FromCoo(v_coo, 16);
+
+  ChainPlan plan = PlanChain({&a, &b, &v}, CostModel(), 0.03);
+  EXPECT_EQ(plan.ToString(), "(A0*(A1*A2))");
+  const double naive =
+      EstimateLeftToRightCost({&a, &b, &v}, CostModel(), 0.03);
+  EXPECT_LT(plan.estimated_cost, naive);
+}
+
+TEST(ChainExecuteTest, MatchesReferenceForAnyPlan) {
+  const AtmConfig config = ChainConfig();
+  CooMatrix a_coo = RandomCoo(40, 56, 350, 8);
+  CooMatrix b_coo = RandomCoo(56, 32, 300, 9);
+  CooMatrix c_coo = RandomCoo(32, 48, 250, 10);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  ATMatrix b = PartitionToAtm(b_coo, config);
+  ATMatrix c = PartitionToAtm(c_coo, config);
+
+  ChainPlan plan = PlanChain(
+      {&a.density_map(), &b.density_map(), &c.density_map()}, CostModel(),
+      config.rho_write);
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix result = ExecuteChain({&a, &b, &c}, plan, op, &stats);
+  EXPECT_EQ(result.rows(), 40);
+  EXPECT_EQ(result.cols(), 48);
+  EXPECT_GT(stats.pair_multiplications, 0);
+
+  DenseMatrix expected = ReferenceMultiply(
+      ReferenceMultiply(CooToDense(a_coo), CooToDense(b_coo)),
+      CooToDense(c_coo));
+  ExpectDenseNear(expected, CsrToDense(result.ToCsr()), 1e-9);
+}
+
+TEST(ChainExecuteTest, FourMatrixChain) {
+  const AtmConfig config = ChainConfig();
+  std::vector<CooMatrix> coos;
+  coos.push_back(RandomCoo(24, 48, 200, 11));
+  coos.push_back(RandomCoo(48, 48, 600, 12));
+  coos.push_back(RandomCoo(48, 48, 600, 13));
+  coos.push_back(RandomCoo(48, 16, 120, 14));
+  std::vector<ATMatrix> atms;
+  std::vector<const ATMatrix*> chain;
+  std::vector<const DensityMap*> maps;
+  for (const CooMatrix& coo : coos) {
+    atms.push_back(PartitionToAtm(coo, config));
+  }
+  for (const ATMatrix& atm : atms) {
+    chain.push_back(&atm);
+    maps.push_back(&atm.density_map());
+  }
+  ChainPlan plan = PlanChain(maps, CostModel(), config.rho_write);
+  AtMult op(config);
+  ATMatrix result = ExecuteChain(chain, plan, op);
+
+  DenseMatrix expected = CooToDense(coos[0]);
+  for (std::size_t i = 1; i < coos.size(); ++i) {
+    expected = ReferenceMultiply(expected, CooToDense(coos[i]));
+  }
+  ExpectDenseNear(expected, CsrToDense(result.ToCsr()), 1e-8);
+}
+
+}  // namespace
+}  // namespace atmx

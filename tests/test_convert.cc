@@ -1,0 +1,83 @@
+#include "storage/convert.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+TEST(ConvertTest, CooToCsrSumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 1, 1.0);
+  coo.Add(0, 1, 2.0);
+  CsrMatrix csr = CooToCsr(coo);
+  EXPECT_EQ(csr.nnz(), 1);
+  EXPECT_DOUBLE_EQ(csr.At(0, 1), 3.0);
+}
+
+TEST(ConvertTest, RoundTripCooCsrDense) {
+  CooMatrix coo = RandomCoo(37, 53, 300, 77);
+  CsrMatrix csr = CooToCsr(coo);
+  DenseMatrix dense_direct = CooToDense(coo);
+  DenseMatrix dense_via_csr = CsrToDense(csr);
+  ExpectDenseNear(dense_direct, dense_via_csr);
+
+  CsrMatrix back = DenseToCsr(dense_direct);
+  EXPECT_EQ(back.nnz(), csr.nnz());
+  ExpectDenseNear(dense_direct, CsrToDense(back));
+}
+
+TEST(ConvertTest, CsrWindowToDense) {
+  CooMatrix coo = RandomCoo(20, 20, 120, 3);
+  CsrMatrix csr = CooToCsr(coo);
+  DenseMatrix full = CsrToDense(csr);
+  DenseMatrix window = CsrWindowToDense(csr, 5, 15, 3, 18);
+  for (index_t i = 0; i < 10; ++i) {
+    for (index_t j = 0; j < 15; ++j) {
+      EXPECT_DOUBLE_EQ(window.At(i, j), full.At(i + 5, j + 3));
+    }
+  }
+}
+
+TEST(ConvertTest, DenseWindowToCsr) {
+  DenseMatrix m(6, 6);
+  m.At(2, 2) = 1.0;
+  m.At(3, 4) = 2.0;
+  m.At(0, 0) = 9.0;  // outside the window
+  CsrMatrix w = DenseWindowToCsr(m.View().Window(2, 2, 3, 3));
+  EXPECT_EQ(w.nnz(), 2);
+  EXPECT_DOUBLE_EQ(w.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.At(1, 2), 2.0);
+}
+
+TEST(ConvertTest, CsrToCooRoundTrip) {
+  CooMatrix coo = RandomCoo(31, 17, 97, 9);
+  CsrMatrix csr = CooToCsr(coo);
+  CooMatrix back = CsrToCoo(csr);
+  EXPECT_EQ(back.nnz(), csr.nnz());
+  ExpectDenseNear(CooToDense(coo), CooToDense(back));
+}
+
+TEST(ConvertTest, DenseToCooSkipsZeros) {
+  DenseMatrix m(3, 3);
+  m.At(1, 1) = 4.0;
+  CooMatrix coo = DenseToCoo(m);
+  EXPECT_EQ(coo.nnz(), 1);
+  EXPECT_EQ(coo.entries()[0].row, 1);
+}
+
+TEST(ConvertTest, EmptyMatrices) {
+  CooMatrix coo(5, 5);
+  CsrMatrix csr = CooToCsr(coo);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_TRUE(csr.CheckValid());
+  DenseMatrix dense = CsrToDense(csr);
+  EXPECT_EQ(dense.CountNonZeros(), 0);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,104 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/calibration.h"
+
+namespace atmx {
+namespace {
+
+MultiplyShape Shape(index_t m, index_t k, index_t n, double ra, double rb,
+                    double rc = 0.1) {
+  return {m, k, n, ra, rb, rc};
+}
+
+TEST(CostModelTest, DefaultTurnaroundsMatchPaperConfig) {
+  CostModel model;
+  // sqrt(1/16) = 0.25, the paper's rho0_R.
+  EXPECT_NEAR(model.ReadTurnaround(), 0.25, 1e-12);
+  // Write turnaround well below the read turnaround (the asymmetry that
+  // motivates two thresholds, section III-C).
+  EXPECT_LT(model.WriteTurnaround(), model.ReadTurnaround());
+  EXPECT_NEAR(model.WriteTurnaround(), 0.03125, 1e-12);
+}
+
+TEST(CostModelTest, SparseKernelWinsAtLowDensity) {
+  CostModel model;
+  const MultiplyShape s = Shape(512, 512, 512, 0.01, 0.01);
+  EXPECT_LT(model.ComputeCost(KernelType::kSSS, s),
+            model.ComputeCost(KernelType::kDDD, s));
+  EXPECT_LT(model.ComputeCost(KernelType::kSDD, s),
+            model.ComputeCost(KernelType::kDDD, s));
+}
+
+TEST(CostModelTest, DenseKernelWinsAtHighDensity) {
+  CostModel model;
+  const MultiplyShape s = Shape(512, 512, 512, 0.6, 0.6);
+  EXPECT_LT(model.ComputeCost(KernelType::kDDD, s),
+            model.ComputeCost(KernelType::kSSS, s));
+}
+
+TEST(CostModelTest, CrossoverNearReadTurnaround) {
+  CostModel model;
+  const double rho0 = model.ReadTurnaround();
+  const MultiplyShape below =
+      Shape(1024, 1024, 1024, rho0 * 0.5, rho0 * 0.5);
+  const MultiplyShape above =
+      Shape(1024, 1024, 1024, rho0 * 1.8, rho0 * 1.8);
+  EXPECT_LT(model.ComputeCost(KernelType::kSSD, below),
+            model.ComputeCost(KernelType::kDDD, below));
+  EXPECT_GT(model.ComputeCost(KernelType::kSSD, above),
+            model.ComputeCost(KernelType::kDDD, above));
+}
+
+TEST(CostModelTest, SparseWriteMoreExpensiveThanDenseWriteForDenseResults) {
+  CostModel model;
+  // A result that is 20% populated: sparse write pays per intermediate.
+  const double intermediates = 0.2 * 512 * 512 * 3;  // 3 updates/element
+  EXPECT_GT(model.WriteCost(false, 512, 512, 0.2, intermediates),
+            model.WriteCost(true, 512, 512, 0.2, intermediates));
+}
+
+TEST(CostModelTest, SparseWriteCheaperForHypersparseResults) {
+  CostModel model;
+  const double intermediates = 1e-4 * 512 * 512;
+  EXPECT_LT(model.WriteCost(false, 512, 512, 1e-4, intermediates),
+            model.WriteCost(true, 512, 512, 1e-4, intermediates));
+}
+
+TEST(CostModelTest, ConversionCostsScaleWithArea) {
+  CostModel model;
+  EXPECT_GT(model.ConversionCost(true, 1024, 1024, 0.1),
+            model.ConversionCost(true, 256, 256, 0.1));
+  EXPECT_GT(model.ConversionCost(false, 512, 512, 0.5),
+            model.ConversionCost(false, 512, 512, 0.01));
+}
+
+TEST(CostModelTest, MixedKernelsOrderedByOperandDensity) {
+  CostModel model;
+  // With one hypersparse operand, the kernel that exploits that operand's
+  // sparsity must be cheaper than treating it densely.
+  const MultiplyShape s = Shape(512, 512, 512, 0.001, 1.0);
+  EXPECT_LT(model.ComputeCost(KernelType::kSDD, s),
+            model.ComputeCost(KernelType::kDDD, s));
+}
+
+TEST(CalibrationTest, ProducesPositiveConstants) {
+  CalibrationOptions options;
+  options.tile_size = 96;
+  options.repetitions = 1;
+  CostParams fitted = Calibrate(options);
+  EXPECT_GT(fitted.c_ddd, 0.0);
+  EXPECT_GT(fitted.c_sdd, 0.0);
+  EXPECT_GT(fitted.c_dsd, 0.0);
+  EXPECT_GT(fitted.c_ssd, 0.0);
+  EXPECT_GT(fitted.sparse_write, 0.0);
+  EXPECT_GT(fitted.dense_write, 0.0);
+  // The fitted model must still have a read turnaround in (0, 1).
+  CostModel model(fitted);
+  EXPECT_GT(model.ReadTurnaround(), 0.0);
+  EXPECT_LT(model.ReadTurnaround(), 1.0);
+}
+
+}  // namespace
+}  // namespace atmx

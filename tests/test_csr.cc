@@ -1,0 +1,112 @@
+#include "storage/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+CsrMatrix SmallCsr() {
+  // 1 0 2
+  // 0 0 0
+  // 3 4 0
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 2, 2.0);
+  coo.Add(2, 0, 3.0);
+  coo.Add(2, 1, 4.0);
+  return CooToCsr(coo);
+}
+
+TEST(CsrMatrixTest, ShapeAndNnz) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_EQ(m.RowNnz(2), 2);
+  EXPECT_TRUE(m.CheckValid());
+  EXPECT_NEAR(m.Density(), 4.0 / 9.0, 1e-12);
+}
+
+TEST(CsrMatrixTest, ElementLookup) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 4.0);
+}
+
+TEST(CsrMatrixTest, RowColRangeBinarySearch) {
+  CsrMatrix m = SmallCsr();
+  index_t first, last;
+  m.RowColRange(2, 0, 1, &first, &last);
+  EXPECT_EQ(last - first, 1);  // only column 0
+  m.RowColRange(2, 1, 3, &first, &last);
+  EXPECT_EQ(last - first, 1);  // only column 1
+  m.RowColRange(0, 1, 3, &first, &last);
+  EXPECT_EQ(last - first, 1);  // only column 2
+  m.RowColRange(1, 0, 3, &first, &last);
+  EXPECT_EQ(last - first, 0);  // empty row
+}
+
+TEST(CsrMatrixTest, CountNnzInWindow) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.CountNnzInWindow(0, 3, 0, 3), 4);
+  EXPECT_EQ(m.CountNnzInWindow(0, 1, 0, 3), 2);
+  EXPECT_EQ(m.CountNnzInWindow(1, 2, 0, 3), 0);
+  EXPECT_EQ(m.CountNnzInWindow(0, 3, 0, 1), 2);
+  EXPECT_EQ(m.CountNnzInWindow(2, 3, 1, 2), 1);
+}
+
+TEST(CsrMatrixTest, MemoryBytesMatchesFormula) {
+  CsrMatrix m = SmallCsr();
+  // 16 bytes per element + row pointer array.
+  EXPECT_EQ(m.MemoryBytes(), 4 * 16 + 4 * sizeof(index_t));
+}
+
+TEST(CsrMatrixTest, ColumnsSortedWithinRows) {
+  CooMatrix coo = atmx::testing::RandomCoo(50, 80, 400, 5);
+  CsrMatrix m = CooToCsr(coo);
+  EXPECT_TRUE(m.CheckValid());
+}
+
+TEST(CsrBuilderTest, BuildsRowsInOrder) {
+  CsrBuilder builder(3, 4);
+  builder.Append(2, 1.0);
+  builder.Append(0, 2.0);  // out of order within a row: sorted on finish
+  builder.FinishRowsUpTo(1);
+  builder.FinishRowsUpTo(2);  // row 1 empty
+  builder.Append(3, 3.0);
+  CsrMatrix m = builder.Build();
+  EXPECT_TRUE(m.CheckValid());
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 1.0);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_DOUBLE_EQ(m.At(2, 3), 3.0);
+}
+
+TEST(CsrBuilderTest, EmptyBuild) {
+  CsrBuilder builder(0, 0);
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrBuilderTest, SkipManyRows) {
+  CsrBuilder builder(100, 10);
+  builder.Append(5, 1.0);
+  builder.FinishRowsUpTo(50);
+  builder.Append(7, 2.0);
+  CsrMatrix m = builder.Build();
+  EXPECT_TRUE(m.CheckValid());
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(50, 7), 2.0);
+}
+
+}  // namespace
+}  // namespace atmx

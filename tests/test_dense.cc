@@ -1,0 +1,74 @@
+#include "storage/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace atmx {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.At(i, j), 0.0);
+    }
+  }
+  EXPECT_EQ(m.CountNonZeros(), 0);
+}
+
+TEST(DenseMatrixTest, ElementAccessAndDensity) {
+  DenseMatrix m(2, 2);
+  m.At(0, 1) = 3.0;
+  m.At(1, 0) = -1.0;
+  EXPECT_EQ(m.CountNonZeros(), 2);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.5);
+  EXPECT_EQ(m.MemoryBytes(), 4 * sizeof(value_t));
+}
+
+TEST(DenseViewTest, WindowSharesLeadingDimension) {
+  DenseMatrix m(4, 6);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 6; ++j) m.At(i, j) = i * 10.0 + j;
+  }
+  DenseView w = m.View().Window(1, 2, 2, 3);
+  EXPECT_EQ(w.rows, 2);
+  EXPECT_EQ(w.cols, 3);
+  EXPECT_EQ(w.ld, 6);
+  EXPECT_DOUBLE_EQ(w.At(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(w.At(1, 2), 24.0);
+}
+
+TEST(DenseViewTest, NestedWindows) {
+  DenseMatrix m(8, 8);
+  m.At(5, 5) = 7.0;
+  DenseView outer = m.View().Window(2, 2, 6, 6);
+  DenseView inner = outer.Window(3, 3, 2, 2);
+  EXPECT_DOUBLE_EQ(inner.At(0, 0), 7.0);
+}
+
+TEST(DenseMutViewTest, WritesThrough) {
+  DenseMatrix m(4, 4);
+  DenseMutView w = m.MutView().Window(1, 1, 2, 2);
+  w.At(0, 0) = 5.0;
+  w.At(1, 1) = 6.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 6.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1.0;
+  b.At(0, 0) = 1.5;
+  b.At(1, 1) = -0.25;
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 0.5);
+}
+
+TEST(DenseMatrixTest, FillAndEquality) {
+  DenseMatrix a(2, 3), b(2, 3);
+  a.Fill(2.0);
+  EXPECT_NE(a, b);
+  b.Fill(2.0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace atmx

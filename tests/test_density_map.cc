@@ -1,0 +1,84 @@
+#include "estimate/density_map.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+TEST(DensityMapTest, GridGeometry) {
+  DensityMap map(100, 70, 32);
+  EXPECT_EQ(map.grid_rows(), 4);   // ceil(100/32)
+  EXPECT_EQ(map.grid_cols(), 3);   // ceil(70/32)
+  EXPECT_EQ(map.BlockHeight(0), 32);
+  EXPECT_EQ(map.BlockHeight(3), 4);   // 100 - 96
+  EXPECT_EQ(map.BlockWidth(2), 6);    // 70 - 64
+  EXPECT_EQ(map.BlockArea(3, 2), 24);
+}
+
+TEST(DensityMapTest, FromCooCountsPerBlock) {
+  CooMatrix coo(8, 8);
+  coo.Add(0, 0, 1.0);
+  coo.Add(1, 1, 1.0);
+  coo.Add(0, 5, 1.0);
+  coo.Add(7, 7, 1.0);
+  DensityMap map = DensityMap::FromCoo(coo, 4);
+  EXPECT_DOUBLE_EQ(map.At(0, 0), 2.0 / 16.0);
+  EXPECT_DOUBLE_EQ(map.At(0, 1), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(map.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(map.At(1, 1), 1.0 / 16.0);
+}
+
+TEST(DensityMapTest, BoundaryBlocksUseClippedArea) {
+  // 6x6 matrix with block 4: boundary blocks are 4x2, 2x4, 2x2.
+  CooMatrix coo(6, 6);
+  // Fill the bottom-right 2x2 corner completely.
+  for (index_t i = 4; i < 6; ++i) {
+    for (index_t j = 4; j < 6; ++j) coo.Add(i, j, 1.0);
+  }
+  DensityMap map = DensityMap::FromCoo(coo, 4);
+  EXPECT_DOUBLE_EQ(map.At(1, 1), 1.0);  // full *relative to its own area*
+}
+
+TEST(DensityMapTest, ConsistentAcrossSources) {
+  CooMatrix coo = atmx::testing::RandomCoo(60, 45, 400, 17);
+  DensityMap from_coo = DensityMap::FromCoo(coo, 16);
+  DensityMap from_csr = DensityMap::FromCsr(CooToCsr(coo), 16);
+  DensityMap from_dense = DensityMap::FromDense(CooToDense(coo), 16);
+  for (index_t bi = 0; bi < from_coo.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < from_coo.grid_cols(); ++bj) {
+      EXPECT_DOUBLE_EQ(from_coo.At(bi, bj), from_csr.At(bi, bj));
+      EXPECT_DOUBLE_EQ(from_coo.At(bi, bj), from_dense.At(bi, bj));
+    }
+  }
+}
+
+TEST(DensityMapTest, ExpectedNnzMatchesExactCount) {
+  CooMatrix coo = atmx::testing::RandomCoo(100, 100, 1234, 5);
+  DensityMap map = DensityMap::FromCoo(coo, 32);
+  EXPECT_NEAR(map.ExpectedNnz(), 1234.0, 1e-6);
+}
+
+TEST(DensityMapTest, RegionDensityIsAreaWeighted) {
+  CooMatrix coo(8, 4);  // two 4x4 blocks stacked
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) coo.Add(i, j, 1.0);  // top block full
+  }
+  DensityMap map = DensityMap::FromCoo(coo, 4);
+  EXPECT_DOUBLE_EQ(map.RegionDensity(0, 0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(map.RegionDensity(1, 0, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(map.RegionDensity(0, 0, 2, 1), 0.5);
+}
+
+TEST(DensityMapTest, RegionDensityClipsAtGridEdge) {
+  CooMatrix coo = atmx::testing::RandomCoo(40, 40, 100, 2);
+  DensityMap map = DensityMap::FromCoo(coo, 16);
+  // Span beyond the grid is clipped, not an error.
+  const double full = map.RegionDensity(0, 0, 100, 100);
+  EXPECT_NEAR(full, 100.0 / 1600.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace atmx

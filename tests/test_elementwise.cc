@@ -1,0 +1,105 @@
+#include "ops/elementwise.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+TEST(ElementwiseTest, CsrAddMergesPatterns) {
+  CooMatrix a(3, 3), b(3, 3);
+  a.Add(0, 0, 1.0);
+  a.Add(1, 2, 2.0);
+  b.Add(0, 0, 3.0);
+  b.Add(2, 1, 4.0);
+  CsrMatrix c = Add(CooToCsr(a), CooToCsr(b));
+  EXPECT_TRUE(c.CheckValid());
+  EXPECT_EQ(c.nnz(), 3);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(c.At(2, 1), 4.0);
+}
+
+TEST(ElementwiseTest, CsrAddWithCoefficients) {
+  CooMatrix a_coo = RandomCoo(30, 40, 200, 1);
+  CooMatrix b_coo = RandomCoo(30, 40, 250, 2);
+  CsrMatrix c = Add(CooToCsr(a_coo), CooToCsr(b_coo), 2.0, -0.5);
+  DenseMatrix expected =
+      Add(CooToDense(a_coo), CooToDense(b_coo), 2.0, -0.5);
+  ExpectDenseNear(expected, CsrToDense(c), 1e-12);
+}
+
+TEST(ElementwiseTest, CsrHadamardIntersectsPatterns) {
+  CooMatrix a_coo = RandomCoo(25, 25, 150, 3);
+  CooMatrix b_coo = RandomCoo(25, 25, 150, 4);
+  CsrMatrix c = Hadamard(CooToCsr(a_coo), CooToCsr(b_coo));
+  DenseMatrix expected =
+      Hadamard(CooToDense(a_coo), CooToDense(b_coo));
+  ExpectDenseNear(expected, CsrToDense(c), 1e-12);
+  // The Hadamard pattern is a subset of either operand's.
+  EXPECT_LE(c.nnz(), std::min(static_cast<index_t>(150), c.nnz()));
+}
+
+TEST(ElementwiseTest, CsrScale) {
+  CooMatrix a_coo = RandomCoo(10, 10, 30, 5);
+  CsrMatrix scaled = Scale(CooToCsr(a_coo), -3.0);
+  DenseMatrix dense = CooToDense(a_coo);
+  for (index_t i = 0; i < 10; ++i) {
+    for (index_t j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(scaled.At(i, j), -3.0 * dense.At(i, j));
+    }
+  }
+}
+
+TEST(ElementwiseTest, AtmScaleInPlace) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  CooMatrix coo = RandomCoo(64, 64, 900, 6);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  ScaleInPlace(&atm, 2.5);
+  DenseMatrix expected = CooToDense(coo);
+  for (index_t i = 0; i < 64; ++i) {
+    for (index_t j = 0; j < 64; ++j) {
+      EXPECT_NEAR(atm.At(i, j), 2.5 * expected.At(i, j), 1e-12);
+    }
+  }
+  EXPECT_EQ(atm.nnz(), coo.nnz());  // pattern unchanged
+}
+
+TEST(ElementwiseTest, AtmAdd) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  CooMatrix a_coo = RandomCoo(48, 48, 400, 7);
+  CooMatrix b_coo = RandomCoo(48, 48, 300, 8);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  ATMatrix b = PartitionToAtm(b_coo, config);
+  ATMatrix sum = AtmAdd(a, b, config, 1.0, 2.0);
+  EXPECT_TRUE(sum.CheckValid());
+  DenseMatrix expected = Add(CooToDense(a_coo), CooToDense(b_coo), 1.0, 2.0);
+  ExpectDenseNear(expected, CsrToDense(sum.ToCsr()), 1e-12);
+}
+
+TEST(ElementwiseTest, DenseOps) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(1, 1) = 3.0;
+  b.At(0, 0) = 4.0;
+  b.At(0, 1) = 5.0;
+  DenseMatrix sum = Add(a, b);
+  EXPECT_DOUBLE_EQ(sum.At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sum.At(0, 1), 5.0);
+  DenseMatrix prod = Hadamard(a, b);
+  EXPECT_DOUBLE_EQ(prod.At(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(prod.At(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace atmx

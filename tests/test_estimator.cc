@@ -1,0 +1,112 @@
+#include "estimate/density_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "kernels/sparse_kernels.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+TEST(EstimatorTest, ZeroTimesAnythingIsZero) {
+  DensityMap a(64, 64, 16);  // all-zero
+  DensityMap b(64, 64, 16);
+  for (index_t bi = 0; bi < b.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < b.grid_cols(); ++bj) b.Set(bi, bj, 0.9);
+  }
+  DensityMap c = EstimateProductDensity(a, b);
+  for (index_t bi = 0; bi < c.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < c.grid_cols(); ++bj) {
+      EXPECT_DOUBLE_EQ(c.At(bi, bj), 0.0);
+    }
+  }
+}
+
+TEST(EstimatorTest, FullTimesFullIsFull) {
+  DensityMap a(32, 32, 16), b(32, 32, 16);
+  for (index_t bi = 0; bi < 2; ++bi) {
+    for (index_t bj = 0; bj < 2; ++bj) {
+      a.Set(bi, bj, 1.0);
+      b.Set(bi, bj, 1.0);
+    }
+  }
+  DensityMap c = EstimateProductDensity(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 1.0);
+}
+
+TEST(EstimatorTest, MatchesClosedFormSingleBlock) {
+  // One block of width w: rho_c = 1 - (1 - ra*rb)^w.
+  DensityMap a(16, 16, 16), b(16, 16, 16);
+  a.Set(0, 0, 0.3);
+  b.Set(0, 0, 0.4);
+  DensityMap c = EstimateProductDensity(a, b);
+  EXPECT_NEAR(c.At(0, 0), 1.0 - std::pow(1.0 - 0.12, 16.0), 1e-12);
+}
+
+TEST(EstimatorTest, BlockStructurePropagates) {
+  // A has a dense top-left block only; B has a dense bottom-right block
+  // only => product is entirely empty (contraction never overlaps).
+  DensityMap a(32, 32, 16), b(32, 32, 16);
+  a.Set(0, 0, 1.0);
+  b.Set(1, 1, 1.0);
+  DensityMap c = EstimateProductDensity(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 0.0);
+
+  // Now make B's top-left dense too: C(0,0..1) becomes reachable via k=0.
+  b.Set(0, 0, 1.0);
+  b.Set(0, 1, 1.0);
+  DensityMap c2 = EstimateProductDensity(a, b);
+  EXPECT_DOUBLE_EQ(c2.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c2.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c2.At(1, 0), 0.0);
+}
+
+TEST(EstimatorTest, EstimateTracksActualProductDensity) {
+  // Property check on a uniform random matrix: the estimated result nnz
+  // should be within a modest factor of the actual product nnz.
+  CooMatrix coo = GenerateUniform(256, 256, 4000, 33);
+  CsrMatrix a = CooToCsr(coo);
+  CsrMatrix c = SpGemmCsr(a, a);
+  DensityMap map = DensityMap::FromCsr(a, 32);
+  DensityMap est = EstimateProductDensity(map, map);
+  const double estimated = est.ExpectedNnz();
+  const double actual = static_cast<double>(c.nnz());
+  EXPECT_GT(estimated, 0.5 * actual);
+  EXPECT_LT(estimated, 2.0 * actual);
+}
+
+TEST(EstimatorTest, RectangularShapes) {
+  DensityMap a(30, 50, 16);  // 2x4 grid
+  DensityMap b(50, 10, 16);  // 4x1 grid
+  for (index_t bk = 0; bk < a.grid_cols(); ++bk) a.Set(0, bk, 0.2);
+  for (index_t bk = 0; bk < b.grid_rows(); ++bk) b.Set(bk, 0, 0.3);
+  DensityMap c = EstimateProductDensity(a, b);
+  EXPECT_EQ(c.rows(), 30);
+  EXPECT_EQ(c.cols(), 10);
+  EXPECT_GT(c.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 0.0);
+}
+
+TEST(EstimateMemoryTest, ThresholdControlsRepresentationMix) {
+  DensityMap map(32, 32, 16);  // 2x2 grid of 16x16 blocks
+  map.Set(0, 0, 1.0);
+  map.Set(0, 1, 0.1);
+  map.Set(1, 0, 0.0);
+  map.Set(1, 1, 0.5);
+  // Threshold above 1.0: everything sparse.
+  const double sparse_all = (1.0 + 0.1 + 0.0 + 0.5) * 256 * 16;
+  EXPECT_EQ(EstimateMemoryBytes(map, 1.1),
+            static_cast<std::size_t>(sparse_all));
+  // Threshold 0.4: blocks (0,0) and (1,1) dense.
+  const double mixed = 2 * 256 * 8 + (0.1 + 0.0) * 256 * 16;
+  EXPECT_EQ(EstimateMemoryBytes(map, 0.4),
+            static_cast<std::size_t>(mixed));
+}
+
+}  // namespace
+}  // namespace atmx

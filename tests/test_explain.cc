@@ -1,0 +1,104 @@
+#include "ops/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::RandomCoo;
+
+AtmConfig ExplainConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  config.cores_per_socket = 2;
+  return config;
+}
+
+TEST(ExplainTest, PlanMatchesExecutionStats) {
+  AtmConfig config = ExplainConfig();
+  CooMatrix coo = GenerateDiagonalDenseBlocks(96, 3, 16, 0.9, 300, 1);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  CostModel model;
+
+  MultiplyPlan plan = ExplainMultiply(atm, atm, config, model);
+  AtMult op(config, model);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(atm, atm, &stats);
+
+  // The plan predicts exactly what execution does.
+  EXPECT_EQ(static_cast<index_t>(plan.pairs.size()),
+            stats.pair_multiplications);
+  EXPECT_EQ(plan.dense_target_tiles, stats.dense_result_tiles);
+  EXPECT_EQ(plan.sparse_target_tiles, stats.sparse_result_tiles);
+  EXPECT_EQ(plan.planned_conversions,
+            stats.sparse_to_dense_conversions +
+                stats.dense_to_sparse_conversions);
+  EXPECT_DOUBLE_EQ(plan.effective_write_threshold,
+                   stats.effective_write_threshold);
+  EXPECT_EQ(plan.num_row_bands * plan.num_col_bands, c.num_tiles());
+}
+
+TEST(ExplainTest, PredictsConversions) {
+  // The conversion scenario from the ATMULT tests: near-threshold sparse
+  // tiles against a full dense operand (paper section II-C3).
+  AtmConfig config = ExplainConfig();
+  config.llc_bytes = 16 * 1024;
+  CooMatrix a = GenerateDiagonalDenseBlocks(96, 3, 32, 0.22, 100, 17);
+  CooMatrix b = DenseToCoo(GenerateFullDense(96, 96, 18));
+  ATMatrix atm_a = PartitionToAtm(a, config);
+  ATMatrix atm_b = PartitionToAtm(b, config);
+  CostModel model;
+
+  MultiplyPlan plan = ExplainMultiply(atm_a, atm_b, config, model);
+  EXPECT_GT(plan.planned_conversions, 0);
+
+  AtMult op(config, model);
+  AtMultStats stats;
+  op.Multiply(atm_a, atm_b, &stats);
+  EXPECT_EQ(plan.planned_conversions,
+            stats.sparse_to_dense_conversions +
+                stats.dense_to_sparse_conversions);
+}
+
+TEST(ExplainTest, EstimateFieldsPopulated) {
+  AtmConfig config = ExplainConfig();
+  CooMatrix coo = RandomCoo(64, 64, 600, 2);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  MultiplyPlan plan = ExplainMultiply(atm, atm, config);
+  EXPECT_GT(plan.estimated_result_nnz, 0.0);
+  EXPECT_GT(plan.estimated_result_bytes, 0u);
+  EXPECT_GT(plan.total_projected_cost, 0.0);
+}
+
+TEST(ExplainTest, ToStringContainsKeySections) {
+  AtmConfig config = ExplainConfig();
+  CooMatrix coo = GenerateDiagonalDenseBlocks(96, 3, 16, 0.9, 300, 3);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  MultiplyPlan plan = ExplainMultiply(atm, atm, config);
+  const std::string text = plan.ToString(8);
+  EXPECT_NE(text.find("MultiplyPlan"), std::string::npos);
+  EXPECT_NE(text.find("pair multiplications"), std::string::npos);
+  EXPECT_NE(text.find("gemm"), std::string::npos);
+  EXPECT_NE(text.find("rho_a"), std::string::npos);
+}
+
+TEST(ExplainTest, NoEstimationMeansSparseTargets) {
+  AtmConfig config = ExplainConfig();
+  config.density_estimation = false;
+  CooMatrix coo = RandomCoo(64, 64, 600, 4);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  MultiplyPlan plan = ExplainMultiply(atm, atm, config);
+  EXPECT_EQ(plan.dense_target_tiles, 0);
+  EXPECT_EQ(plan.estimated_result_nnz, 0.0);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "gen/workloads.h"
+#include "storage/convert.h"
+
+namespace atmx {
+namespace {
+
+TEST(RmatTest, ExactNnzAndBounds) {
+  RmatParams params;
+  params.rows = 100;
+  params.cols = 80;
+  params.nnz = 500;
+  params.seed = 1;
+  CooMatrix coo = GenerateRmat(params);
+  EXPECT_EQ(coo.rows(), 100);
+  EXPECT_EQ(coo.cols(), 80);
+  EXPECT_EQ(coo.nnz(), 500);
+  for (const CooEntry& e : coo.entries()) {
+    EXPECT_GE(e.row, 0);
+    EXPECT_LT(e.row, 100);
+    EXPECT_GE(e.col, 0);
+    EXPECT_LT(e.col, 80);
+  }
+}
+
+TEST(RmatTest, DeterministicInSeed) {
+  RmatParams params;
+  params.rows = params.cols = 64;
+  params.nnz = 300;
+  params.seed = 7;
+  CooMatrix a = GenerateRmat(params);
+  CooMatrix b = GenerateRmat(params);
+  EXPECT_EQ(a.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    EXPECT_EQ(a.entries()[i], b.entries()[i]);
+  }
+}
+
+TEST(RmatTest, SkewConcentratesInUpperLeft) {
+  RmatParams uniform;
+  uniform.rows = uniform.cols = 256;
+  uniform.nnz = 4000;
+  uniform.seed = 2;
+  RmatParams skewed = uniform;
+  skewed.a = 0.73;
+  skewed.b = 0.09;
+  skewed.c = 0.09;
+
+  auto upper_left_fraction = [](const CooMatrix& coo) {
+    index_t count = 0;
+    for (const CooEntry& e : coo.entries()) {
+      if (e.row < coo.rows() / 2 && e.col < coo.cols() / 2) ++count;
+    }
+    return static_cast<double>(count) / coo.nnz();
+  };
+  const double f_uniform = upper_left_fraction(GenerateRmat(uniform));
+  const double f_skewed = upper_left_fraction(GenerateRmat(skewed));
+  EXPECT_NEAR(f_uniform, 0.25, 0.06);
+  // Rejection of duplicates flattens the skew at this density; the
+  // concentration is still unmistakable versus the uniform 0.25.
+  EXPECT_GT(f_skewed, 0.42);
+}
+
+TEST(SyntheticTest, UniformExactCount) {
+  CooMatrix coo = GenerateUniform(50, 60, 700, 3);
+  EXPECT_EQ(coo.nnz(), 700);
+  EXPECT_NEAR(coo.Density(), 700.0 / 3000.0, 1e-12);
+}
+
+TEST(SyntheticTest, BandedStaysInBand) {
+  CooMatrix coo = GenerateBanded(100, 5, 0.5, 4);
+  for (const CooEntry& e : coo.entries()) {
+    EXPECT_LE(std::abs(e.row - e.col), 5);
+  }
+  // Diagonal always present.
+  DenseMatrix d = CooToDense(coo);
+  for (index_t i = 0; i < 100; ++i) EXPECT_NE(d.At(i, i), 0.0);
+}
+
+TEST(SyntheticTest, BandedBlocksContainDenseBlocklets) {
+  CooMatrix coo = GenerateBandedBlocks(60, 8, 0.2, 6, 5);
+  DenseMatrix d = CooToDense(coo);
+  // Every diagonal 6x6 blocklet is fully populated.
+  for (index_t s = 0; s + 6 <= 60; s += 6) {
+    for (index_t i = s; i < s + 6; ++i) {
+      for (index_t j = s; j < s + 6; ++j) {
+        EXPECT_NE(d.At(i, j), 0.0) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, DiagonalDenseBlocksTopology) {
+  CooMatrix coo = GenerateDiagonalDenseBlocks(128, 4, 16, 1.0, 0, 6);
+  DenseMatrix d = CooToDense(coo);
+  // Block starts at multiples of 32.
+  for (index_t bk = 0; bk < 4; ++bk) {
+    const index_t s = bk * 32;
+    for (index_t i = s; i < s + 16; ++i) {
+      for (index_t j = s; j < s + 16; ++j) {
+        EXPECT_NE(d.At(i, j), 0.0);
+      }
+    }
+  }
+  EXPECT_EQ(coo.nnz(), 4 * 16 * 16);
+}
+
+TEST(SyntheticTest, HamiltonianIsSymmetricInStructure) {
+  CooMatrix coo = GenerateHamiltonian(120, 6, 0.5, 0.4, 0.2, 7);
+  EXPECT_GT(coo.nnz(), 0);
+  // Block-level symmetry: if block (i,j) has content then so does (j,i).
+  // (Element-level randomness differs; we check coarse 20x20 regions.)
+  DenseMatrix d = CooToDense(coo);
+  for (index_t bi = 0; bi < 6; ++bi) {
+    for (index_t bj = 0; bj < 6; ++bj) {
+      index_t count_ij = 0, count_ji = 0;
+      for (index_t i = 0; i < 20; ++i) {
+        for (index_t j = 0; j < 20; ++j) {
+          count_ij += d.At(bi * 20 + i, bj * 20 + j) != 0.0;
+          count_ji += d.At(bj * 20 + i, bi * 20 + j) != 0.0;
+        }
+      }
+      EXPECT_EQ(count_ij > 0, count_ji > 0) << bi << "," << bj;
+    }
+  }
+}
+
+TEST(SyntheticTest, ScaleFreeHasDenseCore) {
+  CooMatrix coo = GenerateScaleFreeCorrelation(200, 3000, 0.9, 8);
+  EXPECT_EQ(coo.nnz(), 3000);
+  index_t core = 0;
+  for (const CooEntry& e : coo.entries()) {
+    if (e.row < 50 && e.col < 50) ++core;
+  }
+  // The top quarter of ids holds far more than 1/16 of the elements.
+  EXPECT_GT(static_cast<double>(core) / coo.nnz(), 0.2);
+}
+
+TEST(SyntheticTest, FullDenseIsFull) {
+  DenseMatrix d = GenerateFullDense(20, 30, 9);
+  EXPECT_EQ(d.CountNonZeros(), 600);
+}
+
+TEST(WorkloadTest, RegistryMatchesTable1) {
+  const auto& specs = Table1Specs();
+  ASSERT_EQ(specs.size(), 18u);
+  EXPECT_EQ(specs[0].id, "R1");
+  EXPECT_EQ(specs[8].id, "R9");
+  EXPECT_EQ(specs[9].id, "G1");
+  EXPECT_EQ(specs[17].id, "G9");
+  EXPECT_EQ(FindWorkload("R3").full_dim, 38120);
+  EXPECT_NEAR(FindWorkload("R1").FullDensity(), 0.148, 0.005);
+  EXPECT_NEAR(FindWorkload("G5").rmat_a, 0.61, 1e-12);
+}
+
+TEST(WorkloadTest, ScaledGenerationPreservesDensityClass) {
+  for (const char* id : {"R3", "R7"}) {
+    CooMatrix coo = MakeWorkloadMatrix(id, 0.02);
+    const WorkloadSpec& spec = FindWorkload(id);
+    EXPECT_GT(coo.nnz(), 0) << id;
+    // Density within a factor ~6 of Table I: surrogates are approximate,
+    // and at tiny scales the banded generators cannot drop below one
+    // diagonal element per row.
+    const double rho = coo.Density();
+    EXPECT_GT(rho, spec.FullDensity() / 6.0) << id;
+    EXPECT_LT(rho, spec.FullDensity() * 6.0) << id;
+  }
+}
+
+TEST(WorkloadTest, RmatScalingPreservesCollisionParameter) {
+  // The G series scales nnz with scale^1.5 so that the self-product's
+  // expected contributions per output cell, (nnz/n)^2 / n, match the
+  // full-scale experiment (see workloads.cc).
+  const WorkloadSpec& spec = FindWorkload("G1");
+  const double full_lambda =
+      std::pow(spec.full_nnz / spec.full_dim, 2.0) / spec.full_dim;
+  for (double scale : {0.02, 0.05}) {
+    CooMatrix coo = MakeWorkloadMatrix("G1", scale);
+    const double n = static_cast<double>(coo.rows());
+    const double lambda =
+        std::pow(static_cast<double>(coo.nnz()) / n, 2.0) / n;
+    EXPECT_NEAR(lambda, full_lambda, full_lambda * 0.25) << scale;
+  }
+}
+
+TEST(WorkloadTest, DeterministicAcrossCalls) {
+  CooMatrix a = MakeWorkloadMatrix("G3", 0.01);
+  CooMatrix b = MakeWorkloadMatrix("G3", 0.01);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.entries()[i], b.entries()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,99 @@
+#include "morton/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/rng.h"
+#include "morton/morton.h"
+
+namespace atmx {
+namespace {
+
+TEST(HilbertTest, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  for (int order : {1, 3, 8, 16}) {
+    const index_t side = index_t{1} << order;
+    for (int i = 0; i < 2000; ++i) {
+      const index_t r = static_cast<index_t>(rng.NextBounded(side));
+      const index_t c = static_cast<index_t>(rng.NextBounded(side));
+      index_t r2, c2;
+      HilbertDecode(HilbertEncode(r, c, order), order, &r2, &c2);
+      EXPECT_EQ(r, r2);
+      EXPECT_EQ(c, c2);
+    }
+  }
+}
+
+TEST(HilbertTest, IsABijectionOnSmallGrids) {
+  for (int order : {1, 2, 3, 4}) {
+    const index_t side = index_t{1} << order;
+    std::set<std::uint64_t> seen;
+    for (index_t r = 0; r < side; ++r) {
+      for (index_t c = 0; c < side; ++c) {
+        const std::uint64_t d = HilbertEncode(r, c, order);
+        EXPECT_LT(d, static_cast<std::uint64_t>(side * side));
+        EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+      }
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreAdjacentCells) {
+  // The defining Hilbert property (which the Z-curve lacks): cells with
+  // consecutive curve indices are grid neighbours.
+  const int order = 5;
+  const index_t side = index_t{1} << order;
+  index_t pr, pc;
+  HilbertDecode(0, order, &pr, &pc);
+  for (std::uint64_t d = 1; d < static_cast<std::uint64_t>(side * side);
+       ++d) {
+    index_t r, c;
+    HilbertDecode(d, order, &r, &c);
+    EXPECT_EQ(std::abs(r - pr) + std::abs(c - pc), 1) << "at d=" << d;
+    pr = r;
+    pc = c;
+  }
+}
+
+TEST(HilbertTest, ZCurveLacksAdjacency) {
+  // Sanity contrast: the Z-curve jumps at quadrant boundaries.
+  index_t jumps = 0;
+  index_t pr, pc;
+  MortonDecode(0, &pr, &pc);
+  for (std::uint64_t z = 1; z < 1024; ++z) {
+    index_t r, c;
+    MortonDecode(z, &r, &c);
+    if (std::abs(r - pr) + std::abs(c - pc) > 1) ++jumps;
+    pr = r;
+    pc = c;
+  }
+  EXPECT_GT(jumps, 100);
+}
+
+TEST(HilbertTest, QuadrantsAreContiguousRanges) {
+  // Like the Z-curve, Hilbert is a quadtree curve: every aligned quadrant
+  // occupies one contiguous index range — the property the partitioner's
+  // recursion relies on for any quadtree-order curve.
+  const int order = 4;
+  const index_t side = index_t{1} << order;
+  for (index_t qr = 0; qr < 2; ++qr) {
+    for (index_t qc = 0; qc < 2; ++qc) {
+      std::uint64_t lo = UINT64_MAX, hi = 0;
+      for (index_t r = 0; r < side / 2; ++r) {
+        for (index_t c = 0; c < side / 2; ++c) {
+          const std::uint64_t d =
+              HilbertEncode(qr * side / 2 + r, qc * side / 2 + c, order);
+          lo = std::min(lo, d);
+          hi = std::max(hi, d);
+        }
+      }
+      EXPECT_EQ(hi - lo + 1,
+                static_cast<std::uint64_t>(side / 2) * (side / 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,276 @@
+// Correctness of all eight multiplication kernels, including referenced
+// submatrix (window) multiplication, validated against the naive reference
+// multiply over random matrices (property-style parameterized sweeps).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "kernels/dense_kernels.h"
+#include "kernels/kernel_dispatch.h"
+#include "kernels/mixed_kernels.h"
+#include "kernels/sparse_kernels.h"
+#include "ops/reference_mult.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+struct KernelCase {
+  index_t m, k, n;
+  double density_a, density_b;
+  std::uint64_t seed;
+};
+
+class KernelParamTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    const KernelCase& p = GetParam();
+    a_coo_ = RandomCoo(p.m, p.k,
+                       static_cast<index_t>(p.density_a * p.m * p.k) + 1,
+                       p.seed);
+    b_coo_ = RandomCoo(p.k, p.n,
+                       static_cast<index_t>(p.density_b * p.k * p.n) + 1,
+                       p.seed + 1);
+    a_dense_ = CooToDense(a_coo_);
+    b_dense_ = CooToDense(b_coo_);
+    a_csr_ = CooToCsr(a_coo_);
+    b_csr_ = CooToCsr(b_coo_);
+    expected_ = ReferenceMultiply(a_dense_, b_dense_);
+  }
+
+  CooMatrix a_coo_, b_coo_;
+  DenseMatrix a_dense_, b_dense_;
+  CsrMatrix a_csr_, b_csr_;
+  DenseMatrix expected_;
+};
+
+TEST_P(KernelParamTest, DddGemm) {
+  const KernelCase& p = GetParam();
+  DenseMatrix c(p.m, p.n);
+  DddGemm(a_dense_.View(), b_dense_.View(), c.MutView(), 0, p.m);
+  ExpectDenseNear(expected_, c);
+}
+
+TEST_P(KernelParamTest, SddGemm) {
+  const KernelCase& p = GetParam();
+  DenseMatrix c(p.m, p.n);
+  SddGemm(a_csr_, Window::Full(p.m, p.k), b_dense_.View(), c.MutView(), 0,
+          p.m);
+  ExpectDenseNear(expected_, c);
+}
+
+TEST_P(KernelParamTest, DsdGemm) {
+  const KernelCase& p = GetParam();
+  DenseMatrix c(p.m, p.n);
+  DsdGemm(a_dense_.View(), b_csr_, Window::Full(p.k, p.n), c.MutView(), 0,
+          p.m);
+  ExpectDenseNear(expected_, c);
+}
+
+TEST_P(KernelParamTest, SsdGemm) {
+  const KernelCase& p = GetParam();
+  DenseMatrix c(p.m, p.n);
+  SsdGemm(a_csr_, Window::Full(p.m, p.k), b_csr_, Window::Full(p.k, p.n),
+          c.MutView(), 0, p.m);
+  ExpectDenseNear(expected_, c);
+}
+
+TEST_P(KernelParamTest, SpGemmCsrBaseline) {
+  CsrMatrix c = SpGemmCsr(a_csr_, b_csr_);
+  EXPECT_TRUE(c.CheckValid());
+  ExpectDenseNear(expected_, CsrToDense(c));
+}
+
+TEST_P(KernelParamTest, SpGemmDenseBaseline) {
+  ExpectDenseNear(expected_, SpGemmDense(a_csr_, b_csr_));
+}
+
+// Sparse-target kernels, exercised row by row through the SPA.
+TEST_P(KernelParamTest, SparseTargetRowKernels) {
+  const KernelCase& p = GetParam();
+  const Window wa = Window::Full(p.m, p.k);
+  const Window wb = Window::Full(p.k, p.n);
+  SparseAccumulator spa(p.n);
+
+  struct Variant {
+    const char* name;
+    std::function<void(index_t)> accumulate;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"sss", [&](index_t i) {
+                        SssAccumulateRow(a_csr_, wa, b_csr_, wb, i, &spa);
+                      }});
+  variants.push_back({"sds", [&](index_t i) {
+                        SdsAccumulateRow(a_csr_, wa, b_dense_.View(), i,
+                                         &spa);
+                      }});
+  variants.push_back({"dss", [&](index_t i) {
+                        DssAccumulateRow(a_dense_.View(), b_csr_, wb, i,
+                                         &spa);
+                      }});
+  variants.push_back({"dds", [&](index_t i) {
+                        DdsAccumulateRow(a_dense_.View(), b_dense_.View(), i,
+                                         &spa);
+                      }});
+
+  for (const Variant& variant : variants) {
+    CsrBuilder builder(p.m, p.n);
+    for (index_t i = 0; i < p.m; ++i) {
+      variant.accumulate(i);
+      spa.FlushToBuilder(&builder);
+      builder.FinishRowsUpTo(i + 1);
+    }
+    CsrMatrix c = builder.Build();
+    EXPECT_TRUE(c.CheckValid()) << variant.name;
+    ExpectDenseNear(expected_, CsrToDense(c));
+  }
+}
+
+// Window property: multiplying the window [r0,r1)x[k0,k1) * [k0,k1)x[c0,c1)
+// must equal the same sub-multiplication done on dense slices.
+TEST_P(KernelParamTest, ReferencedSubmatrixMultiplication) {
+  const KernelCase& p = GetParam();
+  if (p.m < 4 || p.k < 4 || p.n < 4) return;
+  const index_t r0 = p.m / 4, r1 = p.m - p.m / 4;
+  const index_t k0 = p.k / 4, k1 = p.k - p.k / 4;
+  const index_t c0 = p.n / 4, c1 = p.n - p.n / 4;
+  const Window wa{r0, r1, k0, k1};
+  const Window wb{k0, k1, c0, c1};
+
+  // Reference: dense window multiply.
+  DenseMatrix a_slice(r1 - r0, k1 - k0);
+  for (index_t i = 0; i < a_slice.rows(); ++i) {
+    for (index_t j = 0; j < a_slice.cols(); ++j) {
+      a_slice.At(i, j) = a_dense_.At(r0 + i, k0 + j);
+    }
+  }
+  DenseMatrix b_slice(k1 - k0, c1 - c0);
+  for (index_t i = 0; i < b_slice.rows(); ++i) {
+    for (index_t j = 0; j < b_slice.cols(); ++j) {
+      b_slice.At(i, j) = b_dense_.At(k0 + i, c0 + j);
+    }
+  }
+  DenseMatrix expected = ReferenceMultiply(a_slice, b_slice);
+
+  // ssd with windows.
+  DenseMatrix c1m(r1 - r0, c1 - c0);
+  SsdGemm(a_csr_, wa, b_csr_, wb, c1m.MutView(), 0, r1 - r0);
+  ExpectDenseNear(expected, c1m);
+
+  // sdd: dense B window via DenseView::Window.
+  DenseMatrix c2m(r1 - r0, c1 - c0);
+  SddGemm(a_csr_, wa, b_dense_.View().Window(k0, c0, k1 - k0, c1 - c0),
+          c2m.MutView(), 0, r1 - r0);
+  ExpectDenseNear(expected, c2m);
+
+  // dsd: dense A window, sparse B window.
+  DenseMatrix c3m(r1 - r0, c1 - c0);
+  DsdGemm(a_dense_.View().Window(r0, k0, r1 - r0, k1 - k0), b_csr_, wb,
+          c3m.MutView(), 0, r1 - r0);
+  ExpectDenseNear(expected, c3m);
+
+  // ddd windows.
+  DenseMatrix c4m(r1 - r0, c1 - c0);
+  DddGemm(a_dense_.View().Window(r0, k0, r1 - r0, k1 - k0),
+          b_dense_.View().Window(k0, c0, k1 - k0, c1 - c0), c4m.MutView(), 0,
+          r1 - r0);
+  ExpectDenseNear(expected, c4m);
+
+  // sss row kernel with windows.
+  SparseAccumulator spa(c1 - c0);
+  CsrBuilder builder(r1 - r0, c1 - c0);
+  for (index_t i = 0; i < r1 - r0; ++i) {
+    SssAccumulateRow(a_csr_, wa, b_csr_, wb, i, &spa);
+    spa.FlushToBuilder(&builder);
+    builder.FinishRowsUpTo(i + 1);
+  }
+  ExpectDenseNear(expected, CsrToDense(builder.Build()));
+}
+
+TEST_P(KernelParamTest, DispatchMatchesDirectKernels) {
+  const KernelCase& p = GetParam();
+  const Operand a_sp = Operand::Sparse(&a_csr_, Window::Full(p.m, p.k));
+  const Operand a_d = Operand::Dense(a_dense_.View());
+  const Operand b_sp = Operand::Sparse(&b_csr_, Window::Full(p.k, p.n));
+  const Operand b_d = Operand::Dense(b_dense_.View());
+  for (const Operand& a : {a_sp, a_d}) {
+    for (const Operand& b : {b_sp, b_d}) {
+      DenseMatrix c(p.m, p.n);
+      MultiplyIntoDense(a, b, c.MutView(), 0, p.m);
+      ExpectDenseNear(expected_, c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelParamTest,
+    ::testing::Values(
+        KernelCase{16, 16, 16, 0.2, 0.2, 1},
+        KernelCase{32, 16, 8, 0.1, 0.3, 2},
+        KernelCase{7, 13, 21, 0.15, 0.15, 3},    // odd sizes
+        KernelCase{64, 64, 64, 0.05, 0.05, 4},
+        KernelCase{48, 96, 24, 0.02, 0.5, 5},    // asymmetric densities
+        KernelCase{100, 50, 75, 0.3, 0.01, 6},
+        KernelCase{33, 1, 33, 0.5, 0.5, 7},      // degenerate contraction
+        KernelCase{1, 64, 1, 0.2, 0.2, 8},       // vector-ish shapes
+        KernelCase{128, 32, 128, 0.008, 0.008, 9}));  // hypersparse
+
+TEST(KernelDispatchTest, KernelTypeNamesAndComposition) {
+  EXPECT_EQ(MakeKernelType(true, true, true), KernelType::kDDD);
+  EXPECT_EQ(MakeKernelType(false, false, false), KernelType::kSSS);
+  EXPECT_EQ(MakeKernelType(false, true, true), KernelType::kSDD);
+  EXPECT_EQ(MakeKernelType(true, false, false), KernelType::kDSS);
+  EXPECT_STREQ(KernelTypeName(KernelType::kSSS), "spspsp_gemm");
+  EXPECT_STREQ(KernelTypeName(KernelType::kSSD), "spspd_gemm");
+  EXPECT_STREQ(KernelTypeName(KernelType::kDDD), "ddd_gemm");
+}
+
+TEST(KernelEdgeTest, EmptyOperandsYieldZero) {
+  CsrMatrix a(8, 8);
+  CsrMatrix b(8, 8);
+  DenseMatrix c(8, 8);
+  SsdGemm(a, Window::Full(8, 8), b, Window::Full(8, 8), c.MutView(), 0, 8);
+  EXPECT_EQ(c.CountNonZeros(), 0);
+  CsrMatrix csr = SpGemmCsr(a, b);
+  EXPECT_EQ(csr.nnz(), 0);
+}
+
+TEST(KernelEdgeTest, RowRangeSubsetOnlyTouchesThoseRows) {
+  CooMatrix coo = RandomCoo(16, 16, 60, 11);
+  CsrMatrix a = CooToCsr(coo);
+  DenseMatrix b = CooToDense(RandomCoo(16, 16, 60, 12));
+  DenseMatrix c(16, 16);
+  SddGemm(a, Window::Full(16, 16), b.View(), c.MutView(), 4, 8);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 16; ++j) EXPECT_EQ(c.At(i, j), 0.0);
+  }
+  for (index_t i = 8; i < 16; ++i) {
+    for (index_t j = 0; j < 16; ++j) EXPECT_EQ(c.At(i, j), 0.0);
+  }
+}
+
+TEST(KernelEdgeTest, AccumulationIntoNonZeroTarget) {
+  // C' = C + A*B semantics: kernels must accumulate, not overwrite.
+  CooMatrix coo = RandomCoo(8, 8, 20, 13);
+  CsrMatrix a = CooToCsr(coo);
+  DenseMatrix b = CooToDense(RandomCoo(8, 8, 20, 14));
+  DenseMatrix c(8, 8);
+  c.Fill(1.0);
+  DenseMatrix expected = ReferenceMultiply(CooToDense(coo), b);
+  SddGemm(a, Window::Full(8, 8), b.View(), c.MutView(), 0, 8);
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(c.At(i, j), expected.At(i, j) + 1.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,104 @@
+#include "storage/matrix_market.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MatrixMarketTest, WriteReadRoundTrip) {
+  CooMatrix coo = atmx::testing::RandomCoo(12, 9, 40, 21);
+  const std::string path = TempPath("roundtrip.mtx");
+  ASSERT_TRUE(WriteMatrixMarket(coo, path).ok());
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().rows(), 12);
+  EXPECT_EQ(read.value().cols(), 9);
+  EXPECT_EQ(read.value().nnz(), 40);
+  atmx::testing::ExpectDenseNear(CooToDense(coo),
+                                 CooToDense(read.value()), 1e-12);
+}
+
+TEST(MatrixMarketTest, ReadsSymmetricExpanded) {
+  const std::string path = TempPath("sym.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n"
+        << "% a comment\n"
+        << "3 3 2\n"
+        << "2 1 5.0\n"
+        << "3 3 1.0\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_TRUE(read.ok());
+  // Off-diagonal expands to both triangles; diagonal does not.
+  EXPECT_EQ(read.value().nnz(), 3);
+  DenseMatrix d = CooToDense(read.value());
+  EXPECT_DOUBLE_EQ(d.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.At(2, 2), 1.0);
+}
+
+TEST(MatrixMarketTest, ReadsPatternAsOnes) {
+  const std::string path = TempPath("pattern.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n"
+        << "2 2 1\n"
+        << "1 2\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_DOUBLE_EQ(CooToDense(read.value()).At(0, 1), 1.0);
+}
+
+TEST(MatrixMarketTest, RejectsMissingFile) {
+  Result<CooMatrix> read = ReadMatrixMarket(TempPath("nonexistent.mtx"));
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(MatrixMarketTest, RejectsBadHeader) {
+  const std::string path = TempPath("bad.mtx");
+  {
+    std::ofstream out(path);
+    out << "not a matrix market file\n";
+  }
+  EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+TEST(MatrixMarketTest, RejectsOutOfBoundsEntry) {
+  const std::string path = TempPath("oob.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 1\n"
+        << "3 1 1.0\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MatrixMarketTest, RejectsTruncatedEntries) {
+  const std::string path = TempPath("trunc.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 2\n"
+        << "1 1 1.0\n";
+  }
+  EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+}  // namespace
+}  // namespace atmx

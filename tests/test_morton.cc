@@ -1,0 +1,97 @@
+#include "morton/morton.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace atmx {
+namespace {
+
+TEST(MortonTest, SmallValuesMatchZOrder) {
+  // Z-order on a 2x2 grid enumerates UL, UR, LL, LR.
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(0, 1), 1u);
+  EXPECT_EQ(MortonEncode(1, 0), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+  // Second level.
+  EXPECT_EQ(MortonEncode(0, 2), 4u);
+  EXPECT_EQ(MortonEncode(2, 0), 8u);
+  EXPECT_EQ(MortonEncode(2, 2), 12u);
+  EXPECT_EQ(MortonEncode(3, 3), 15u);
+}
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const index_t r = static_cast<index_t>(rng.NextBounded(1u << 31));
+    const index_t c = static_cast<index_t>(rng.NextBounded(1u << 31));
+    index_t r2, c2;
+    MortonDecode(MortonEncode(r, c), &r2, &c2);
+    EXPECT_EQ(r, r2);
+    EXPECT_EQ(c, c2);
+  }
+}
+
+TEST(MortonTest, QuadrantLocality) {
+  // All Z-values of an aligned 4x4 quadrant at (4, 8) are contiguous.
+  const std::uint64_t base = MortonEncode(4, 8);
+  for (index_t r = 4; r < 8; ++r) {
+    for (index_t c = 8; c < 12; ++c) {
+      const std::uint64_t z = MortonEncode(r, c);
+      EXPECT_GE(z, base);
+      EXPECT_LT(z, base + 16);
+    }
+  }
+}
+
+TEST(ZSpaceTest, PadsToCommonPowerOfTwo) {
+  EXPECT_EQ(ZSpaceSide(7, 8), 8);
+  EXPECT_EQ(ZSpaceSide(8, 8), 8);
+  EXPECT_EQ(ZSpaceSide(9, 3), 16);
+  EXPECT_EQ(ZSpaceSide(1, 1), 1);
+}
+
+TEST(ZSplitTest, FourEqualQuadrants) {
+  ZQuad quads[4];
+  ZSplit(0, 64, quads);
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(quads[q].start, static_cast<std::uint64_t>(q) * 16);
+    EXPECT_EQ(quads[q].end, static_cast<std::uint64_t>(q + 1) * 16);
+  }
+  // Quadrant order is UL, UR, LL, LR.
+  index_t r, c;
+  ZRangeOrigin(quads[0].start, &r, &c);
+  EXPECT_EQ(r, 0);
+  EXPECT_EQ(c, 0);
+  ZRangeOrigin(quads[1].start, &r, &c);
+  EXPECT_EQ(r, 0);
+  EXPECT_EQ(c, 4);
+  ZRangeOrigin(quads[2].start, &r, &c);
+  EXPECT_EQ(r, 4);
+  EXPECT_EQ(c, 0);
+  ZRangeOrigin(quads[3].start, &r, &c);
+  EXPECT_EQ(r, 4);
+  EXPECT_EQ(c, 4);
+}
+
+TEST(ZRangeTest, SideLengths) {
+  EXPECT_EQ(ZRangeSide(0, 1), 1);
+  EXPECT_EQ(ZRangeSide(0, 4), 2);
+  EXPECT_EQ(ZRangeSide(16, 32), 4);
+  EXPECT_EQ(ZRangeSide(0, 4096), 64);
+}
+
+TEST(ZRangeTest, OriginOfNestedQuadrants) {
+  // The LR quadrant of the LR quadrant of a 8x8 space starts at (6, 6).
+  ZQuad quads[4];
+  ZSplit(0, 64, quads);
+  ZQuad inner[4];
+  ZSplit(quads[3].start, quads[3].end, inner);
+  index_t r, c;
+  ZRangeOrigin(inner[3].start, &r, &c);
+  EXPECT_EQ(r, 6);
+  EXPECT_EQ(c, 6);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,65 @@
+#include "ops/norms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::RandomCoo;
+
+TEST(NormsTest, FrobeniusAgreesAcrossRepresentations) {
+  CooMatrix coo = RandomCoo(60, 60, 500, 1);
+  CsrMatrix csr = CooToCsr(coo);
+  DenseMatrix dense = CooToDense(coo);
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  ATMatrix atm = PartitionToAtm(coo, config);
+
+  const double reference = FrobeniusNorm(dense);
+  EXPECT_NEAR(FrobeniusNorm(csr), reference, 1e-10);
+  EXPECT_NEAR(FrobeniusNorm(atm), reference, 1e-10);
+  EXPECT_GT(reference, 0.0);
+}
+
+TEST(NormsTest, KnownSmallMatrix) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 3.0);
+  coo.Add(1, 1, 4.0);
+  CsrMatrix csr = CooToCsr(coo);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(csr), 5.0);
+  EXPECT_DOUBLE_EQ(MaxAbsValue(csr), 4.0);
+  auto sums = RowSums(csr);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 4.0);
+  auto norms = RowNorms(csr);
+  EXPECT_DOUBLE_EQ(norms[0], 3.0);
+  auto counts = RowNnz(csr);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+}
+
+TEST(NormsTest, MaxAbsHandlesNegatives) {
+  CooMatrix coo(3, 3);
+  coo.Add(0, 1, -7.5);
+  coo.Add(2, 2, 2.0);
+  EXPECT_DOUBLE_EQ(MaxAbsValue(CooToCsr(coo)), 7.5);
+  AtmConfig config;
+  config.b_atomic = 16;
+  EXPECT_DOUBLE_EQ(MaxAbsValue(PartitionToAtm(coo, config)), 7.5);
+}
+
+TEST(NormsTest, EmptyMatrix) {
+  CsrMatrix empty(5, 5);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(empty), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsValue(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,122 @@
+#include "ops/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+MultiplyShape Shape(index_t m, index_t k, index_t n, double ra, double rb,
+                    double rc) {
+  return {m, k, n, ra, rb, rc};
+}
+
+TEST(PairDecisionTest, KeepsRepresentationsWhenConversionDisallowed) {
+  CostModel model;
+  PairDecision d = DecidePairRepresentations(
+      model, Shape(256, 256, 256, 0.9, 0.9, 0.9), /*a_is_dense=*/false,
+      /*b_is_dense=*/false, false, false, /*c_dense=*/true,
+      /*allow_conversion=*/false);
+  EXPECT_FALSE(d.a_dense);
+  EXPECT_FALSE(d.b_dense);
+  EXPECT_FALSE(d.a_converted);
+  EXPECT_FALSE(d.b_converted);
+}
+
+TEST(PairDecisionTest, ConvertsDenseishSparseTiles) {
+  CostModel model;
+  // Operands stored sparse but nearly full: dense kernel wins even after
+  // paying the conversion.
+  PairDecision d = DecidePairRepresentations(
+      model, Shape(512, 512, 512, 0.9, 0.9, 0.9), false, false, false,
+      false, true, true);
+  EXPECT_TRUE(d.a_dense);
+  EXPECT_TRUE(d.b_dense);
+  EXPECT_TRUE(d.a_converted);
+  EXPECT_TRUE(d.b_converted);
+}
+
+TEST(PairDecisionTest, KeepsHypersparseTilesSparse) {
+  CostModel model;
+  PairDecision d = DecidePairRepresentations(
+      model, Shape(512, 512, 512, 0.001, 0.001, 0.001), false, false, false,
+      false, false, true);
+  EXPECT_FALSE(d.a_dense);
+  EXPECT_FALSE(d.b_dense);
+}
+
+TEST(PairDecisionTest, CachedConversionTipsTheScale) {
+  CostModel model;
+  // Density near the turnaround: without a cached conversion the
+  // conversion cost keeps the tile sparse; with the conversion already
+  // cached the dense kernel is free to win.
+  const double rho = 0.26;
+  const MultiplyShape shape = Shape(128, 128, 128, rho, 1.0, 0.9);
+  PairDecision uncached = DecidePairRepresentations(
+      model, shape, false, true, false, false, true, true);
+  PairDecision cached = DecidePairRepresentations(model, shape, false, true,
+                                                  true, false, true, true);
+  EXPECT_LE(uncached.projected_cost + 1e-9, 1e18);
+  EXPECT_TRUE(cached.a_dense);
+  // The cached projected cost can never exceed the uncached one.
+  EXPECT_LE(cached.projected_cost, uncached.projected_cost + 1e-9);
+}
+
+TEST(PairDecisionTest, DenseOperandCanConvertToSparse) {
+  CostModel model;
+  // A dense-stored but hypersparse tile against a hypersparse B: the
+  // sparse kernel wins by orders of magnitude.
+  PairDecision d = DecidePairRepresentations(
+      model, Shape(512, 512, 512, 0.001, 0.001, 0.0001), true, false, false,
+      false, false, true);
+  EXPECT_FALSE(d.a_dense);
+  EXPECT_TRUE(d.a_converted);
+}
+
+TEST(ConversionCacheTest, ConvertsOnceAndReuses) {
+  CooMatrix coo = atmx::testing::RandomCoo(16, 16, 50, 1);
+  Tile tile = Tile::MakeSparse(0, 0, CooToCsr(coo));
+  ConversionCache cache;
+  double seconds = 0.0;
+  const DenseMatrix& first =
+      cache.GetDense(ConversionCache::kLeft, 3, tile, &seconds);
+  const DenseMatrix& second =
+      cache.GetDense(ConversionCache::kLeft, 3, tile, &seconds);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.sparse_to_dense_count(), 1);
+  EXPECT_TRUE(cache.HasDense(ConversionCache::kLeft, 3));
+  EXPECT_FALSE(cache.HasDense(ConversionCache::kRight, 3));
+  EXPECT_FALSE(cache.HasDense(ConversionCache::kLeft, 4));
+  // Converted payload preserves content.
+  atmx::testing::ExpectDenseNear(CooToDense(coo), first);
+}
+
+TEST(ConversionCacheTest, DenseToSparseDirection) {
+  DenseMatrix dense(8, 8);
+  dense.At(3, 4) = 2.0;
+  Tile tile = Tile::MakeDense(0, 0, std::move(dense));
+  ConversionCache cache;
+  double seconds = 0.0;
+  const CsrMatrix& sparse =
+      cache.GetSparse(ConversionCache::kRight, 0, tile, &seconds);
+  EXPECT_EQ(sparse.nnz(), 1);
+  EXPECT_DOUBLE_EQ(sparse.At(3, 4), 2.0);
+  EXPECT_EQ(cache.dense_to_sparse_count(), 1);
+  EXPECT_TRUE(cache.HasSparse(ConversionCache::kRight, 0));
+}
+
+TEST(ConversionCacheTest, SidesAndIndicesAreIndependentKeys) {
+  CooMatrix coo = atmx::testing::RandomCoo(8, 8, 10, 2);
+  Tile tile = Tile::MakeSparse(0, 0, CooToCsr(coo));
+  ConversionCache cache;
+  double seconds = 0.0;
+  cache.GetDense(ConversionCache::kLeft, 1, tile, &seconds);
+  cache.GetDense(ConversionCache::kRight, 1, tile, &seconds);
+  cache.GetDense(ConversionCache::kLeft, 2, tile, &seconds);
+  EXPECT_EQ(cache.sparse_to_dense_count(), 3);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,222 @@
+// Tests of the recursive quadtree partitioner (Alg. 1): structural
+// validity, content preservation, density-class materialization, melting
+// behaviour, tiling modes, and the hypersparse single-tile property.
+
+#include "tile/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "gen/synthetic.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::RandomCoo;
+
+AtmConfig SmallConfig(index_t b_atomic = 16) {
+  AtmConfig config;
+  config.b_atomic = b_atomic;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  config.cores_per_socket = 1;
+  return config;
+}
+
+void ExpectContentPreserved(const CooMatrix& coo, const ATMatrix& atm) {
+  DenseMatrix expected = CooToDense(coo);
+  DenseMatrix actual = CsrToDense(atm.ToCsr());
+  atmx::testing::ExpectDenseNear(expected, actual, 0.0);
+}
+
+TEST(PartitionerTest, PreservesContentOnRandomMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    CooMatrix coo = RandomCoo(100, 100, 800, seed);
+    ATMatrix atm = PartitionToAtm(coo, SmallConfig());
+    EXPECT_TRUE(atm.CheckValid());
+    EXPECT_EQ(atm.nnz(), coo.nnz());
+    ExpectContentPreserved(coo, atm);
+  }
+}
+
+TEST(PartitionerTest, NonPowerOfTwoAndRectangularShapes) {
+  for (auto [rows, cols] : std::vector<std::pair<index_t, index_t>>{
+           {100, 37}, {33, 129}, {17, 17}, {1, 100}, {100, 1}}) {
+    CooMatrix coo = RandomCoo(rows, cols,
+                              std::min<index_t>(rows * cols / 4 + 1, 500),
+                              static_cast<std::uint64_t>(rows * cols));
+    ATMatrix atm = PartitionToAtm(coo, SmallConfig());
+    EXPECT_TRUE(atm.CheckValid()) << rows << "x" << cols;
+    ExpectContentPreserved(coo, atm);
+  }
+}
+
+TEST(PartitionerTest, DenseRegionMaterializesAsDenseTile) {
+  // One full 16x16 block in an otherwise sparse 64x64 matrix.
+  CooMatrix coo(64, 64);
+  for (index_t i = 16; i < 32; ++i) {
+    for (index_t j = 32; j < 48; ++j) coo.Add(i, j, 1.0);
+  }
+  coo.Add(0, 0, 1.0);
+  coo.Add(60, 5, 1.0);
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16));
+  EXPECT_GE(atm.NumDenseTiles(), 1);
+  // The dense tile must be exactly the populated block.
+  bool found = false;
+  for (const Tile& t : atm.tiles()) {
+    if (t.is_dense()) {
+      EXPECT_EQ(t.row0(), 16);
+      EXPECT_EQ(t.col0(), 32);
+      EXPECT_EQ(t.rows(), 16);
+      EXPECT_DOUBLE_EQ(t.Density(), 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, UniformSparseMatrixMeltsIntoOneTile) {
+  // Hypersparse uniform: everything below rho_read and within Eq. (2)
+  // bounds — the whole matrix must stay one sparse tile (paper, II-B2).
+  CooMatrix coo = RandomCoo(200, 200, 400, 9);
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16));
+  EXPECT_EQ(atm.num_tiles(), 1);
+  EXPECT_FALSE(atm.tiles()[0].is_dense());
+  EXPECT_EQ(atm.tiles()[0].rows(), 200);
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, SparseMemoryBoundForcesSplit) {
+  AtmConfig config = SmallConfig(16);
+  config.llc_bytes = 16 * 1024;  // max sparse tile bytes = 5461
+  // 2000 elements * 16 B = 32 KB > 5461 B => must split.
+  CooMatrix coo = RandomCoo(128, 128, 2000, 4);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  EXPECT_GT(atm.num_tiles(), 1);
+  EXPECT_TRUE(atm.CheckValid());
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, FixedModeProducesAtomicGrid) {
+  AtmConfig config = SmallConfig(16);
+  config.tiling = TilingMode::kFixed;
+  CooMatrix coo = RandomCoo(64, 64, 500, 7);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  EXPECT_EQ(atm.num_tiles(), 16);  // 4x4 grid of 16x16 tiles
+  for (const Tile& t : atm.tiles()) {
+    EXPECT_EQ(t.rows(), 16);
+    EXPECT_EQ(t.cols(), 16);
+  }
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, NoneModeKeepsSingleTile) {
+  AtmConfig config = SmallConfig(16);
+  config.tiling = TilingMode::kNone;
+  CooMatrix coo = RandomCoo(64, 64, 3000, 8);  // 73% dense
+  ATMatrix atm = PartitionToAtm(coo, config);
+  EXPECT_EQ(atm.num_tiles(), 1);
+  EXPECT_TRUE(atm.tiles()[0].is_dense());  // above rho_read
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, MixedTilesDisabledKeepsOperandsSparse) {
+  AtmConfig config = SmallConfig(16);
+  config.mixed_tiles = false;
+  CooMatrix coo(32, 32);
+  for (index_t i = 0; i < 16; ++i) {
+    for (index_t j = 0; j < 16; ++j) coo.Add(i, j, 1.0);
+  }
+  ATMatrix atm = PartitionToAtm(coo, config);
+  EXPECT_EQ(atm.NumDenseTiles(), 0);
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, StatsComponentsPopulated) {
+  CooMatrix coo = RandomCoo(128, 128, 4000, 10);
+  PartitionStats stats;
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16), &stats);
+  EXPECT_GE(stats.sort_seconds, 0.0);
+  EXPECT_GE(stats.blockcount_seconds, 0.0);
+  EXPECT_GE(stats.materialize_seconds, 0.0);
+  EXPECT_GT(stats.TotalSeconds(), 0.0);
+  EXPECT_EQ(stats.dense_tiles + stats.sparse_tiles, atm.num_tiles());
+  EXPECT_NE(stats.ToString().find("dense_tiles"), std::string::npos);
+}
+
+TEST(PartitionerTest, DensityMapMatchesContent) {
+  CooMatrix coo = RandomCoo(64, 64, 600, 12);
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16));
+  DensityMap expected = DensityMap::FromCoo(coo, 16);
+  const DensityMap& actual = atm.density_map();
+  ASSERT_EQ(actual.grid_rows(), expected.grid_rows());
+  ASSERT_EQ(actual.grid_cols(), expected.grid_cols());
+  for (index_t bi = 0; bi < expected.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < expected.grid_cols(); ++bj) {
+      EXPECT_NEAR(actual.At(bi, bj), expected.At(bi, bj), 1e-12);
+    }
+  }
+}
+
+TEST(PartitionerTest, HomeNodesRoundRobin) {
+  AtmConfig config = SmallConfig(16);
+  config.num_sockets = 2;
+  config.tiling = TilingMode::kFixed;
+  CooMatrix coo = RandomCoo(64, 64, 500, 13);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  // Fixed 4x4 grid: tiles in row band 0 -> node 0, band 1 -> node 1, ...
+  for (const Tile& t : atm.tiles()) {
+    const index_t band = t.row0() / 16;
+    EXPECT_EQ(t.home_node(), static_cast<int>(band % 2));
+  }
+}
+
+TEST(PartitionerTest, EmptyMatrix) {
+  CooMatrix coo(64, 64);
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16));
+  EXPECT_EQ(atm.nnz(), 0);
+  EXPECT_TRUE(atm.CheckValid());
+  // All-empty blocks melt into a single sparse tile.
+  EXPECT_EQ(atm.num_tiles(), 1);
+}
+
+TEST(PartitionerTest, MatrixSmallerThanOneBlock) {
+  CooMatrix coo = RandomCoo(7, 9, 20, 14);
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16));
+  EXPECT_EQ(atm.num_tiles(), 1);
+  ExpectContentPreserved(coo, atm);
+}
+
+TEST(PartitionerTest, WrapperFromCsrAndDense) {
+  CooMatrix coo = RandomCoo(48, 48, 300, 15);
+  AtmConfig config = SmallConfig(16);
+  ATMatrix from_csr = AtmFromCsr(CooToCsr(coo), config);
+  ATMatrix from_dense = AtmFromDense(CooToDense(coo), config);
+  EXPECT_EQ(from_csr.nnz(), coo.nnz());
+  EXPECT_EQ(from_dense.nnz(), coo.nnz());
+  ExpectContentPreserved(coo, from_csr);
+  ExpectContentPreserved(coo, from_dense);
+}
+
+TEST(PartitionerTest, TilesAreAlignedPowerOfTwoSquares) {
+  CooMatrix coo = GenerateDiagonalDenseBlocks(256, 4, 32, 0.9, 500, 21);
+  ATMatrix atm = PartitionToAtm(coo, SmallConfig(16));
+  for (const Tile& t : atm.tiles()) {
+    // Every tile's origin is block-aligned and its extent is a
+    // power-of-two multiple of the block (clipped at the matrix edge).
+    EXPECT_EQ(t.row0() % 16, 0);
+    EXPECT_EQ(t.col0() % 16, 0);
+    if (t.row_end() != atm.rows()) {
+      EXPECT_TRUE(IsPowerOfTwo(t.rows() / 16)) << t.rows();
+    }
+    if (t.col_end() != atm.cols()) {
+      EXPECT_TRUE(IsPowerOfTwo(t.cols() / 16)) << t.cols();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atmx

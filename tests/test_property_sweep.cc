@@ -1,0 +1,133 @@
+// Randomized end-to-end property sweep: for many (seed, topology,
+// configuration) combinations, the full pipeline — generate, partition,
+// estimate, multiply — must (a) keep every structural invariant and
+// (b) agree numerically with the plain Gustavson baseline. This is the
+// fuzz-style safety net behind the targeted unit tests.
+
+#include <gtest/gtest.h>
+
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "kernels/sparse_kernels.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+
+struct SweepCase {
+  std::uint64_t seed;
+  int topology;      // 0 uniform, 1 rmat-skew, 2 diag-blocks, 3 banded,
+                     // 4 scale-free
+  index_t b_atomic;  // 8, 16, 32
+  double rho_read;
+  double rho_write;
+  int teams;
+  int threads;
+  bool jit;
+};
+
+CooMatrix MakeTopology(int topology, index_t n, std::uint64_t seed) {
+  switch (topology) {
+    case 0:
+      return GenerateUniform(n, n, n * 6, seed);
+    case 1: {
+      RmatParams params;
+      params.rows = params.cols = n;
+      params.nnz = n * 6;
+      params.a = 0.6;
+      params.b = 0.15;
+      params.c = 0.15;
+      params.seed = seed;
+      return GenerateRmat(params);
+    }
+    case 2:
+      return GenerateDiagonalDenseBlocks(n, 3, n / 8, 0.9, n * 2, seed);
+    case 3:
+      return GenerateBanded(n, 6, 0.4, seed);
+    default:
+      return GenerateScaleFreeCorrelation(n, n * 5, 0.8, seed);
+  }
+}
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweepTest, PartitionAndMultiplyAgreeWithBaseline) {
+  const SweepCase& p = GetParam();
+  const index_t n = 96 + static_cast<index_t>(p.seed % 5) * 17;  // 96..164
+  CooMatrix coo = MakeTopology(p.topology, n, p.seed);
+
+  AtmConfig config;
+  config.b_atomic = p.b_atomic;
+  config.llc_bytes = 256 * 1024;
+  config.rho_read = p.rho_read;
+  config.rho_write = p.rho_write;
+  config.num_sockets = p.teams;
+  config.cores_per_socket = p.threads;
+  config.dynamic_conversion = p.jit;
+
+  PartitionStats pstats;
+  ATMatrix atm = PartitionToAtm(coo, config, &pstats);
+
+  // Structural invariants.
+  ASSERT_TRUE(atm.CheckValid());
+  ASSERT_EQ(atm.nnz(), coo.nnz());
+  ASSERT_EQ(pstats.dense_tiles + pstats.sparse_tiles, atm.num_tiles());
+  for (const Tile& t : atm.tiles()) {
+    if (!t.is_dense()) {
+      ASSERT_TRUE(t.sparse().CheckValid());
+    }
+    ASSERT_GE(t.home_node(), 0);
+    ASSERT_LT(t.home_node(), p.teams);
+  }
+
+  // Content preserved through partitioning.
+  CsrMatrix baseline_input = CooToCsr(coo);
+  ExpectDenseNear(CsrToDense(baseline_input), CsrToDense(atm.ToCsr()), 0.0);
+
+  // Multiplication agrees with Gustavson.
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(atm, atm, &stats);
+  ASSERT_TRUE(c.CheckValid());
+  CsrMatrix expected = SpGemmCsr(baseline_input, baseline_input);
+  EXPECT_EQ(c.nnz(), expected.nnz());
+  ExpectDenseNear(CsrToDense(expected), CsrToDense(c.ToCsr()), 1e-9);
+
+  // The result's density map must be exact.
+  DensityMap recomputed = DensityMap::FromCsr(c.ToCsr(), p.b_atomic);
+  for (index_t bi = 0; bi < recomputed.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < recomputed.grid_cols(); ++bj) {
+      EXPECT_NEAR(c.density_map().At(bi, bj), recomputed.At(bi, bj), 1e-9);
+    }
+  }
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 1000;
+  for (int topology = 0; topology < 5; ++topology) {
+    for (index_t b : {8, 32}) {
+      for (double rho_read : {0.25, 0.7}) {
+        cases.push_back(SweepCase{seed++, topology, b, rho_read, 0.03,
+                                  1 + topology % 3, 1 + topology % 2,
+                                  topology % 2 == 0});
+      }
+    }
+  }
+  // A few degenerate-threshold corners.
+  cases.push_back(SweepCase{2000, 2, 16, 0.0, 0.0, 2, 2, true});   // all dense
+  cases.push_back(SweepCase{2001, 2, 16, 1.01, 1.01, 2, 2, true});  // all sparse
+  cases.push_back(SweepCase{2002, 0, 16, 0.25, 0.03, 4, 4, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineSweepTest,
+                         ::testing::ValuesIn(MakeSweep()));
+
+}  // namespace
+}  // namespace atmx

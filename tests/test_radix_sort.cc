@@ -1,0 +1,88 @@
+#include "common/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace atmx {
+namespace {
+
+void ExpectSortedPermutation(const std::vector<std::uint64_t>& keys) {
+  std::vector<index_t> perm = SortedPermutation(keys);
+  ASSERT_EQ(perm.size(), keys.size());
+  // Permutation property: every index exactly once.
+  std::vector<bool> seen(keys.size(), false);
+  for (index_t p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, static_cast<index_t>(keys.size()));
+    ASSERT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+  // Sortedness.
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(keys[perm[i - 1]], keys[perm[i]]);
+  }
+}
+
+TEST(RadixSortTest, EmptyAndSingleton) {
+  ExpectSortedPermutation({});
+  ExpectSortedPermutation({42});
+}
+
+TEST(RadixSortTest, SmallInputsUseComparisonPath) {
+  Rng rng(1);
+  std::vector<std::uint64_t> keys(100);
+  for (auto& k : keys) k = rng.Next();
+  ExpectSortedPermutation(keys);
+}
+
+TEST(RadixSortTest, LargeRandomKeys) {
+  Rng rng(2);
+  std::vector<std::uint64_t> keys(100000);
+  for (auto& k : keys) k = rng.Next();
+  ExpectSortedPermutation(keys);
+}
+
+TEST(RadixSortTest, NarrowKeyRangeUsesFewPasses) {
+  Rng rng(3);
+  std::vector<std::uint64_t> keys(50000);
+  for (auto& k : keys) k = rng.NextBounded(1000);  // 2-byte keys
+  ExpectSortedPermutation(keys);
+}
+
+TEST(RadixSortTest, AllEqualKeysIsStableIdentity) {
+  std::vector<std::uint64_t> keys(10000, 7);
+  std::vector<index_t> perm = SortedPermutation(keys);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm[i], static_cast<index_t>(i));  // stability
+  }
+}
+
+TEST(RadixSortTest, StabilityForDuplicateKeys) {
+  Rng rng(4);
+  std::vector<std::uint64_t> keys(20000);
+  for (auto& k : keys) k = rng.NextBounded(50);  // heavy duplication
+  std::vector<index_t> perm = SortedPermutation(keys);
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    if (keys[perm[i - 1]] == keys[perm[i]]) {
+      EXPECT_LT(perm[i - 1], perm[i]);  // ties keep original order
+    }
+  }
+}
+
+TEST(RadixSortTest, MatchesStdSort) {
+  Rng rng(5);
+  std::vector<std::uint64_t> keys(30000);
+  for (auto& k : keys) k = rng.Next() >> (rng.NextBounded(48));
+  std::vector<index_t> expected(keys.size());
+  std::iota(expected.begin(), expected.end(), index_t{0});
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&](index_t a, index_t b) { return keys[a] < keys[b]; });
+  EXPECT_EQ(SortedPermutation(keys), expected);
+}
+
+}  // namespace
+}  // namespace atmx

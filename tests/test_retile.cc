@@ -1,0 +1,92 @@
+#include "ops/retile.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "ops/atmult.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+AtmConfig RetileConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  return config;
+}
+
+TEST(RetileTest, ContentPreservedAfterColumnSplit) {
+  AtmConfig config = RetileConfig();
+  CooMatrix coo = GenerateDiagonalDenseBlocks(96, 3, 16, 0.9, 300, 1);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  ATMatrix split = RetileColumns(atm, {10, 40, 70}, config);
+  EXPECT_TRUE(split.CheckValid());
+  EXPECT_EQ(split.nnz(), atm.nnz());
+  ExpectDenseNear(CsrToDense(atm.ToCsr()), CsrToDense(split.ToCsr()), 0.0);
+  EXPECT_GE(split.num_tiles(), atm.num_tiles());
+}
+
+TEST(RetileTest, BoundariesBecomeColBands) {
+  AtmConfig config = RetileConfig();
+  CooMatrix coo = RandomCoo(64, 64, 300, 2);  // melts into one tile
+  ATMatrix atm = PartitionToAtm(coo, config);
+  ASSERT_EQ(atm.num_tiles(), 1);
+  ATMatrix split = RetileColumns(atm, {16, 48}, config);
+  EXPECT_EQ(split.num_tiles(), 3);
+  const auto& bounds = split.col_bounds();
+  EXPECT_NE(std::find(bounds.begin(), bounds.end(), 16), bounds.end());
+  EXPECT_NE(std::find(bounds.begin(), bounds.end(), 48), bounds.end());
+}
+
+TEST(RetileTest, NoCutsIsIdentityTiling) {
+  AtmConfig config = RetileConfig();
+  CooMatrix coo = RandomCoo(48, 48, 200, 3);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  ATMatrix same = RetileColumns(atm, {0, 48, 100}, config);
+  EXPECT_EQ(same.num_tiles(), atm.num_tiles());
+}
+
+TEST(RetileTest, PreservesRepresentations) {
+  AtmConfig config = RetileConfig();
+  CooMatrix coo = GenerateDiagonalDenseBlocks(64, 2, 16, 0.95, 150, 4);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  const index_t dense_before = atm.NumDenseTiles();
+  ATMatrix split = RetileColumns(atm, {8, 24, 40, 56}, config);
+  // Dense tiles stay dense after slicing (representation preserved).
+  EXPECT_GE(split.NumDenseTiles(),
+            dense_before > 0 ? static_cast<index_t>(1) : 0);
+  ExpectDenseNear(CsrToDense(atm.ToCsr()), CsrToDense(split.ToCsr()), 0.0);
+}
+
+TEST(RetileTest, AlignContractionRemovesSlicing) {
+  // A single-tile hypersparse A against a B tiled into k bands: after
+  // AlignContraction every pair covers full tiles of A.
+  AtmConfig config = RetileConfig();
+  CooMatrix a_coo = RandomCoo(128, 128, 400, 5);   // melts into one tile
+  CooMatrix b_coo = GenerateDiagonalDenseBlocks(128, 4, 16, 0.9, 200, 6);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  ATMatrix b = PartitionToAtm(b_coo, config);
+  ATMatrix aligned = AlignContraction(a, b, config);
+  EXPECT_TRUE(aligned.CheckValid());
+  // Every aligned tile's column extent lies inside one B row band.
+  for (const Tile& t : aligned.tiles()) {
+    const auto& bands = b.row_bounds();
+    const auto it = std::upper_bound(bands.begin(), bands.end(), t.col0());
+    ASSERT_NE(it, bands.begin());
+    EXPECT_LE(t.col_end(), *it);
+  }
+  // Multiplication result unchanged.
+  AtMult op(config);
+  ATMatrix c1 = op.Multiply(a, b);
+  ATMatrix c2 = op.Multiply(aligned, b);
+  ExpectDenseNear(CsrToDense(c1.ToCsr()), CsrToDense(c2.ToCsr()), 1e-10);
+}
+
+}  // namespace
+}  // namespace atmx

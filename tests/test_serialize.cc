@@ -1,0 +1,132 @@
+#include "storage/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/synthetic.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::ExpectDenseNear;
+using atmx::testing::RandomCoo;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, CooRoundTrip) {
+  CooMatrix m = RandomCoo(33, 47, 200, 1);
+  const std::string path = TempPath("m.coo.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  Result<CooMatrix> loaded = LoadCooMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().rows(), 33);
+  EXPECT_EQ(loaded.value().nnz(), 200);
+  ExpectDenseNear(CooToDense(m), CooToDense(loaded.value()), 0.0);
+}
+
+TEST(SerializeTest, CsrRoundTrip) {
+  CsrMatrix m = CooToCsr(RandomCoo(20, 30, 150, 2));
+  const std::string path = TempPath("m.csr.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  Result<CsrMatrix> loaded = LoadCsrMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().CheckValid());
+  ExpectDenseNear(CsrToDense(m), CsrToDense(loaded.value()), 0.0);
+}
+
+TEST(SerializeTest, DenseRoundTrip) {
+  DenseMatrix m = GenerateFullDense(17, 23, 3);
+  const std::string path = TempPath("m.dense.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  Result<DenseMatrix> loaded = LoadDenseMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectDenseNear(m, loaded.value(), 0.0);
+}
+
+TEST(SerializeTest, ATMatrixRoundTrip) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  CooMatrix coo = GenerateDiagonalDenseBlocks(96, 3, 16, 0.9, 300, 4);
+  ATMatrix m = PartitionToAtm(coo, config);
+  const std::string path = TempPath("m.atm.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  Result<ATMatrix> loaded = LoadATMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ATMatrix& l = loaded.value();
+  EXPECT_TRUE(l.CheckValid());
+  EXPECT_EQ(l.num_tiles(), m.num_tiles());
+  EXPECT_EQ(l.NumDenseTiles(), m.NumDenseTiles());
+  EXPECT_EQ(l.b_atomic(), 16);
+  ExpectDenseNear(CsrToDense(m.ToCsr()), CsrToDense(l.ToCsr()), 0.0);
+  // Home nodes and density map survive.
+  for (index_t t = 0; t < m.num_tiles(); ++t) {
+    EXPECT_EQ(l.tiles()[t].home_node(), m.tiles()[t].home_node());
+  }
+  for (index_t bi = 0; bi < m.density_map().grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < m.density_map().grid_cols(); ++bj) {
+      EXPECT_DOUBLE_EQ(l.density_map().At(bi, bj),
+                       m.density_map().At(bi, bj));
+    }
+  }
+}
+
+TEST(SerializeTest, PeekReportsTypes) {
+  const std::string coo_path = TempPath("p.coo.bin");
+  const std::string csr_path = TempPath("p.csr.bin");
+  ASSERT_TRUE(SaveMatrix(RandomCoo(4, 4, 4, 5), coo_path).ok());
+  ASSERT_TRUE(SaveMatrix(CooToCsr(RandomCoo(4, 4, 4, 6)), csr_path).ok());
+  EXPECT_EQ(PeekMatrixType(coo_path).value(), "coo");
+  EXPECT_EQ(PeekMatrixType(csr_path).value(), "csr");
+}
+
+TEST(SerializeTest, WrongTypeRejected) {
+  const std::string path = TempPath("wrong.bin");
+  ASSERT_TRUE(SaveMatrix(RandomCoo(4, 4, 4, 7), path).ok());
+  EXPECT_FALSE(LoadCsrMatrix(path).ok());
+  EXPECT_FALSE(LoadATMatrix(path).ok());
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  EXPECT_FALSE(LoadCooMatrix(TempPath("nonexistent.bin")).ok());
+  EXPECT_FALSE(PeekMatrixType(TempPath("nonexistent.bin")).ok());
+}
+
+TEST(SerializeTest, CorruptMagicRejected) {
+  const std::string path = TempPath("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a matrix file at all, definitely long enough";
+  }
+  Result<CooMatrix> loaded = LoadCooMatrix(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  CsrMatrix m = CooToCsr(RandomCoo(50, 50, 400, 8));
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  // Truncate to half size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<char> buf(static_cast<std::size_t>(size) / 2);
+  in.read(buf.data(), buf.size());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), buf.size());
+  }
+  EXPECT_FALSE(LoadCsrMatrix(path).ok());
+}
+
+}  // namespace
+}  // namespace atmx

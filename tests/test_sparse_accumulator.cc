@@ -1,0 +1,75 @@
+#include "kernels/sparse_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+
+namespace atmx {
+namespace {
+
+TEST(SparseAccumulatorTest, AccumulatesAndFlushesSorted) {
+  SparseAccumulator spa(10);
+  spa.Add(7, 1.0);
+  spa.Add(2, 2.0);
+  spa.Add(7, 0.5);
+  EXPECT_EQ(spa.touched(), 2);
+
+  CsrBuilder builder(1, 10);
+  spa.FlushToBuilder(&builder);
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 7), 1.5);
+  EXPECT_TRUE(m.CheckValid());
+  // Flush clears.
+  EXPECT_TRUE(spa.empty());
+}
+
+TEST(SparseAccumulatorTest, FlushToDenseRowAdds) {
+  SparseAccumulator spa(5);
+  spa.Add(1, 2.0);
+  spa.Add(4, -1.0);
+  std::vector<value_t> row(5, 10.0);
+  spa.FlushToDenseRow(row.data());
+  EXPECT_DOUBLE_EQ(row[0], 10.0);
+  EXPECT_DOUBLE_EQ(row[1], 12.0);
+  EXPECT_DOUBLE_EQ(row[4], 9.0);
+  EXPECT_TRUE(spa.empty());
+}
+
+TEST(SparseAccumulatorTest, ClearResetsState) {
+  SparseAccumulator spa(8);
+  spa.Add(3, 1.0);
+  spa.Clear();
+  EXPECT_TRUE(spa.empty());
+  // The slot must be reusable with a fresh value.
+  spa.Add(3, 5.0);
+  CsrBuilder builder(1, 8);
+  spa.FlushToBuilder(&builder);
+  EXPECT_DOUBLE_EQ(builder.Build().At(0, 3), 5.0);
+}
+
+TEST(SparseAccumulatorTest, ExplicitZeroIsKept) {
+  // Numeric cancellation still registers the element (CSR semantics).
+  SparseAccumulator spa(4);
+  spa.Add(2, 1.0);
+  spa.Add(2, -1.0);
+  CsrBuilder builder(1, 4);
+  spa.FlushToBuilder(&builder);
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 0.0);
+}
+
+TEST(SparseAccumulatorTest, ResizeReinitializes) {
+  SparseAccumulator spa(4);
+  spa.Add(1, 1.0);
+  spa.Resize(16);
+  EXPECT_EQ(spa.width(), 16);
+  EXPECT_TRUE(spa.empty());
+  spa.Add(15, 3.0);
+  EXPECT_EQ(spa.touched(), 1);
+}
+
+}  // namespace
+}  // namespace atmx

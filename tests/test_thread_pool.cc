@@ -1,0 +1,94 @@
+#include "topology/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace atmx {
+namespace {
+
+TEST(WorkerTeamTest, SingleThreadRunsInline) {
+  WorkerTeam team(0, 1);
+  EXPECT_EQ(team.size(), 1);
+  int calls = 0;
+  team.ParallelRun([&](int idx) {
+    EXPECT_EQ(idx, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkerTeamTest, AllThreadsParticipate) {
+  WorkerTeam team(0, 4);
+  std::vector<std::atomic<int>> hits(4);
+  team.ParallelRun([&](int idx) { hits[idx].fetch_add(1); });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerTeamTest, ReusableAcrossJobs) {
+  WorkerTeam team(0, 3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    team.ParallelRun([&](int) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(WorkerTeamTest, ParallelForCoversRangeExactlyOnce) {
+  WorkerTeam team(1, 4);
+  std::vector<std::atomic<int>> hits(1000);
+  team.ParallelFor(1000, 17, [&](index_t lo, index_t hi) {
+    EXPECT_LE(hi - lo, 17);
+    for (index_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerTeamTest, ParallelForEmptyRange) {
+  WorkerTeam team(0, 2);
+  int calls = 0;
+  team.ParallelFor(0, 8, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(TeamSchedulerTest, RunsEveryTaskOnItsHomeTeam) {
+  TeamScheduler scheduler(3, 2);
+  EXPECT_EQ(scheduler.num_teams(), 3);
+  std::vector<std::atomic<int>> runs(30);
+  std::vector<std::atomic<int>> team_of(30);
+  scheduler.RunTasks(
+      30, [](index_t task) { return static_cast<int>(task % 3); },
+      [&](WorkerTeam& team, index_t task) {
+        runs[task].fetch_add(1);
+        team_of[task].store(team.team_id());
+      });
+  for (int t = 0; t < 30; ++t) {
+    EXPECT_EQ(runs[t].load(), 1);
+    EXPECT_EQ(team_of[t].load(), t % 3);
+  }
+}
+
+TEST(TeamSchedulerTest, TasksCanUseIntraTeamParallelism) {
+  TeamScheduler scheduler(2, 3);
+  std::atomic<long> total{0};
+  scheduler.RunTasks(
+      8, [](index_t task) { return static_cast<int>(task % 2); },
+      [&](WorkerTeam& team, index_t) {
+        team.ParallelFor(100, 10, [&](index_t lo, index_t hi) {
+          total.fetch_add(hi - lo);
+        });
+      });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(TeamSchedulerTest, NoTasks) {
+  TeamScheduler scheduler(2, 1);
+  scheduler.RunTasks(
+      0, [](index_t) { return 0; },
+      [](WorkerTeam&, index_t) { FAIL() << "no task should run"; });
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,66 @@
+#include "tile/tile.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/convert.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+TEST(TileTest, SparseTileBasics) {
+  CooMatrix coo(4, 4);
+  coo.Add(1, 2, 3.0);
+  coo.Add(3, 0, -1.0);
+  Tile tile = Tile::MakeSparse(8, 16, CooToCsr(coo));
+  EXPECT_EQ(tile.kind(), TileKind::kSparse);
+  EXPECT_FALSE(tile.is_dense());
+  EXPECT_EQ(tile.row0(), 8);
+  EXPECT_EQ(tile.col0(), 16);
+  EXPECT_EQ(tile.rows(), 4);
+  EXPECT_EQ(tile.cols(), 4);
+  EXPECT_EQ(tile.row_end(), 12);
+  EXPECT_EQ(tile.col_end(), 20);
+  EXPECT_EQ(tile.nnz(), 2);
+  EXPECT_DOUBLE_EQ(tile.Density(), 2.0 / 16.0);
+  // Matrix-coordinate lookup.
+  EXPECT_DOUBLE_EQ(tile.At(9, 18), 3.0);
+  EXPECT_DOUBLE_EQ(tile.At(11, 16), -1.0);
+  EXPECT_DOUBLE_EQ(tile.At(8, 16), 0.0);
+}
+
+TEST(TileTest, DenseTileBasics) {
+  DenseMatrix payload(3, 5);
+  payload.At(2, 4) = 7.0;
+  Tile tile = Tile::MakeDense(10, 20, std::move(payload));
+  EXPECT_TRUE(tile.is_dense());
+  EXPECT_EQ(tile.nnz(), 1);
+  EXPECT_DOUBLE_EQ(tile.At(12, 24), 7.0);
+  EXPECT_EQ(tile.MemoryBytes(), 15 * sizeof(value_t));
+}
+
+TEST(TileTest, MemoryBytesReflectRepresentation) {
+  CooMatrix coo(16, 16);
+  for (index_t i = 0; i < 16; ++i) coo.Add(i, i, 1.0);
+  Tile sparse = Tile::MakeSparse(0, 0, CooToCsr(coo));
+  Tile dense = Tile::MakeDense(0, 0, CooToDense(coo));
+  // 16 diagonal elements: sparse = 16*16 + 17*8 bytes, dense = 256*8.
+  EXPECT_EQ(sparse.MemoryBytes(), 16u * 16 + 17 * 8);
+  EXPECT_EQ(dense.MemoryBytes(), 256u * 8);
+  EXPECT_LT(sparse.MemoryBytes(), dense.MemoryBytes());
+}
+
+TEST(TileTest, HomeNodeAssignment) {
+  Tile tile = Tile::MakeSparse(0, 0, CsrMatrix(2, 2));
+  EXPECT_EQ(tile.home_node(), 0);
+  tile.set_home_node(3);
+  EXPECT_EQ(tile.home_node(), 3);
+}
+
+TEST(TileKindTest, Names) {
+  EXPECT_STREQ(TileKindName(TileKind::kDense), "dense");
+  EXPECT_STREQ(TileKindName(TileKind::kSparse), "sparse");
+}
+
+}  // namespace
+}  // namespace atmx

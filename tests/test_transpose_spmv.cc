@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "ops/spmv.h"
+#include "ops/transpose.h"
+#include "storage/convert.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::RandomCoo;
+
+TEST(TransposeTest, CsrTranspose) {
+  CooMatrix coo = RandomCoo(23, 41, 200, 1);
+  CsrMatrix a = CooToCsr(coo);
+  CsrMatrix at = Transpose(a);
+  EXPECT_EQ(at.rows(), 41);
+  EXPECT_EQ(at.cols(), 23);
+  EXPECT_EQ(at.nnz(), a.nnz());
+  EXPECT_TRUE(at.CheckValid());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto cols = a.RowCols(i);
+    auto vals = a.RowValues(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      EXPECT_DOUBLE_EQ(at.At(cols[p], i), vals[p]);
+    }
+  }
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  CooMatrix coo = RandomCoo(31, 17, 150, 2);
+  CsrMatrix a = CooToCsr(coo);
+  CsrMatrix att = Transpose(Transpose(a));
+  atmx::testing::ExpectDenseNear(CsrToDense(a), CsrToDense(att), 0.0);
+}
+
+TEST(TransposeTest, DenseTranspose) {
+  DenseMatrix a(3, 2);
+  a.At(0, 1) = 5.0;
+  a.At(2, 0) = 7.0;
+  DenseMatrix at = Transpose(a);
+  EXPECT_EQ(at.rows(), 2);
+  EXPECT_EQ(at.cols(), 3);
+  EXPECT_DOUBLE_EQ(at.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(at.At(0, 2), 7.0);
+}
+
+TEST(TransposeTest, CooTranspose) {
+  CooMatrix coo(4, 6);
+  coo.Add(1, 5, 2.0);
+  CooMatrix t = Transpose(coo);
+  EXPECT_EQ(t.rows(), 6);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.entries()[0].row, 5);
+  EXPECT_EQ(t.entries()[0].col, 1);
+}
+
+TEST(TransposeTest, ATMatrixTransposePreservesTopology) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  CooMatrix coo = RandomCoo(96, 64, 900, 20);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  ATMatrix t = Transpose(atm, config.num_sockets);
+  EXPECT_TRUE(t.CheckValid());
+  EXPECT_EQ(t.rows(), 64);
+  EXPECT_EQ(t.cols(), 96);
+  EXPECT_EQ(t.nnz(), atm.nnz());
+  EXPECT_EQ(t.num_tiles(), atm.num_tiles());
+  EXPECT_EQ(t.NumDenseTiles(), atm.NumDenseTiles());
+  // Content transposed.
+  for (index_t i = 0; i < 96; ++i) {
+    for (index_t j = 0; j < 64; ++j) {
+      EXPECT_DOUBLE_EQ(t.At(j, i), atm.At(i, j));
+    }
+  }
+  // Density map transposed.
+  const DensityMap& src = atm.density_map();
+  for (index_t bi = 0; bi < src.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < src.grid_cols(); ++bj) {
+      EXPECT_DOUBLE_EQ(t.density_map().At(bj, bi), src.At(bi, bj));
+    }
+  }
+}
+
+TEST(TransposeTest, ATMatrixDoubleTransposeIsIdentity) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  CooMatrix coo = RandomCoo(48, 48, 400, 21);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  ATMatrix tt = Transpose(Transpose(atm));
+  atmx::testing::ExpectDenseNear(CsrToDense(atm.ToCsr()),
+                                 CsrToDense(tt.ToCsr()), 0.0);
+}
+
+TEST(SpMVTest, CsrMatchesDenseComputation) {
+  CooMatrix coo = RandomCoo(40, 25, 300, 3);
+  CsrMatrix a = CooToCsr(coo);
+  DenseMatrix dense = CooToDense(coo);
+  Rng rng(4);
+  std::vector<value_t> x(25);
+  for (auto& v : x) v = rng.NextDouble();
+  std::vector<value_t> y = SpMV(a, x);
+  ASSERT_EQ(y.size(), 40u);
+  for (index_t i = 0; i < 40; ++i) {
+    value_t expected = 0.0;
+    for (index_t j = 0; j < 25; ++j) expected += dense.At(i, j) * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-10);
+  }
+}
+
+TEST(SpMVTest, AtMatrixMatchesCsr) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  CooMatrix coo = RandomCoo(100, 100, 2500, 5);
+  CsrMatrix csr = CooToCsr(coo);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  Rng rng(6);
+  std::vector<value_t> x(100);
+  for (auto& v : x) v = rng.NextDouble() - 0.5;
+  std::vector<value_t> y_csr = SpMV(csr, x);
+  std::vector<value_t> y_atm = SpMV(atm, x);
+  ASSERT_EQ(y_csr.size(), y_atm.size());
+  for (std::size_t i = 0; i < y_csr.size(); ++i) {
+    EXPECT_NEAR(y_csr[i], y_atm[i], 1e-10);
+  }
+}
+
+TEST(SpMVTest, ParallelMatchesSerial) {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 18;
+  config.num_sockets = 3;
+  config.cores_per_socket = 2;
+  // Heterogeneous structure with tall melted tiles spanning several bands.
+  CooMatrix coo = RandomCoo(200, 200, 3000, 7);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  Rng rng(8);
+  std::vector<value_t> x(200);
+  for (auto& v : x) v = rng.NextDouble() - 0.5;
+  std::vector<value_t> serial = SpMV(atm, x);
+  std::vector<value_t> parallel = SpMVParallel(atm, x, config);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_NEAR(serial[i], parallel[i], 1e-10);
+  }
+}
+
+TEST(SpMVTest, EmptyMatrixGivesZeroVector) {
+  CsrMatrix a(5, 7);
+  std::vector<value_t> x(7, 1.0);
+  std::vector<value_t> y = SpMV(a, x);
+  for (value_t v : y) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,85 @@
+#include "viz/render.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/synthetic.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+AtmConfig VizConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  return config;
+}
+
+TEST(RenderTest, DensityMapAsciiShape) {
+  CooMatrix coo = atmx::testing::RandomCoo(64, 64, 400, 1);
+  DensityMap map = DensityMap::FromCoo(coo, 16);
+  const std::string art = RenderDensityMapAscii(map, 16);
+  // 4 grid rows => 4 lines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(RenderTest, DenseBlockShowsDarkGlyph) {
+  CooMatrix coo(32, 32);
+  for (index_t i = 0; i < 16; ++i) {
+    for (index_t j = 0; j < 16; ++j) coo.Add(i, j, 1.0);
+  }
+  DensityMap map = DensityMap::FromCoo(coo, 16);
+  const std::string art = RenderDensityMapAscii(map, 4);
+  EXPECT_EQ(art[0], '@');  // full block
+  EXPECT_EQ(art[1], ' ');  // empty block
+}
+
+TEST(RenderTest, TileLayoutMentionsLegendAndDenseTiles) {
+  CooMatrix coo = GenerateDiagonalDenseBlocks(128, 4, 24, 0.95, 200, 2);
+  ATMatrix atm = PartitionToAtm(coo, VizConfig());
+  const std::string art = RenderTileLayoutAscii(atm, 32);
+  EXPECT_NE(art.find("legend"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);  // dense tiles present
+}
+
+TEST(RenderTest, PgmFilesAreWellFormed) {
+  CooMatrix coo = GenerateDiagonalDenseBlocks(128, 4, 24, 0.95, 200, 3);
+  ATMatrix atm = PartitionToAtm(coo, VizConfig());
+
+  const std::string map_path = ::testing::TempDir() + "/map.pgm";
+  ASSERT_TRUE(WriteDensityMapPgm(atm.density_map(), map_path).ok());
+  const std::string layout_path = ::testing::TempDir() + "/layout.pgm";
+  ASSERT_TRUE(WriteTileLayoutPgm(atm, layout_path).ok());
+
+  for (const std::string& path : {map_path, layout_path}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    index_t w, h, maxval;
+    in >> magic >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P2");
+    EXPECT_GT(w, 0);
+    EXPECT_GT(h, 0);
+    EXPECT_EQ(maxval, 255);
+    index_t count = 0;
+    int v;
+    while (in >> v) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 255);
+      ++count;
+    }
+    EXPECT_EQ(count, w * h);
+  }
+}
+
+TEST(RenderTest, EmptyMapRendersPlaceholder) {
+  DensityMap map;
+  EXPECT_EQ(RenderDensityMapAscii(map), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,86 @@
+#include "estimate/water_level.h"
+
+#include <gtest/gtest.h>
+
+#include "estimate/density_estimator.h"
+
+namespace atmx {
+namespace {
+
+// 2x2 grid of 16x16 blocks with descending densities.
+DensityMap FourBlockMap(double d00, double d01, double d10, double d11) {
+  DensityMap map(32, 32, 16);
+  map.Set(0, 0, d00);
+  map.Set(0, 1, d01);
+  map.Set(1, 0, d10);
+  map.Set(1, 1, d11);
+  return map;
+}
+
+TEST(WaterLevelTest, UnlimitedMemoryAllowsLowestLevel) {
+  DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  WaterLevelResult result =
+      SolveWaterLevel(map, std::numeric_limits<std::size_t>::max());
+  EXPECT_TRUE(result.feasible);
+  // The level can drop to the lowest bar: every block dense.
+  EXPECT_DOUBLE_EQ(result.threshold, 0.05);
+  EXPECT_EQ(result.projected_bytes, 4u * 256 * 8);
+}
+
+TEST(WaterLevelTest, TightLimitKeepsEverythingSparse) {
+  DensityMap map = FourBlockMap(0.3, 0.2, 0.1, 0.05);
+  // All-sparse size: (0.65)*256*16 = 2662.4.
+  WaterLevelResult result = SolveWaterLevel(map, 2700);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(result.threshold, 0.3);  // no block surfaces
+  EXPECT_LE(result.projected_bytes, 2700u);
+}
+
+TEST(WaterLevelTest, IntermediateLimitSurfacesDensestBlocks) {
+  DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  // All-sparse: 1.65*256*16 = 6758. Surfacing 0.9: 6758 + 256*(8-14.4)
+  // = 5120. Surfacing 0.5 too: +256*(8-8) = 5120. Surfacing 0.2:
+  // +256*(8-3.2) = 6349. Surfacing 0.05: +256*(8-0.8)=8192 -> over 7000.
+  WaterLevelResult result = SolveWaterLevel(map, 7000);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.threshold, 0.2);
+  EXPECT_LE(result.projected_bytes, 7000u);
+}
+
+TEST(WaterLevelTest, InfeasibleAllSparseStillReported) {
+  DensityMap map = FourBlockMap(0.3, 0.3, 0.3, 0.3);
+  // All sparse: 1.2*256*16 = 4915; dense would be 8192. Limit below both.
+  WaterLevelResult result = SolveWaterLevel(map, 1000);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(WaterLevelTest, DenseBlocksCanRescueInfeasibleSparseLayout) {
+  // A nearly-full matrix is *smaller* dense than sparse: rho 0.9 => sparse
+  // 14.4 B/cell vs dense 8 B/cell.
+  DensityMap map = FourBlockMap(0.95, 0.95, 0.95, 0.95);
+  const std::size_t sparse_all =
+      static_cast<std::size_t>(4 * 0.95 * 256 * 16);
+  const std::size_t dense_all = 4 * 256 * 8;
+  WaterLevelResult result = SolveWaterLevel(map, (sparse_all + dense_all) / 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LE(result.projected_bytes, (sparse_all + dense_all) / 2);
+}
+
+TEST(EffectiveWriteThresholdTest, KeepsRhoWWhenMemoryAllows) {
+  DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  EXPECT_DOUBLE_EQ(
+      EffectiveWriteThreshold(map, 0.03,
+                              std::numeric_limits<std::size_t>::max()),
+      0.03);
+}
+
+TEST(EffectiveWriteThresholdTest, RaisedUnderMemoryPressure) {
+  DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  const double threshold = EffectiveWriteThreshold(map, 0.03, 7000);
+  EXPECT_GT(threshold, 0.03);
+  // Complies with the limit.
+  EXPECT_LE(EstimateMemoryBytes(map, threshold), 7000u);
+}
+
+}  // namespace
+}  // namespace atmx

@@ -1,0 +1,257 @@
+// atmx — command-line utility around the library.
+//
+//   atmx info <file>                     matrix facts (any supported format)
+//   atmx partition <in> <out.atm>        partition into an AT MATRIX
+//   atmx multiply <a> <b> <out>          C = A * B through ATMULT
+//   atmx explain <a> <b>                 plan C = A * B without executing
+//   atmx render <in> <out.pgm>           tile layout / density map image
+//   atmx convert <in> <out>              between .mtx and binary formats
+//   atmx gen <workload-id> <scale> <out> generate a Table I workload
+//
+// Files ending in .mtx are MatrixMarket; .atm/.bin are the library's
+// binary format (AT MATRIX or staged COO). Config knobs come from the
+// same ATMX_* environment variables as the benchmarks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/config.h"
+#include "common/table_printer.h"
+#include "gen/workloads.h"
+#include "ops/atmult.h"
+#include "ops/explain.h"
+#include "storage/convert.h"
+#include "storage/matrix_market.h"
+#include "storage/serialize.h"
+#include "tile/partitioner.h"
+#include "viz/render.h"
+
+namespace {
+
+using namespace atmx;
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+AtmConfig ConfigFromEnv() {
+  AtmConfig config;
+  if (const char* llc = std::getenv("ATMX_LLC")) {
+    config.llc_bytes = std::atoll(llc);
+  }
+  if (const char* teams = std::getenv("ATMX_TEAMS")) {
+    config.num_sockets = std::atoi(teams);
+  }
+  if (const char* threads = std::getenv("ATMX_THREADS")) {
+    config.cores_per_socket = std::atoi(threads);
+  }
+  return config;
+}
+
+// Loads any supported file as an AT MATRIX (partitioning when the source
+// is a raw format).
+Result<ATMatrix> LoadAsAtm(const std::string& path, const AtmConfig& config) {
+  if (EndsWith(path, ".mtx")) {
+    Result<CooMatrix> coo = ReadMatrixMarket(path);
+    if (!coo.ok()) return coo.status();
+    return PartitionToAtm(std::move(coo).value(), config);
+  }
+  Result<std::string> type = PeekMatrixType(path);
+  if (!type.ok()) return type.status();
+  if (type.value() == "atm") return LoadATMatrix(path);
+  if (type.value() == "coo") {
+    Result<CooMatrix> coo = LoadCooMatrix(path);
+    if (!coo.ok()) return coo.status();
+    return PartitionToAtm(std::move(coo).value(), config);
+  }
+  if (type.value() == "csr") {
+    Result<CsrMatrix> csr = LoadCsrMatrix(path);
+    if (!csr.ok()) return csr.status();
+    return AtmFromCsr(csr.value(), config);
+  }
+  Result<DenseMatrix> dense = LoadDenseMatrix(path);
+  if (!dense.ok()) return dense.status();
+  return AtmFromDense(dense.value(), config);
+}
+
+int CmdInfo(const std::string& path) {
+  AtmConfig config = ConfigFromEnv();
+  Result<ATMatrix> atm = LoadAsAtm(path, config);
+  if (!atm.ok()) {
+    std::fprintf(stderr, "error: %s\n", atm.status().ToString().c_str());
+    return 1;
+  }
+  const ATMatrix& m = atm.value();
+  std::printf("file:        %s\n", path.c_str());
+  std::printf("dimensions:  %lld x %lld\n", (long long)m.rows(),
+              (long long)m.cols());
+  std::printf("non-zeros:   %lld (density %.6f%%)\n", (long long)m.nnz(),
+              m.Density() * 100);
+  std::printf("tiles:       %lld (%lld dense, %lld sparse)\n",
+              (long long)m.num_tiles(), (long long)m.NumDenseTiles(),
+              (long long)m.NumSparseTiles());
+  std::printf("b_atomic:    %lld\n", (long long)m.b_atomic());
+  std::printf("memory:      %s\n",
+              TablePrinter::FmtBytes(m.MemoryBytes()).c_str());
+  std::printf("row bands:   %lld, col bands: %lld\n",
+              (long long)m.num_row_bands(), (long long)m.num_col_bands());
+  std::printf("\n%s", RenderTileLayoutAscii(m, 40).c_str());
+  return 0;
+}
+
+int CmdPartition(const std::string& in, const std::string& out) {
+  AtmConfig config = ConfigFromEnv();
+  Result<ATMatrix> atm = LoadAsAtm(in, config);
+  if (!atm.ok()) {
+    std::fprintf(stderr, "error: %s\n", atm.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = SaveMatrix(atm.value(), out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld tiles, %s\n", out.c_str(),
+              (long long)atm.value().num_tiles(),
+              TablePrinter::FmtBytes(atm.value().MemoryBytes()).c_str());
+  return 0;
+}
+
+int CmdMultiply(const std::string& a_path, const std::string& b_path,
+                const std::string& out) {
+  AtmConfig config = ConfigFromEnv();
+  Result<ATMatrix> a = LoadAsAtm(a_path, config);
+  Result<ATMatrix> b = LoadAsAtm(b_path, config);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  if (a.value().cols() != b.value().rows()) {
+    std::fprintf(stderr, "error: shape mismatch %lld != %lld\n",
+                 (long long)a.value().cols(), (long long)b.value().rows());
+    return 1;
+  }
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(a.value(), b.value(), &stats);
+  std::printf("%s\n", stats.ToString().c_str());
+  Status saved = EndsWith(out, ".mtx") ? WriteMatrixMarket(c.ToCoo(), out)
+                                       : SaveMatrix(c, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld x %lld, %lld non-zeros\n", out.c_str(),
+              (long long)c.rows(), (long long)c.cols(), (long long)c.nnz());
+  return 0;
+}
+
+int CmdExplain(const std::string& a_path, const std::string& b_path) {
+  AtmConfig config = ConfigFromEnv();
+  Result<ATMatrix> a = LoadAsAtm(a_path, config);
+  Result<ATMatrix> b = LoadAsAtm(b_path, config);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  MultiplyPlan plan = ExplainMultiply(a.value(), b.value(), config);
+  std::printf("%s", plan.ToString().c_str());
+  return 0;
+}
+
+int CmdRender(const std::string& in, const std::string& out) {
+  AtmConfig config = ConfigFromEnv();
+  Result<ATMatrix> atm = LoadAsAtm(in, config);
+  if (!atm.ok()) {
+    std::fprintf(stderr, "error: %s\n", atm.status().ToString().c_str());
+    return 1;
+  }
+  Status status = WriteTileLayoutPgm(atm.value(), out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdConvert(const std::string& in, const std::string& out) {
+  AtmConfig config = ConfigFromEnv();
+  // Normalize through COO.
+  CooMatrix coo;
+  if (EndsWith(in, ".mtx")) {
+    Result<CooMatrix> read = ReadMatrixMarket(in);
+    if (!read.ok()) {
+      std::fprintf(stderr, "error: %s\n", read.status().ToString().c_str());
+      return 1;
+    }
+    coo = std::move(read).value();
+  } else {
+    Result<ATMatrix> atm = LoadAsAtm(in, config);
+    if (!atm.ok()) {
+      std::fprintf(stderr, "error: %s\n", atm.status().ToString().c_str());
+      return 1;
+    }
+    coo = atm.value().ToCoo();
+  }
+  Status saved = EndsWith(out, ".mtx") ? WriteMatrixMarket(coo, out)
+                                       : SaveMatrix(coo, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%lld entries)\n", out.c_str(),
+              (long long)coo.nnz());
+  return 0;
+}
+
+int CmdGen(const std::string& id, double scale, const std::string& out) {
+  CooMatrix coo = MakeWorkloadMatrix(id, scale);
+  Status saved = EndsWith(out, ".mtx") ? WriteMatrixMarket(coo, out)
+                                       : SaveMatrix(coo, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld x %lld, %lld non-zeros\n", out.c_str(),
+              (long long)coo.rows(), (long long)coo.cols(),
+              (long long)coo.nnz());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  atmx info <file>\n"
+               "  atmx partition <in> <out>\n"
+               "  atmx multiply <a> <b> <out>\n"
+               "  atmx explain <a> <b>\n"
+               "  atmx render <in> <out.pgm>\n"
+               "  atmx convert <in> <out>\n"
+               "  atmx gen <workload-id> <scale> <out>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
+  if (cmd == "partition" && argc == 4) return CmdPartition(argv[2], argv[3]);
+  if (cmd == "multiply" && argc == 5) {
+    return CmdMultiply(argv[2], argv[3], argv[4]);
+  }
+  if (cmd == "explain" && argc == 4) return CmdExplain(argv[2], argv[3]);
+  if (cmd == "render" && argc == 4) return CmdRender(argv[2], argv[3]);
+  if (cmd == "convert" && argc == 4) return CmdConvert(argv[2], argv[3]);
+  if (cmd == "gen" && argc == 5) {
+    return CmdGen(argv[2], std::atof(argv[3]), argv[4]);
+  }
+  return Usage();
+}
