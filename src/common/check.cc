@@ -1,0 +1,56 @@
+#include "common/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace atmx::internal {
+
+namespace {
+
+thread_local std::string check_context;
+
+void PrintFailure(const char* file, int line, const char* expr,
+                  const char* values) {
+  if (check_context.empty()) {
+    std::fprintf(stderr, "ATMX_CHECK failed at %s:%d: %s%s\n", file, line,
+                 expr, values);
+  } else {
+    std::fprintf(stderr, "ATMX_CHECK failed at %s:%d [%s]: %s%s\n", file,
+                 line, check_context.c_str(), expr, values);
+  }
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+const std::string& CheckContext() { return check_context; }
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  PrintFailure(file, line, expr, "");
+  std::abort();
+}
+
+void CheckOpFailedStr(const char* file, int line, const char* expr,
+                      const std::string& a, const std::string& b) {
+  const std::string values = " (" + a + " vs " + b + ")";
+  PrintFailure(file, line, expr, values.c_str());
+  std::abort();
+}
+
+ScopedCheckContext::ScopedCheckContext(const char* fmt, ...)
+    : saved_size_(check_context.size()) {
+  char buf[192];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (!check_context.empty()) check_context += "; ";
+  check_context += buf;
+}
+
+ScopedCheckContext::~ScopedCheckContext() {
+  check_context.resize(saved_size_);
+}
+
+}  // namespace atmx::internal

@@ -3,32 +3,84 @@
 // ATMX_CHECK* terminate the process on violation; they guard programming
 // invariants, not user input (user input goes through Status, see status.h).
 // ATMX_DCHECK* compile away in NDEBUG builds and may be used in hot loops.
+//
+// The _EQ/_NE/_LT/_LE/_GT/_GE forms print both operand values on failure.
+// Failure messages also carry the current thread's check context (see
+// ScopedCheckContext below), which the kernel/dispatch code paths set to
+// the active tile coordinates so a CI failure is attributable to a
+// specific tile.
 
 #ifndef ATMX_COMMON_CHECK_H_
 #define ATMX_COMMON_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
+#include <string>
 
 namespace atmx::internal {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr) {
-  std::fprintf(stderr, "ATMX_CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::fflush(stderr);
-  std::abort();
+// The current thread's check context ("" when unset).
+const std::string& CheckContext();
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+[[noreturn]] void CheckOpFailedStr(const char* file, int line,
+                                   const char* expr, const std::string& a,
+                                   const std::string& b);
+
+template <typename T>
+std::string OperandToString(const T& v) {
+  if constexpr (requires(std::ostringstream& os) { os << v; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
 }
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const A& a, const B& b) {
+  CheckOpFailedStr(file, line, expr, OperandToString(a), OperandToString(b));
+}
+
+// RAII guard attaching a printf-formatted context string to every check
+// failure raised on the calling thread while in scope. Scopes nest: inner
+// contexts are appended to the outer ones.
+class ScopedCheckContext {
+ public:
+  [[gnu::format(printf, 2, 3)]] explicit ScopedCheckContext(const char* fmt,
+                                                            ...);
+  ~ScopedCheckContext();
+
+  ScopedCheckContext(const ScopedCheckContext&) = delete;
+  ScopedCheckContext& operator=(const ScopedCheckContext&) = delete;
+
+ private:
+  std::size_t saved_size_;
+};
 
 }  // namespace atmx::internal
 
-#define ATMX_CHECK(cond)                                   \
-  do {                                                     \
-    if (!(cond)) {                                         \
-      ::atmx::internal::CheckFailed(__FILE__, __LINE__, #cond); \
-    }                                                      \
+#define ATMX_CHECK(cond)                                           \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::atmx::internal::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                              \
   } while (false)
 
-#define ATMX_CHECK_OP(a, op, b) ATMX_CHECK((a)op(b))
+// Evaluates each operand once and reports both values on failure.
+#define ATMX_CHECK_OP(a, op, b)                                            \
+  do {                                                                     \
+    auto&& atmx_check_a = (a);                                             \
+    auto&& atmx_check_b = (b);                                             \
+    if (!(atmx_check_a op atmx_check_b)) {                                 \
+      ::atmx::internal::CheckOpFailed(__FILE__, __LINE__,                  \
+                                      #a " " #op " " #b, atmx_check_a,     \
+                                      atmx_check_b);                       \
+    }                                                                      \
+  } while (false)
+
 #define ATMX_CHECK_EQ(a, b) ATMX_CHECK_OP(a, ==, b)
 #define ATMX_CHECK_NE(a, b) ATMX_CHECK_OP(a, !=, b)
 #define ATMX_CHECK_LT(a, b) ATMX_CHECK_OP(a, <, b)
@@ -40,13 +92,30 @@ namespace atmx::internal {
 #define ATMX_DCHECK(cond) \
   do {                    \
   } while (false)
+#define ATMX_DCHECK_OP(a, op, b) \
+  do {                           \
+  } while (false)
+// Debug-only check context: free in release builds, so hot kernel loops can
+// attach per-call context without a release-mode cost.
+#define ATMX_DCHECK_CONTEXT(...) \
+  do {                           \
+  } while (false)
 #else
 #define ATMX_DCHECK(cond) ATMX_CHECK(cond)
+#define ATMX_DCHECK_OP(a, op, b) ATMX_CHECK_OP(a, op, b)
+#define ATMX_INTERNAL_CONCAT2(a, b) a##b
+#define ATMX_INTERNAL_CONCAT(a, b) ATMX_INTERNAL_CONCAT2(a, b)
+#define ATMX_DCHECK_CONTEXT(...)                 \
+  ::atmx::internal::ScopedCheckContext           \
+      ATMX_INTERNAL_CONCAT(atmx_dcheck_context_, \
+                           __LINE__)(__VA_ARGS__)
 #endif
 
-#define ATMX_DCHECK_EQ(a, b) ATMX_DCHECK((a) == (b))
-#define ATMX_DCHECK_LT(a, b) ATMX_DCHECK((a) < (b))
-#define ATMX_DCHECK_LE(a, b) ATMX_DCHECK((a) <= (b))
-#define ATMX_DCHECK_GE(a, b) ATMX_DCHECK((a) >= (b))
+#define ATMX_DCHECK_EQ(a, b) ATMX_DCHECK_OP(a, ==, b)
+#define ATMX_DCHECK_NE(a, b) ATMX_DCHECK_OP(a, !=, b)
+#define ATMX_DCHECK_LT(a, b) ATMX_DCHECK_OP(a, <, b)
+#define ATMX_DCHECK_LE(a, b) ATMX_DCHECK_OP(a, <=, b)
+#define ATMX_DCHECK_GT(a, b) ATMX_DCHECK_OP(a, >, b)
+#define ATMX_DCHECK_GE(a, b) ATMX_DCHECK_OP(a, >=, b)
 
 #endif  // ATMX_COMMON_CHECK_H_

@@ -72,8 +72,10 @@ template <typename T>
 class Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
-  Result(T value) : value_(std::move(value)) {}           // NOLINT
-  Result(Status status) : status_(std::move(status)) {    // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, above.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, above.
+  Result(Status status) : status_(std::move(status)) {
     ATMX_CHECK(!status_.ok());
   }
 

@@ -1,5 +1,6 @@
 #include "kernels/kernel_dispatch.h"
 
+#include "common/check.h"
 #include "kernels/dense_kernels.h"
 #include "kernels/mixed_kernels.h"
 #include "kernels/sparse_kernels.h"
@@ -44,6 +45,10 @@ KernelType DispatchKernelType(const Operand& a, const Operand& b,
 
 void MultiplyIntoDense(const Operand& a, const Operand& b,
                        const DenseMutView& c, index_t i0, index_t i1) {
+  ATMX_DCHECK_CONTEXT("%s rows [%lld,%lld)",
+                      KernelTypeName(DispatchKernelType(a, b, true)),
+                      static_cast<long long>(i0),
+                      static_cast<long long>(i1));
   ATMX_DCHECK_EQ(a.cols(), b.rows());
   ATMX_DCHECK_EQ(a.rows(), c.rows);
   ATMX_DCHECK_EQ(b.cols(), c.cols);
@@ -64,6 +69,9 @@ void MultiplyIntoDense(const Operand& a, const Operand& b,
 
 void AccumulateRowInto(const Operand& a, const Operand& b, index_t i,
                        SparseAccumulator* spa) {
+  ATMX_DCHECK_CONTEXT("%s row %lld",
+                      KernelTypeName(DispatchKernelType(a, b, false)),
+                      static_cast<long long>(i));
   ATMX_DCHECK_EQ(a.cols(), b.rows());
   ATMX_DCHECK_EQ(spa->width(), b.cols());
   if (a.is_dense) {

@@ -192,6 +192,13 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     const index_t r1 = a.row_bounds()[ti + 1];
     const index_t c0 = b.col_bounds()[tj];
     const index_t c1 = b.col_bounds()[tj + 1];
+    // Once per task, so cheap enough to keep in release builds: any check
+    // failure below names the C tile being produced.
+    internal::ScopedCheckContext check_ctx(
+        "AtMult tile (%lld,%lld) C[%lld:%lld,%lld:%lld)",
+        static_cast<long long>(ti), static_cast<long long>(tj),
+        static_cast<long long>(r0), static_cast<long long>(r1),
+        static_cast<long long>(c0), static_cast<long long>(c1));
     const index_t m = r1 - r0;
     const index_t n = c1 - c0;
     const int exec_node = team.team_id();

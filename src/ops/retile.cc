@@ -48,6 +48,9 @@ DenseMatrix SliceDenseColumns(const DenseMatrix& src, index_t c0,
 ATMatrix RetileColumns(const ATMatrix& a,
                        const std::vector<index_t>& col_bounds,
                        const AtmConfig& config) {
+  internal::ScopedCheckContext check_ctx(
+      "RetileColumns %lldx%lld", static_cast<long long>(a.rows()),
+      static_cast<long long>(a.cols()));
   std::vector<Tile> tiles;
   tiles.reserve(a.tiles().size());
   for (const Tile& t : a.tiles()) {

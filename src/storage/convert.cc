@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "validate/debug_hooks.h"
 
 namespace atmx {
 
@@ -52,8 +53,10 @@ CsrMatrix CooToCsr(const CooMatrix& coo) {
   }
   col_idx.resize(out);
   values.resize(out);
-  return CsrMatrix(rows, coo.cols(), std::move(new_row_ptr),
-                   std::move(col_idx), std::move(values));
+  CsrMatrix csr(rows, coo.cols(), std::move(new_row_ptr), std::move(col_idx),
+                std::move(values));
+  ATMX_VALIDATE_CSR(csr, "CooToCsr");
+  return csr;
 }
 
 DenseMatrix CooToDense(const CooMatrix& coo) {
@@ -97,7 +100,9 @@ CsrMatrix DenseWindowToCsr(const DenseView& view) {
     }
     builder.FinishRowsUpTo(i + 1);
   }
-  return builder.Build();
+  CsrMatrix csr = builder.Build();
+  ATMX_VALIDATE_CSR(csr, "DenseWindowToCsr");
+  return csr;
 }
 
 CooMatrix CsrToCoo(const CsrMatrix& csr) {

@@ -4,11 +4,18 @@
 #include <fstream>
 #include <vector>
 
+#include "validate/debug_hooks.h"
+#include "validate/validate.h"
+
 namespace atmx {
 
 namespace {
 
 constexpr char kMagic[8] = {'A', 'T', 'M', 'X', 'B', 'I', 'N', '1'};
+
+// Dimension cap for deserialized matrices: keeps rows*cols and byte-size
+// arithmetic far away from u64 overflow on corrupt headers.
+constexpr std::uint64_t kMaxDim = 1ULL << 31;
 
 enum class TypeTag : std::uint64_t {
   kCoo = 1,
@@ -46,30 +53,47 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {}
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      const auto end = in_.tellg();
+      if (end >= 0) remaining_ = static_cast<std::uint64_t>(end);
+      in_.seekg(0, std::ios::beg);
+    }
+  }
 
   bool ok() const { return static_cast<bool>(in_); }
 
   bool U64(std::uint64_t* v) {
     in_.read(reinterpret_cast<char*>(v), sizeof(*v));
-    return static_cast<bool>(in_);
+    if (!in_) return false;
+    remaining_ -= sizeof(*v);
+    return true;
   }
   bool F64(double* v) {
     in_.read(reinterpret_cast<char*>(v), sizeof(*v));
-    return static_cast<bool>(in_);
+    if (!in_) return false;
+    remaining_ -= sizeof(*v);
+    return true;
   }
   template <typename T>
-  bool Array(std::vector<T>* v, std::uint64_t max_elems = (1ULL << 33)) {
+  bool Array(std::vector<T>* v) {
     std::uint64_t n;
-    if (!U64(&n) || n > max_elems) return false;
+    // A declared length beyond the bytes left in the file is corruption;
+    // rejecting it here also keeps resize() from attempting a multi-GB
+    // allocation on a truncated stream.
+    if (!U64(&n) || n > remaining_ / sizeof(T)) return false;
     v->resize(n);
     in_.read(reinterpret_cast<char*>(v->data()),
              static_cast<std::streamsize>(n * sizeof(T)));
-    return static_cast<bool>(in_) || n == 0;
+    if (!in_ && n != 0) return false;
+    remaining_ -= n * sizeof(T);
+    return true;
   }
 
  private:
   std::ifstream in_;
+  std::uint64_t remaining_ = 0;
 };
 
 Status WriteHeader(Writer* w, TypeTag tag) {
@@ -94,15 +118,16 @@ Result<CsrMatrix> ReadCsrPayload(Reader* r) {
       !r->Array(&col_idx) || !r->Array(&values)) {
     return Status::IoError("truncated CSR payload");
   }
+  if (rows > kMaxDim || cols > kMaxDim) {
+    return Status::InvalidArgument("CSR dimensions out of range");
+  }
   if (row_ptr.size() != rows + 1 || col_idx.size() != values.size() ||
       (rows > 0 && row_ptr.back() != static_cast<index_t>(values.size()))) {
     return Status::InvalidArgument("inconsistent CSR payload");
   }
   CsrMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols),
               std::move(row_ptr), std::move(col_idx), std::move(values));
-  if (!m.CheckValid()) {
-    return Status::InvalidArgument("corrupt CSR payload");
-  }
+  ATMX_RETURN_IF_ERROR(ValidateCsr(m));
   return m;
 }
 
@@ -118,6 +143,9 @@ Result<DenseMatrix> ReadDensePayload(Reader* r) {
   std::uint64_t rows, cols;
   if (!r->U64(&rows) || !r->U64(&cols)) {
     return Status::IoError("truncated dense header");
+  }
+  if (rows > kMaxDim || cols > kMaxDim) {
+    return Status::InvalidArgument("dense dimensions out of range");
   }
   std::vector<value_t> data;
   if (!r->Array(&data) || data.size() != rows * cols) {
@@ -262,13 +290,21 @@ Result<ATMatrix> LoadATMatrix(const std::string& path) {
   if (!r.U64(&rows) || !r.U64(&cols) || !r.U64(&block) || block == 0) {
     return Status::IoError("truncated AT MATRIX header");
   }
-  DensityMap map(static_cast<index_t>(rows), static_cast<index_t>(cols),
-                 static_cast<index_t>(block));
+  if (rows > kMaxDim || cols > kMaxDim || block > kMaxDim) {
+    return Status::InvalidArgument("AT MATRIX dimensions out of range");
+  }
+  // The density array is read (and bounded by the file size) before the map
+  // is constructed, so a corrupt header cannot trigger a huge grid
+  // allocation.
   std::vector<double> densities;
-  if (!r.Array(&densities) ||
-      densities.size() != map.values().size()) {
+  if (!r.Array(&densities)) return Status::IoError("truncated density map");
+  const std::uint64_t grid_rows = (rows + block - 1) / block;
+  const std::uint64_t grid_cols = (cols + block - 1) / block;
+  if (densities.size() != grid_rows * grid_cols) {
     return Status::IoError("truncated density map");
   }
+  DensityMap map(static_cast<index_t>(rows), static_cast<index_t>(cols),
+                 static_cast<index_t>(block));
   for (index_t bi = 0; bi < map.grid_rows(); ++bi) {
     for (index_t bj = 0; bj < map.grid_cols(); ++bj) {
       map.Set(bi, bj, densities[bi * map.grid_cols() + bj]);
@@ -279,6 +315,9 @@ Result<ATMatrix> LoadATMatrix(const std::string& path) {
   if (!r.U64(&num_tiles) || num_tiles > (1ULL << 24)) {
     return Status::IoError("bad tile count");
   }
+  // The bytes on disk are untrusted: build first with debug-validation
+  // hooks off, then report problems as a Status via the validators.
+  validate_debug::ScopedDisableValidation no_hooks;
   std::vector<Tile> tiles;
   tiles.reserve(num_tiles);
   for (std::uint64_t t = 0; t < num_tiles; ++t) {
@@ -304,9 +343,7 @@ Result<ATMatrix> LoadATMatrix(const std::string& path) {
   }
   ATMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols),
              static_cast<index_t>(block), std::move(tiles), std::move(map));
-  if (!m.CheckValid()) {
-    return Status::InvalidArgument("corrupt AT MATRIX in " + path);
-  }
+  ATMX_RETURN_IF_ERROR(ValidateAtMatrix(m));
   return m;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "storage/convert.h"
+#include "validate/debug_hooks.h"
 
 namespace atmx {
 
@@ -18,6 +19,9 @@ ATMatrix::ATMatrix(index_t rows, index_t cols, index_t b_atomic,
   nnz_ = 0;
   for (const Tile& t : tiles_) nnz_ += t.nnz();
   BuildBands();
+  // Every construction path (partitioner, Retile, AtMult, deserialize) ends
+  // here, so one hook covers them all.
+  ATMX_VALIDATE_ATM(*this, "ATMatrix construction");
 }
 
 double ATMatrix::Density() const {

@@ -276,9 +276,24 @@ void AssignHomeNodes(ATMatrix* atm, int num_nodes) {
 
 ATMatrix PartitionToAtm(CooMatrix coo, const AtmConfig& config,
                         PartitionStats* stats) {
+  internal::ScopedCheckContext check_ctx(
+      "PartitionToAtm %lldx%lld nnz=%lld", static_cast<long long>(coo.rows()),
+      static_cast<long long>(coo.cols()), static_cast<long long>(coo.nnz()));
   PartitionStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = PartitionStats();
+
+  // Explicit zeros carry no structural information and cannot be
+  // represented in dense tiles, so keeping them would desync the density
+  // map (which counts entries) from the tile payloads (which store
+  // values). Drop them before any counting.
+  {
+    auto& entries = coo.entries();
+    entries.erase(std::remove_if(
+                      entries.begin(), entries.end(),
+                      [](const CooEntry& e) { return e.value == 0.0; }),
+                  entries.end());
+  }
 
   if (coo.rows() == 0 || coo.cols() == 0) {
     return ATMatrix(coo.rows(), coo.cols(), config.AtomicBlockSize(), {},

@@ -5,6 +5,7 @@
 #include "storage/convert.h"
 #include "tests/test_util.h"
 #include "tile/partitioner.h"
+#include "validate/debug_hooks.h"
 
 namespace atmx {
 namespace {
@@ -89,6 +90,9 @@ TEST(ATMatrixTest, MemoryBytesSumsTiles) {
 }
 
 TEST(ATMatrixTest, InvalidWhenTilesOverlap) {
+  // Deliberately invalid construction; keep the debug-validation hook from
+  // aborting before CheckValid gets its say.
+  validate_debug::ScopedDisableValidation no_hooks;
   std::vector<Tile> tiles;
   DenseMatrix d1(4, 4), d2(4, 4);
   tiles.push_back(Tile::MakeDense(0, 0, std::move(d1)));
@@ -98,6 +102,7 @@ TEST(ATMatrixTest, InvalidWhenTilesOverlap) {
 }
 
 TEST(ATMatrixTest, InvalidWhenAreaUncovered) {
+  validate_debug::ScopedDisableValidation no_hooks;
   std::vector<Tile> tiles;
   DenseMatrix d1(4, 4);
   tiles.push_back(Tile::MakeDense(0, 0, std::move(d1)));

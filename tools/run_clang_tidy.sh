@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (configuration in .clang-tidy) over the library, tools,
+# and test sources using the compile commands of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call unconditionally from CI images without the tool.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+if [ "$#" -gt 0 ]; then shift; fi
+if [ "${1:-}" = "--" ]; then shift; fi
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found on PATH; skipping (install" \
+       "clang-tidy or set CLANG_TIDY to enable static analysis)." >&2
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  exit 1
+fi
+
+# All first-party translation units; third-party code (gtest, benchmark)
+# never appears here because it lives outside these directories.
+files=$(find "${repo_root}/src" "${repo_root}/tools" "${repo_root}/tests" \
+             "${repo_root}/examples" -name '*.cc' | sort)
+
+status=0
+for f in $files; do
+  "$TIDY" -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings reported (see above)." >&2
+fi
+exit "$status"
