@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmx_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/atmx_bench_common.dir/bench_common.cc.o.d"
+  "libatmx_bench_common.a"
+  "libatmx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

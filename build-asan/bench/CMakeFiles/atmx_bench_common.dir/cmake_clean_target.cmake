@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatmx_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_order.dir/chain_order.cc.o"
+  "CMakeFiles/chain_order.dir/chain_order.cc.o.d"
+  "chain_order"
+  "chain_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

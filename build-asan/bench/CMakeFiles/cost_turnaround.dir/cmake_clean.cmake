@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_turnaround.dir/cost_turnaround.cc.o"
+  "CMakeFiles/cost_turnaround.dir/cost_turnaround.cc.o.d"
+  "cost_turnaround"
+  "cost_turnaround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_turnaround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_locality.dir/curve_locality.cc.o"
+  "CMakeFiles/curve_locality.dir/curve_locality.cc.o.d"
+  "curve_locality"
+  "curve_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

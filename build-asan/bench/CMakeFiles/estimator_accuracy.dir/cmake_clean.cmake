@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_accuracy.dir/estimator_accuracy.cc.o"
+  "CMakeFiles/estimator_accuracy.dir/estimator_accuracy.cc.o.d"
+  "estimator_accuracy"
+  "estimator_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_opt_steps.dir/fig10_opt_steps.cc.o"
+  "CMakeFiles/fig10_opt_steps.dir/fig10_opt_steps.cc.o.d"
+  "fig10_opt_steps"
+  "fig10_opt_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_opt_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_layout.dir/fig2_layout.cc.o"
+  "CMakeFiles/fig2_layout.dir/fig2_layout.cc.o.d"
+  "fig2_layout"
+  "fig2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

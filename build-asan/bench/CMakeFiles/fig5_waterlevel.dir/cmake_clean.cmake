@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_waterlevel.dir/fig5_waterlevel.cc.o"
+  "CMakeFiles/fig5_waterlevel.dir/fig5_waterlevel.cc.o.d"
+  "fig5_waterlevel"
+  "fig5_waterlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_waterlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

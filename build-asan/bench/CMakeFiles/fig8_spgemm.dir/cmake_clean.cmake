@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_spgemm.dir/fig8_spgemm.cc.o"
+  "CMakeFiles/fig8_spgemm.dir/fig8_spgemm.cc.o.d"
+  "fig8_spgemm"
+  "fig8_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

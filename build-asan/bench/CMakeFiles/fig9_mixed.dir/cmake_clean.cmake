@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mixed.dir/fig9_mixed.cc.o"
+  "CMakeFiles/fig9_mixed.dir/fig9_mixed.cc.o.d"
+  "fig9_mixed"
+  "fig9_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

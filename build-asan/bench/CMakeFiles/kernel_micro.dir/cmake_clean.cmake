@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_micro.dir/kernel_micro.cc.o"
+  "CMakeFiles/kernel_micro.dir/kernel_micro.cc.o.d"
+  "kernel_micro"
+  "kernel_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_machine_replay.dir/paper_machine_replay.cc.o"
+  "CMakeFiles/paper_machine_replay.dir/paper_machine_replay.cc.o.d"
+  "paper_machine_replay"
+  "paper_machine_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_machine_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retile_mixed.dir/retile_mixed.cc.o"
+  "CMakeFiles/retile_mixed.dir/retile_mixed.cc.o.d"
+  "retile_mixed"
+  "retile_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retile_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_bench.dir/spmv_bench.cc.o"
+  "CMakeFiles/spmv_bench.dir/spmv_bench.cc.o.d"
+  "spmv_bench"
+  "spmv_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

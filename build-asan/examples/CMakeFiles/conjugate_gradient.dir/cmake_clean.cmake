@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjugate_gradient.dir/conjugate_gradient.cpp.o"
+  "CMakeFiles/conjugate_gradient.dir/conjugate_gradient.cpp.o.d"
+  "conjugate_gradient"
+  "conjugate_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjugate_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

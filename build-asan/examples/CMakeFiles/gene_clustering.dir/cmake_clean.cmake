@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_clustering.dir/gene_clustering.cpp.o"
+  "CMakeFiles/gene_clustering.dir/gene_clustering.cpp.o.d"
+  "gene_clustering"
+  "gene_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

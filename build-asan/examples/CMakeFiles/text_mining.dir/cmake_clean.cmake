@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_mining.dir/text_mining.cpp.o"
+  "CMakeFiles/text_mining.dir/text_mining.cpp.o.d"
+  "text_mining"
+  "text_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/atmx.dir/common/check.cc.o" "gcc" "src/CMakeFiles/atmx.dir/common/check.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/atmx.dir/common/config.cc.o" "gcc" "src/CMakeFiles/atmx.dir/common/config.cc.o.d"
+  "/root/repo/src/common/radix_sort.cc" "src/CMakeFiles/atmx.dir/common/radix_sort.cc.o" "gcc" "src/CMakeFiles/atmx.dir/common/radix_sort.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/atmx.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/atmx.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/atmx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/atmx.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/atmx.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/atmx.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/cost/calibration.cc" "src/CMakeFiles/atmx.dir/cost/calibration.cc.o" "gcc" "src/CMakeFiles/atmx.dir/cost/calibration.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/atmx.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/atmx.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/estimate/density_estimator.cc" "src/CMakeFiles/atmx.dir/estimate/density_estimator.cc.o" "gcc" "src/CMakeFiles/atmx.dir/estimate/density_estimator.cc.o.d"
+  "/root/repo/src/estimate/density_map.cc" "src/CMakeFiles/atmx.dir/estimate/density_map.cc.o" "gcc" "src/CMakeFiles/atmx.dir/estimate/density_map.cc.o.d"
+  "/root/repo/src/estimate/water_level.cc" "src/CMakeFiles/atmx.dir/estimate/water_level.cc.o" "gcc" "src/CMakeFiles/atmx.dir/estimate/water_level.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/atmx.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/atmx.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/atmx.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/atmx.dir/gen/synthetic.cc.o.d"
+  "/root/repo/src/gen/workloads.cc" "src/CMakeFiles/atmx.dir/gen/workloads.cc.o" "gcc" "src/CMakeFiles/atmx.dir/gen/workloads.cc.o.d"
+  "/root/repo/src/kernels/dense_kernels.cc" "src/CMakeFiles/atmx.dir/kernels/dense_kernels.cc.o" "gcc" "src/CMakeFiles/atmx.dir/kernels/dense_kernels.cc.o.d"
+  "/root/repo/src/kernels/kernel_dispatch.cc" "src/CMakeFiles/atmx.dir/kernels/kernel_dispatch.cc.o" "gcc" "src/CMakeFiles/atmx.dir/kernels/kernel_dispatch.cc.o.d"
+  "/root/repo/src/kernels/mixed_kernels.cc" "src/CMakeFiles/atmx.dir/kernels/mixed_kernels.cc.o" "gcc" "src/CMakeFiles/atmx.dir/kernels/mixed_kernels.cc.o.d"
+  "/root/repo/src/kernels/sparse_accumulator.cc" "src/CMakeFiles/atmx.dir/kernels/sparse_accumulator.cc.o" "gcc" "src/CMakeFiles/atmx.dir/kernels/sparse_accumulator.cc.o.d"
+  "/root/repo/src/kernels/sparse_kernels.cc" "src/CMakeFiles/atmx.dir/kernels/sparse_kernels.cc.o" "gcc" "src/CMakeFiles/atmx.dir/kernels/sparse_kernels.cc.o.d"
+  "/root/repo/src/morton/hilbert.cc" "src/CMakeFiles/atmx.dir/morton/hilbert.cc.o" "gcc" "src/CMakeFiles/atmx.dir/morton/hilbert.cc.o.d"
+  "/root/repo/src/morton/morton.cc" "src/CMakeFiles/atmx.dir/morton/morton.cc.o" "gcc" "src/CMakeFiles/atmx.dir/morton/morton.cc.o.d"
+  "/root/repo/src/ops/atmult.cc" "src/CMakeFiles/atmx.dir/ops/atmult.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/atmult.cc.o.d"
+  "/root/repo/src/ops/chain.cc" "src/CMakeFiles/atmx.dir/ops/chain.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/chain.cc.o.d"
+  "/root/repo/src/ops/elementwise.cc" "src/CMakeFiles/atmx.dir/ops/elementwise.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/elementwise.cc.o.d"
+  "/root/repo/src/ops/explain.cc" "src/CMakeFiles/atmx.dir/ops/explain.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/explain.cc.o.d"
+  "/root/repo/src/ops/norms.cc" "src/CMakeFiles/atmx.dir/ops/norms.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/norms.cc.o.d"
+  "/root/repo/src/ops/optimizer.cc" "src/CMakeFiles/atmx.dir/ops/optimizer.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/optimizer.cc.o.d"
+  "/root/repo/src/ops/reference_mult.cc" "src/CMakeFiles/atmx.dir/ops/reference_mult.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/reference_mult.cc.o.d"
+  "/root/repo/src/ops/retile.cc" "src/CMakeFiles/atmx.dir/ops/retile.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/retile.cc.o.d"
+  "/root/repo/src/ops/spmv.cc" "src/CMakeFiles/atmx.dir/ops/spmv.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/spmv.cc.o.d"
+  "/root/repo/src/ops/transpose.cc" "src/CMakeFiles/atmx.dir/ops/transpose.cc.o" "gcc" "src/CMakeFiles/atmx.dir/ops/transpose.cc.o.d"
+  "/root/repo/src/storage/convert.cc" "src/CMakeFiles/atmx.dir/storage/convert.cc.o" "gcc" "src/CMakeFiles/atmx.dir/storage/convert.cc.o.d"
+  "/root/repo/src/storage/coo_matrix.cc" "src/CMakeFiles/atmx.dir/storage/coo_matrix.cc.o" "gcc" "src/CMakeFiles/atmx.dir/storage/coo_matrix.cc.o.d"
+  "/root/repo/src/storage/csr_matrix.cc" "src/CMakeFiles/atmx.dir/storage/csr_matrix.cc.o" "gcc" "src/CMakeFiles/atmx.dir/storage/csr_matrix.cc.o.d"
+  "/root/repo/src/storage/dense_matrix.cc" "src/CMakeFiles/atmx.dir/storage/dense_matrix.cc.o" "gcc" "src/CMakeFiles/atmx.dir/storage/dense_matrix.cc.o.d"
+  "/root/repo/src/storage/matrix_market.cc" "src/CMakeFiles/atmx.dir/storage/matrix_market.cc.o" "gcc" "src/CMakeFiles/atmx.dir/storage/matrix_market.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/CMakeFiles/atmx.dir/storage/serialize.cc.o" "gcc" "src/CMakeFiles/atmx.dir/storage/serialize.cc.o.d"
+  "/root/repo/src/tile/at_matrix.cc" "src/CMakeFiles/atmx.dir/tile/at_matrix.cc.o" "gcc" "src/CMakeFiles/atmx.dir/tile/at_matrix.cc.o.d"
+  "/root/repo/src/tile/partitioner.cc" "src/CMakeFiles/atmx.dir/tile/partitioner.cc.o" "gcc" "src/CMakeFiles/atmx.dir/tile/partitioner.cc.o.d"
+  "/root/repo/src/tile/tile.cc" "src/CMakeFiles/atmx.dir/tile/tile.cc.o" "gcc" "src/CMakeFiles/atmx.dir/tile/tile.cc.o.d"
+  "/root/repo/src/topology/numa_sim.cc" "src/CMakeFiles/atmx.dir/topology/numa_sim.cc.o" "gcc" "src/CMakeFiles/atmx.dir/topology/numa_sim.cc.o.d"
+  "/root/repo/src/topology/system_topology.cc" "src/CMakeFiles/atmx.dir/topology/system_topology.cc.o" "gcc" "src/CMakeFiles/atmx.dir/topology/system_topology.cc.o.d"
+  "/root/repo/src/topology/thread_pool.cc" "src/CMakeFiles/atmx.dir/topology/thread_pool.cc.o" "gcc" "src/CMakeFiles/atmx.dir/topology/thread_pool.cc.o.d"
+  "/root/repo/src/topology/tile_size_policy.cc" "src/CMakeFiles/atmx.dir/topology/tile_size_policy.cc.o" "gcc" "src/CMakeFiles/atmx.dir/topology/tile_size_policy.cc.o.d"
+  "/root/repo/src/validate/debug_hooks.cc" "src/CMakeFiles/atmx.dir/validate/debug_hooks.cc.o" "gcc" "src/CMakeFiles/atmx.dir/validate/debug_hooks.cc.o.d"
+  "/root/repo/src/validate/validate.cc" "src/CMakeFiles/atmx.dir/validate/validate.cc.o" "gcc" "src/CMakeFiles/atmx.dir/validate/validate.cc.o.d"
+  "/root/repo/src/viz/render.cc" "src/CMakeFiles/atmx.dir/viz/render.cc.o" "gcc" "src/CMakeFiles/atmx.dir/viz/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_at_matrix.dir/test_at_matrix.cc.o"
+  "CMakeFiles/test_at_matrix.dir/test_at_matrix.cc.o.d"
+  "test_at_matrix"
+  "test_at_matrix.pdb"
+  "test_at_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_at_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atmult.dir/test_atmult.cc.o"
+  "CMakeFiles/test_atmult.dir/test_atmult.cc.o.d"
+  "test_atmult"
+  "test_atmult.pdb"
+  "test_atmult[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atmult_edge.dir/test_atmult_edge.cc.o"
+  "CMakeFiles/test_atmult_edge.dir/test_atmult_edge.cc.o.d"
+  "test_atmult_edge"
+  "test_atmult_edge.pdb"
+  "test_atmult_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atmult_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

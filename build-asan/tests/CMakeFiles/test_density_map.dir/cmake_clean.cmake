@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_density_map.dir/test_density_map.cc.o"
+  "CMakeFiles/test_density_map.dir/test_density_map.cc.o.d"
+  "test_density_map"
+  "test_density_map.pdb"
+  "test_density_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_density_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_market.dir/test_matrix_market.cc.o"
+  "CMakeFiles/test_matrix_market.dir/test_matrix_market.cc.o.d"
+  "test_matrix_market"
+  "test_matrix_market.pdb"
+  "test_matrix_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiply_add.dir/test_multiply_add.cc.o"
+  "CMakeFiles/test_multiply_add.dir/test_multiply_add.cc.o.d"
+  "test_multiply_add"
+  "test_multiply_add.pdb"
+  "test_multiply_add[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiply_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norms.dir/test_norms.cc.o"
+  "CMakeFiles/test_norms.dir/test_norms.cc.o.d"
+  "test_norms"
+  "test_norms.pdb"
+  "test_norms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_race_stress.dir/test_race_stress.cc.o"
+  "CMakeFiles/test_race_stress.dir/test_race_stress.cc.o.d"
+  "test_race_stress"
+  "test_race_stress.pdb"
+  "test_race_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_race_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

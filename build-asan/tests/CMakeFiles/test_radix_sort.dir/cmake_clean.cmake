@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radix_sort.dir/test_radix_sort.cc.o"
+  "CMakeFiles/test_radix_sort.dir/test_radix_sort.cc.o.d"
+  "test_radix_sort"
+  "test_radix_sort.pdb"
+  "test_radix_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radix_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retile.dir/test_retile.cc.o"
+  "CMakeFiles/test_retile.dir/test_retile.cc.o.d"
+  "test_retile"
+  "test_retile.pdb"
+  "test_retile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize_fuzz.dir/test_serialize_fuzz.cc.o"
+  "CMakeFiles/test_serialize_fuzz.dir/test_serialize_fuzz.cc.o.d"
+  "test_serialize_fuzz"
+  "test_serialize_fuzz.pdb"
+  "test_serialize_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_accumulator.dir/test_sparse_accumulator.cc.o"
+  "CMakeFiles/test_sparse_accumulator.dir/test_sparse_accumulator.cc.o.d"
+  "test_sparse_accumulator"
+  "test_sparse_accumulator.pdb"
+  "test_sparse_accumulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpose_spmv.dir/test_transpose_spmv.cc.o"
+  "CMakeFiles/test_transpose_spmv.dir/test_transpose_spmv.cc.o.d"
+  "test_transpose_spmv"
+  "test_transpose_spmv.pdb"
+  "test_transpose_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpose_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

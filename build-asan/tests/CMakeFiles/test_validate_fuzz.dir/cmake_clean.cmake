@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validate_fuzz.dir/test_validate_fuzz.cc.o"
+  "CMakeFiles/test_validate_fuzz.dir/test_validate_fuzz.cc.o.d"
+  "test_validate_fuzz"
+  "test_validate_fuzz.pdb"
+  "test_validate_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validate_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

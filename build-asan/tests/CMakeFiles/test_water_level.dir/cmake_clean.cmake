@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_water_level.dir/test_water_level.cc.o"
+  "CMakeFiles/test_water_level.dir/test_water_level.cc.o.d"
+  "test_water_level"
+  "test_water_level.pdb"
+  "test_water_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_water_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_water_level_fuzz.dir/test_water_level_fuzz.cc.o"
+  "CMakeFiles/test_water_level_fuzz.dir/test_water_level_fuzz.cc.o.d"
+  "test_water_level_fuzz"
+  "test_water_level_fuzz.pdb"
+  "test_water_level_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_water_level_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_water_level_fuzz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmx_cli.dir/atmx_cli.cc.o"
+  "CMakeFiles/atmx_cli.dir/atmx_cli.cc.o.d"
+  "atmx"
+  "atmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

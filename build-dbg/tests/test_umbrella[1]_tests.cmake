@@ -1,0 +1,3 @@
+add_test([=[UmbrellaTest.EndToEndThroughSingleInclude]=]  /root/repo/build-dbg/tests/test_umbrella [==[--gtest_filter=UmbrellaTest.EndToEndThroughSingleInclude]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaTest.EndToEndThroughSingleInclude]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-dbg/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_TESTS UmbrellaTest.EndToEndThroughSingleInclude)
