@@ -1,10 +1,13 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "common/timer.h"
+#include "obs/obs.h"
 #include "cost/calibration.h"
 #include "kernels/sparse_kernels.h"
 #include "kernels/dense_kernels.h"
@@ -25,7 +28,59 @@ long long EnvInt(const char* name, long long fallback) {
   return value != nullptr ? std::atoll(value) : fallback;
 }
 
+#if defined(ATMX_OBS_ENABLED)
+// Written by EnableTracingTo, read by the atexit hook.
+std::string* TraceOutPath() {
+  static std::string* path = new std::string();
+  return path;
+}
+
+void FlushTraceAtExit() {
+  const std::string& path = *TraceOutPath();
+  if (path.empty()) return;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  Status status = recorder.WriteJson(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "trace: wrote %s (%lld events, %llu dropped)\n",
+               path.c_str(), (long long)recorder.EventCount(),
+               (unsigned long long)recorder.DroppedEvents());
+}
+#endif  // ATMX_OBS_ENABLED
+
 }  // namespace
+
+void EnableTracingTo(const std::string& path) {
+#if defined(ATMX_OBS_ENABLED)
+  static bool registered = false;
+  *TraceOutPath() = path;
+  obs::TraceRecorder::Global().Enable();
+  obs::DecisionLog::Global().SetEnabled(true);
+  if (!registered) {
+    registered = true;
+    std::atexit(FlushTraceAtExit);
+  }
+#else
+  std::fprintf(stderr,
+               "trace: ignoring %s — built with -DATMX_OBS=OFF\n",
+               path.c_str());
+#endif
+}
+
+void MaybeEnableTracing(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    static constexpr char kFlag[] = "--trace-out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      EnableTracingTo(argv[i] + sizeof(kFlag) - 1);
+      return;
+    }
+  }
+  if (const char* path = std::getenv("ATMX_TRACE_OUT")) {
+    if (path[0] != '\0') EnableTracingTo(path);
+  }
+}
 
 BenchEnv BenchEnv::FromEnvironment() {
   BenchEnv env;
@@ -44,6 +99,9 @@ BenchEnv BenchEnv::FromEnvironment() {
         std::clamp(env.cost_model.ReadTurnaround(), 0.10, 0.85);
     env.config.rho_write =
         std::clamp(env.cost_model.WriteTurnaround(), 0.005, 0.20);
+  }
+  if (const char* path = std::getenv("ATMX_TRACE_OUT")) {
+    if (path[0] != '\0') EnableTracingTo(path);
   }
   return env;
 }

@@ -9,6 +9,9 @@
 //   ATMX_TEAMS    worker teams                       (default 1)
 //   ATMX_THREADS  threads per team                   (default 1)
 //   ATMX_CALIBRATE set to 1 to micro-calibrate the cost model first
+//   ATMX_TRACE_OUT  path; when set (and the library is built with
+//                   ATMX_OBS=ON) the bench records a Chrome trace +
+//                   decision audit and writes the JSON there at exit
 
 #ifndef ATMX_BENCH_BENCH_COMMON_H_
 #define ATMX_BENCH_BENCH_COMMON_H_
@@ -32,7 +35,8 @@ struct BenchEnv {
   AtmConfig config;
   CostModel cost_model;
 
-  // Parses the ATMX_* environment variables.
+  // Parses the ATMX_* environment variables. Also arms tracing when
+  // ATMX_TRACE_OUT is set (see MaybeEnableTracing).
   static BenchEnv FromEnvironment();
 
   // Header line describing the environment (printed by every bench).
@@ -67,6 +71,17 @@ BaselineResult RunDdd(const CsrMatrix& a, const CsrMatrix& b,
 std::string FmtSpeedup(const BaselineResult& baseline, double atmult_seconds);
 std::string FmtRel(const BaselineResult& baseline,
                    const BaselineResult& reference);
+
+// Arms the trace recorder + decision log and registers an atexit hook
+// that writes the Chrome trace JSON to `path`. With a library built under
+// ATMX_OBS=OFF this prints a warning and does nothing. Idempotent; the
+// last path wins.
+void EnableTracingTo(const std::string& path);
+
+// Scans argv for `--trace-out=<path>` (calling EnableTracingTo on a
+// match) and honours the ATMX_TRACE_OUT environment variable. Benches
+// call this first thing in main().
+void MaybeEnableTracing(int argc, char** argv);
 
 }  // namespace atmx::bench
 

@@ -57,7 +57,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::MaybeEnableTracing(argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -80,6 +80,9 @@ enum class KernelType {
   kSSS,  // sparse x sparse -> sparse
 };
 
+// Number of KernelType enumerators, for per-variant counter arrays.
+inline constexpr int kNumKernelTypes = 8;
+
 const char* KernelTypeName(KernelType type);
 
 // Composes the kernel type from operand/target representations.

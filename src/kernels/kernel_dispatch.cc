@@ -43,6 +43,28 @@ KernelType DispatchKernelType(const Operand& a, const Operand& b,
   return MakeKernelType(a.is_dense, b.is_dense, c_dense);
 }
 
+const char* KernelMetricName(KernelType type) {
+  switch (type) {
+    case KernelType::kDDD:
+      return "atmult.kernel.ddd_gemm.invocations";
+    case KernelType::kDSD:
+      return "atmult.kernel.dspd_gemm.invocations";
+    case KernelType::kSDD:
+      return "atmult.kernel.spdd_gemm.invocations";
+    case KernelType::kSSD:
+      return "atmult.kernel.spspd_gemm.invocations";
+    case KernelType::kDDS:
+      return "atmult.kernel.ddsp_gemm.invocations";
+    case KernelType::kDSS:
+      return "atmult.kernel.dsps_gemm.invocations";
+    case KernelType::kSDS:
+      return "atmult.kernel.spds_gemm.invocations";
+    case KernelType::kSSS:
+      return "atmult.kernel.spspsp_gemm.invocations";
+  }
+  return "atmult.kernel.unknown.invocations";
+}
+
 void MultiplyIntoDense(const Operand& a, const Operand& b,
                        const DenseMutView& c, index_t i0, index_t i1) {
   ATMX_DCHECK_CONTEXT("%s rows [%lld,%lld)",

@@ -27,6 +27,12 @@ void AccumulateRowInto(const Operand& a, const Operand& b, index_t i,
 KernelType DispatchKernelType(const Operand& a, const Operand& b,
                               bool c_dense);
 
+// Stable metrics-registry counter name of one kernel variant
+// ("atmult.kernel.<variant>.invocations"); a static literal, safe to hold.
+// One invocation = one tile-pair multiplication executed in that variant,
+// regardless of how many row chunks the worker team splits it into.
+const char* KernelMetricName(KernelType type);
+
 }  // namespace atmx
 
 #endif  // ATMX_KERNELS_KERNEL_DISPATCH_H_

@@ -1,0 +1,89 @@
+#include "obs/decision_log.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json_util.h"
+
+namespace atmx::obs {
+
+DecisionLog& DecisionLog::Global() {
+  static DecisionLog* log = new DecisionLog();
+  return *log;
+}
+
+void DecisionLog::SetCapacity(std::size_t capacity) {
+  ATMX_CHECK_GT(capacity, 0u);
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  records_.clear();
+  records_.shrink_to_fit();
+  next_slot_ = 0;
+  wrapped_ = false;
+}
+
+void DecisionLog::Record(const DecisionRecord& record) {
+  if (!enabled()) return;
+  total_recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() < capacity_) {
+    records_.push_back(record);
+    return;
+  }
+  records_[next_slot_] = record;
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  wrapped_ = true;
+}
+
+std::vector<DecisionRecord> DecisionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!wrapped_) return records_;
+  std::vector<DecisionRecord> out;
+  out.reserve(records_.size());
+  out.insert(out.end(), records_.begin() + static_cast<long>(next_slot_),
+             records_.end());
+  out.insert(out.end(), records_.begin(),
+             records_.begin() + static_cast<long>(next_slot_));
+  return out;
+}
+
+void DecisionLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  next_slot_ = 0;
+  wrapped_ = false;
+  total_recorded_.store(0, std::memory_order_relaxed);
+}
+
+std::string DecisionLog::ToJson() const {
+  const std::vector<DecisionRecord> records = Snapshot();
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const DecisionRecord& r : records) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"op\":" << r.op_id << ",\"ti\":" << r.ti << ",\"tj\":" << r.tj
+       << ",\"k0\":" << r.k0 << ",\"k1\":" << r.k1;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"rho_a\":%.6g,\"rho_b\":%.6g,\"rho_c\":%.6g,"
+                  "\"rho_w\":%.6g",
+                  r.rho_a, r.rho_b, r.rho_c, r.rho_w);
+    os << buf;
+    os << ",\"stored\":\"" << (r.a_stored_dense ? 'd' : 's')
+       << (r.b_stored_dense ? 'd' : 's') << "\",\"kernel\":\""
+       << EscapeJson(KernelTypeName(r.kernel)) << "\",\"c_dense\":"
+       << (r.c_dense ? "true" : "false") << ",\"conv_a\":"
+       << (r.a_converted ? "true" : "false") << ",\"conv_b\":"
+       << (r.b_converted ? "true" : "false");
+    std::snprintf(buf, sizeof(buf),
+                  ",\"stored_cost\":%.6g,\"chosen_cost\":%.6g}",
+                  r.stored_cost, r.chosen_cost);
+    os << buf;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace atmx::obs

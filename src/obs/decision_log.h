@@ -1,0 +1,99 @@
+// Decision audit log (the "EXPLAIN after the fact"): a bounded ring buffer
+// of every representation decision the dynamic optimizer took during real
+// ATMULT executions — tile pair, estimated densities, the effective write
+// threshold, the cost-model scores of the stored vs. chosen
+// representations, and whether a JIT conversion fired.
+//
+// Disabled by default (unlike the counters, a record is tens of bytes
+// under a mutex); the CLI trace/metrics commands, the benches'
+// ATMX_TRACE_OUT path, and tests switch it on. Rendering as a table lives
+// in ops/explain.cc (FormatDecisionLog); JSON rendering is here.
+
+#ifndef ATMX_OBS_DECISION_LOG_H_
+#define ATMX_OBS_DECISION_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "kernels/kernel_common.h"
+
+namespace atmx::obs {
+
+// One optimizer decision for one tile-pair multiplication.
+struct DecisionRecord {
+  std::uint64_t op_id = 0;   // groups records of one ATMULT operation
+  index_t ti = 0;            // C tile-row band
+  index_t tj = 0;            // C tile-col band
+  index_t k0 = 0;            // contraction range
+  index_t k1 = 0;
+  double rho_a = 0.0;        // estimated window densities
+  double rho_b = 0.0;
+  double rho_c = 0.0;        // estimated result-region density
+  double rho_w = 0.0;        // effective write threshold rhoD_W
+  bool a_stored_dense = false;  // representation as stored in the operand
+  bool b_stored_dense = false;
+  bool c_dense = false;         // chosen target representation
+  KernelType kernel = KernelType::kSSS;  // chosen kernel variant
+  bool a_converted = false;  // JIT conversion fired for this pair
+  bool b_converted = false;
+  double stored_cost = 0.0;  // cost-model score without conversions
+  double chosen_cost = 0.0;  // score of the selected plan
+};
+
+class DecisionLog {
+ public:
+  static DecisionLog& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Caps the ring; when full, new records overwrite the oldest. Resets the
+  // buffer.
+  void SetCapacity(std::size_t capacity);
+
+  // Fresh op id for grouping one operation's records.
+  std::uint64_t NextOpId() {
+    return next_op_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // No-op while disabled.
+  void Record(const DecisionRecord& record);
+
+  // Buffered records, oldest first.
+  std::vector<DecisionRecord> Snapshot() const;
+
+  // Total records ever accepted (including ones the ring has evicted).
+  std::uint64_t TotalRecorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+  // [{"op":..,"ti":..,...}, ...], oldest first.
+  std::string ToJson() const;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  DecisionLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_op_id_{1};
+  std::atomic<std::uint64_t> total_recorded_{0};
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_slot_ = 0;  // ring write position once full
+  bool wrapped_ = false;
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace atmx::obs
+
+#endif  // ATMX_OBS_DECISION_LOG_H_

@@ -1,0 +1,232 @@
+#include "obs/json_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace atmx::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Cursor over the document; all Parse* functions leave `pos` just past the
+// value they consumed.
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  bool Expect(char c) {
+    if (AtEnd() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseValue(int depth);
+
+  bool ParseString() {
+    if (!Expect('"')) return false;
+    while (!AtEnd()) {
+      const char c = text[pos];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (AtEnd()) return Fail("truncated escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (AtEnd() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    if (!AtEnd() && text[pos] == '-') ++pos;
+    std::size_t digits = 0;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) return Fail("expected digits");
+    if (!AtEnd() && text[pos] == '.') {
+      ++pos;
+      digits = 0;
+      while (!AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        ++digits;
+      }
+      if (digits == 0) return Fail("expected fraction digits");
+    }
+    if (!AtEnd() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (!AtEnd() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      digits = 0;
+      while (!AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        ++digits;
+      }
+      if (digits == 0) return Fail("expected exponent digits");
+    }
+    return true;
+  }
+
+  bool ParseLiteral(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return Fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+};
+
+bool JsonCursor::ParseValue(int depth) {
+  // Traces nest spans only a few levels deep; the cap just guards against
+  // runaway recursion on adversarial input.
+  if (depth > 256) return Fail("nesting too deep");
+  SkipWs();
+  if (AtEnd()) return Fail("expected value");
+  switch (Peek()) {
+    case '{': {
+      ++pos;
+      SkipWs();
+      if (!AtEnd() && Peek() == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        if (!ParseString()) return false;
+        SkipWs();
+        if (!Expect(':')) return false;
+        if (!ParseValue(depth + 1)) return false;
+        SkipWs();
+        if (AtEnd()) return Fail("unterminated object");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return Expect('}');
+      }
+    }
+    case '[': {
+      ++pos;
+      SkipWs();
+      if (!AtEnd() && Peek() == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        if (!ParseValue(depth + 1)) return false;
+        SkipWs();
+        if (AtEnd()) return Fail("unterminated array");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return Expect(']');
+      }
+    }
+    case '"':
+      return ParseString();
+    case 't':
+      return ParseLiteral("true");
+    case 'f':
+      return ParseLiteral("false");
+    case 'n':
+      return ParseLiteral("null");
+    default:
+      return ParseNumber();
+  }
+}
+
+}  // namespace
+
+bool JsonWellFormed(std::string_view text, std::string* error) {
+  JsonCursor cursor;
+  cursor.text = text;
+  bool ok = cursor.ParseValue(0);
+  if (ok) {
+    cursor.SkipWs();
+    if (!cursor.AtEnd()) {
+      ok = cursor.Fail("trailing content after document");
+    }
+  }
+  if (!ok && error != nullptr) *error = cursor.error;
+  return ok;
+}
+
+}  // namespace atmx::obs

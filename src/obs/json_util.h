@@ -1,0 +1,27 @@
+// Minimal JSON helpers for the observability layer: string escaping for
+// the Chrome-trace / metrics serializers and a dependency-free
+// well-formedness validator used by tests and the CLI to check emitted
+// documents before they are handed to external viewers (Perfetto,
+// chrome://tracing).
+
+#ifndef ATMX_OBS_JSON_UTIL_H_
+#define ATMX_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace atmx::obs {
+
+// Escapes `s` for embedding inside a JSON string literal (without the
+// surrounding quotes): backslash, quote, and control characters.
+std::string EscapeJson(std::string_view s);
+
+// Strict recursive-descent well-formedness check over one JSON document
+// (object, array, string, number, true/false/null). Returns true iff the
+// whole input is exactly one valid value; on failure `error` (if non-null)
+// describes the first problem and its byte offset.
+bool JsonWellFormed(std::string_view text, std::string* error = nullptr);
+
+}  // namespace atmx::obs
+
+#endif  // ATMX_OBS_JSON_UTIL_H_

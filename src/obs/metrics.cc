@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+#include "obs/json_util.h"
+
+namespace atmx::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  ATMX_CHECK(!bounds_.empty());
+  ATMX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> requires C++20 library support that gcc
+  // lacks at some versions; a CAS loop is portable and uncontended-cheap.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::vector<double> MetricsRegistry::DefaultBounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0};
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ATMX_CHECK(gauges_.find(name) == gauges_.end());
+  ATMX_CHECK(histograms_.find(name) == histograms_.end());
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ATMX_CHECK(counters_.find(name) == counters_.end());
+  ATMX_CHECK(histograms_.find(name) == histograms_.end());
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ATMX_CHECK(counters_.find(name) == counters_.end());
+  ATMX_CHECK(gauges_.find(name) == gauges_.end());
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kCounter;
+    s.counter_value = counter->Value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kGauge;
+    s.gauge_value = gauge->Value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kHistogram;
+    s.bounds = histogram->bounds();
+    s.buckets = histogram->BucketCounts();
+    s.count = histogram->TotalCount();
+    s.sum = histogram->Sum();
+    samples.push_back(std::move(s));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) os << ",\n";
+    first = false;
+    os << '"' << EscapeJson(s.name) << "\":";
+    switch (s.type) {
+      case MetricSample::Type::kCounter:
+        os << s.counter_value;
+        break;
+      case MetricSample::Type::kGauge:
+        os << FmtDouble(s.gauge_value);
+        break;
+      case MetricSample::Type::kHistogram: {
+        os << "{\"count\":" << s.count << ",\"sum\":" << FmtDouble(s.sum)
+           << ",\"bounds\":[";
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          if (i > 0) os << ',';
+          os << FmtDouble(s.bounds[i]);
+        }
+        os << "],\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) os << ',';
+          os << s.buckets[i];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string MetricsRegistry::ToTable() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  TablePrinter table({"metric", "type", "value", "detail"});
+  for (const MetricSample& s : samples) {
+    switch (s.type) {
+      case MetricSample::Type::kCounter:
+        table.AddRow({s.name, "counter", std::to_string(s.counter_value),
+                      ""});
+        break;
+      case MetricSample::Type::kGauge:
+        table.AddRow({s.name, "gauge", TablePrinter::Fmt(s.gauge_value, 6),
+                      ""});
+        break;
+      case MetricSample::Type::kHistogram: {
+        std::ostringstream detail;
+        detail << "mean=" << TablePrinter::Fmt(
+                      s.count == 0
+                          ? 0.0
+                          : s.sum / static_cast<double>(s.count),
+                      6)
+               << " buckets=[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) detail << ' ';
+          detail << s.buckets[i];
+        }
+        detail << ']';
+        table.AddRow({s.name, "histogram", std::to_string(s.count),
+                      detail.str()});
+        break;
+      }
+    }
+  }
+  return table.ToString();
+}
+
+}  // namespace atmx::obs

@@ -1,0 +1,140 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms. All update paths are single atomic operations, cheap enough
+// to stay on in release builds; registration (name lookup) takes a mutex
+// and is meant to happen once per call site (the ATMX_COUNTER_ADD etc.
+// macros in obs/obs.h cache the returned reference in a function-local
+// static).
+//
+// Metric names are stable, dot-separated, lower-case identifiers, e.g.
+// `atmult.kernel.spspd_gemm.invocations` — see docs/OBSERVABILITY.md for
+// the full catalogue. Once registered, a metric's type never changes;
+// requesting an existing name with a different type is a programming error
+// (ATMX_CHECK).
+
+#ifndef ATMX_OBS_METRICS_H_
+#define ATMX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atmx::obs {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-written instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are the inclusive upper bounds of the
+// first N buckets; an implicit overflow bucket catches everything above
+// the last bound. Observations also accumulate a total count and sum, so
+// consumers can derive the mean.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> BucketCounts() const;
+  std::uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const std::uint64_t n = TotalCount();
+    return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+  }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// One entry of a registry snapshot, for dumping/reporting.
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+  std::string name;
+  Type type;
+  // kCounter: value in counter_value; kGauge: gauge_value;
+  // kHistogram: bounds/buckets/count/sum.
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Returns the metric registered under `name`, creating it on first use.
+  // References stay valid for the registry's lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `bounds` (strictly increasing upper bucket bounds) only matter on the
+  // creating call; later lookups return the existing histogram unchanged.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> bounds = DefaultBounds());
+
+  // Sorted-by-name snapshot of every registered metric.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Zeroes all values; registrations (and cached references) survive.
+  void ResetAll();
+
+  // {"metric.name": value | {histogram object}, ...}
+  std::string ToJson() const;
+
+  // Column-aligned report via common/table_printer.
+  std::string ToTable() const;
+
+  // Generic default bounds covering both sub-millisecond timings (in
+  // seconds) and dimension-like magnitudes.
+  static std::vector<double> DefaultBounds();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace atmx::obs
+
+#endif  // ATMX_OBS_METRICS_H_

@@ -1,0 +1,213 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace atmx::obs {
+
+namespace {
+
+// Renders the args fragment: {"k":v,...}. Numbers use enough precision to
+// round-trip; strings are escaped.
+std::string RenderArgs(const TraceArg* args, std::size_t num_args) {
+  if (num_args == 0) return std::string();
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < num_args; ++i) {
+    const TraceArg& a = args[i];
+    if (i > 0) os << ',';
+    os << '"' << EscapeJson(a.key) << "\":";
+    switch (a.kind) {
+      case TraceArg::Kind::kInt:
+        os << a.int_value;
+        break;
+      case TraceArg::Kind::kDouble: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", a.double_value);
+        os << buf;
+        break;
+      }
+      case TraceArg::Kind::kString:
+        os << '"' << EscapeJson(a.string_value) << '"';
+        break;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+std::int64_t TraceRecorder::NowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void TraceRecorder::Append(TraceEvent event, const TraceArg* args,
+                           std::size_t num_args) {
+  event.args_json = RenderArgs(args, num_args);
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordComplete(const char* category, const char* name,
+                                   std::int64_t ts_ns, std::int64_t dur_ns,
+                                   std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  Append(std::move(event), args.begin(), args.size());
+}
+
+void TraceRecorder::RecordComplete(const char* category, const char* name,
+                                   std::int64_t ts_ns, std::int64_t dur_ns,
+                                   const std::vector<TraceArg>& args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  Append(std::move(event), args.data(), args.size());
+}
+
+void TraceRecorder::RecordInstant(const char* category, const char* name,
+                                  std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_ns = NowNanos();
+  Append(std::move(event), args.begin(), args.size());
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
+
+std::size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    char ts[32], dur[32];
+    // Chrome timestamps are microseconds; keep nanosecond resolution via
+    // the fractional part.
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(e.ts_ns) / 1e3);
+    os << "{\"name\":\"" << EscapeJson(e.name) << "\",\"cat\":\""
+       << EscapeJson(e.category) << "\",\"ph\":\"" << e.phase
+       << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase == 'X') {
+      std::snprintf(dur, sizeof(dur), "%.3f",
+                    static_cast<double>(e.dur_ns) / 1e3);
+      os << ",\"dur\":" << dur;
+    }
+    if (e.phase == 'i') {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    if (!e.args_json.empty()) {
+      os << ",\"args\":" << e.args_json;
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.close();
+  if (!out) {
+    return Status::IoError("failed writing trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (start_ns_ == kDisabled) return;
+  const std::int64_t end_ns = TraceRecorder::NowNanos();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  // If tracing was disabled mid-span, drop the event rather than emit a
+  // span that Snapshot consumers cannot pair with an enable window.
+  if (!recorder.enabled()) return;
+  recorder.RecordComplete(category_, name_, start_ns_, end_ns - start_ns_,
+                          args_);
+}
+
+}  // namespace atmx::obs

@@ -1,0 +1,175 @@
+// Lock-sharded, thread-local-buffered trace recorder emitting Chrome
+// `trace_event` JSON (loadable in chrome://tracing and Perfetto).
+//
+// Design constraints, in priority order:
+//   1. near-zero cost while disabled: one relaxed atomic load per span,
+//   2. cheap while enabled: events append to a per-thread buffer whose
+//      mutex is only ever contended by Snapshot/Clear (the shard lock),
+//   3. no dependencies, bounded memory (per-thread event cap; overflow is
+//      counted, not fatal).
+//
+// Event names and categories are `const char*` and must be string literals
+// (or otherwise outlive the recorder) — the hot path stores the pointer.
+// Args are rendered to a JSON fragment at record time, but only when the
+// recorder is enabled.
+//
+// The scoped-span macros (ATMX_TRACE_SPAN etc.) live in obs/obs.h so
+// instrumented code compiles away entirely under ATMX_OBS=OFF.
+
+#ifndef ATMX_OBS_TRACE_H_
+#define ATMX_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atmx::obs {
+
+// One key/value pair attached to a trace event. Implicit constructors let
+// call sites write {{"ti", ti}, {"kernel", name}}.
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  const char* key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+
+  TraceArg(const char* k, std::int64_t v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  TraceArg(const char* k, int v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  TraceArg(const char* k, std::uint64_t v)
+      : key(k), kind(Kind::kInt), int_value(static_cast<std::int64_t>(v)) {}
+  TraceArg(const char* k, double v)
+      : key(k), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(const char* k, const char* v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  TraceArg(const char* k, std::string v)
+      : key(k), kind(Kind::kString), string_value(std::move(v)) {}
+};
+
+// One recorded event. Timestamps are nanoseconds since the recorder's
+// process-wide epoch; serialization converts to the microseconds the
+// Chrome format expects.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  char phase = 'X';             // 'X' complete span, 'i' instant
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;      // valid for phase 'X'
+  std::uint32_t tid = 0;
+  std::string args_json;        // rendered {"k":v,...} fragment, or empty
+};
+
+class TraceRecorder {
+ public:
+  // Process-wide recorder. Disabled by default.
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Nanoseconds since the recorder epoch (steady clock).
+  static std::int64_t NowNanos();
+
+  // Records a complete ('X') event covering [ts_ns, ts_ns + dur_ns).
+  // No-op while disabled.
+  void RecordComplete(const char* category, const char* name,
+                      std::int64_t ts_ns, std::int64_t dur_ns,
+                      std::initializer_list<TraceArg> args = {});
+  void RecordComplete(const char* category, const char* name,
+                      std::int64_t ts_ns, std::int64_t dur_ns,
+                      const std::vector<TraceArg>& args);
+
+  // Records an instant ('i') event at the current time. No-op while
+  // disabled.
+  void RecordInstant(const char* category, const char* name,
+                     std::initializer_list<TraceArg> args = {});
+
+  // Drops all buffered events (buffers stay registered).
+  void Clear();
+
+  // Copies all buffered events, sorted by start timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  std::size_t EventCount() const;
+
+  // Events discarded because a thread buffer hit kMaxEventsPerThread.
+  std::uint64_t DroppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Serializes everything recorded so far as a Chrome trace_event JSON
+  // object: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  std::string ToJson() const;
+
+  // ToJson() to a file.
+  Status WriteJson(const std::string& path) const;
+
+  static constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;  // shard lock: append vs Snapshot/Clear
+    std::vector<TraceEvent> events;
+    std::uint32_t tid;
+  };
+
+  TraceRecorder() = default;
+
+  ThreadBuffer& LocalBuffer();
+  void Append(TraceEvent event, const TraceArg* args, std::size_t num_args);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex registry_mutex_;  // guards buffers_ / next_tid_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+// RAII span: captures the start time at construction and records one
+// complete event at destruction. All work is skipped when the recorder is
+// disabled at construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name)
+      : category_(category), name_(name),
+        start_ns_(TraceRecorder::Global().enabled()
+                      ? TraceRecorder::NowNanos()
+                      : kDisabled) {}
+
+  ScopedSpan(const char* category, const char* name,
+             std::initializer_list<TraceArg> args)
+      : ScopedSpan(category, name) {
+    if (start_ns_ != kDisabled) {
+      args_.assign(args.begin(), args.end());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+ private:
+  static constexpr std::int64_t kDisabled = -1;
+
+  const char* category_;
+  const char* name_;
+  std::int64_t start_ns_;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace atmx::obs
+
+#endif  // ATMX_OBS_TRACE_H_

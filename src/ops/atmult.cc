@@ -1,6 +1,9 @@
 #include "ops/atmult.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -13,6 +16,7 @@
 #include "estimate/water_level.h"
 #include "kernels/kernel_dispatch.h"
 #include "kernels/sparse_accumulator.h"
+#include "obs/obs.h"
 #include "ops/optimizer.h"
 #include "tile/partitioner.h"
 #include "topology/thread_pool.h"
@@ -38,7 +42,17 @@ std::string AtMultStats::ToString() const {
      << ", conv(s->d)=" << sparse_to_dense_conversions
      << ", conv(d->s)=" << dense_to_sparse_conversions
      << ", c_tiles(d/sp)=" << dense_result_tiles << "/"
-     << sparse_result_tiles << ", local=" << LocalFraction() << "}";
+     << sparse_result_tiles << ", local=" << LocalFraction();
+  os << ", kernels={";
+  bool first = true;
+  for (int v = 0; v < kNumKernelTypes; ++v) {
+    if (kernel_invocations[v] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << KernelTypeName(static_cast<KernelType>(v)) << "="
+       << kernel_invocations[v];
+  }
+  os << "}}";
   return os.str();
 }
 
@@ -147,12 +161,21 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
 
   WallTimer total_timer;
   const index_t block = a.b_atomic();
+  ATMX_TRACE_SPAN_ARGS("op", "atmult",
+                       {"m", a.rows()}, {"k", a.cols()}, {"n", b.cols()},
+                       {"nnz_a", a.nnz()}, {"nnz_b", b.nnz()});
+#if defined(ATMX_OBS_ENABLED)
+  const bool audit_enabled = obs::DecisionLog::Global().enabled();
+  const std::uint64_t op_id =
+      audit_enabled ? obs::DecisionLog::Global().NextOpId() : 0;
+#endif
 
   // --- Density estimation + flexible write threshold (Alg. 2 l. 2-3). ---
   DensityMap estimate;
   double rho_w = config_.rho_write;
   const bool use_estimate = config_.density_estimation;
   if (use_estimate) {
+    ATMX_TRACE_SPAN("op", "estimate_density");
     WallTimer est_timer;
     estimate = EstimateProductDensity(a.density_map(), b.density_map());
     if (c_init != nullptr) {
@@ -163,6 +186,20 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     stats->estimate_seconds = est_timer.ElapsedSeconds();
   }
   stats->effective_write_threshold = rho_w;
+  ATMX_GAUGE_SET("atmult.waterlevel.rho_w", rho_w);
+#if defined(ATMX_OBS_ENABLED)
+  if (use_estimate &&
+      config_.result_mem_limit_bytes !=
+          std::numeric_limits<std::size_t>::max()) {
+    // Water-level headroom: how far under the memory SLA the projected
+    // result stays at the effective threshold (negative = infeasible SLA).
+    const double projected =
+        static_cast<double>(EstimateMemoryBytes(estimate, rho_w));
+    ATMX_GAUGE_SET(
+        "atmult.waterlevel.headroom_bytes",
+        static_cast<double>(config_.result_mem_limit_bytes) - projected);
+  }
+#endif
 
   const index_t num_ti = a.num_row_bands();
   const index_t num_tj = b.num_col_bands();
@@ -202,12 +239,16 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     const index_t m = r1 - r0;
     const index_t n = c1 - c0;
     const int exec_node = team.team_id();
+    ATMX_TRACE_SPAN_ARGS("op", "tile_task",
+                         {"ti", ti}, {"tj", tj}, {"node", exec_node},
+                         {"rows", m}, {"cols", n});
 
     double opt_seconds = 0.0;
     double conv_seconds = 0.0;  // subsumed by the optimizer timer below
     double mult_seconds = 0.0;
     index_t pairs_done = 0;
     std::uint64_t local_read = 0, remote_read = 0;
+    std::array<index_t, kNumKernelTypes> task_kernels{};
 
     // Target representation from the estimated density (Alg. 2 l. 6).
     double rho_c = 0.0;
@@ -235,6 +276,16 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           seeds.push_back({&t, ir0 - t.row0(), ir1 - t.row0(),
                            ic0 - t.col0(), ic1 - t.col0(), ir0 - r0,
                            ic0 - c0});
+          // The referenced accumulator window is read exactly once while
+          // seeding; account it like the operand windows so MultiplyAdd's
+          // locality fractions include the C-side traffic.
+          const double tile_area =
+              static_cast<double>(t.rows()) * static_cast<double>(t.cols());
+          const double rho =
+              tile_area > 0 ? static_cast<double>(t.nnz()) / tile_area : 0.0;
+          const std::uint64_t bytes = ApproxWindowBytes(
+              t.is_dense(), rho, ir1 - ir0, ic1 - ic0);
+          (t.home_node() == exec_node ? local_read : remote_read) += bytes;
         }
       }
     }
@@ -304,6 +355,31 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           decision.b_dense = mp.b_tile->is_dense();
         }
 
+#if defined(ATMX_OBS_ENABLED)
+        if (audit_enabled) {
+          obs::DecisionRecord rec;
+          rec.op_id = op_id;
+          rec.ti = ti;
+          rec.tj = tj;
+          rec.k0 = mp.k0;
+          rec.k1 = mp.k1;
+          rec.rho_a = shape.rho_a;
+          rec.rho_b = shape.rho_b;
+          rec.rho_c = rho_c;
+          rec.rho_w = rho_w;
+          rec.a_stored_dense = mp.a_tile->is_dense();
+          rec.b_stored_dense = mp.b_tile->is_dense();
+          rec.c_dense = c_dense;
+          rec.kernel =
+              MakeKernelType(decision.a_dense, decision.b_dense, c_dense);
+          rec.a_converted = decision.a_converted;
+          rec.b_converted = decision.b_converted;
+          rec.stored_cost = decision.stored_cost;
+          rec.chosen_cost = decision.projected_cost;
+          obs::DecisionLog::Global().Record(rec);
+        }
+#endif
+
         PreparedPair pp;
         pp.a_home = mp.a_tile->home_node();
         pp.b_home = mp.b_tile->home_node();
@@ -323,7 +399,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           const CsrMatrix& sm =
               mp.a_tile->is_dense()
                   ? cache.GetSparse(ConversionCache::kLeft, mp.a_idx,
-                                    *mp.a_tile, &opt_seconds)
+                                    *mp.a_tile, &conv_seconds)
                   : mp.a_tile->sparse();
           pp.a = Operand::Sparse(&sm, wa);
         }
@@ -342,7 +418,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           const CsrMatrix& sm =
               mp.b_tile->is_dense()
                   ? cache.GetSparse(ConversionCache::kRight, mp.b_idx,
-                                    *mp.b_tile, &opt_seconds)
+                                    *mp.b_tile, &conv_seconds)
                   : mp.b_tile->sparse();
           pp.b = Operand::Sparse(&sm, wb);
         }
@@ -391,6 +467,11 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
         }
       }
       for (const PreparedPair& pp : prepared) {
+        const KernelType kt = DispatchKernelType(pp.a, pp.b, /*c_dense=*/true);
+        ++task_kernels[static_cast<int>(kt)];
+        ATMX_TRACE_SPAN_ARGS("kernel", KernelTypeName(kt), {"ti", ti},
+                             {"tj", tj}, {"rows", m}, {"cols", n},
+                             {"node", exec_node});
         team.ParallelFor(m, /*grain=*/16, [&](index_t lo, index_t hi) {
           MultiplyIntoDense(pp.a, pp.b, target.MutView(), lo, hi);
         });
@@ -436,6 +517,16 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           }
         }
       };
+#if defined(ATMX_OBS_ENABLED)
+      // The SPA row loop interleaves all pairs, so per-pair timing does
+      // not exist; each pair still gets one complete event (emitted after
+      // the loop, covering the whole loop interval and flagged
+      // `interleaved`) so the "kernel" span count equals the kernel
+      // invocation counters.
+      const std::int64_t sparse_loop_start_ns =
+          obs::TraceRecorder::Global().enabled() ? obs::TraceRecorder::NowNanos()
+                                                 : -1;
+#endif
       const int num_chunks =
           static_cast<int>(std::min<index_t>(team.size(), std::max<index_t>(
                                                               1, m / 64)));
@@ -477,6 +568,25 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
             Tile::MakeSparse(r0, c0, ConcatCsrRowChunks(std::move(chunks),
                                                         m, n));
       }
+      for (const PreparedPair& pp : prepared) {
+        const KernelType kt =
+            DispatchKernelType(pp.a, pp.b, /*c_dense=*/false);
+        ++task_kernels[static_cast<int>(kt)];
+      }
+#if defined(ATMX_OBS_ENABLED)
+      if (sparse_loop_start_ns >= 0 && !prepared.empty()) {
+        const std::int64_t dur_ns =
+            obs::TraceRecorder::NowNanos() - sparse_loop_start_ns;
+        for (const PreparedPair& pp : prepared) {
+          const KernelType kt =
+              DispatchKernelType(pp.a, pp.b, /*c_dense=*/false);
+          obs::TraceRecorder::Global().RecordComplete(
+              "kernel", KernelTypeName(kt), sparse_loop_start_ns, dur_ns,
+              {{"ti", ti}, {"tj", tj}, {"rows", m}, {"cols", n},
+               {"node", exec_node}, {"interleaved", 1}});
+        }
+      }
+#endif
     }
     if (!c_dense) {
       const CsrMatrix& sp = c_tiles[task].sparse();
@@ -500,6 +610,9 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     stats->optimize_seconds += opt_seconds;
     stats->multiply_seconds += mult_seconds;
     stats->pair_multiplications += pairs_done;
+    for (int v = 0; v < kNumKernelTypes; ++v) {
+      stats->kernel_invocations[v] += task_kernels[static_cast<std::size_t>(v)];
+    }
     stats->local_read_bytes += local_read;
     stats->remote_read_bytes += remote_read;
     stats->local_write_bytes += c_tiles[task].MemoryBytes();
@@ -533,6 +646,72 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
   ATMatrix result(a.rows(), b.cols(), block, std::move(c_tiles),
                   std::move(c_map));
   stats->total_seconds = total_timer.ElapsedSeconds();
+
+#if defined(ATMX_OBS_ENABLED)
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    ATMX_COUNTER_INC("atmult.operations");
+    ATMX_COUNTER_ADD("atmult.pairs", stats->pair_multiplications);
+    ATMX_COUNTER_ADD("atmult.result_tiles.dense", stats->dense_result_tiles);
+    ATMX_COUNTER_ADD("atmult.result_tiles.sparse",
+                     stats->sparse_result_tiles);
+    ATMX_COUNTER_ADD("atmult.bytes.local_read", stats->local_read_bytes);
+    ATMX_COUNTER_ADD("atmult.bytes.remote_read", stats->remote_read_bytes);
+    ATMX_COUNTER_ADD("atmult.bytes.local_write", stats->local_write_bytes);
+    ATMX_COUNTER_ADD("atmult.bytes.remote_write", stats->remote_write_bytes);
+    ATMX_HISTOGRAM_OBSERVE("atmult.seconds.total", stats->total_seconds);
+    // Per-variant invocation counters: names are per-variant, so the
+    // function-local-static caching macro does not apply; registration
+    // cost is once per operation, not per pair.
+    for (int v = 0; v < kNumKernelTypes; ++v) {
+      if (stats->kernel_invocations[v] > 0) {
+        registry.GetCounter(KernelMetricName(static_cast<KernelType>(v)))
+            .Add(static_cast<std::uint64_t>(stats->kernel_invocations[v]));
+      }
+    }
+    // Estimator telemetry: predicted vs. actual per-block density error.
+    const DensityMap& actual = result.density_map();
+    if (use_estimate && estimate.grid_rows() == actual.grid_rows() &&
+        estimate.grid_cols() == actual.grid_cols()) {
+      for (index_t bi = 0; bi < actual.grid_rows(); ++bi) {
+        for (index_t bj = 0; bj < actual.grid_cols(); ++bj) {
+          const double err =
+              std::abs(estimate.At(bi, bj) - actual.At(bi, bj));
+          ATMX_HISTOGRAM_OBSERVE_WITH("atmult.estimator.abs_error", err,
+                                      0.001, 0.005, 0.01, 0.05, 0.1, 0.25,
+                                      0.5, 1.0);
+        }
+      }
+      ATMX_GAUGE_SET("atmult.estimator.predicted_nnz",
+                     estimate.ExpectedNnz());
+      ATMX_GAUGE_SET("atmult.estimator.actual_nnz", actual.ExpectedNnz());
+    }
+    // Placement balance across the worker teams (first-touch home nodes of
+    // the result tiles). Dynamic names => direct registry calls.
+    std::vector<index_t> node_tiles(static_cast<std::size_t>(teams), 0);
+    for (const Tile& t : result.tiles()) {
+      const int node = t.home_node();
+      if (node >= 0 && node < teams) {
+        ++node_tiles[static_cast<std::size_t>(node)];
+      }
+    }
+    index_t min_tiles = std::numeric_limits<index_t>::max();
+    index_t max_tiles = 0;
+    for (int node = 0; node < teams; ++node) {
+      const index_t count = node_tiles[static_cast<std::size_t>(node)];
+      registry
+          .GetGauge("atmult.placement.node." + std::to_string(node) +
+                    ".result_tiles")
+          .Set(static_cast<double>(count));
+      min_tiles = std::min(min_tiles, count);
+      max_tiles = std::max(max_tiles, count);
+    }
+    ATMX_GAUGE_SET("atmult.placement.balance",
+                   max_tiles > 0 ? static_cast<double>(min_tiles) /
+                                       static_cast<double>(max_tiles)
+                                 : 1.0);
+  }
+#endif
   return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/config.h"
 #include "cost/cost_model.h"
+#include "kernels/kernel_common.h"
 #include "tile/at_matrix.h"
 
 namespace atmx {
@@ -38,6 +39,22 @@ struct AtMultStats {
   index_t dense_to_sparse_conversions = 0;
   index_t dense_result_tiles = 0;
   index_t sparse_result_tiles = 0;
+
+  // Executed tile-pair multiplications by kernel variant, indexed by
+  // static_cast<int>(KernelType). Every pair is counted exactly once in
+  // the variant it actually ran in (after JIT conversions), so the sum
+  // over all variants equals pair_multiplications. When the observability
+  // layer is built in (ATMX_OBS), the same counts feed the process-wide
+  // `atmult.kernel.<variant>.invocations` registry counters — this struct
+  // is the single source of truth for one operation, the registry the
+  // accumulation across operations.
+  index_t kernel_invocations[kNumKernelTypes] = {};
+
+  index_t TotalKernelInvocations() const {
+    index_t total = 0;
+    for (index_t count : kernel_invocations) total += count;
+    return total;
+  }
 
   // NUMA locality accounting (see topology/numa_sim.h).
   std::uint64_t local_read_bytes = 0;

@@ -49,6 +49,53 @@ std::string MultiplyPlan::ToString(index_t max_pairs) const {
   return os.str();
 }
 
+#if defined(ATMX_OBS_ENABLED)
+std::string FormatDecisionLog(const std::vector<obs::DecisionRecord>& records,
+                              index_t max_rows) {
+  std::ostringstream os;
+  index_t conversions = 0;
+  double stored_cost = 0.0;
+  double chosen_cost = 0.0;
+  for (const obs::DecisionRecord& r : records) {
+    conversions += (r.a_converted ? 1 : 0) + (r.b_converted ? 1 : 0);
+    stored_cost += r.stored_cost;
+    chosen_cost += r.chosen_cost;
+  }
+  os << "DecisionLog: " << records.size() << " decisions, " << conversions
+     << " JIT conversions, cost " << static_cast<long long>(chosen_cost)
+     << " units (stored-representation baseline "
+     << static_cast<long long>(stored_cost) << ")\n";
+
+  TablePrinter table({"op", "C(ti,tj)", "k range", "rho_a", "rho_b", "rho_c",
+                      "rho_W", "kernel", "conv", "cost", "stored"});
+  const index_t shown =
+      std::min<index_t>(max_rows, static_cast<index_t>(records.size()));
+  for (index_t i = 0; i < shown; ++i) {
+    const obs::DecisionRecord& r = records[i];
+    std::string conv;
+    if (r.a_converted) conv += "A";
+    if (r.b_converted) conv += conv.empty() ? "B" : "+B";
+    if (conv.empty()) conv = "-";
+    table.AddRow({std::to_string(r.op_id),
+                  "(" + std::to_string(r.ti) + "," + std::to_string(r.tj) +
+                      ")",
+                  "[" + std::to_string(r.k0) + "," + std::to_string(r.k1) +
+                      ")",
+                  TablePrinter::Fmt(r.rho_a, 4),
+                  TablePrinter::Fmt(r.rho_b, 4),
+                  TablePrinter::Fmt(r.rho_c, 4),
+                  TablePrinter::Fmt(r.rho_w, 4), KernelTypeName(r.kernel),
+                  conv, TablePrinter::Fmt(r.chosen_cost, 0),
+                  TablePrinter::Fmt(r.stored_cost, 0)});
+  }
+  os << table.ToString();
+  if (shown < static_cast<index_t>(records.size())) {
+    os << "  ... " << (records.size() - shown) << " more decisions\n";
+  }
+  return os.str();
+}
+#endif  // ATMX_OBS_ENABLED
+
 MultiplyPlan ExplainMultiply(const ATMatrix& a, const ATMatrix& b,
                              const AtmConfig& config,
                              const CostModel& cost_model) {

@@ -14,6 +14,7 @@
 #include "common/config.h"
 #include "cost/cost_model.h"
 #include "kernels/kernel_common.h"
+#include "obs/obs.h"
 #include "tile/at_matrix.h"
 
 namespace atmx {
@@ -55,6 +56,15 @@ struct MultiplyPlan {
 MultiplyPlan ExplainMultiply(const ATMatrix& a, const ATMatrix& b,
                              const AtmConfig& config,
                              const CostModel& cost_model = CostModel());
+
+#if defined(ATMX_OBS_ENABLED)
+// Renders decision-audit records (the "EXPLAIN after the fact" counterpart
+// of MultiplyPlan::ToString) as a column-aligned table, `max_rows` rows of
+// pair detail plus a summary line. Only available when the observability
+// layer is built in.
+std::string FormatDecisionLog(const std::vector<obs::DecisionRecord>& records,
+                              index_t max_rows = 24);
+#endif
 
 }  // namespace atmx
 

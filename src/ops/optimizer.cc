@@ -1,6 +1,7 @@
 #include "ops/optimizer.h"
 
 #include "common/timer.h"
+#include "obs/obs.h"
 #include "storage/convert.h"
 
 namespace atmx {
@@ -15,6 +16,7 @@ PairDecision DecidePairRepresentations(const CostModel& model,
   best.b_dense = b_is_dense;
   best.projected_cost = model.ComputeCost(
       MakeKernelType(a_is_dense, b_is_dense, c_dense), shape);
+  best.stored_cost = best.projected_cost;
   if (!allow_conversion) return best;
 
   for (int a_choice = 0; a_choice < 2; ++a_choice) {
@@ -55,10 +57,15 @@ const DenseMatrix& ConversionCache::GetDense(Side side, index_t tile_idx,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = dense_.find(key);
   if (it == dense_.end()) {
+    ATMX_TRACE_SPAN_ARGS("convert", "sparse_to_dense",
+                         {"rows", tile.sparse().rows()},
+                         {"cols", tile.sparse().cols()},
+                         {"nnz", tile.sparse().nnz()});
     WallTimer timer;
     auto converted = std::make_unique<DenseMatrix>(CsrToDense(tile.sparse()));
     *conversion_seconds += timer.ElapsedSeconds();
     ++sparse_to_dense_count_;
+    ATMX_COUNTER_INC("atmult.conversions.sparse_to_dense");
     it = dense_.emplace(key, std::move(converted)).first;
   }
   return *it->second;
@@ -72,10 +79,14 @@ const CsrMatrix& ConversionCache::GetSparse(Side side, index_t tile_idx,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = sparse_.find(key);
   if (it == sparse_.end()) {
+    ATMX_TRACE_SPAN_ARGS("convert", "dense_to_sparse",
+                         {"rows", tile.dense().rows()},
+                         {"cols", tile.dense().cols()});
     WallTimer timer;
     auto converted = std::make_unique<CsrMatrix>(DenseToCsr(tile.dense()));
     *conversion_seconds += timer.ElapsedSeconds();
     ++dense_to_sparse_count_;
+    ATMX_COUNTER_INC("atmult.conversions.dense_to_sparse");
     it = sparse_.emplace(key, std::move(converted)).first;
   }
   return *it->second;

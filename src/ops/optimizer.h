@@ -24,6 +24,9 @@ struct PairDecision {
   bool a_converted = false;  // decision differs from the stored kind
   bool b_converted = false;
   double projected_cost = 0.0;
+  // Cost of running with the stored representations (no conversions); the
+  // decision-audit log reports projected_cost against this baseline.
+  double stored_cost = 0.0;
 };
 
 // Chooses representations for one pair multiplication. `a_cached` /

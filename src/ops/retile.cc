@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace atmx {
 
@@ -51,6 +52,10 @@ ATMatrix RetileColumns(const ATMatrix& a,
   internal::ScopedCheckContext check_ctx(
       "RetileColumns %lldx%lld", static_cast<long long>(a.rows()),
       static_cast<long long>(a.cols()));
+  ATMX_TRACE_SPAN_ARGS("op", "retile_columns",
+                       {"rows", a.rows()}, {"cols", a.cols()},
+                       {"tiles_in", static_cast<index_t>(a.tiles().size())});
+  ATMX_COUNTER_INC("retile.calls");
   std::vector<Tile> tiles;
   tiles.reserve(a.tiles().size());
   for (const Tile& t : a.tiles()) {
@@ -91,6 +96,7 @@ ATMatrix RetileColumns(const ATMatrix& a,
     tile.set_home_node(
         static_cast<int>(band % std::max(1, config.num_sockets)));
   }
+  ATMX_COUNTER_ADD("retile.tiles_out", out.tiles().size());
   return out;
 }
 

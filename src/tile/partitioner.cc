@@ -11,6 +11,7 @@
 #include "common/radix_sort.h"
 #include "common/timer.h"
 #include "morton/morton.h"
+#include "obs/obs.h"
 #include "storage/convert.h"
 #include "topology/tile_size_policy.h"
 
@@ -282,6 +283,9 @@ ATMatrix PartitionToAtm(CooMatrix coo, const AtmConfig& config,
   PartitionStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = PartitionStats();
+  ATMX_TRACE_SPAN_ARGS("op", "partition", {"rows", coo.rows()},
+                       {"cols", coo.cols()}, {"nnz", coo.nnz()});
+  ATMX_COUNTER_INC("partition.calls");
 
   // Explicit zeros carry no structural information and cannot be
   // represented in dense tiles, so keeping them would desync the density
@@ -322,6 +326,7 @@ ATMatrix PartitionToAtm(CooMatrix coo, const AtmConfig& config,
   WallTimer timer;
   std::vector<std::uint64_t> zcodes(coo.nnz());
   {
+    ATMX_TRACE_SPAN("op", "partition_zsort");
     const auto& entries = coo.entries();
     for (index_t e = 0; e < coo.nnz(); ++e) {
       zcodes[e] = MortonEncode(entries[e].row, entries[e].col);
@@ -342,31 +347,37 @@ ATMatrix PartitionToAtm(CooMatrix coo, const AtmConfig& config,
 
   // --- 2. ZBlockCnts: per-atomic-block counts in Z-order. ---------------
   timer.Restart();
-  const index_t z_side = ZSpaceSide(ctx.rows, ctx.cols);
-  const index_t grid_side = std::max<index_t>(1, z_side / ctx.b);
-  ctx.block_counts.assign(
-      static_cast<std::size_t>(grid_side) * grid_side, 0);
-  // Mark padding blocks entirely outside the matrix bounds.
-  for (std::uint64_t z = 0; z < ctx.block_counts.size(); ++z) {
-    index_t br, bc;
-    MortonDecode(z, &br, &bc);
-    if (br * ctx.b >= ctx.rows || bc * ctx.b >= ctx.cols) {
-      ctx.block_counts[z] = -1;
+  {
+    ATMX_TRACE_SPAN("op", "partition_blockcounts");
+    const index_t z_side = ZSpaceSide(ctx.rows, ctx.cols);
+    const index_t grid_side = std::max<index_t>(1, z_side / ctx.b);
+    ctx.block_counts.assign(
+        static_cast<std::size_t>(grid_side) * grid_side, 0);
+    // Mark padding blocks entirely outside the matrix bounds.
+    for (std::uint64_t z = 0; z < ctx.block_counts.size(); ++z) {
+      index_t br, bc;
+      MortonDecode(z, &br, &bc);
+      if (br * ctx.b >= ctx.rows || bc * ctx.b >= ctx.cols) {
+        ctx.block_counts[z] = -1;
+      }
     }
-  }
-  for (const CooEntry& e : coo.entries()) {
-    const std::uint64_t z = MortonEncode(e.row / ctx.b, e.col / ctx.b);
-    ATMX_DCHECK(ctx.block_counts[z] >= 0);
-    ctx.block_counts[z]++;
+    for (const CooEntry& e : coo.entries()) {
+      const std::uint64_t z = MortonEncode(e.row / ctx.b, e.col / ctx.b);
+      ATMX_DCHECK(ctx.block_counts[z] >= 0);
+      ctx.block_counts[z]++;
+    }
   }
   stats->blockcount_seconds = timer.ElapsedSeconds();
 
   // --- 3. Recursive partitioning + materialization (Alg. 1). ------------
   timer.Restart();
-  NodeResult root = RecQtPart(&ctx, 0, ctx.block_counts.size());
-  if (root.status == NodeStatus::kForward) {
-    MaterializeRegion(&ctx, 0, ctx.block_counts.size(), root.nnz,
-                      root.dense_class);
+  {
+    ATMX_TRACE_SPAN("op", "partition_recurse");
+    NodeResult root = RecQtPart(&ctx, 0, ctx.block_counts.size());
+    if (root.status == NodeStatus::kForward) {
+      MaterializeRegion(&ctx, 0, ctx.block_counts.size(), root.nnz,
+                        root.dense_class);
+    }
   }
   stats->materialize_seconds = ctx.materialize_timer.TotalSeconds();
   stats->recursion_seconds =
@@ -380,6 +391,8 @@ ATMatrix PartitionToAtm(CooMatrix coo, const AtmConfig& config,
       stats->sparse_tiles++;
     }
   }
+  ATMX_COUNTER_ADD("partition.dense_tiles", stats->dense_tiles);
+  ATMX_COUNTER_ADD("partition.sparse_tiles", stats->sparse_tiles);
 
   ATMatrix atm(ctx.rows, ctx.cols, ctx.b, std::move(ctx.tiles),
                std::move(map));

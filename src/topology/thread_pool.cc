@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace atmx {
 
@@ -29,6 +30,7 @@ void WorkerTeam::ParallelRun(const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
+  ATMX_COUNTER_INC("threadpool.parallel_runs");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
@@ -100,13 +102,38 @@ void TeamScheduler::RunTasks(
     ATMX_CHECK(home >= 0 && home < num_teams());
     queues[home].push_back(task);
   }
+#if defined(ATMX_OBS_ENABLED)
+  // Queue-depth balance after home assignment. There is no work stealing
+  // — queues are static per the paper's locality-first scheduling — so
+  // imbalance here directly bounds the makespan.
+  {
+    std::size_t min_depth = queues.empty() ? 0 : queues[0].size();
+    std::size_t max_depth = min_depth;
+    for (const auto& q : queues) {
+      min_depth = std::min(min_depth, q.size());
+      max_depth = std::max(max_depth, q.size());
+    }
+    ATMX_COUNTER_ADD("threadpool.tasks", num_tasks);
+    ATMX_GAUGE_SET("threadpool.queue_depth.max", max_depth);
+    ATMX_GAUGE_SET("threadpool.queue_depth.min", min_depth);
+    ATMX_GAUGE_SET("threadpool.queue_depth.imbalance",
+                   max_depth > 0
+                       ? 1.0 - static_cast<double>(min_depth) /
+                                   static_cast<double>(max_depth)
+                       : 0.0);
+  }
+#endif
   // One driver thread per team drains that team's queue; tile
   // multiplications inside a task parallelize over the team's threads.
   std::vector<std::thread> drivers;
   drivers.reserve(teams_.size());
   for (std::size_t t = 0; t < teams_.size(); ++t) {
     drivers.emplace_back([this, t, &queues, &run] {
-      for (index_t task : queues[t]) run(*teams_[t], task);
+      for (index_t task : queues[t]) {
+        ATMX_TRACE_SPAN_ARGS("sched", "task", {"team", static_cast<int>(t)},
+                             {"task", task});
+        run(*teams_[t], task);
+      }
     });
   }
   for (auto& d : drivers) d.join();

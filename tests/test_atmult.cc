@@ -178,8 +178,12 @@ TEST(AtMultStatsTest, BreakdownIsPopulated) {
   EXPECT_GT(stats.multiply_seconds, 0.0);
   EXPECT_GE(stats.estimate_seconds, 0.0);
   EXPECT_GT(stats.pair_multiplications, 0);
+  // Every tile-pair multiplication is counted in exactly one kernel
+  // variant, so the per-variant counters sum to the pair count.
+  EXPECT_EQ(stats.TotalKernelInvocations(), stats.pair_multiplications);
   EXPECT_EQ(stats.dense_result_tiles + stats.sparse_result_tiles,
             c.num_tiles());
+  EXPECT_NE(stats.ToString().find("kernels={"), std::string::npos);
   EXPECT_GE(stats.LocalFraction(), 0.0);
   EXPECT_LE(stats.LocalFraction(), 1.0);
   EXPECT_NE(stats.ToString().find("pairs="), std::string::npos);

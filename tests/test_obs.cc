@@ -1,0 +1,359 @@
+// Observability layer: metrics-registry semantics, histogram bucketing,
+// trace recording + JSON well-formedness, the decision-audit ring, and the
+// invariant that "kernel" trace spans match the per-variant invocation
+// counters of a real ATMULT execution.
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "kernels/kernel_dispatch.h"
+#include "obs/json_util.h"
+#include "ops/atmult.h"
+#include "ops/explain.h"
+#include "tests/test_util.h"
+#include "tile/partitioner.h"
+
+namespace atmx {
+namespace {
+
+using atmx::testing::RandomCoo;
+using obs::DecisionLog;
+using obs::DecisionRecord;
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+
+AtmConfig TestConfig() {
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 2;
+  config.cores_per_socket = 2;
+  return config;
+}
+
+// --- Metrics registry. ----------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulates) {
+  obs::Counter& c = MetricsRegistry::Global().GetCounter("test.counter.a");
+  c.Reset();
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsTest, GaugeKeepsLastValue) {
+  obs::Gauge& g = MetricsRegistry::Global().GetGauge("test.gauge.a");
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -2.25);
+}
+
+TEST(MetricsTest, RegistryReturnsSameInstance) {
+  obs::Counter& a = MetricsRegistry::Global().GetCounter("test.counter.same");
+  obs::Counter& b = MetricsRegistry::Global().GetCounter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, HistogramBucketing) {
+  obs::Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.hist.buckets", {1.0, 10.0, 100.0});
+  h.Reset();
+  h.Observe(0.5);    // <= 1.0
+  h.Observe(1.0);    // <= 1.0 (inclusive upper bound)
+  h.Observe(5.0);    // <= 10.0
+  h.Observe(1000.0); // overflow
+  const std::vector<std::uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1006.5 / 4.0);
+}
+
+TEST(MetricsTest, MacrosUpdateRegistry) {
+  MetricsRegistry::Global().GetCounter("test.macro.counter").Reset();
+  ATMX_COUNTER_INC("test.macro.counter");
+  ATMX_COUNTER_ADD("test.macro.counter", 9);
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("test.macro.counter").Value(),
+      10u);
+  ATMX_GAUGE_SET("test.macro.gauge", 3.5);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("test.macro.gauge").Value(), 3.5);
+  ATMX_HISTOGRAM_OBSERVE_WITH("test.macro.hist", 0.02, 0.01, 0.1, 1.0);
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetHistogram("test.macro.hist").TotalCount(),
+      1u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndJsonWellFormed) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snap.b").Add(2);
+  reg.GetCounter("test.snap.a").Add(1);
+  reg.GetGauge("test.snap.g").Set(0.5);
+  const std::vector<obs::MetricSample> samples = reg.Snapshot();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  std::string error;
+  EXPECT_TRUE(obs::JsonWellFormed(reg.ToJson(), &error)) << error;
+  EXPECT_FALSE(reg.ToTable().empty());
+}
+
+TEST(MetricsTest, ConcurrentUpdatesDontLose) {
+  obs::Counter& c =
+      MetricsRegistry::Global().GetCounter("test.counter.threads");
+  c.Reset();
+  obs::Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.hist.threads", {0.5});
+  h.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kIter = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIter; ++i) {
+        c.Increment();
+        h.Observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(h.TotalCount(), static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(kThreads) * kIter);
+}
+
+// --- Trace recorder. ------------------------------------------------------
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Disable();
+  rec.Clear();
+  { ATMX_TRACE_SPAN("test", "disabled_span"); }
+  rec.RecordInstant("test", "disabled_instant");
+  EXPECT_EQ(rec.EventCount(), 0u);
+}
+
+TEST(TraceTest, SpansProduceWellFormedJson) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Enable();
+  {
+    ATMX_TRACE_SPAN_ARGS("test", "outer", {"ti", 3}, {"rho", 0.25},
+                         {"kind", "dense"});
+    ATMX_TRACE_SPAN("test", "inner");
+  }
+  ATMX_TRACE_INSTANT("test", "marker \"quoted\"\n");
+  rec.Disable();
+  EXPECT_EQ(rec.EventCount(), 3u);
+
+  const std::string json = rec.ToJson();
+  std::string error;
+  EXPECT_TRUE(obs::JsonWellFormed(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // The name's quote and newline are escaped inside the JSON string (a
+  // raw control character in a string would fail JsonWellFormed above).
+  EXPECT_NE(json.find("marker \\\"quoted\\\""), std::string::npos);
+  rec.Clear();
+}
+
+TEST(TraceTest, SnapshotSortedByStartAndClearable) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Enable();
+  for (int i = 0; i < 5; ++i) {
+    ATMX_TRACE_SPAN("test", "ordered");
+  }
+  rec.Disable();
+  const std::vector<obs::TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+  rec.Clear();
+  EXPECT_EQ(rec.EventCount(), 0u);
+}
+
+TEST(TraceTest, ThreadedRecordingKeepsAllEvents) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        ATMX_TRACE_SPAN("test", "mt_span");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  rec.Disable();
+  EXPECT_EQ(rec.EventCount(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  std::string error;
+  EXPECT_TRUE(obs::JsonWellFormed(rec.ToJson(), &error)) << error;
+  rec.Clear();
+}
+
+// --- JSON validator sanity. -----------------------------------------------
+
+TEST(JsonUtilTest, AcceptsValidRejectsInvalid) {
+  std::string error;
+  EXPECT_TRUE(obs::JsonWellFormed("{\"a\":[1,2.5,-3e2,true,null,\"s\"]}",
+                                  &error))
+      << error;
+  EXPECT_FALSE(obs::JsonWellFormed("{\"a\":}", &error));
+  EXPECT_FALSE(obs::JsonWellFormed("[1,2,]", &error));
+  EXPECT_FALSE(obs::JsonWellFormed("{} trailing", &error));
+  EXPECT_EQ(obs::EscapeJson("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// --- Decision log. --------------------------------------------------------
+
+TEST(DecisionLogTest, DisabledByDefaultAndRecords) {
+  DecisionLog& log = DecisionLog::Global();
+  log.Clear();
+  log.SetEnabled(false);
+  DecisionRecord rec;
+  log.Record(rec);
+  EXPECT_TRUE(log.Snapshot().empty());
+
+  log.SetEnabled(true);
+  rec.op_id = log.NextOpId();
+  rec.ti = 1;
+  rec.tj = 2;
+  rec.kernel = KernelType::kSSD;
+  rec.a_converted = true;
+  log.Record(rec);
+  log.SetEnabled(false);
+  const std::vector<DecisionRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].ti, 1);
+  EXPECT_EQ(records[0].tj, 2);
+  EXPECT_EQ(records[0].kernel, KernelType::kSSD);
+  EXPECT_TRUE(records[0].a_converted);
+
+  std::string error;
+  EXPECT_TRUE(obs::JsonWellFormed(log.ToJson(), &error)) << error;
+  EXPECT_FALSE(FormatDecisionLog(records).empty());
+  log.Clear();
+}
+
+TEST(DecisionLogTest, RingWrapKeepsNewestOldestFirst) {
+  DecisionLog& log = DecisionLog::Global();
+  log.SetCapacity(4);
+  log.SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    DecisionRecord rec;
+    rec.ti = i;
+    log.Record(rec);
+  }
+  log.SetEnabled(false);
+  const std::vector<DecisionRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].ti, 6);
+  EXPECT_EQ(records[3].ti, 9);
+  EXPECT_EQ(log.TotalRecorded(), 10u);
+  log.SetCapacity(DecisionLog::kDefaultCapacity);  // also clears
+}
+
+// --- End-to-end: trace + audit of a real ATMULT. --------------------------
+
+TEST(ObsIntegrationTest, SpanCountMatchesKernelCounters) {
+  AtmConfig config = TestConfig();
+  CooMatrix a_coo = GenerateDiagonalDenseBlocks(128, 4, 24, 0.9, 500, 21);
+  CooMatrix b_coo = RandomCoo(128, 128, 1200, 22);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  ATMatrix b = PartitionToAtm(b_coo, config);
+
+  std::uint64_t before[kNumKernelTypes];
+  for (int v = 0; v < kNumKernelTypes; ++v) {
+    before[v] = MetricsRegistry::Global()
+                    .GetCounter(KernelMetricName(static_cast<KernelType>(v)))
+                    .Value();
+  }
+
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Enable();
+  DecisionLog::Global().Clear();
+  DecisionLog::Global().SetEnabled(true);
+
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(a, b, &stats);
+
+  rec.Disable();
+  DecisionLog::Global().SetEnabled(false);
+  ASSERT_GT(stats.pair_multiplications, 0);
+  EXPECT_GT(c.nnz(), 0);
+
+  // Per-operation stats: variant counts sum to the pair count.
+  EXPECT_EQ(stats.TotalKernelInvocations(), stats.pair_multiplications);
+
+  // Registry counters advanced by exactly this operation's counts.
+  index_t registry_delta = 0;
+  for (int v = 0; v < kNumKernelTypes; ++v) {
+    const std::uint64_t after =
+        MetricsRegistry::Global()
+            .GetCounter(KernelMetricName(static_cast<KernelType>(v)))
+            .Value();
+    EXPECT_EQ(after - before[v],
+              static_cast<std::uint64_t>(stats.kernel_invocations[v]))
+        << KernelMetricName(static_cast<KernelType>(v));
+    registry_delta += static_cast<index_t>(after - before[v]);
+  }
+  EXPECT_EQ(registry_delta, stats.pair_multiplications);
+
+  // One "kernel"-category span per tile-pair multiplication.
+  index_t kernel_spans = 0;
+  std::set<std::string> span_names;
+  for (const obs::TraceEvent& e : rec.Snapshot()) {
+    if (std::string(e.category) == "kernel") {
+      ++kernel_spans;
+      span_names.insert(e.name);
+    }
+  }
+  EXPECT_EQ(kernel_spans, stats.pair_multiplications);
+  for (const std::string& name : span_names) {
+    bool known = false;
+    for (int v = 0; v < kNumKernelTypes; ++v) {
+      if (name == KernelTypeName(static_cast<KernelType>(v))) known = true;
+    }
+    EXPECT_TRUE(known) << name;
+  }
+
+  // The audit saw every decided pair of this operation.
+  index_t audited = 0;
+  for (const DecisionRecord& r : DecisionLog::Global().Snapshot()) {
+    audited += 1;
+    EXPECT_GE(r.rho_a, 0.0);
+    EXPECT_GE(r.rho_b, 0.0);
+  }
+  EXPECT_EQ(audited, stats.pair_multiplications);
+
+  std::string error;
+  EXPECT_TRUE(obs::JsonWellFormed(rec.ToJson(), &error)) << error;
+  rec.Clear();
+  DecisionLog::Global().Clear();
+}
+
+}  // namespace
+}  // namespace atmx

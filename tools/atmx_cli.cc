@@ -7,6 +7,10 @@
 //   atmx render <in> <out.pgm>           tile layout / density map image
 //   atmx convert <in> <out>              between .mtx and binary formats
 //   atmx gen <workload-id> <scale> <out> generate a Table I workload
+//   atmx trace <a> <b> <out.trace.json>  multiply with tracing + decision
+//                                        audit, write a Chrome trace
+//   atmx metrics <a> <b> [--json]        multiply, dump the metrics
+//                                        registry (table or JSON)
 //
 // Files ending in .mtx are MatrixMarket; .atm/.bin are the library's
 // binary format (AT MATRIX or staged COO). Config knobs come from the
@@ -15,11 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "common/config.h"
 #include "common/table_printer.h"
 #include "gen/workloads.h"
+#include "obs/obs.h"
 #include "ops/atmult.h"
 #include "ops/explain.h"
 #include "storage/convert.h"
@@ -224,6 +231,94 @@ int CmdGen(const std::string& id, double scale, const std::string& out) {
   return 0;
 }
 
+#if defined(ATMX_OBS_ENABLED)
+// Loads both operands, checking shapes; shared by trace/metrics.
+std::optional<std::pair<ATMatrix, ATMatrix>> LoadPair(
+    const std::string& a_path, const std::string& b_path,
+    const AtmConfig& config) {
+  Result<ATMatrix> a = LoadAsAtm(a_path, config);
+  Result<ATMatrix> b = LoadAsAtm(b_path, config);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return std::nullopt;
+  }
+  if (a.value().cols() != b.value().rows()) {
+    std::fprintf(stderr, "error: shape mismatch %lld != %lld\n",
+                 (long long)a.value().cols(), (long long)b.value().rows());
+    return std::nullopt;
+  }
+  return std::make_pair(std::move(a).value(), std::move(b).value());
+}
+#endif  // ATMX_OBS_ENABLED
+
+int CmdTrace(const std::string& a_path, const std::string& b_path,
+             const std::string& out) {
+#if defined(ATMX_OBS_ENABLED)
+  AtmConfig config = ConfigFromEnv();
+  auto operands = LoadPair(a_path, b_path, config);
+  if (!operands) return 1;
+  obs::TraceRecorder::Global().Enable();
+  obs::DecisionLog::Global().SetEnabled(true);
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(operands->first, operands->second, &stats);
+  obs::TraceRecorder::Global().Disable();
+  obs::DecisionLog::Global().SetEnabled(false);
+  std::printf("%s\n", stats.ToString().c_str());
+  std::printf("%s",
+              FormatDecisionLog(obs::DecisionLog::Global().Snapshot())
+                  .c_str());
+  Status saved = obs::TraceRecorder::Global().WriteJson(out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld events (%llu dropped)\n", out.c_str(),
+              (long long)obs::TraceRecorder::Global().EventCount(),
+              (unsigned long long)obs::TraceRecorder::Global()
+                  .DroppedEvents());
+  (void)c;
+  return 0;
+#else
+  (void)a_path;
+  (void)b_path;
+  (void)out;
+  std::fprintf(stderr,
+               "error: this binary was built with -DATMX_OBS=OFF; "
+               "rebuild with -DATMX_OBS=ON for tracing\n");
+  return 1;
+#endif
+}
+
+int CmdMetrics(const std::string& a_path, const std::string& b_path,
+               bool as_json) {
+#if defined(ATMX_OBS_ENABLED)
+  AtmConfig config = ConfigFromEnv();
+  auto operands = LoadPair(a_path, b_path, config);
+  if (!operands) return 1;
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(operands->first, operands->second, &stats);
+  if (as_json) {
+    std::printf("%s\n", obs::MetricsRegistry::Global().ToJson().c_str());
+  } else {
+    std::printf("%s\n%s", stats.ToString().c_str(),
+                obs::MetricsRegistry::Global().ToTable().c_str());
+  }
+  (void)c;
+  return 0;
+#else
+  (void)a_path;
+  (void)b_path;
+  (void)as_json;
+  std::fprintf(stderr,
+               "error: this binary was built with -DATMX_OBS=OFF; "
+               "rebuild with -DATMX_OBS=ON for metrics\n");
+  return 1;
+#endif
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -233,7 +328,9 @@ int Usage() {
                "  atmx explain <a> <b>\n"
                "  atmx render <in> <out.pgm>\n"
                "  atmx convert <in> <out>\n"
-               "  atmx gen <workload-id> <scale> <out>\n");
+               "  atmx gen <workload-id> <scale> <out>\n"
+               "  atmx trace <a> <b> <out.trace.json>\n"
+               "  atmx metrics <a> <b> [--json]\n");
   return 2;
 }
 
@@ -252,6 +349,14 @@ int main(int argc, char** argv) {
   if (cmd == "convert" && argc == 4) return CmdConvert(argv[2], argv[3]);
   if (cmd == "gen" && argc == 5) {
     return CmdGen(argv[2], std::atof(argv[3]), argv[4]);
+  }
+  if (cmd == "trace" && argc == 5) {
+    return CmdTrace(argv[2], argv[3], argv[4]);
+  }
+  if (cmd == "metrics" && (argc == 4 || argc == 5)) {
+    const bool as_json = argc == 5 && std::strcmp(argv[4], "--json") == 0;
+    if (argc == 5 && !as_json) return Usage();
+    return CmdMetrics(argv[2], argv[3], as_json);
   }
   return Usage();
 }

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by the atmx tracing
+layer (ATMX_TRACE_OUT / --trace-out= / `atmx trace`).
+
+Checks that the file parses as JSON, has the trace_event envelope, that
+every event carries the required keys with sane values, and that at least
+`--min-events` events were recorded. Used by CI after running a bench with
+tracing on.
+
+Usage: check_trace.py <trace.json> [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
+KNOWN_PHASES = {"X", "i"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {args.trace}: {error}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing traceEvents envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected >= {args.min_events}")
+
+    categories = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event {index} is not an object")
+        missing = REQUIRED_KEYS - event.keys()
+        if missing:
+            fail(f"event {index} missing keys: {sorted(missing)}")
+        phase = event["ph"]
+        if phase not in KNOWN_PHASES:
+            fail(f"event {index} has unknown phase {phase!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            fail(f"event {index} has invalid ts {event['ts']!r}")
+        if phase == "X":
+            if "dur" not in event:
+                fail(f"complete event {index} missing dur")
+            if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                fail(f"event {index} has invalid dur {event['dur']!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            fail(f"event {index} args is not an object")
+        categories[event["cat"]] = categories.get(event["cat"], 0) + 1
+
+    summary = ", ".join(f"{cat}={n}" for cat, n in sorted(categories.items()))
+    print(f"check_trace: OK: {len(events)} events ({summary})")
+
+
+if __name__ == "__main__":
+    main()
