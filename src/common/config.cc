@@ -51,7 +51,8 @@ std::string AtmConfig::ToString() const {
      << ", tiling=" << TilingModeName(tiling)
      << ", est=" << (density_estimation ? 1 : 0)
      << ", mixed=" << (mixed_tiles ? 1 : 0)
-     << ", jit=" << (dynamic_conversion ? 1 : 0) << "}";
+     << ", jit=" << (dynamic_conversion ? 1 : 0)
+     << ", steal=" << (work_stealing ? 1 : 0) << "}";
   return os.str();
 }
 

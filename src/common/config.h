@@ -74,6 +74,12 @@ struct AtmConfig {
   // 0 means "one team per socket" / "cores_per_socket threads per team".
   int num_worker_teams = 0;
   int threads_per_team = 0;
+  // Locality-aware work stealing in the team scheduler: home queues are
+  // drained longest-task-first (ordered by the cost model) and an idle
+  // team steals whole tile tasks from the tail of the NUMA-nearest
+  // victim's queue. Results are bitwise identical either way; off restores
+  // the paper's static per-team queues (used by the replay benches).
+  bool work_stealing = true;
 
   // Derived values ---------------------------------------------------------
   // Effective atomic block edge (power of two), resolving b_atomic == 0.

@@ -5,6 +5,11 @@
 
 #include <chrono>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#define ATMX_HAS_THREAD_CPU_CLOCK 1
+#endif
+
 namespace atmx {
 
 class WallTimer {
@@ -22,6 +27,37 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// CPU time consumed by the calling thread. Used by the scheduler's per-task
+// busy accounting: on a host with fewer cores than simulated sockets the
+// driver threads timeshare, so a task's wall time includes slices where
+// *other* teams ran — thread CPU time is the duration the task would take
+// on a dedicated socket (the same substitution DESIGN.md makes for
+// topology). Falls back to wall time where no thread CPU clock exists.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(ATMX_HAS_THREAD_CPU_CLOCK)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 // Accumulates time across multiple disjoint intervals, e.g. the total time

@@ -80,4 +80,14 @@ double CostModel::WriteTurnaround() const {
   return params_.dense_write / params_.sparse_write;
 }
 
+double EstimateTaskCost(const CostModel& model, const MultiplyShape& shape) {
+  const double intermediates = shape.rho_a * shape.rho_b *
+                               static_cast<double>(shape.m) *
+                               static_cast<double>(shape.k) *
+                               static_cast<double>(shape.n);
+  return model.ComputeCost(KernelType::kSSD, shape) +
+         model.WriteCost(/*c_dense=*/false, shape.m, shape.n, shape.rho_c,
+                         intermediates);
+}
+
 }  // namespace atmx

@@ -92,6 +92,14 @@ class CostModel {
   CostParams params_;
 };
 
+// Cheap O(1) estimate of one whole ATMULT task (tile-row x tile-col pair,
+// shape/densities aggregated over the full contraction range) for
+// longest-processing-time-first ordering in the work-stealing scheduler.
+// Models the task as a sparse x sparse product plus its write side —
+// deliberately kernel-agnostic, since only the *relative* magnitudes drive
+// queue order and victim pressure.
+double EstimateTaskCost(const CostModel& model, const MultiplyShape& shape);
+
 }  // namespace atmx
 
 #endif  // ATMX_COST_COST_MODEL_H_

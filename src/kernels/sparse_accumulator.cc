@@ -2,38 +2,145 @@
 
 #include <algorithm>
 
+#include "common/math_util.h"
+#include "obs/obs.h"
+
 namespace atmx {
 
 void SparseAccumulator::Resize(index_t width) {
   ATMX_CHECK_GE(width, 0);
+  mode_ = Mode::kDense;
+  width_ = width;
   values_.assign(width, 0.0);
   flags_.assign(width, 0);
   occupied_.clear();
+  hash_keys_.clear();
+  hash_vals_.clear();
+  hash_count_ = 0;
+  hash_mask_ = 0;
+}
+
+void SparseAccumulator::ResizeAdaptive(index_t width,
+                                       double expected_row_nnz) {
+  ATMX_CHECK_GE(width, 0);
+  if (ChooseMode(width, expected_row_nnz) == Mode::kDense) {
+    Resize(width);
+    ATMX_COUNTER_INC("spa.select.dense");
+    return;
+  }
+  mode_ = Mode::kHash;
+  width_ = width;
+  values_.clear();
+  flags_.clear();
+  occupied_.clear();
+  // Start at 4x the expected population (min 16) so the common case never
+  // rehashes; skewed rows grow geometrically.
+  const index_t target = std::max<index_t>(
+      16, static_cast<index_t>(4.0 * std::max(1.0, expected_row_nnz)));
+  const std::size_t capacity =
+      static_cast<std::size_t>(NextPowerOfTwo(target));
+  hash_keys_.assign(capacity, kEmptySlot);
+  hash_vals_.assign(capacity, 0.0);
+  hash_count_ = 0;
+  hash_mask_ = capacity - 1;
+  ATMX_COUNTER_INC("spa.select.hash");
+}
+
+void SparseAccumulator::HashAdd(index_t j, value_t v) {
+  if (static_cast<std::size_t>(hash_count_ + 1) * 2 > hash_keys_.size()) {
+    HashGrow();
+  }
+  std::size_t slot = HashOf(j) & hash_mask_;
+  for (;;) {
+    if (hash_keys_[slot] == kEmptySlot) {
+      hash_keys_[slot] = j;
+      hash_vals_[slot] = v;
+      occupied_.push_back(static_cast<index_t>(slot));
+      ++hash_count_;
+      return;
+    }
+    if (hash_keys_[slot] == j) {
+      hash_vals_[slot] += v;
+      return;
+    }
+    slot = (slot + 1) & hash_mask_;
+  }
+}
+
+void SparseAccumulator::HashGrow() {
+  const std::size_t capacity = hash_keys_.size() * 2;
+  std::vector<index_t> old_keys = std::move(hash_keys_);
+  std::vector<value_t> old_vals = std::move(hash_vals_);
+  std::vector<index_t> old_slots = std::move(occupied_);
+  hash_keys_.assign(capacity, kEmptySlot);
+  hash_vals_.assign(capacity, 0.0);
+  hash_mask_ = capacity - 1;
+  occupied_.clear();
+  occupied_.reserve(old_slots.size());
+  for (index_t s : old_slots) {
+    const index_t key = old_keys[static_cast<std::size_t>(s)];
+    std::size_t slot = HashOf(key) & hash_mask_;
+    while (hash_keys_[slot] != kEmptySlot) slot = (slot + 1) & hash_mask_;
+    hash_keys_[slot] = key;
+    hash_vals_[slot] = old_vals[static_cast<std::size_t>(s)];
+    occupied_.push_back(static_cast<index_t>(slot));
+  }
 }
 
 void SparseAccumulator::FlushToBuilder(CsrBuilder* builder) {
-  std::sort(occupied_.begin(), occupied_.end());
-  for (index_t j : occupied_) {
-    builder->Append(j, values_[j]);
-    values_[j] = 0.0;
-    flags_[j] = 0;
+  if (mode_ == Mode::kDense) {
+    std::sort(occupied_.begin(), occupied_.end());
+    for (index_t j : occupied_) {
+      builder->Append(j, values_[j]);
+      values_[j] = 0.0;
+      flags_[j] = 0;
+    }
+    occupied_.clear();
+    return;
   }
+  flush_scratch_.clear();
+  for (index_t s : occupied_) {
+    flush_scratch_.emplace_back(hash_keys_[static_cast<std::size_t>(s)],
+                                hash_vals_[static_cast<std::size_t>(s)]);
+    hash_keys_[static_cast<std::size_t>(s)] = kEmptySlot;
+  }
+  std::sort(flush_scratch_.begin(), flush_scratch_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [col, val] : flush_scratch_) builder->Append(col, val);
   occupied_.clear();
+  hash_count_ = 0;
 }
 
 void SparseAccumulator::FlushToDenseRow(value_t* row) {
-  for (index_t j : occupied_) {
-    row[j] += values_[j];
-    values_[j] = 0.0;
-    flags_[j] = 0;
+  if (mode_ == Mode::kDense) {
+    for (index_t j : occupied_) {
+      row[j] += values_[j];
+      values_[j] = 0.0;
+      flags_[j] = 0;
+    }
+    occupied_.clear();
+    return;
+  }
+  for (index_t s : occupied_) {
+    row[hash_keys_[static_cast<std::size_t>(s)]] +=
+        hash_vals_[static_cast<std::size_t>(s)];
+    hash_keys_[static_cast<std::size_t>(s)] = kEmptySlot;
   }
   occupied_.clear();
+  hash_count_ = 0;
 }
 
 void SparseAccumulator::Clear() {
-  for (index_t j : occupied_) {
-    values_[j] = 0.0;
-    flags_[j] = 0;
+  if (mode_ == Mode::kDense) {
+    for (index_t j : occupied_) {
+      values_[j] = 0.0;
+      flags_[j] = 0;
+    }
+  } else {
+    for (index_t s : occupied_) {
+      hash_keys_[static_cast<std::size_t>(s)] = kEmptySlot;
+    }
+    hash_count_ = 0;
   }
   occupied_.clear();
 }

@@ -2,10 +2,21 @@
 // matrix multiplication [11]: a value array of one output-row width plus an
 // occupancy list. Eq. (2)'s beta bound exists precisely so that these
 // arrays fit in the LLC for any sparse tile width.
+//
+// For ultra-sparse rows the dense SPA is a bad deal: Resize zeroes
+// O(tile-width) values + flags and every Add touches a flag array that
+// pollutes the cache far beyond the handful of live columns. Following
+// Nagasaka et al. (high-performance SpGEMM on KNL/multicore), an adaptive
+// open-addressing hash accumulator takes over when the estimated per-row
+// population is far below the dense break-even; see ChooseMode. Both modes
+// accumulate per-column partial sums in identical Add order and flush
+// sorted by column, so the produced rows are bitwise identical.
 
 #ifndef ATMX_KERNELS_SPARSE_ACCUMULATOR_H_
 #define ATMX_KERNELS_SPARSE_ACCUMULATOR_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -16,24 +27,55 @@ namespace atmx {
 
 class SparseAccumulator {
  public:
+  enum class Mode { kDense, kHash };
+
   SparseAccumulator() = default;
   explicit SparseAccumulator(index_t width) { Resize(width); }
 
-  // (Re)initializes for rows of the given width; clears content.
+  // Hash-mode selection boundary: rows must be at least this wide (below
+  // it the dense arrays trivially fit in L1/L2) and the expected per-row
+  // population must be under width * kHashDensityCutoff — well below the
+  // dense-SPA break-even, where the O(width) touch cost cannot amortize.
+  static constexpr index_t kMinHashWidth = 256;
+  static constexpr double kHashDensityCutoff = 1.0 / 64.0;
+
+  // expected_row_nnz < 0 means "unknown" and always selects kDense.
+  static Mode ChooseMode(index_t width, double expected_row_nnz) {
+    if (expected_row_nnz < 0.0 || width < kMinHashWidth) return Mode::kDense;
+    return expected_row_nnz <
+                   static_cast<double>(width) * kHashDensityCutoff
+               ? Mode::kHash
+               : Mode::kDense;
+  }
+
+  // (Re)initializes for rows of the given width in dense-SPA mode; clears
+  // content.
   void Resize(index_t width);
 
-  index_t width() const { return static_cast<index_t>(values_.size()); }
-  index_t touched() const { return static_cast<index_t>(occupied_.size()); }
-  bool empty() const { return occupied_.empty(); }
+  // (Re)initializes for rows of the given width, picking the accumulator
+  // mode from the estimated per-row population (ChooseMode).
+  void ResizeAdaptive(index_t width, double expected_row_nnz);
 
-  // values_[j] += v, registering j on first touch.
+  Mode mode() const { return mode_; }
+  index_t width() const { return width_; }
+  index_t touched() const {
+    return mode_ == Mode::kDense ? static_cast<index_t>(occupied_.size())
+                                 : hash_count_;
+  }
+  bool empty() const { return touched() == 0; }
+
+  // values[j] += v, registering j on first touch.
   void Add(index_t j, value_t v) {
     ATMX_DCHECK(j >= 0 && j < width());
-    if (!flags_[j]) {
-      flags_[j] = 1;
-      occupied_.push_back(j);
+    if (mode_ == Mode::kDense) {
+      if (!flags_[j]) {
+        flags_[j] = 1;
+        occupied_.push_back(j);
+      }
+      values_[j] += v;
+    } else {
+      HashAdd(j, v);
     }
-    values_[j] += v;
   }
 
   // Appends the accumulated row (sorted by column, zeros kept — an explicit
@@ -48,9 +90,30 @@ class SparseAccumulator {
   void Clear();
 
  private:
+  void HashAdd(index_t j, value_t v);
+  void HashGrow();
+
+  static std::size_t HashOf(index_t j) {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(j) * 0x9E3779B97F4A7C15ULL) >> 32);
+  }
+
+  Mode mode_ = Mode::kDense;
+  index_t width_ = 0;
+
+  // Dense-SPA state.
   std::vector<value_t> values_;
   std::vector<unsigned char> flags_;
-  std::vector<index_t> occupied_;
+  std::vector<index_t> occupied_;  // dense: columns; hash: table slots
+
+  // Hash state: open addressing with linear probing, power-of-two
+  // capacity, grown at 50% load. kEmptySlot marks a free slot.
+  static constexpr index_t kEmptySlot = -1;
+  std::vector<index_t> hash_keys_;
+  std::vector<value_t> hash_vals_;
+  index_t hash_count_ = 0;
+  std::size_t hash_mask_ = 0;
+  std::vector<std::pair<index_t, value_t>> flush_scratch_;
 };
 
 }  // namespace atmx

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -22,6 +23,18 @@
 #include "topology/thread_pool.h"
 
 namespace atmx {
+
+double AtMultStats::MaxTeamBusySeconds() const {
+  double m = 0.0;
+  for (double s : team_busy_seconds) m = std::max(m, s);
+  return m;
+}
+
+double AtMultStats::MaxTeamCpuSeconds() const {
+  double m = 0.0;
+  for (double s : team_cpu_seconds) m = std::max(m, s);
+  return m;
+}
 
 double AtMultStats::LocalFraction() const {
   const std::uint64_t local = local_read_bytes + local_write_bytes;
@@ -42,7 +55,8 @@ std::string AtMultStats::ToString() const {
      << ", conv(s->d)=" << sparse_to_dense_conversions
      << ", conv(d->s)=" << dense_to_sparse_conversions
      << ", c_tiles(d/sp)=" << dense_result_tiles << "/"
-     << sparse_result_tiles << ", local=" << LocalFraction();
+     << sparse_result_tiles << ", local=" << LocalFraction()
+     << ", stolen=" << tasks_stolen;
   os << ", kernels={";
   bool first = true;
   for (int v = 0; v < kNumKernelTypes; ++v) {
@@ -530,9 +544,16 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
       const int num_chunks =
           static_cast<int>(std::min<index_t>(team.size(), std::max<index_t>(
                                                               1, m / 64)));
+      // Nagasaka-style accumulator selection: ultra-sparse result rows use
+      // the hash SPA instead of paying O(n) dense-array init + flag-array
+      // cache pollution. Unknown density (estimation off) keeps the dense
+      // default; either mode produces bitwise-identical rows.
+      const double expected_row_nnz =
+          use_estimate ? rho_c * static_cast<double>(n) : -1.0;
       if (num_chunks <= 1) {
         CsrBuilder builder(m, n);
-        SparseAccumulator spa(n);
+        SparseAccumulator spa;
+        spa.ResizeAdaptive(n, expected_row_nnz);
         for (index_t i = 0; i < m; ++i) {
           seed_row(i, &spa);
           for (const PreparedPair& pp : prepared) {
@@ -553,7 +574,8 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           const index_t lo = splits[thread];
           const index_t hi = splits[thread + 1];
           CsrBuilder builder(hi - lo, n);
-          SparseAccumulator spa(n);
+          SparseAccumulator spa;
+          spa.ResizeAdaptive(n, expected_row_nnz);
           for (index_t i = lo; i < hi; ++i) {
             seed_row(i, &spa);
             for (const PreparedPair& pp : prepared) {
@@ -618,13 +640,65 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     stats->local_write_bytes += c_tiles[task].MemoryBytes();
   };
 
+  ScheduleOptions sched_options;
+  sched_options.work_stealing = config_.work_stealing;
+  if (config_.work_stealing && num_tasks > 0) {
+    // Per-task FLOP/byte cost estimates for LPT queue ordering, O(1) per
+    // task from per-band aggregate densities (the per-pair refinement
+    // happens later inside the task; queue order only needs magnitudes).
+    const index_t k_blocks = CeilDiv(a.cols(), block);
+    std::vector<double> rho_a_band(static_cast<std::size_t>(num_ti));
+    for (index_t ti = 0; ti < num_ti; ++ti) {
+      const index_t r0 = a.row_bounds()[ti];
+      const index_t m = a.row_bounds()[ti + 1] - r0;
+      rho_a_band[static_cast<std::size_t>(ti)] = a.density_map().RegionDensity(
+          r0 / block, 0, CeilDiv(m, block), k_blocks);
+    }
+    std::vector<double> rho_b_band(static_cast<std::size_t>(num_tj));
+    for (index_t tj = 0; tj < num_tj; ++tj) {
+      const index_t c0 = b.col_bounds()[tj];
+      const index_t n = b.col_bounds()[tj + 1] - c0;
+      rho_b_band[static_cast<std::size_t>(tj)] = b.density_map().RegionDensity(
+          0, c0 / block, k_blocks, CeilDiv(n, block));
+    }
+    auto task_cost = std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(num_tasks));
+    for (index_t task = 0; task < num_tasks; ++task) {
+      const index_t ti = task / num_tj;
+      const index_t tj = task % num_tj;
+      MultiplyShape shape;
+      shape.m = a.row_bounds()[ti + 1] - a.row_bounds()[ti];
+      shape.k = a.cols();
+      shape.n = b.col_bounds()[tj + 1] - b.col_bounds()[tj];
+      shape.rho_a = rho_a_band[static_cast<std::size_t>(ti)];
+      shape.rho_b = rho_b_band[static_cast<std::size_t>(tj)];
+      if (use_estimate) {
+        shape.rho_c = estimate.RegionDensity(
+            a.row_bounds()[ti] / block, b.col_bounds()[tj] / block,
+            CeilDiv(shape.m, block), CeilDiv(shape.n, block));
+      }
+      (*task_cost)[static_cast<std::size_t>(task)] =
+          EstimateTaskCost(cost_model_, shape);
+    }
+    sched_options.cost_of = [task_cost](index_t task) {
+      return (*task_cost)[static_cast<std::size_t>(task)];
+    };
+  }
+  ScheduleStats sched_stats;
   scheduler.RunTasks(
       num_tasks,
       [&](index_t task) {
-        // Tasks follow their A tile-row's round-robin home (III-F).
+        // Tasks follow their A tile-row's round-robin home (III-F); with
+        // work stealing this is the *initial* queue, and run_task accounts
+        // locality against the team that actually executes (its
+        // WorkerTeam::team_id), so stolen tasks honestly show up as remote
+        // reads of their A tiles.
         return static_cast<int>((task / num_tj) % teams);
       },
-      run_task);
+      run_task, sched_options, &sched_stats);
+  stats->tasks_stolen = static_cast<index_t>(sched_stats.TotalSteals());
+  stats->team_busy_seconds = sched_stats.busy_seconds;
+  stats->team_cpu_seconds = sched_stats.cpu_seconds;
 
   stats->sparse_to_dense_conversions = cache.sparse_to_dense_count();
   stats->dense_to_sparse_conversions = cache.dense_to_sparse_count();

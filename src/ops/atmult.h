@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "cost/cost_model.h"
@@ -55,6 +56,21 @@ struct AtMultStats {
     for (index_t count : kernel_invocations) total += count;
     return total;
   }
+
+  // Work-stealing scheduler outcome (see docs/SCHEDULER.md): tasks that
+  // ran off their home team and the per-team task execution time. Zero /
+  // uniform when `AtmConfig::work_stealing` is off or queues stay level.
+  // busy is wall time inside tasks; cpu is the driver thread's CPU time,
+  // which stays meaningful when more teams than cores timeshare the host.
+  index_t tasks_stolen = 0;
+  std::vector<double> team_busy_seconds;
+  std::vector<double> team_cpu_seconds;
+
+  // Largest per-team busy time — the makespan a topology-faithful machine
+  // (one real socket per team) would observe for the multiply phase.
+  double MaxTeamBusySeconds() const;
+  // Same over CPU time: preferred on hosts with fewer cores than teams.
+  double MaxTeamCpuSeconds() const;
 
   // NUMA locality accounting (see topology/numa_sim.h).
   std::uint64_t local_read_bytes = 0;

@@ -65,6 +65,13 @@ std::vector<value_t> SpMVParallel(const ATMatrix& a,
   std::vector<std::vector<value_t>> partials(
       teams, std::vector<value_t>(a.rows(), 0.0));
   TeamScheduler scheduler(teams, config.EffectiveThreadsPerTeam());
+  // Static scheduling on purpose: which team runs a band decides which
+  // partial vector it lands in, and the final reduction sums partials in
+  // team order — stealing would reshuffle the floating-point addition
+  // order for rows shared by tall tiles. Band tasks are near-uniform, so
+  // stealing has little to win here anyway.
+  ScheduleOptions static_options;
+  static_options.work_stealing = false;
   scheduler.RunTasks(
       a.num_row_bands(),
       [teams](index_t band) { return static_cast<int>(band % teams); },
@@ -74,7 +81,8 @@ std::vector<value_t> SpMVParallel(const ATMatrix& a,
           if (t.row0() != a.row_bounds()[band]) continue;  // counted once
           ApplyTile(t, x, &partials[team.team_id()]);
         }
-      });
+      },
+      static_options, nullptr);
   std::vector<value_t> y(a.rows(), 0.0);
   for (const auto& partial : partials) {
     for (index_t i = 0; i < a.rows(); ++i) y[i] += partial[i];

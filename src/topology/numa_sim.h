@@ -18,6 +18,17 @@
 
 namespace atmx {
 
+// Simulated inter-node hop distance: nodes form a ring, so with 2 nodes
+// every remote node is one hop away (the paper's 2-socket case) and with 4
+// nodes the opposite socket is two hops (a QPI-style square). Local access
+// is distance 0. The work-stealing scheduler uses this to pick the
+// NUMA-nearest victim so stolen tasks pay the cheapest possible remote
+// traffic.
+inline int NumaDistance(int a, int b, int num_nodes) {
+  const int d = a > b ? a - b : b - a;
+  return d < num_nodes - d ? d : num_nodes - d;
+}
+
 // Round-robin tile-row -> memory-node assignment. All matrices use the same
 // scheme because "it is generally unknown whether a matrix will take part as
 // the left or the right operand".

@@ -1,11 +1,34 @@
 #include "topology/thread_pool.h"
 
+#include <algorithm>
 #include <memory>
+#include <numeric>
+#include <string>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "obs/obs.h"
+#include "topology/numa_sim.h"
 
 namespace atmx {
+
+namespace {
+
+// Bounded spin before the condvar wait in WorkerLoop. ParallelRun is called
+// once per tile pair, so on small tiles the condvar wake latency dominates
+// the job itself; a short spin catches back-to-back jobs without burning a
+// core when the team is genuinely idle.
+constexpr int kWakeSpinIterations = 2048;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
 
 WorkerTeam::WorkerTeam(int team_id, int num_threads) : team_id_(team_id) {
   ATMX_CHECK_GE(num_threads, 1);
@@ -18,8 +41,8 @@ WorkerTeam::WorkerTeam(int team_id, int num_threads) : team_id_(team_id) {
 WorkerTeam::~WorkerTeam() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-    ++generation_;
+    shutdown_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
   }
   job_ready_.notify_all();
   for (auto& t : threads_) t.join();
@@ -35,7 +58,7 @@ void WorkerTeam::ParallelRun(const std::function<void(int)>& fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
     pending_ = static_cast<int>(threads_.size());
-    ++generation_;
+    generation_.fetch_add(1, std::memory_order_release);
   }
   job_ready_.notify_all();
   fn(0);  // The caller participates as thread 0.
@@ -47,14 +70,27 @@ void WorkerTeam::ParallelRun(const std::function<void(int)>& fn) {
 void WorkerTeam::WorkerLoop(int thread_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    // Spin a bounded number of iterations on the (atomic) generation
+    // counter; fall back to the condvar when no job shows up. The wait
+    // predicate below re-checks under the mutex, so a generation observed
+    // here just makes the wait return immediately.
+    for (int spin = 0; spin < kWakeSpinIterations; ++spin) {
+      if (shutdown_.load(std::memory_order_acquire) ||
+          generation_.load(std::memory_order_acquire) != seen_generation) {
+        break;
+      }
+      CpuRelax();
+    }
     const std::function<void(int)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       job_ready_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
+        return shutdown_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_relaxed) !=
+                   seen_generation;
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
+      if (shutdown_.load(std::memory_order_relaxed)) return;
+      seen_generation = generation_.load(std::memory_order_relaxed);
       job = job_;
     }
     if (job != nullptr) (*job)(thread_index);
@@ -83,6 +119,31 @@ void WorkerTeam::ParallelFor(index_t n, index_t grain,
   });
 }
 
+std::uint64_t ScheduleStats::TotalSteals() const {
+  return std::accumulate(stolen_per_team.begin(), stolen_per_team.end(),
+                         std::uint64_t{0});
+}
+
+double ScheduleStats::MaxBusySeconds() const {
+  double m = 0.0;
+  for (double s : busy_seconds) m = std::max(m, s);
+  return m;
+}
+
+double ScheduleStats::TotalBusySeconds() const {
+  return std::accumulate(busy_seconds.begin(), busy_seconds.end(), 0.0);
+}
+
+double ScheduleStats::MaxCpuSeconds() const {
+  double m = 0.0;
+  for (double s : cpu_seconds) m = std::max(m, s);
+  return m;
+}
+
+double ScheduleStats::TotalCpuSeconds() const {
+  return std::accumulate(cpu_seconds.begin(), cpu_seconds.end(), 0.0);
+}
+
 TeamScheduler::TeamScheduler(int num_teams, int threads_per_team) {
   ATMX_CHECK_GE(num_teams, 1);
   teams_.reserve(num_teams);
@@ -96,22 +157,58 @@ TeamScheduler::~TeamScheduler() = default;
 void TeamScheduler::RunTasks(
     index_t num_tasks, const std::function<int(index_t)>& home_of,
     const std::function<void(WorkerTeam&, index_t)>& run) {
-  std::vector<std::vector<index_t>> queues(teams_.size());
+  RunTasks(num_tasks, home_of, run, ScheduleOptions(), nullptr);
+}
+
+void TeamScheduler::RunTasks(
+    index_t num_tasks, const std::function<int(index_t)>& home_of,
+    const std::function<void(WorkerTeam&, index_t)>& run,
+    const ScheduleOptions& options, ScheduleStats* stats_out) {
+  const int nt = num_teams();
+
+  // Mutex-protected deques: the owner pops from the front, thieves pop
+  // from the back. Tasks here are whole tile multiplications — coarse
+  // enough that a lock per pop is noise next to the task itself, and a
+  // mutex keeps the protocol trivially TSan-clean.
+  struct TaskQueue {
+    std::mutex mu;
+    std::deque<index_t> q;
+  };
+  std::vector<TaskQueue> queues(static_cast<std::size_t>(nt));
   for (index_t task = 0; task < num_tasks; ++task) {
     const int home = home_of(task);
-    ATMX_CHECK(home >= 0 && home < num_teams());
-    queues[home].push_back(task);
+    ATMX_CHECK(home >= 0 && home < nt);
+    queues[static_cast<std::size_t>(home)].q.push_back(task);
   }
+
+  // Longest-processing-time-first within each home queue: the expensive
+  // head runs home-local first (shrinking the makespan bound), the cheap
+  // tail is what thieves take. Stable so equal-cost tasks keep submission
+  // order and scheduling stays reproducible.
+  if (options.work_stealing && options.cost_of) {
+    std::vector<double> cost(static_cast<std::size_t>(num_tasks));
+    for (index_t task = 0; task < num_tasks; ++task) {
+      cost[static_cast<std::size_t>(task)] = options.cost_of(task);
+    }
+    for (auto& tq : queues) {
+      std::stable_sort(tq.q.begin(), tq.q.end(),
+                       [&](index_t a, index_t b) {
+                         return cost[static_cast<std::size_t>(a)] >
+                                cost[static_cast<std::size_t>(b)];
+                       });
+    }
+  }
+
 #if defined(ATMX_OBS_ENABLED)
-  // Queue-depth balance after home assignment. There is no work stealing
-  // — queues are static per the paper's locality-first scheduling — so
-  // imbalance here directly bounds the makespan.
+  // Queue-depth balance after home assignment. Without stealing this
+  // imbalance directly bounds the makespan; with stealing it is what the
+  // steal traffic (threadpool.steals) has to level out.
   {
-    std::size_t min_depth = queues.empty() ? 0 : queues[0].size();
+    std::size_t min_depth = queues.empty() ? 0 : queues[0].q.size();
     std::size_t max_depth = min_depth;
-    for (const auto& q : queues) {
-      min_depth = std::min(min_depth, q.size());
-      max_depth = std::max(max_depth, q.size());
+    for (const auto& tq : queues) {
+      min_depth = std::min(min_depth, tq.q.size());
+      max_depth = std::max(max_depth, tq.q.size());
     }
     ATMX_COUNTER_ADD("threadpool.tasks", num_tasks);
     ATMX_GAUGE_SET("threadpool.queue_depth.max", max_depth);
@@ -123,20 +220,131 @@ void TeamScheduler::RunTasks(
                        : 0.0);
   }
 #endif
-  // One driver thread per team drains that team's queue; tile
-  // multiplications inside a task parallelize over the team's threads.
+
+  // Victim scan order per thief: ascending simulated NUMA distance, ties
+  // by node id — so a steal prefers the cheapest remote traffic.
+  std::vector<std::vector<int>> victims(static_cast<std::size_t>(nt));
+  if (options.work_stealing && nt > 1) {
+    for (int t = 0; t < nt; ++t) {
+      auto& order = victims[static_cast<std::size_t>(t)];
+      for (int v = 0; v < nt; ++v) {
+        if (v != t) order.push_back(v);
+      }
+      std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+        return NumaDistance(t, x, nt) < NumaDistance(t, y, nt);
+      });
+    }
+  }
+
+  ScheduleStats stats;
+  stats.executed_per_team.assign(static_cast<std::size_t>(nt), 0);
+  stats.stolen_per_team.assign(static_cast<std::size_t>(nt), 0);
+  stats.busy_seconds.assign(static_cast<std::size_t>(nt), 0.0);
+  stats.cpu_seconds.assign(static_cast<std::size_t>(nt), 0.0);
+  std::vector<double> max_task_seconds(static_cast<std::size_t>(nt), 0.0);
+  WallTimer makespan_timer;
+
+  // One driver thread per team drains that team's queue (and, when
+  // stealing, the tails of its victims); tile multiplications inside a
+  // task parallelize over the team's threads.
   std::vector<std::thread> drivers;
   drivers.reserve(teams_.size());
-  for (std::size_t t = 0; t < teams_.size(); ++t) {
-    drivers.emplace_back([this, t, &queues, &run] {
-      for (index_t task : queues[t]) {
-        ATMX_TRACE_SPAN_ARGS("sched", "task", {"team", static_cast<int>(t)},
-                             {"task", task});
-        run(*teams_[t], task);
+  for (int t = 0; t < nt; ++t) {
+    drivers.emplace_back([&, t] {
+      const std::size_t self = static_cast<std::size_t>(t);
+      index_t executed = 0;
+      index_t stolen = 0;
+      double busy = 0.0;
+      double cpu = 0.0;
+      double max_task = 0.0;
+      for (;;) {
+        index_t task = -1;
+        int source = -1;
+        {
+          TaskQueue& home = queues[self];
+          std::lock_guard<std::mutex> lock(home.mu);
+          if (!home.q.empty()) {
+            task = home.q.front();
+            home.q.pop_front();
+            source = t;
+          }
+        }
+        if (source < 0 && options.work_stealing) {
+          for (int v : victims[self]) {
+            TaskQueue& victim = queues[static_cast<std::size_t>(v)];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.q.empty()) {
+              task = victim.q.back();
+              victim.q.pop_back();
+              source = v;
+              break;
+            }
+          }
+        }
+        // Tasks never respawn, so observing every queue empty means the
+        // batch is fully claimed and this driver can retire.
+        if (source < 0) break;
+        const bool was_stolen = source != t;
+        WallTimer task_timer;
+        ThreadCpuTimer task_cpu_timer;
+        {
+          ATMX_TRACE_SPAN_ARGS("sched", "task", {"team", t}, {"task", task},
+                               {"home", source},
+                               {"stolen", was_stolen ? 1 : 0});
+#if defined(ATMX_OBS_ENABLED)
+          if (was_stolen) {
+            obs::TraceRecorder::Global().RecordInstant(
+                "sched", "steal",
+                {{"thief", t}, {"victim", source}, {"task", task}});
+          }
+#endif
+          run(*teams_[self], task);
+        }
+        const double seconds = task_timer.ElapsedSeconds();
+        busy += seconds;
+        cpu += task_cpu_timer.ElapsedSeconds();
+        max_task = std::max(max_task, seconds);
+        ++executed;
+        if (was_stolen) ++stolen;
       }
+      // Distinct slots per driver — no lock needed.
+      stats.executed_per_team[self] = executed;
+      stats.stolen_per_team[self] = stolen;
+      stats.busy_seconds[self] = busy;
+      stats.cpu_seconds[self] = cpu;
+      max_task_seconds[self] = max_task;
     });
   }
   for (auto& d : drivers) d.join();
+  stats.makespan_seconds = makespan_timer.ElapsedSeconds();
+
+#if defined(ATMX_OBS_ENABLED)
+  if (options.work_stealing) {
+    ATMX_COUNTER_ADD("threadpool.steals", stats.TotalSteals());
+    ATMX_GAUGE_SET("threadpool.makespan_seconds", stats.makespan_seconds);
+    // Lower bound on any schedule of these tasks on nt teams: either the
+    // perfectly balanced split or the single longest task dominates. A
+    // ratio near 1 means stealing got makespan down to the critical path.
+    double longest_task = 0.0;
+    for (double s : max_task_seconds) {
+      longest_task = std::max(longest_task, s);
+    }
+    const double bound =
+        std::max(stats.TotalBusySeconds() / static_cast<double>(nt),
+                 longest_task);
+    if (bound > 0.0) {
+      ATMX_GAUGE_SET("threadpool.makespan_vs_bound",
+                     stats.makespan_seconds / bound);
+    }
+    auto& registry = obs::MetricsRegistry::Global();
+    for (int t = 0; t < nt; ++t) {
+      registry
+          .GetGauge("threadpool.team." + std::to_string(t) + ".busy_seconds")
+          .Set(stats.busy_seconds[static_cast<std::size_t>(t)]);
+    }
+  }
+#endif
+  if (stats_out != nullptr) *stats_out = std::move(stats);
 }
 
 }  // namespace atmx

@@ -2,13 +2,23 @@
 // NUMA socket — each consisting of several threads. Inter-tile parallelism
 // runs different (tile-row, tile-col) pairs on different teams; intra-tile
 // parallelism splits one tile multiplication across a team's threads.
+//
+// Beyond the paper's static per-team queues, TeamScheduler implements
+// locality-first work stealing (see docs/SCHEDULER.md): each team drains
+// its home queue front-to-back in longest-processing-time-first order, and
+// an idle team steals from the *tail* of the NUMA-nearest victim's deque —
+// home tasks keep their first-touch locality and stolen tasks are the cold
+// cheap tail, not the hot expensive head.
 
 #ifndef ATMX_TOPOLOGY_THREAD_POOL_H_
 #define ATMX_TOPOLOGY_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -52,16 +62,58 @@ class WorkerTeam {
   std::condition_variable job_ready_;
   std::condition_variable job_done_;
   const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
+  // Atomic so WorkerLoop can spin briefly on a new generation without the
+  // mutex before falling back to the condvar wait (small-tile wake
+  // latency). Both are still only *written* under mutex_.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> shutdown_{false};
   int pending_ = 0;
-  bool shutdown_ = false;
+};
+
+// Scheduling policy of one TeamScheduler::RunTasks batch.
+struct ScheduleOptions {
+  // When true, an idle team steals tasks from the tail of the NUMA-nearest
+  // non-empty victim queue instead of going idle. When false the scheduler
+  // is the paper's static one: every task runs on its home team, in
+  // submission order.
+  bool work_stealing = true;
+  // Optional per-task cost estimate (abstract units; only relative
+  // magnitudes matter). When set and work_stealing is on, each home queue
+  // is drained longest-processing-time-first, so the expensive head stays
+  // home-local and thieves take the cheap cold tail. Evaluated once per
+  // task before execution starts.
+  std::function<double(index_t)> cost_of;
+};
+
+// Per-batch outcome of TeamScheduler::RunTasks, sized by num_teams().
+struct ScheduleStats {
+  std::vector<index_t> executed_per_team;  // tasks run by each team
+  std::vector<index_t> stolen_per_team;    // subset executed off-home
+  std::vector<double> busy_seconds;        // per-team task wall time
+  // Per-team driver-thread CPU time inside tasks. On a host with fewer
+  // cores than teams the drivers timeshare and wall time counts slices
+  // where other teams ran; CPU time is what the team's tasks would take on
+  // a dedicated socket, so its per-team max is the topology-faithful
+  // makespan (exact when threads_per_team == 1, where the whole task body
+  // runs on the driver thread).
+  std::vector<double> cpu_seconds;
+  double makespan_seconds = 0.0;           // wall time of the whole batch
+
+  std::uint64_t TotalSteals() const;
+  double MaxBusySeconds() const;
+  double TotalBusySeconds() const;
+  double MaxCpuSeconds() const;
+  double TotalCpuSeconds() const;
 };
 
 // A set of worker teams; tasks are queued per team (the home node of the
-// task's A tile-row) and every team drains its own queue sequentially,
-// which is exactly the paper's scheduling: "all tile-multiplications
-// referring to a particular tile-row-column pair are executed one after
-// another, and by the same worker team".
+// task's A tile-row). Each team drains its own queue — "all
+// tile-multiplications referring to a particular tile-row-column pair are
+// executed one after another, and by the same worker team" — unless work
+// stealing is enabled (the default), in which case a team whose queue runs
+// dry takes over whole tasks from the NUMA-nearest loaded team. Stealing
+// moves complete tasks, never splits one, so results are identical
+// regardless of which team executes a task.
 class TeamScheduler {
  public:
   TeamScheduler(int num_teams, int threads_per_team);
@@ -74,12 +126,18 @@ class TeamScheduler {
   WorkerTeam& team(int t) { return *teams_[t]; }
 
   // Executes tasks 0..num_tasks-1. `home_of(task)` assigns each task to a
-  // team queue; `run(team, task)` performs the work and may use
-  // `team.ParallelFor` for intra-task parallelism. Blocks until all tasks
-  // finish.
+  // team queue; `run(team, task)` performs the work on the *executing*
+  // team (== home team unless stolen) and may use `team.ParallelFor` for
+  // intra-task parallelism. Blocks until all tasks finish.
   void RunTasks(index_t num_tasks,
                 const std::function<int(index_t)>& home_of,
                 const std::function<void(WorkerTeam&, index_t)>& run);
+
+  // Same, with an explicit scheduling policy; fills `stats` when non-null.
+  void RunTasks(index_t num_tasks,
+                const std::function<int(index_t)>& home_of,
+                const std::function<void(WorkerTeam&, index_t)>& run,
+                const ScheduleOptions& options, ScheduleStats* stats);
 
  private:
   std::vector<std::unique_ptr<WorkerTeam>> teams_;

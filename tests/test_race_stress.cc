@@ -84,6 +84,8 @@ TEST(RaceStressTest, SchedulerRandomizedHomes) {
 
     std::vector<std::atomic<int>> runs(static_cast<std::size_t>(num_tasks));
     TeamScheduler scheduler(teams, threads);
+    ScheduleOptions options;
+    options.work_stealing = false;
     scheduler.RunTasks(
         num_tasks,
         [&](index_t task) { return homes[static_cast<std::size_t>(task)]; },
@@ -92,12 +94,72 @@ TEST(RaceStressTest, SchedulerRandomizedHomes) {
           // Nested intra-task parallelism on the owning team.
           team.ParallelFor(8, 2, [&](index_t, index_t) {});
           runs[static_cast<std::size_t>(task)].fetch_add(1);
-        });
+        },
+        options, nullptr);
     for (index_t t = 0; t < num_tasks; ++t) {
       ASSERT_EQ(runs[static_cast<std::size_t>(t)].load(), 1)
           << "task " << t << " in round " << round;
     }
   }
+}
+
+TEST(RaceStressTest, SchedulerStealingRandomizedChurn) {
+  // Same exactly-once property under the work-stealing protocol: skewed
+  // home assignments force steals, nested ParallelFor keeps the executing
+  // team's broadcast path busy while thieves hit the victim deques.
+  Rng rng(13);
+  for (int round = 0; round < 60; ++round) {
+    const int teams = 2 + static_cast<int>(rng.NextBounded(3));
+    const index_t num_tasks = static_cast<index_t>(rng.NextBounded(200));
+    // Skew toward team 0 so victim queues actually drain cross-team.
+    std::vector<int> homes(static_cast<std::size_t>(num_tasks));
+    for (auto& h : homes) {
+      h = rng.NextBounded(4) == 0 ? static_cast<int>(rng.NextBounded(teams))
+                                  : 0;
+    }
+    std::vector<std::atomic<int>> runs(static_cast<std::size_t>(num_tasks));
+    TeamScheduler scheduler(teams, 2);
+    ScheduleOptions options;
+    options.work_stealing = true;
+    options.cost_of = [](index_t task) {
+      return static_cast<double>(task % 7);
+    };
+    ScheduleStats stats;
+    scheduler.RunTasks(
+        num_tasks,
+        [&](index_t task) { return homes[static_cast<std::size_t>(task)]; },
+        [&](WorkerTeam& team, index_t task) {
+          team.ParallelFor(8, 2, [&](index_t, index_t) {});
+          runs[static_cast<std::size_t>(task)].fetch_add(1);
+        },
+        options, &stats);
+    index_t executed_total = 0;
+    for (index_t e : stats.executed_per_team) executed_total += e;
+    ASSERT_EQ(executed_total, num_tasks) << "round " << round;
+    for (index_t t = 0; t < num_tasks; ++t) {
+      ASSERT_EQ(runs[static_cast<std::size_t>(t)].load(), 1)
+          << "task " << t << " in round " << round;
+    }
+  }
+}
+
+TEST(RaceStressTest, ParallelRunSpinWakeChurn) {
+  // Tiny back-to-back jobs land in WorkerLoop's bounded-spin window; two
+  // teams churning concurrently also exercise the spin -> condvar fallback
+  // when the gap between jobs exceeds the spin budget.
+  WorkerTeam team_a(0, 3);
+  WorkerTeam team_b(1, 3);
+  std::atomic<int> total{0};
+  std::thread driver_b([&] {
+    for (int round = 0; round < 600; ++round) {
+      team_b.ParallelRun([&](int) { total.fetch_add(1); });
+    }
+  });
+  for (int round = 0; round < 600; ++round) {
+    team_a.ParallelRun([&](int) { total.fetch_add(1); });
+  }
+  driver_b.join();
+  EXPECT_EQ(total.load(), 600 * (team_a.size() + team_b.size()));
 }
 
 TEST(RaceStressTest, SchedulerReuseAcrossBatches) {

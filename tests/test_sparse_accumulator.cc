@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <utility>
+#include <vector>
+
 #include "storage/convert.h"
 
 namespace atmx {
@@ -69,6 +73,119 @@ TEST(SparseAccumulatorTest, ResizeReinitializes) {
   EXPECT_TRUE(spa.empty());
   spa.Add(15, 3.0);
   EXPECT_EQ(spa.touched(), 1);
+}
+
+TEST(AdaptiveAccumulatorTest, SelectionBoundary) {
+  using Mode = SparseAccumulator::Mode;
+  // Unknown density always keeps the dense SPA.
+  EXPECT_EQ(SparseAccumulator::ChooseMode(4096, -1.0), Mode::kDense);
+  // Narrow rows keep the dense SPA no matter how sparse.
+  EXPECT_EQ(
+      SparseAccumulator::ChooseMode(SparseAccumulator::kMinHashWidth - 1,
+                                    0.0),
+      Mode::kDense);
+  // Exactly at the width floor with an ultra-sparse estimate: hash.
+  EXPECT_EQ(
+      SparseAccumulator::ChooseMode(SparseAccumulator::kMinHashWidth, 0.5),
+      Mode::kHash);
+  // Density cutoff: just below width * cutoff selects hash, at it dense.
+  const index_t width = 4096;
+  const double cutoff =
+      static_cast<double>(width) * SparseAccumulator::kHashDensityCutoff;
+  EXPECT_EQ(SparseAccumulator::ChooseMode(width, cutoff - 1.0), Mode::kHash);
+  EXPECT_EQ(SparseAccumulator::ChooseMode(width, cutoff), Mode::kDense);
+}
+
+TEST(AdaptiveAccumulatorTest, HashModeMatchesDenseBitwise) {
+  // The same Add sequence through both modes must flush identical rows —
+  // same columns, same value bits — since per-column accumulation order is
+  // identical.
+  const index_t width = 1 << 12;
+  SparseAccumulator dense(width);
+  SparseAccumulator hash;
+  hash.ResizeAdaptive(width, /*expected_row_nnz=*/4.0);
+  ASSERT_EQ(hash.mode(), SparseAccumulator::Mode::kHash);
+
+  const std::vector<std::pair<index_t, value_t>> adds = {
+      {9, 0.1},   {4095, -2.5}, {9, 0.2},  {17, 1e-30}, {2048, 3.0},
+      {17, -1e-30}, {0, 7.0},   {9, -0.3}, {2048, 0.25}};
+  for (const auto& [j, v] : adds) {
+    dense.Add(j, v);
+    hash.Add(j, v);
+  }
+  EXPECT_EQ(dense.touched(), hash.touched());
+
+  CsrBuilder dense_builder(1, width);
+  CsrBuilder hash_builder(1, width);
+  dense.FlushToBuilder(&dense_builder);
+  hash.FlushToBuilder(&hash_builder);
+  const CsrMatrix dense_row = dense_builder.Build();
+  const CsrMatrix hash_row = hash_builder.Build();
+  ASSERT_EQ(dense_row.nnz(), hash_row.nnz());
+  EXPECT_EQ(dense_row.col_idx(), hash_row.col_idx());
+  for (index_t p = 0; p < dense_row.nnz(); ++p) {
+    // Bitwise, not approximate: same addition order per column.
+    EXPECT_EQ(std::memcmp(&dense_row.values()[p], &hash_row.values()[p],
+                          sizeof(value_t)),
+              0)
+        << "position " << p;
+  }
+}
+
+TEST(AdaptiveAccumulatorTest, HashModeGrowsPastInitialCapacity) {
+  // Estimate of 1 element, then a few hundred inserts: the table must
+  // rehash (repeatedly) and still flush every column sorted.
+  const index_t width = 1 << 14;
+  SparseAccumulator spa;
+  spa.ResizeAdaptive(width, /*expected_row_nnz=*/1.0);
+  ASSERT_EQ(spa.mode(), SparseAccumulator::Mode::kHash);
+  const index_t kInserts = 500;
+  for (index_t i = 0; i < kInserts; ++i) {
+    spa.Add((i * 31) % width, 1.0);
+    spa.Add((i * 31) % width, 0.5);  // duplicate hits accumulate
+  }
+  EXPECT_EQ(spa.touched(), kInserts);
+  CsrBuilder builder(1, width);
+  spa.FlushToBuilder(&builder);
+  const CsrMatrix row = builder.Build();
+  EXPECT_EQ(row.nnz(), kInserts);
+  EXPECT_TRUE(row.CheckValid());
+  for (index_t p = 0; p < row.nnz(); ++p) {
+    EXPECT_DOUBLE_EQ(row.values()[p], 1.5);
+  }
+  EXPECT_TRUE(spa.empty());
+}
+
+TEST(AdaptiveAccumulatorTest, HashModeClearAndDenseRowFlush) {
+  SparseAccumulator spa;
+  spa.ResizeAdaptive(1024, 2.0);
+  ASSERT_EQ(spa.mode(), SparseAccumulator::Mode::kHash);
+  spa.Add(3, 1.0);
+  spa.Add(900, 2.0);
+  spa.Clear();
+  EXPECT_TRUE(spa.empty());
+  // Slots must be reusable with fresh values after Clear.
+  spa.Add(3, 5.0);
+  spa.Add(900, -1.0);
+  std::vector<value_t> row(1024, 10.0);
+  spa.FlushToDenseRow(row.data());
+  EXPECT_DOUBLE_EQ(row[3], 15.0);
+  EXPECT_DOUBLE_EQ(row[900], 9.0);
+  EXPECT_DOUBLE_EQ(row[0], 10.0);
+  EXPECT_TRUE(spa.empty());
+}
+
+TEST(AdaptiveAccumulatorTest, HashModeKeepsExplicitZero) {
+  SparseAccumulator spa;
+  spa.ResizeAdaptive(512, 1.0);
+  ASSERT_EQ(spa.mode(), SparseAccumulator::Mode::kHash);
+  spa.Add(100, 1.0);
+  spa.Add(100, -1.0);
+  CsrBuilder builder(1, 512);
+  spa.FlushToBuilder(&builder);
+  const CsrMatrix row = builder.Build();
+  EXPECT_EQ(row.nnz(), 1);
+  EXPECT_DOUBLE_EQ(row.At(0, 100), 0.0);
 }
 
 }  // namespace

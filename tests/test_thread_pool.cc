@@ -53,9 +53,12 @@ TEST(WorkerTeamTest, ParallelForEmptyRange) {
   EXPECT_EQ(calls, 0);
 }
 
-TEST(TeamSchedulerTest, RunsEveryTaskOnItsHomeTeam) {
+TEST(TeamSchedulerTest, StaticModeRunsEveryTaskOnItsHomeTeam) {
   TeamScheduler scheduler(3, 2);
   EXPECT_EQ(scheduler.num_teams(), 3);
+  ScheduleOptions options;
+  options.work_stealing = false;
+  ScheduleStats stats;
   std::vector<std::atomic<int>> runs(30);
   std::vector<std::atomic<int>> team_of(30);
   scheduler.RunTasks(
@@ -63,11 +66,25 @@ TEST(TeamSchedulerTest, RunsEveryTaskOnItsHomeTeam) {
       [&](WorkerTeam& team, index_t task) {
         runs[task].fetch_add(1);
         team_of[task].store(team.team_id());
-      });
+      },
+      options, &stats);
   for (int t = 0; t < 30; ++t) {
     EXPECT_EQ(runs[t].load(), 1);
     EXPECT_EQ(team_of[t].load(), t % 3);
   }
+  EXPECT_EQ(stats.TotalSteals(), 0u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(stats.executed_per_team[t], 10);
+  }
+}
+
+TEST(TeamSchedulerTest, StealingRunsEveryTaskExactlyOnce) {
+  TeamScheduler scheduler(3, 2);
+  std::vector<std::atomic<int>> runs(30);
+  scheduler.RunTasks(
+      30, [](index_t task) { return static_cast<int>(task % 3); },
+      [&](WorkerTeam&, index_t task) { runs[task].fetch_add(1); });
+  for (int t = 0; t < 30; ++t) EXPECT_EQ(runs[t].load(), 1);
 }
 
 TEST(TeamSchedulerTest, TasksCanUseIntraTeamParallelism) {

@@ -27,6 +27,22 @@ def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("trace")
     parser.add_argument("--min-events", type=int, default=1)
+    parser.add_argument(
+        "--require-cat",
+        action="append",
+        default=[],
+        metavar="CAT[=N]",
+        help="require at least N (default 1) events of category CAT; "
+        "repeatable (e.g. --require-cat sched=4 --require-cat kernel)",
+    )
+    parser.add_argument(
+        "--require-name",
+        action="append",
+        default=[],
+        metavar="NAME[=N]",
+        help="require at least N (default 1) events named NAME "
+        "(e.g. --require-name steal after a work-stealing bench)",
+    )
     args = parser.parse_args()
 
     try:
@@ -44,6 +60,7 @@ def main():
         fail(f"only {len(events)} events, expected >= {args.min_events}")
 
     categories = {}
+    names = {}
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             fail(f"event {index} is not an object")
@@ -63,6 +80,19 @@ def main():
         if "args" in event and not isinstance(event["args"], dict):
             fail(f"event {index} args is not an object")
         categories[event["cat"]] = categories.get(event["cat"], 0) + 1
+        names[event["name"]] = names.get(event["name"], 0) + 1
+
+    def check_required(spec, counts, kind):
+        key, _, minimum = spec.partition("=")
+        needed = int(minimum) if minimum else 1
+        have = counts.get(key, 0)
+        if have < needed:
+            fail(f"{kind} {key!r}: {have} events, expected >= {needed}")
+
+    for spec in args.require_cat:
+        check_required(spec, categories, "category")
+    for spec in args.require_name:
+        check_required(spec, names, "event name")
 
     summary = ", ".join(f"{cat}={n}" for cat, n in sorted(categories.items()))
     print(f"check_trace: OK: {len(events)} events ({summary})")
