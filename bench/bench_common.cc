@@ -1,9 +1,11 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <sstream>
 
 #include "common/timer.h"
@@ -207,6 +209,251 @@ std::string FmtRel(const BaselineResult& baseline,
                    const BaselineResult& reference) {
   if (!baseline.ran || !reference.ran || baseline.seconds <= 0.0) return "-";
   return TablePrinter::Fmt(reference.seconds / baseline.seconds, 2) + "x";
+}
+
+namespace {
+
+// Local escaper so the report works under -DATMX_OBS=OFF (the obs JSON
+// helpers are not compiled there).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Counter key names, index-aligned with the PerfCounterId slots (and with
+// the trace-arg keys check_trace.py validates).
+constexpr const char* kBenchCounterNames[6] = {
+    "cycles",      "instructions", "llc_loads",
+    "llc_misses",  "dtlb_misses",  "task_clock_ns"};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void FlushBenchReportAtExit() {
+  BenchReporter& reporter = BenchReporter::Global();
+  if (!reporter.armed()) return;
+  // Re-query the path through ToJson/WriteJson: the reporter keeps it.
+  reporter.WriteJson("");  // "" = use the armed path
+}
+
+}  // namespace
+
+BenchReporter& BenchReporter::Global() {
+  static BenchReporter* reporter = new BenchReporter();
+  return *reporter;
+}
+
+void BenchReporter::Configure(const std::string& bench_name,
+                              const BenchEnv& env) {
+  bench_name_ = bench_name;
+  scale_ = env.scale;
+  llc_bytes_ = env.config.llc_bytes;
+  b_atomic_ = env.config.AtomicBlockSize();
+  teams_ = env.config.EffectiveTeams();
+  threads_ = env.config.EffectiveThreadsPerTeam();
+  rho_read_ = env.config.rho_read;
+  rho_write_ = env.config.rho_write;
+  configured_ = true;
+}
+
+void BenchReporter::ArmOutput(const std::string& path) {
+  static bool registered = false;
+  out_path_ = path;
+  if (!registered) {
+    registered = true;
+    std::atexit(FlushBenchReportAtExit);
+  }
+}
+
+BenchReporter::Case* BenchReporter::FindOrAddCase(const std::string& name) {
+  for (Case& c : cases_) {
+    if (c.name == name) return &c;
+  }
+  cases_.push_back(Case{});
+  cases_.back().name = name;
+  return &cases_.back();
+}
+
+double BenchReporter::MeasureCase(const std::string& name,
+                                  const std::function<void()>& fn) {
+  if (!armed()) return MeasureSeconds(fn);
+  Case* c = FindOrAddCase(name);
+#if defined(ATMX_OBS_ENABLED)
+  const obs::PerfSnapshot begin = obs::PerfBeginSnapshot();
+#endif
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repetitions_));
+  for (int rep = 0; rep < repetitions_; ++rep) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+#if defined(ATMX_OBS_ENABLED)
+  const obs::PerfDelta delta = obs::PerfDeltaSince(begin);
+  if (delta.valid && delta.present != 0) {
+    c->has_counters = true;
+    c->counters_present |= delta.present;
+    for (int i = 0; i < obs::kNumPerfCounters; ++i) {
+      c->counters[i] += delta.value[static_cast<std::size_t>(i)];
+    }
+  }
+#endif
+  for (double s : samples) c->samples.push_back(s);
+  std::sort(samples.begin(), samples.end());
+  return Percentile(samples, 0.5);
+}
+
+void BenchReporter::AddSample(const std::string& name, double seconds) {
+  if (!armed()) return;
+  FindOrAddCase(name)->samples.push_back(seconds);
+}
+
+std::string BenchReporter::ToJson() const {
+  std::ostringstream os;
+  const char* sha = std::getenv("ATMX_GIT_SHA");
+  os << "{\"schema_version\":1,\"bench\":\"" << JsonEscape(bench_name_)
+     << "\",\"git_sha\":\""
+     << JsonEscape(sha != nullptr && sha[0] != '\0' ? sha : "unknown")
+     << "\",\"unix_time\":" << static_cast<long long>(std::time(nullptr));
+  os << ",\"config\":{\"scale\":" << JsonDouble(scale_)
+     << ",\"llc_bytes\":" << llc_bytes_ << ",\"b_atomic\":" << b_atomic_
+     << ",\"teams\":" << teams_ << ",\"threads\":" << threads_
+     << ",\"rho_read\":" << JsonDouble(rho_read_)
+     << ",\"rho_write\":" << JsonDouble(rho_write_);
+#if defined(ATMX_OBS_ENABLED)
+  os << ",\"obs_enabled\":1,\"perf_counters\":"
+     << (obs::PerfCountersAvailable() ? 1 : 0);
+#else
+  os << ",\"obs_enabled\":0,\"perf_counters\":0";
+#endif
+  os << "},\"cases\":[";
+  bool first_case = true;
+  for (const Case& c : cases_) {
+    if (!first_case) os << ",";
+    first_case = false;
+    std::vector<double> sorted = c.samples;
+    std::sort(sorted.begin(), sorted.end());
+    os << "{\"name\":\"" << JsonEscape(c.name)
+       << "\",\"repetitions\":" << c.samples.size() << ",\"wall_seconds\":{"
+       << "\"min\":" << JsonDouble(sorted.empty() ? 0.0 : sorted.front())
+       << ",\"median\":" << JsonDouble(Percentile(sorted, 0.5))
+       << ",\"p95\":" << JsonDouble(Percentile(sorted, 0.95))
+       << ",\"max\":" << JsonDouble(sorted.empty() ? 0.0 : sorted.back())
+       << ",\"samples\":[";
+    for (std::size_t i = 0; i < c.samples.size(); ++i) {
+      if (i > 0) os << ",";
+      os << JsonDouble(c.samples[i]);
+    }
+    os << "]}";
+    if (c.has_counters) {
+      os << ",\"counters\":{";
+      bool first_counter = true;
+      for (int i = 0; i < 6; ++i) {
+        if ((c.counters_present & (1u << i)) == 0) continue;
+        if (!first_counter) os << ",";
+        first_counter = false;
+        os << "\"" << kBenchCounterNames[i] << "\":" << c.counters[i];
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool BenchReporter::WriteJson(const std::string& path) const {
+  const std::string& target = path.empty() ? out_path_ : path;
+  if (target.empty()) return false;
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", target.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (ok) {
+    std::fprintf(stderr, "bench: wrote %s (%zu cases)\n", target.c_str(),
+                 cases_.size());
+  }
+  return ok;
+}
+
+void BenchReporter::Clear() {
+  bench_name_ = "unnamed";
+  configured_ = false;
+  scale_ = 0.0;
+  llc_bytes_ = 0;
+  b_atomic_ = 0;
+  teams_ = 0;
+  threads_ = 0;
+  rho_read_ = 0.0;
+  rho_write_ = 0.0;
+  cases_.clear();
+}
+
+void MaybeEnableBenchReport(const std::string& bench_name, int argc,
+                            char** argv) {
+  BenchReporter& reporter = BenchReporter::Global();
+  if (const char* reps = std::getenv("ATMX_BENCH_REPS")) {
+    const long long n = std::atoll(reps);
+    if (n >= 1 && n <= 1000) {
+      reporter.repetitions_ = static_cast<int>(n);
+    }
+  }
+  reporter.bench_name_ = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    static constexpr char kFlag[] = "--bench-out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      reporter.ArmOutput(argv[i] + sizeof(kFlag) - 1);
+      return;
+    }
+  }
+  if (const char* path = std::getenv("ATMX_BENCH_OUT")) {
+    if (path[0] != '\0') reporter.ArmOutput(path);
+  }
 }
 
 }  // namespace atmx::bench

@@ -12,6 +12,11 @@
 //   ATMX_TRACE_OUT  path; when set (and the library is built with
 //                   ATMX_OBS=ON) the bench records a Chrome trace +
 //                   decision audit and writes the JSON there at exit
+//   ATMX_BENCH_OUT  path; when set the bench writes a machine-readable
+//                   BENCH JSON report there at exit (works in any build;
+//                   hardware-counter fields appear only under ATMX_OBS=ON)
+//   ATMX_BENCH_REPS timed repetitions per reported case (default 3)
+//   ATMX_GIT_SHA    recorded verbatim in the report ("unknown" if unset)
 
 #ifndef ATMX_BENCH_BENCH_COMMON_H_
 #define ATMX_BENCH_BENCH_COMMON_H_
@@ -82,6 +87,89 @@ void EnableTracingTo(const std::string& path);
 // match) and honours the ATMX_TRACE_OUT environment variable. Benches
 // call this first thing in main().
 void MaybeEnableTracing(int argc, char** argv);
+
+// Machine-readable benchmark report (schema_version 1):
+//
+//   {"schema_version": 1, "bench": "<name>", "git_sha": "...",
+//    "unix_time": <sec>, "config": {"scale": ..., "llc_bytes": ...,
+//    "b_atomic": ..., "teams": ..., "threads": ..., "rho_read": ...,
+//    "rho_write": ..., "obs_enabled": 0|1, "perf_counters": 0|1},
+//    "cases": [{"name": "...", "repetitions": N,
+//               "wall_seconds": {"min": ..., "median": ..., "p95": ...,
+//                                "max": ..., "samples": [...]},
+//               "counters": {"cycles": ..., ...}}]}
+//
+// "counters" is present only when hardware counters were live for the
+// case. tools/compare_bench.py consumes two of these files and gates on
+// wall-time regressions; the schema_version must be bumped on any
+// incompatible change.
+class BenchReporter {
+ public:
+  static BenchReporter& Global();
+
+  // Records the bench name and the environment the numbers were taken
+  // under. Call once, right after BenchEnv::FromEnvironment().
+  void Configure(const std::string& bench_name, const BenchEnv& env);
+
+  // Arms report output: registers an atexit hook writing the JSON to
+  // `path`. Idempotent; the last path wins.
+  void ArmOutput(const std::string& path);
+  bool armed() const { return !out_path_.empty(); }
+
+  // Timed repetitions per case when armed (ATMX_BENCH_REPS, default 3).
+  int repetitions() const { return repetitions_; }
+
+  // Measures fn() and returns the median wall time in seconds. When the
+  // reporter is not armed this is exactly MeasureSeconds(fn); when armed
+  // it runs repetitions() timed runs, records all samples under `name`,
+  // and (ATMX_OBS=ON, counters live) attaches the summed hardware-counter
+  // deltas of the calling thread.
+  double MeasureCase(const std::string& name, const std::function<void()>& fn);
+
+  // Appends one externally timed sample to `name` (no-op when not armed).
+  // For one-shot measurements that are too expensive to repeat.
+  void AddSample(const std::string& name, double seconds);
+
+  // The report as a JSON string / written to a file.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  // Drops all recorded cases and configuration (for tests).
+  void Clear();
+
+ private:
+  friend void MaybeEnableBenchReport(const std::string& bench_name, int argc,
+                                     char** argv);
+
+  struct Case {
+    std::string name;
+    std::vector<double> samples;
+    bool has_counters = false;
+    unsigned counters_present = 0;
+    unsigned long long counters[6] = {0, 0, 0, 0, 0, 0};
+  };
+
+  Case* FindOrAddCase(const std::string& name);
+
+  std::string bench_name_ = "unnamed";
+  std::string out_path_;
+  int repetitions_ = 3;
+  bool configured_ = false;
+  double scale_ = 0.0;
+  long long llc_bytes_ = 0;
+  long long b_atomic_ = 0;
+  int teams_ = 0;
+  int threads_ = 0;
+  double rho_read_ = 0.0;
+  double rho_write_ = 0.0;
+  std::vector<Case> cases_;
+};
+
+// Scans argv for `--bench-out=<path>` and honours the ATMX_BENCH_OUT
+// environment variable; arms BenchReporter::Global() on a match. Benches
+// call this next to MaybeEnableTracing in main().
+void MaybeEnableBenchReport(const std::string& bench_name, int argc,
+                            char** argv);
 
 }  // namespace atmx::bench
 

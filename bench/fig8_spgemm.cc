@@ -26,6 +26,7 @@ namespace {
 
 void Run() {
   BenchEnv env = BenchEnv::FromEnvironment();
+  BenchReporter::Global().Configure("fig8_spgemm", env);
   std::printf("=== Fig. 8: C = A*A multiplication experiments ===\n");
   std::printf("%s\n\n", env.Describe().c_str());
   std::printf(
@@ -49,6 +50,7 @@ void Run() {
     CsrMatrix csr = CooToCsr(coo);
 
     const BaselineResult spspsp = RunSpspsp(csr, csr);
+    BenchReporter::Global().AddSample(spec.id + ".spspsp", spspsp.seconds);
     const BaselineResult spspd = RunSpspd(csr, csr);
     const BaselineResult spdd = RunSpdd(csr, csr, /*max_dense_dim=*/3600);
     const BaselineResult ddd = RunDdd(csr, csr, /*max_dense_dim=*/1600);
@@ -58,10 +60,11 @@ void Run() {
     AtMult op(env.config, env.cost_model);
     AtMultStats mstats;
     std::size_t atm_result_bytes = 0;
-    const double atmult_seconds = MeasureSeconds([&] {
-      ATMatrix c = op.Multiply(atm, atm, &mstats);
-      atm_result_bytes = c.MemoryBytes();
-    });
+    const double atmult_seconds =
+        BenchReporter::Global().MeasureCase(spec.id + ".atmult", [&] {
+          ATMatrix c = op.Multiply(atm, atm, &mstats);
+          atm_result_bytes = c.MemoryBytes();
+        });
 
     // Memory-constrained run: budget = the plain CSR result size.
     AtmConfig sla_config = env.config;
@@ -108,6 +111,7 @@ void Run() {
 
 int main(int argc, char** argv) {
   atmx::bench::MaybeEnableTracing(argc, argv);
+  atmx::bench::MaybeEnableBenchReport("fig8_spgemm", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -17,6 +17,7 @@ namespace {
 
 void Run() {
   BenchEnv env = BenchEnv::FromEnvironment();
+  BenchReporter::Global().Configure("spmv_bench", env);
   std::printf("=== SpMV: plain CSR vs AT MATRIX (supporting) ===\n");
   std::printf("%s\n\n", env.Describe().c_str());
 
@@ -31,14 +32,16 @@ void Run() {
     std::vector<value_t> x(csr.cols());
     for (auto& v : x) v = rng.NextDouble() - 0.5;
 
-    const double csr_seconds = MeasureSeconds([&] {
-      std::vector<value_t> y = SpMV(csr, x);
-      (void)y;
-    });
-    const double atm_seconds = MeasureSeconds([&] {
-      std::vector<value_t> y = SpMV(atm, x);
-      (void)y;
-    });
+    const double csr_seconds =
+        BenchReporter::Global().MeasureCase(spec.id + ".csr", [&] {
+          std::vector<value_t> y = SpMV(csr, x);
+          (void)y;
+        });
+    const double atm_seconds =
+        BenchReporter::Global().MeasureCase(spec.id + ".atm", [&] {
+          std::vector<value_t> y = SpMV(atm, x);
+          (void)y;
+        });
     table.AddRow(
         {spec.id, TablePrinter::Fmt(csr_seconds * 1e3, 3),
          TablePrinter::Fmt(atm_seconds * 1e3, 3),
@@ -59,6 +62,7 @@ void Run() {
 
 int main(int argc, char** argv) {
   atmx::bench::MaybeEnableTracing(argc, argv);
+  atmx::bench::MaybeEnableBenchReport("spmv_bench", argc, argv);
   atmx::bench::Run();
   return 0;
 }

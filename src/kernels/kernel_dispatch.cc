@@ -65,6 +65,28 @@ const char* KernelMetricName(KernelType type) {
   return "atmult.kernel.unknown.invocations";
 }
 
+const char* KernelPerfMetricPrefix(KernelType type) {
+  switch (type) {
+    case KernelType::kDDD:
+      return "kernel.ddd_gemm";
+    case KernelType::kDSD:
+      return "kernel.dspd_gemm";
+    case KernelType::kSDD:
+      return "kernel.spdd_gemm";
+    case KernelType::kSSD:
+      return "kernel.spspd_gemm";
+    case KernelType::kDDS:
+      return "kernel.ddsp_gemm";
+    case KernelType::kDSS:
+      return "kernel.dsps_gemm";
+    case KernelType::kSDS:
+      return "kernel.spds_gemm";
+    case KernelType::kSSS:
+      return "kernel.spspsp_gemm";
+  }
+  return "kernel.unknown";
+}
+
 void MultiplyIntoDense(const Operand& a, const Operand& b,
                        const DenseMutView& c, index_t i0, index_t i1) {
   ATMX_DCHECK_CONTEXT("%s rows [%lld,%lld)",

@@ -33,6 +33,11 @@ KernelType DispatchKernelType(const Operand& a, const Operand& b,
 // regardless of how many row chunks the worker team splits it into.
 const char* KernelMetricName(KernelType type);
 
+// Stable metric-name prefix for the hardware-counter telemetry of one
+// kernel variant ("kernel.<variant>"); the perf layer appends ".cycles",
+// ".llc_miss_rate", ... to it. A static literal, safe to hold.
+const char* KernelPerfMetricPrefix(KernelType type);
+
 }  // namespace atmx
 
 #endif  // ATMX_KERNELS_KERNEL_DISPATCH_H_

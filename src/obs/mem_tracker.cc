@@ -1,0 +1,81 @@
+#include "obs/mem_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace atmx::obs {
+
+MemTracker& MemTracker::Global() {
+  static MemTracker* tracker = new MemTracker();
+  return *tracker;
+}
+
+void MemTracker::PublishGauges() {
+  // Gauge references are stable for the registry's lifetime; cache them.
+  static Gauge& current_gauge =
+      MetricsRegistry::Global().GetGauge("mem.current_bytes");
+  static Gauge& high_water_gauge =
+      MetricsRegistry::Global().GetGauge("mem.high_water_bytes");
+  current_gauge.Set(static_cast<double>(current_bytes()));
+  high_water_gauge.Set(static_cast<double>(high_water_bytes()));
+}
+
+void MemTracker::RecordAlloc(std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = high_water_.load(std::memory_order_relaxed);
+  while (now > peak && !high_water_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  PublishGauges();
+}
+
+void MemTracker::RecordFree(std::size_t bytes) {
+  if (bytes == 0) return;
+  std::uint64_t cur = current_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = cur >= bytes ? cur - bytes : 0;
+  } while (!current_.compare_exchange_weak(cur, next,
+                                           std::memory_order_relaxed));
+  PublishGauges();
+}
+
+void MemTracker::ResetForTesting() {
+  current_.store(0, std::memory_order_relaxed);
+  high_water_.store(0, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+MemTracker::ProcessSample MemTracker::SampleProcess() {
+  ProcessSample sample;
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return sample;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    unsigned long long kib = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kib) == 1) {
+      sample.rss_bytes = kib * 1024ull;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) {
+      sample.rss_peak_bytes = kib * 1024ull;
+    }
+  }
+  std::fclose(status);
+  sample.valid = sample.rss_bytes > 0 || sample.rss_peak_bytes > 0;
+  if (sample.valid) {
+    MetricsRegistry::Global()
+        .GetGauge("mem.rss_bytes")
+        .Set(static_cast<double>(sample.rss_bytes));
+    MetricsRegistry::Global()
+        .GetGauge("mem.rss_high_water_bytes")
+        .Set(static_cast<double>(sample.rss_peak_bytes));
+  }
+#endif
+  return sample;
+}
+
+}  // namespace atmx::obs

@@ -16,6 +16,14 @@
 //   ATMX_HISTOGRAM_OBSERVE_WITH(name, value, b0, b1, ...)
 //                                           custom upper bucket bounds
 //                                           (used on first registration)
+//   ATMX_PERF_SPAN(cat, name, prefix)       RAII span with hardware-counter
+//                                           deltas attached as args and
+//                                           accumulated under `prefix`
+//                                           (nullptr = trace-only); plain
+//                                           timing span when counters are
+//                                           unavailable
+//   ATMX_PERF_SPAN_ARGS(cat, name, prefix, ...)
+//                                           same, ... = {"key", value} pairs
 //
 // Metric/span name arguments must be string literals: the counter macros
 // cache the registry lookup in a function-local static, and the trace
@@ -31,7 +39,9 @@
 #if defined(ATMX_OBS_ENABLED)
 
 #include "obs/decision_log.h"
+#include "obs/mem_tracker.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 #define ATMX_OBS_CONCAT_INNER(a, b) a##b
@@ -47,6 +57,14 @@
 
 #define ATMX_TRACE_INSTANT(cat, name) \
   ::atmx::obs::TraceRecorder::Global().RecordInstant(cat, name)
+
+#define ATMX_PERF_SPAN(cat, name, prefix)        \
+  ::atmx::obs::ScopedPerfSpan ATMX_OBS_CONCAT(   \
+      atmx_perf_span_, __COUNTER__)(cat, name, prefix)
+
+#define ATMX_PERF_SPAN_ARGS(cat, name, prefix, ...) \
+  ::atmx::obs::ScopedPerfSpan ATMX_OBS_CONCAT(      \
+      atmx_perf_span_, __COUNTER__)(cat, name, prefix, {__VA_ARGS__})
 
 #define ATMX_COUNTER_ADD(name, delta)                                  \
   do {                                                                 \
@@ -89,6 +107,12 @@
   } while (0)
 #define ATMX_TRACE_INSTANT(cat, name) \
   do {                                \
+  } while (0)
+#define ATMX_PERF_SPAN(cat, name, prefix) \
+  do {                                    \
+  } while (0)
+#define ATMX_PERF_SPAN_ARGS(cat, name, prefix, ...) \
+  do {                                              \
   } while (0)
 #define ATMX_COUNTER_ADD(name, delta) \
   do {                                \

@@ -202,16 +202,22 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
   stats->effective_write_threshold = rho_w;
   ATMX_GAUGE_SET("atmult.waterlevel.rho_w", rho_w);
 #if defined(ATMX_OBS_ENABLED)
-  if (use_estimate &&
-      config_.result_mem_limit_bytes !=
-          std::numeric_limits<std::size_t>::max()) {
-    // Water-level headroom: how far under the memory SLA the projected
-    // result stays at the effective threshold (negative = infeasible SLA).
+  if (use_estimate) {
+    // Projected result memory at the effective threshold — the number the
+    // mem-tracker high-water mark (mem.high_water_bytes) and the realized
+    // result size (atmult.result_bytes) are compared against.
     const double projected =
         static_cast<double>(EstimateMemoryBytes(estimate, rho_w));
-    ATMX_GAUGE_SET(
-        "atmult.waterlevel.headroom_bytes",
-        static_cast<double>(config_.result_mem_limit_bytes) - projected);
+    ATMX_GAUGE_SET("atmult.waterlevel.predicted_bytes", projected);
+    if (config_.result_mem_limit_bytes !=
+        std::numeric_limits<std::size_t>::max()) {
+      // Water-level headroom: how far under the memory SLA the projected
+      // result stays at the effective threshold (negative = infeasible
+      // SLA).
+      ATMX_GAUGE_SET(
+          "atmult.waterlevel.headroom_bytes",
+          static_cast<double>(config_.result_mem_limit_bytes) - projected);
+    }
   }
 #endif
 
@@ -222,6 +228,12 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
 
   ConversionCache cache;
   std::mutex stats_mutex;
+#if defined(ATMX_OBS_ENABLED)
+  // Result-tile bytes recorded with the mem tracker during this operation;
+  // released at the end (ownership passes to the caller) so the tracker
+  // follows the operator-transient footprint.
+  std::atomic<std::uint64_t> op_tracked_bytes{0};
+#endif
 
   // Per-atomic-block non-zero counts of the result, accumulated in-task
   // while the produced tile is still cache-hot (C tiles cover disjoint,
@@ -483,9 +495,13 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
       for (const PreparedPair& pp : prepared) {
         const KernelType kt = DispatchKernelType(pp.a, pp.b, /*c_dense=*/true);
         ++task_kernels[static_cast<int>(kt)];
-        ATMX_TRACE_SPAN_ARGS("kernel", KernelTypeName(kt), {"ti", ti},
-                             {"tj", tj}, {"rows", m}, {"cols", n},
-                             {"node", exec_node});
+        // Perf span: counter deltas (LLC misses etc.) land as args on the
+        // kernel trace span and accumulate under kernel.<variant>.*. On a
+        // multi-thread team only the calling thread's share is counted.
+        ATMX_PERF_SPAN_ARGS("kernel", KernelTypeName(kt),
+                            KernelPerfMetricPrefix(kt), {"ti", ti},
+                            {"tj", tj}, {"rows", m}, {"cols", n},
+                            {"node", exec_node});
         team.ParallelFor(m, /*grain=*/16, [&](index_t lo, index_t hi) {
           MultiplyIntoDense(pp.a, pp.b, target.MutView(), lo, hi);
         });
@@ -540,6 +556,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
       const std::int64_t sparse_loop_start_ns =
           obs::TraceRecorder::Global().enabled() ? obs::TraceRecorder::NowNanos()
                                                  : -1;
+      const obs::PerfSnapshot sparse_loop_begin = obs::PerfBeginSnapshot();
 #endif
       const int num_chunks =
           static_cast<int>(std::min<index_t>(team.size(), std::max<index_t>(
@@ -596,16 +613,39 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
         ++task_kernels[static_cast<int>(kt)];
       }
 #if defined(ATMX_OBS_ENABLED)
+      const obs::PerfDelta sparse_loop_delta =
+          obs::PerfDeltaSince(sparse_loop_begin);
+      if (sparse_loop_delta.valid && !prepared.empty()) {
+        // The interleaved row loop has no per-pair hardware attribution; a
+        // single-variant loop (the common case) is attributed exactly to
+        // that variant, a mixed loop under a shared pseudo-variant rather
+        // than over-counting every variant with the full delta.
+        const KernelType kt0 = DispatchKernelType(
+            prepared.front().a, prepared.front().b, /*c_dense=*/false);
+        bool uniform = true;
+        for (const PreparedPair& pp : prepared) {
+          if (DispatchKernelType(pp.a, pp.b, /*c_dense=*/false) != kt0) {
+            uniform = false;
+            break;
+          }
+        }
+        obs::AccumulatePerfMetrics(uniform ? KernelPerfMetricPrefix(kt0)
+                                           : "kernel.mixed_sparse_loop",
+                                   sparse_loop_delta);
+      }
       if (sparse_loop_start_ns >= 0 && !prepared.empty()) {
         const std::int64_t dur_ns =
             obs::TraceRecorder::NowNanos() - sparse_loop_start_ns;
+        std::vector<obs::TraceArg> loop_args = {
+            {"ti", ti},   {"tj", tj},          {"rows", m},
+            {"cols", n},  {"node", exec_node}, {"interleaved", 1}};
+        obs::AppendPerfArgs(sparse_loop_delta, &loop_args);
         for (const PreparedPair& pp : prepared) {
           const KernelType kt =
               DispatchKernelType(pp.a, pp.b, /*c_dense=*/false);
           obs::TraceRecorder::Global().RecordComplete(
               "kernel", KernelTypeName(kt), sparse_loop_start_ns, dur_ns,
-              {{"ti", ti}, {"tj", tj}, {"rows", m}, {"cols", n},
-               {"node", exec_node}, {"interleaved", 1}});
+              loop_args);
         }
       }
 #endif
@@ -621,6 +661,13 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     }
     mult_seconds = mult_timer.ElapsedSeconds();
     c_tiles[task].set_home_node(exec_node);  // first-touch placement
+#if defined(ATMX_OBS_ENABLED)
+    {
+      const std::size_t tile_bytes = c_tiles[task].MemoryBytes();
+      obs::MemTracker::Global().RecordAlloc(tile_bytes);
+      op_tracked_bytes.fetch_add(tile_bytes, std::memory_order_relaxed);
+    }
+#endif
     pairs_done = static_cast<index_t>(prepared.size());
 
     for (const PreparedPair& pp : prepared) {
@@ -784,6 +831,15 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
                    max_tiles > 0 ? static_cast<double>(min_tiles) /
                                        static_cast<double>(max_tiles)
                                  : 1.0);
+    // Memory telemetry close-out: the realized result size (compare
+    // against atmult.waterlevel.predicted_bytes), the kernel's view of the
+    // process, and the release of this operation's tracked footprint (the
+    // high-water mark keeps the peak).
+    ATMX_GAUGE_SET("atmult.result_bytes",
+                   static_cast<double>(result.MemoryBytes()));
+    obs::MemTracker::Global().RecordFree(
+        op_tracked_bytes.load(std::memory_order_relaxed));
+    obs::MemTracker::SampleProcess();
   }
 #endif
   return result;

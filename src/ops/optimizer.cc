@@ -49,6 +49,17 @@ PairDecision DecidePairRepresentations(const CostModel& model,
   return best;
 }
 
+ConversionCache::~ConversionCache() {
+#if defined(ATMX_OBS_ENABLED)
+  std::uint64_t bytes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes = cached_bytes_;
+  }
+  obs::MemTracker::Global().RecordFree(bytes);
+#endif
+}
+
 const DenseMatrix& ConversionCache::GetDense(Side side, index_t tile_idx,
                                              const Tile& tile,
                                              double* conversion_seconds) {
@@ -66,6 +77,13 @@ const DenseMatrix& ConversionCache::GetDense(Side side, index_t tile_idx,
     *conversion_seconds += timer.ElapsedSeconds();
     ++sparse_to_dense_count_;
     ATMX_COUNTER_INC("atmult.conversions.sparse_to_dense");
+#if defined(ATMX_OBS_ENABLED)
+    {
+      const std::uint64_t bytes = converted->MemoryBytes();
+      cached_bytes_ += bytes;
+      obs::MemTracker::Global().RecordAlloc(bytes);
+    }
+#endif
     it = dense_.emplace(key, std::move(converted)).first;
   }
   return *it->second;
@@ -87,6 +105,13 @@ const CsrMatrix& ConversionCache::GetSparse(Side side, index_t tile_idx,
     *conversion_seconds += timer.ElapsedSeconds();
     ++dense_to_sparse_count_;
     ATMX_COUNTER_INC("atmult.conversions.dense_to_sparse");
+#if defined(ATMX_OBS_ENABLED)
+    {
+      const std::uint64_t bytes = converted->MemoryBytes();
+      cached_bytes_ += bytes;
+      obs::MemTracker::Global().RecordAlloc(bytes);
+    }
+#endif
     it = sparse_.emplace(key, std::move(converted)).first;
   }
   return *it->second;

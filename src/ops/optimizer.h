@@ -45,6 +45,13 @@ class ConversionCache {
   // Identifies the operand matrix a tile belongs to.
   enum Side { kLeft = 0, kRight = 1 };
 
+  ConversionCache() = default;
+  // Releases the cache's contribution to the allocation tracker (the
+  // converted payloads themselves die with the maps).
+  ~ConversionCache();
+  ConversionCache(const ConversionCache&) = delete;
+  ConversionCache& operator=(const ConversionCache&) = delete;
+
   // Dense payload of `tile` (converting and caching on first use).
   // `conversion_seconds` is incremented by the conversion time when one
   // happens.
@@ -61,6 +68,12 @@ class ConversionCache {
   index_t sparse_to_dense_count() const { return sparse_to_dense_count_; }
   index_t dense_to_sparse_count() const { return dense_to_sparse_count_; }
 
+  // Bytes of converted payloads currently held by the cache.
+  std::uint64_t cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cached_bytes_;
+  }
+
  private:
   static std::uint64_t Key(Side side, index_t tile_idx) {
     return (static_cast<std::uint64_t>(side) << 62) |
@@ -72,6 +85,7 @@ class ConversionCache {
   std::unordered_map<std::uint64_t, std::unique_ptr<CsrMatrix>> sparse_;
   index_t sparse_to_dense_count_ = 0;
   index_t dense_to_sparse_count_ = 0;
+  std::uint64_t cached_bytes_ = 0;
 };
 
 }  // namespace atmx

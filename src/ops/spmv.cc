@@ -1,12 +1,15 @@
 #include "ops/spmv.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "topology/thread_pool.h"
 
 namespace atmx {
 
 std::vector<value_t> SpMV(const CsrMatrix& a, const std::vector<value_t>& x) {
   ATMX_CHECK_EQ(static_cast<index_t>(x.size()), a.cols());
+  ATMX_PERF_SPAN_ARGS("kernel", "spmv_csr", "kernel.spmv_csr",
+                      {"rows", a.rows()}, {"nnz", a.nnz()});
   std::vector<value_t> y(a.rows(), 0.0);
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
@@ -57,6 +60,11 @@ std::vector<value_t> SpMVParallel(const ATMatrix& a,
                                   const std::vector<value_t>& x,
                                   const AtmConfig& config) {
   ATMX_CHECK_EQ(static_cast<index_t>(x.size()), a.cols());
+  // Counters here cover the scheduling + reduction on the calling thread;
+  // per-thread worker counters are not aggregated across the team.
+  ATMX_PERF_SPAN_ARGS("kernel", "spmv_atm_parallel",
+                      "kernel.spmv_atm_parallel", {"rows", a.rows()},
+                      {"tiles", static_cast<index_t>(a.tiles().size())});
   const int teams = config.EffectiveTeams();
   // A tile is processed by the band containing its first row, but tall
   // tiles write rows owned by other bands — so each team accumulates into
@@ -92,6 +100,9 @@ std::vector<value_t> SpMVParallel(const ATMatrix& a,
 
 std::vector<value_t> SpMV(const ATMatrix& a, const std::vector<value_t>& x) {
   ATMX_CHECK_EQ(static_cast<index_t>(x.size()), a.cols());
+  ATMX_PERF_SPAN_ARGS("kernel", "spmv_atm", "kernel.spmv_atm",
+                      {"rows", a.rows()},
+                      {"tiles", static_cast<index_t>(a.tiles().size())});
   std::vector<value_t> y(a.rows(), 0.0);
   for (const Tile& t : a.tiles()) {
     if (t.is_dense()) {

@@ -11,6 +11,9 @@
 //                                        audit, write a Chrome trace
 //   atmx metrics <a> <b> [--json]        multiply, dump the metrics
 //                                        registry (table or JSON)
+//   atmx profile <a> <b>                 multiply with hardware counters,
+//                                        print a per-kernel-variant table
+//                                        (cycles, IPC, LLC miss rate, ...)
 //
 // Files ending in .mtx are MatrixMarket; .atm/.bin are the library's
 // binary format (AT MATRIX or staged COO). Config knobs come from the
@@ -19,13 +22,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/config.h"
 #include "common/table_printer.h"
 #include "gen/workloads.h"
+#include "kernels/kernel_dispatch.h"
 #include "obs/obs.h"
 #include "ops/atmult.h"
 #include "ops/explain.h"
@@ -319,6 +325,108 @@ int CmdMetrics(const std::string& a_path, const std::string& b_path,
 #endif
 }
 
+int CmdProfile(const std::string& a_path, const std::string& b_path) {
+#if defined(ATMX_OBS_ENABLED)
+  AtmConfig config = ConfigFromEnv();
+  auto operands = LoadPair(a_path, b_path, config);
+  if (!operands) return 1;
+  AtMult op(config);
+  AtMultStats stats;
+  ATMatrix c = op.Multiply(operands->first, operands->second, &stats);
+  (void)c;
+  std::printf("%s\n\n", stats.ToString().c_str());
+
+  // Index the registry snapshot by name.
+  std::map<std::string, const obs::MetricSample*> by_name;
+  const std::vector<obs::MetricSample> snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (const obs::MetricSample& sample : snapshot) {
+    by_name[sample.name] = &sample;
+  }
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    auto it = by_name.find(name);
+    return it != by_name.end() ? it->second->counter_value : 0;
+  };
+  const auto gauge = [&](const std::string& name) -> double {
+    auto it = by_name.find(name);
+    return it != by_name.end() ? it->second->gauge_value : 0.0;
+  };
+
+  if (gauge("perf.available") == 0.0) {
+    std::printf(
+        "note: hardware counters unavailable (perf_event_open failed or "
+        "ATMX_PERF=0) — timing-only profile.\n\n");
+  } else if (gauge("perf.hw_available") == 0.0) {
+    std::printf(
+        "note: PMU hardware events unavailable on this machine — software "
+        "counters (task clock) only.\n\n");
+  }
+
+  // Kernel variants = the eight GEMM kernels plus the interleaved-loop
+  // pseudo-variant and the SpMV entry points.
+  std::vector<std::string> variants;
+  for (int k = 0; k < kNumKernelTypes; ++k) {
+    variants.push_back(KernelPerfMetricPrefix(static_cast<KernelType>(k)));
+  }
+  variants.push_back("kernel.mixed_sparse_loop");
+  variants.push_back("kernel.spmv_csr");
+  variants.push_back("kernel.spmv_atm");
+  variants.push_back("kernel.spmv_atm_parallel");
+
+  TablePrinter table({"Variant", "invocations", "cycles", "instr", "ipc",
+                      "llc_loads", "llc_miss%", "task_clock[ms]"});
+  for (const std::string& prefix : variants) {
+    const std::string variant = prefix.substr(std::strlen("kernel."));
+    const std::uint64_t invocations =
+        counter("atmult.kernel." + variant + ".invocations");
+    const std::uint64_t cycles = counter(prefix + ".cycles");
+    const std::uint64_t instructions = counter(prefix + ".instructions");
+    const std::uint64_t llc_loads = counter(prefix + ".llc_loads");
+    const std::uint64_t task_clock = counter(prefix + ".task_clock_ns");
+    if (invocations == 0 && cycles == 0 && task_clock == 0) continue;
+    table.AddRow(
+        {variant, std::to_string(invocations), std::to_string(cycles),
+         std::to_string(instructions),
+         cycles > 0 ? TablePrinter::Fmt(gauge(prefix + ".ipc"), 2)
+                    : std::string("-"),
+         std::to_string(llc_loads),
+         llc_loads > 0
+             ? TablePrinter::Fmt(gauge(prefix + ".llc_miss_rate") * 100.0, 2)
+             : std::string("-"),
+         TablePrinter::Fmt(static_cast<double>(task_clock) / 1e6, 3)});
+  }
+  table.Print();
+
+  std::printf("\nmemory: tracked high-water %s (current %s), "
+              "rss high-water %s\n",
+              TablePrinter::FmtBytes(
+                  static_cast<std::size_t>(gauge("mem.high_water_bytes")))
+                  .c_str(),
+              TablePrinter::FmtBytes(
+                  static_cast<std::size_t>(gauge("mem.current_bytes")))
+                  .c_str(),
+              TablePrinter::FmtBytes(static_cast<std::size_t>(
+                                         gauge("mem.rss_high_water_bytes")))
+                  .c_str());
+  std::printf("water-level: predicted %s, result %s\n",
+              TablePrinter::FmtBytes(static_cast<std::size_t>(
+                                         gauge("atmult.waterlevel."
+                                               "predicted_bytes")))
+                  .c_str(),
+              TablePrinter::FmtBytes(
+                  static_cast<std::size_t>(gauge("atmult.result_bytes")))
+                  .c_str());
+  return 0;
+#else
+  (void)a_path;
+  (void)b_path;
+  std::fprintf(stderr,
+               "error: this binary was built with -DATMX_OBS=OFF; "
+               "rebuild with -DATMX_OBS=ON for profiling\n");
+  return 1;
+#endif
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -330,7 +438,8 @@ int Usage() {
                "  atmx convert <in> <out>\n"
                "  atmx gen <workload-id> <scale> <out>\n"
                "  atmx trace <a> <b> <out.trace.json>\n"
-               "  atmx metrics <a> <b> [--json]\n");
+               "  atmx metrics <a> <b> [--json]\n"
+               "  atmx profile <a> <b>\n");
   return 2;
 }
 
@@ -358,5 +467,6 @@ int main(int argc, char** argv) {
     if (argc == 5 && !as_json) return Usage();
     return CmdMetrics(argv[2], argv[3], as_json);
   }
+  if (cmd == "profile" && argc == 4) return CmdProfile(argv[2], argv[3]);
   return Usage();
 }

@@ -16,6 +16,18 @@ import sys
 
 REQUIRED_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
 KNOWN_PHASES = {"X", "i"}
+# Hardware-counter delta args attached by the perf layer (ScopedPerfSpan).
+# Optional per event, but when present they must be non-negative integers:
+# a NaN, negative or fractional delta means the multiplex scaling or the
+# snapshot subtraction went wrong.
+COUNTER_ARG_KEYS = {
+    "cycles",
+    "instructions",
+    "llc_loads",
+    "llc_misses",
+    "dtlb_misses",
+    "task_clock_ns",
+}
 
 
 def fail(message):
@@ -77,8 +89,20 @@ def main():
                 fail(f"complete event {index} missing dur")
             if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
                 fail(f"event {index} has invalid dur {event['dur']!r}")
-        if "args" in event and not isinstance(event["args"], dict):
-            fail(f"event {index} args is not an object")
+        if "args" in event:
+            if not isinstance(event["args"], dict):
+                fail(f"event {index} args is not an object")
+            for key in COUNTER_ARG_KEYS & event["args"].keys():
+                value = event["args"][key]
+                if (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    fail(
+                        f"event {index} counter arg {key!r} must be a "
+                        f"non-negative integer, got {value!r}"
+                    )
         categories[event["cat"]] = categories.get(event["cat"], 0) + 1
         names[event["name"]] = names.get(event["name"], 0) + 1
 

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and gate on wall-time regressions.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--max-regress PCT]
+                   [--allow-missing-baseline]
+
+Both files must follow the BenchReporter schema (schema_version 1, see
+bench/bench_common.h). Cases are matched by name; for each pair the median
+wall time ratio current/baseline decides the verdict:
+
+  REGRESSION        ratio > 1 + PCT/100        (exit 1)
+  IMPROVEMENT       ratio < 1 - PCT/100
+  OK                otherwise
+  MISSING_CASE      case in baseline but not in current   (exit 1)
+  MISSING_BASELINE  case in current but not in baseline
+                    (exit 1 unless --allow-missing-baseline)
+
+Counter deltas, when present in both files, are printed for context but
+never gate: they vary across hosts and kernel versions.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 1
+
+# Verdict constants (also the printed labels).
+REGRESSION = "REGRESSION"
+IMPROVEMENT = "IMPROVEMENT"
+OK = "OK"
+MISSING_CASE = "MISSING_CASE"
+MISSING_BASELINE = "MISSING_BASELINE"
+
+
+class SchemaError(ValueError):
+    """The input file does not follow the BenchReporter schema."""
+
+
+def validate_report(report, path="<report>"):
+    """Raises SchemaError unless `report` is a valid schema-v1 report."""
+    if not isinstance(report, dict):
+        raise SchemaError(f"{path}: top level must be an object")
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{path}: schema_version {version!r}, expected {SCHEMA_VERSION}")
+    if not isinstance(report.get("bench"), str):
+        raise SchemaError(f"{path}: missing string field 'bench'")
+    cases = report.get("cases")
+    if not isinstance(cases, list):
+        raise SchemaError(f"{path}: missing list field 'cases'")
+    for case in cases:
+        if not isinstance(case, dict) or not isinstance(
+                case.get("name"), str):
+            raise SchemaError(f"{path}: each case needs a string 'name'")
+        wall = case.get("wall_seconds")
+        if not isinstance(wall, dict):
+            raise SchemaError(
+                f"{path}: case {case.get('name')!r} missing 'wall_seconds'")
+        for key in ("min", "median", "p95", "max"):
+            value = wall.get(key)
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool) or not math.isfinite(value) or value < 0:
+                raise SchemaError(
+                    f"{path}: case {case['name']!r} wall_seconds.{key} "
+                    f"must be a finite non-negative number, got {value!r}")
+        counters = case.get("counters")
+        if counters is not None:
+            if not isinstance(counters, dict):
+                raise SchemaError(
+                    f"{path}: case {case['name']!r} 'counters' must be an "
+                    "object")
+            for cname, cval in counters.items():
+                if not isinstance(cval, int) or isinstance(
+                        cval, bool) or cval < 0:
+                    raise SchemaError(
+                        f"{path}: case {case['name']!r} counter {cname!r} "
+                        f"must be a non-negative integer, got {cval!r}")
+    return report
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return validate_report(json.load(f), path)
+
+
+def compare(baseline, current, max_regress_pct=10.0):
+    """Compares two validated reports.
+
+    Returns a list of dicts: {name, verdict, baseline_median,
+    current_median, ratio} (medians/ratio are None for the MISSING_*
+    verdicts), ordered baseline cases first, then current-only cases.
+    """
+    base_cases = {c["name"]: c for c in baseline["cases"]}
+    cur_cases = {c["name"]: c for c in current["cases"]}
+    hi = 1.0 + max_regress_pct / 100.0
+    lo = 1.0 - max_regress_pct / 100.0
+    results = []
+    for name, base in base_cases.items():
+        if name not in cur_cases:
+            results.append({"name": name, "verdict": MISSING_CASE,
+                            "baseline_median": base["wall_seconds"]["median"],
+                            "current_median": None, "ratio": None})
+            continue
+        base_median = base["wall_seconds"]["median"]
+        cur_median = cur_cases[name]["wall_seconds"]["median"]
+        if base_median <= 0.0:
+            # Degenerate baseline: only flag if current is also meaningful.
+            ratio = math.inf if cur_median > 0.0 else 1.0
+        else:
+            ratio = cur_median / base_median
+        if ratio > hi:
+            verdict = REGRESSION
+        elif ratio < lo:
+            verdict = IMPROVEMENT
+        else:
+            verdict = OK
+        results.append({"name": name, "verdict": verdict,
+                        "baseline_median": base_median,
+                        "current_median": cur_median, "ratio": ratio})
+    for name, cur in cur_cases.items():
+        if name in base_cases:
+            continue
+        results.append({"name": name, "verdict": MISSING_BASELINE,
+                        "baseline_median": None,
+                        "current_median": cur["wall_seconds"]["median"],
+                        "ratio": None})
+    return results
+
+
+def format_row(row):
+    def fmt(value):
+        return "-" if value is None else f"{value:.6g}"
+
+    ratio = "-" if row["ratio"] is None else f"{row['ratio']:.3f}"
+    return (f"{row['verdict']:<16} {row['name']:<28} "
+            f"base={fmt(row['baseline_median'])}s "
+            f"cur={fmt(row['current_median'])}s ratio={ratio}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate on wall-time regressions between two bench "
+                    "reports.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--max-regress", type=float, default=10.0,
+                        metavar="PCT",
+                        help="tolerated median wall-time increase in "
+                             "percent (default 10)")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="do not fail on cases absent from the "
+                             "baseline")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except (OSError, json.JSONDecodeError, SchemaError) as err:
+        print(f"compare_bench: {err}", file=sys.stderr)
+        return 2
+
+    results = compare(baseline, current, args.max_regress)
+    failures = 0
+    for row in results:
+        print(format_row(row))
+        if row["verdict"] in (REGRESSION, MISSING_CASE):
+            failures += 1
+        elif (row["verdict"] == MISSING_BASELINE
+              and not args.allow_missing_baseline):
+            failures += 1
+
+    n = len(results)
+    print(f"\ncompare_bench: {n} case(s), {failures} failing "
+          f"(threshold +{args.max_regress:g}%)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

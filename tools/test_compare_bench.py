@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py (verdict logic + schema validation).
+
+Run directly (`python3 tools/test_compare_bench.py`) or via ctest, which
+registers this file when a Python3 interpreter is found.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_bench  # noqa: E402
+
+
+def make_report(cases, bench="unit", version=1):
+    return {
+        "schema_version": version,
+        "bench": bench,
+        "git_sha": "deadbeef",
+        "unix_time": 0,
+        "config": {},
+        "cases": [
+            {
+                "name": name,
+                "repetitions": 1,
+                "wall_seconds": {
+                    "min": median, "median": median,
+                    "p95": median, "max": median, "samples": [median],
+                },
+            }
+            for name, median in cases
+        ],
+    }
+
+
+def verdicts(results):
+    return {row["name"]: row["verdict"] for row in results}
+
+
+class ValidateTest(unittest.TestCase):
+    def test_accepts_valid_report(self):
+        report = make_report([("a", 0.1)])
+        self.assertIs(compare_bench.validate_report(report), report)
+
+    def test_rejects_wrong_schema_version(self):
+        with self.assertRaises(compare_bench.SchemaError):
+            compare_bench.validate_report(make_report([], version=2))
+
+    def test_rejects_missing_wall_seconds(self):
+        report = make_report([("a", 0.1)])
+        del report["cases"][0]["wall_seconds"]
+        with self.assertRaises(compare_bench.SchemaError):
+            compare_bench.validate_report(report)
+
+    def test_rejects_negative_median(self):
+        with self.assertRaises(compare_bench.SchemaError):
+            compare_bench.validate_report(make_report([("a", -0.1)]))
+
+    def test_rejects_nan_median(self):
+        with self.assertRaises(compare_bench.SchemaError):
+            compare_bench.validate_report(make_report([("a", float("nan"))]))
+
+    def test_rejects_non_integer_counter(self):
+        report = make_report([("a", 0.1)])
+        report["cases"][0]["counters"] = {"cycles": 1.5}
+        with self.assertRaises(compare_bench.SchemaError):
+            compare_bench.validate_report(report)
+
+    def test_accepts_integer_counters(self):
+        report = make_report([("a", 0.1)])
+        report["cases"][0]["counters"] = {"cycles": 12345, "llc_misses": 0}
+        compare_bench.validate_report(report)
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_reports_are_ok(self):
+        base = make_report([("a", 0.1), ("b", 0.2)])
+        results = compare_bench.compare(base, base, max_regress_pct=10)
+        self.assertEqual(verdicts(results),
+                         {"a": compare_bench.OK, "b": compare_bench.OK})
+
+    def test_regression_over_threshold(self):
+        base = make_report([("a", 0.100)])
+        cur = make_report([("a", 0.120)])
+        results = compare_bench.compare(base, cur, max_regress_pct=10)
+        self.assertEqual(verdicts(results),
+                         {"a": compare_bench.REGRESSION})
+        self.assertAlmostEqual(results[0]["ratio"], 1.2)
+
+    def test_within_threshold_is_ok(self):
+        base = make_report([("a", 0.100)])
+        cur = make_report([("a", 0.109)])
+        results = compare_bench.compare(base, cur, max_regress_pct=10)
+        self.assertEqual(verdicts(results), {"a": compare_bench.OK})
+
+    def test_improvement_under_threshold(self):
+        base = make_report([("a", 0.100)])
+        cur = make_report([("a", 0.050)])
+        results = compare_bench.compare(base, cur, max_regress_pct=10)
+        self.assertEqual(verdicts(results),
+                         {"a": compare_bench.IMPROVEMENT})
+
+    def test_missing_case_and_missing_baseline(self):
+        base = make_report([("gone", 0.1), ("shared", 0.1)])
+        cur = make_report([("shared", 0.1), ("new", 0.1)])
+        results = compare_bench.compare(base, cur, max_regress_pct=10)
+        self.assertEqual(verdicts(results), {
+            "gone": compare_bench.MISSING_CASE,
+            "shared": compare_bench.OK,
+            "new": compare_bench.MISSING_BASELINE,
+        })
+
+    def test_zero_baseline_with_nonzero_current_regresses(self):
+        base = make_report([("a", 0.0)])
+        cur = make_report([("a", 0.001)])
+        results = compare_bench.compare(base, cur, max_regress_pct=10)
+        self.assertEqual(verdicts(results),
+                         {"a": compare_bench.REGRESSION})
+
+    def test_zero_baseline_with_zero_current_is_ok(self):
+        base = make_report([("a", 0.0)])
+        results = compare_bench.compare(base, base, max_regress_pct=10)
+        self.assertEqual(verdicts(results), {"a": compare_bench.OK})
+
+
+class MainTest(unittest.TestCase):
+    def _write(self, tmpdir, name, report):
+        import json
+        path = os.path.join(tmpdir, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(report, f)
+        return path
+
+    def test_exit_codes(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmpdir:
+            ok = self._write(tmpdir, "ok.json", make_report([("a", 0.1)]))
+            slow = self._write(tmpdir, "slow.json",
+                               make_report([("a", 0.5)]))
+            self.assertEqual(compare_bench.main([ok, ok]), 0)
+            self.assertEqual(compare_bench.main([ok, slow]), 1)
+            self.assertEqual(
+                compare_bench.main([ok, slow, "--max-regress", "1000"]), 0)
+            self.assertEqual(compare_bench.main([ok, "/nonexistent"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
