@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "kernels/dense_kernels.h"
 #include "kernels/mixed_kernels.h"
+#include "kernels/simd/simd_dispatch.h"
 #include "kernels/sparse_kernels.h"
 #include "storage/convert.h"
 
@@ -54,6 +55,12 @@ double MedianNanos(int reps, Fn&& fn) {
 }  // namespace
 
 CostParams Calibrate(const CalibrationOptions& options) {
+  // Resolve the SIMD dispatch level before any probe runs: the probes call
+  // the public kernels (DddGemm etc.), so the fitted per-element costs
+  // automatically track the kernel set that ATMULT will actually execute —
+  // but only if the one-time resolution (env read, gauge write) happens
+  // outside the timed region.
+  simd::ActiveLevel();
   Rng rng(options.seed);
   const index_t n = options.tile_size;
   const double volume =

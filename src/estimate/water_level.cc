@@ -65,8 +65,14 @@ WaterLevelResult SolveWaterLevel(const DensityMap& estimate,
   }
   if (!result.feasible) {
     result.threshold = min_threshold;
-    result.projected_bytes = static_cast<std::size_t>(min_memory);
   }
+  // Re-derive the projection from the committed threshold instead of
+  // keeping the incrementally updated running sum: the incremental updates
+  // accumulate in surfacing order and can drift from the per-block sum by
+  // rounding, so ATMULT's predicted_bytes gauge (which calls
+  // EstimateMemoryBytes at this threshold) would disagree with
+  // projected_bytes for the same plan. One formula, one answer.
+  result.projected_bytes = EstimateMemoryBytes(estimate, result.threshold);
   return result;
 }
 

@@ -1,38 +1,17 @@
 #include "kernels/dense_kernels.h"
 
-#include <algorithm>
-
 #include "common/check.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_kernels.h"
 
 namespace atmx {
 
 void DddGemm(const DenseView& a, const DenseView& b, const DenseMutView& c,
              index_t i0, index_t i1) {
-  ATMX_DCHECK_EQ(a.cols, b.rows);
-  ATMX_DCHECK_EQ(a.rows, c.rows);
-  ATMX_DCHECK_EQ(b.cols, c.cols);
-  ATMX_DCHECK(i0 >= 0 && i1 <= c.rows);
-
-  const index_t kk = a.cols;
-  const index_t n = b.cols;
-  // i-k-j loop order: the inner j loop streams one B row and one C row,
-  // which vectorizes well; k is blocked so the working set of B rows stays
-  // cache-resident for tiles near the maximum dense tile size.
-  constexpr index_t kKBlock = 64;
-  for (index_t kb = 0; kb < kk; kb += kKBlock) {
-    const index_t kend = std::min(kb + kKBlock, kk);
-    for (index_t i = i0; i < i1; ++i) {
-      const value_t* __restrict a_row = a.RowPtr(i);
-      value_t* __restrict c_row = c.RowPtr(i);
-      for (index_t k = kb; k < kend; ++k) {
-        // No zero-skip: this is the honest BLAS-style dense kernel; the
-        // cost model and calibration rely on its density-independent cost.
-        const value_t av = a_row[k];
-        const value_t* __restrict b_row = b.RowPtr(k);
-        for (index_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-      }
-    }
-  }
+  // Level-dispatched micro-kernel (kernels/simd/): scalar i-k-j reference,
+  // portable register-blocked, or AVX2, all bitwise identical. Resolved
+  // once per process from CPUID + ATMX_SIMD.
+  simd::DddGemmLevel(simd::ActiveLevel(), a, b, c, i0, i1);
 }
 
 void DdsAccumulateRow(const DenseView& a, const DenseView& b, index_t i,
@@ -40,13 +19,13 @@ void DdsAccumulateRow(const DenseView& a, const DenseView& b, index_t i,
   ATMX_DCHECK_EQ(a.cols, b.rows);
   ATMX_DCHECK(i >= 0 && i < a.rows);
   const index_t kk = a.cols;
-  const index_t n = b.cols;
   const value_t* a_row = a.RowPtr(i);
   for (index_t k = 0; k < kk; ++k) {
     const value_t av = a_row[k];
     if (av == 0.0) continue;
-    const value_t* b_row = b.RowPtr(k);
-    for (index_t j = 0; j < n; ++j) spa->Add(j, av * b_row[j]);
+    // Bulk dense-row scatter: one vectorizable axpy over the SPA value
+    // array instead of width per-element Add calls.
+    spa->AddScaledDenseRow(b.RowPtr(k), av);
   }
 }
 

@@ -1,3 +1,11 @@
+// Storage-combination dispatch (which of the 8 kernels runs a tile pair).
+// Orthogonal to — and layered above — the SIMD level dispatch in
+// kernels/simd/: the kernels called here (DddGemm, DdsAccumulateRow,
+// SdsAccumulateRow, ...) internally select the scalar, portable-blocked,
+// or AVX2 micro-kernel via simd::ActiveLevel(). Variant names and their
+// per-variant perf metrics are therefore level-independent; the level in
+// effect is recorded separately in the simd.level gauge.
+
 #include "kernels/kernel_dispatch.h"
 
 #include "common/check.h"

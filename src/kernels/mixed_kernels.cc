@@ -52,14 +52,12 @@ void SdsAccumulateRow(const CsrMatrix& a, const Window& wa,
   ATMX_DCHECK_EQ(wa.cols(), b.rows);
   const auto& a_cols = a.col_idx();
   const auto& a_vals = a.values();
-  const index_t n = b.cols;
 
   index_t ap0, ap1;
   CsrRowRange(a, wa.r0 + i, wa.c0, wa.c1, &ap0, &ap1);
   for (index_t p = ap0; p < ap1; ++p) {
-    const value_t av = a_vals[p];
-    const value_t* b_row = b.RowPtr(a_cols[p] - wa.c0);
-    for (index_t j = 0; j < n; ++j) spa->Add(j, av * b_row[j]);
+    // Bulk dense-row scatter (vectorized in dense-SPA mode).
+    spa->AddScaledDenseRow(b.RowPtr(a_cols[p] - wa.c0), a_vals[p]);
   }
 }
 

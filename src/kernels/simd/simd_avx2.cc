@@ -1,0 +1,181 @@
+// AVX2 micro-kernels. Compiled with -mavx2 -mfma -ffp-contract=off when
+// the toolchain targets x86-64 (CMake defines ATMX_SIMD_AVX2_COMPILED);
+// otherwise this TU provides Avx2Compiled() == false plus aborting stubs
+// that the dispatcher never reaches.
+//
+// All kernels use explicit _mm256_mul_pd + _mm256_add_pd rather than FMA:
+// the dense kernel and the SPA scatter must stay bitwise identical to the
+// scalar reference (round(a*b) then round(c+ab) per element), and a fused
+// multiply-add would skip the intermediate rounding. The dot products
+// reassociate into lane-parallel partial sums regardless, but keeping
+// mul+add there too means the only scalar-vs-AVX2 difference is the
+// documented summation order, not the rounding of individual products.
+
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_internal.h"
+#include "kernels/simd/simd_kernels.h"
+
+#if defined(ATMX_SIMD_AVX2_COMPILED) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace atmx::simd {
+
+bool Avx2Compiled() { return true; }
+
+namespace internal {
+namespace {
+
+// Reduces a 4-lane accumulator as (l0 + l2) + (l1 + l3): the 128-bit
+// halves are added lane-wise first, then the two remaining partials.
+inline double HorizontalSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // (l0+l2, l1+l3)
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+// One kMr x 8 (two-vector) register tile: C stays in 8 ymm accumulators
+// across the whole k loop. Ascending-k mul+add per element — bitwise
+// identical to the scalar i-k-j loop.
+template <int kRows>
+void GemmTileAvx2(const DenseView& a, const DenseView& b,
+                  const DenseMutView& c, index_t i, index_t j) {
+  const index_t kk = a.cols;
+  const value_t* __restrict a_rows[kRows];
+  for (int r = 0; r < kRows; ++r) a_rows[r] = a.RowPtr(i + r);
+  __m256d acc0[kRows];
+  __m256d acc1[kRows];
+  for (int r = 0; r < kRows; ++r) {
+    value_t* c_row = c.RowPtr(i + r) + j;
+    acc0[r] = _mm256_loadu_pd(c_row);
+    acc1[r] = _mm256_loadu_pd(c_row + 4);
+  }
+  for (index_t k = 0; k < kk; ++k) {
+    const value_t* __restrict b_row = b.RowPtr(k) + j;
+    const __m256d b0 = _mm256_loadu_pd(b_row);
+    const __m256d b1 = _mm256_loadu_pd(b_row + 4);
+    for (int r = 0; r < kRows; ++r) {
+      const __m256d av = _mm256_set1_pd(a_rows[r][k]);
+      acc0[r] = _mm256_add_pd(acc0[r], _mm256_mul_pd(av, b0));
+      acc1[r] = _mm256_add_pd(acc1[r], _mm256_mul_pd(av, b1));
+    }
+  }
+  for (int r = 0; r < kRows; ++r) {
+    value_t* c_row = c.RowPtr(i + r) + j;
+    _mm256_storeu_pd(c_row, acc0[r]);
+    _mm256_storeu_pd(c_row + 4, acc1[r]);
+  }
+}
+
+}  // namespace
+
+void DddGemmAvx2(const DenseView& a, const DenseView& b,
+                 const DenseMutView& c, index_t i0, index_t i1) {
+  const index_t kk = a.cols;
+  const index_t n = b.cols;
+  const index_t n8 = n - n % kNr;
+  index_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    for (index_t j = 0; j < n8; j += kNr) GemmTileAvx2<kMr>(a, b, c, i, j);
+  }
+  for (; i < i1; ++i) {
+    for (index_t j = 0; j < n8; j += kNr) GemmTileAvx2<1>(a, b, c, i, j);
+  }
+  // Column tail (n % 8): per-element ascending-k scalar accumulation.
+  for (i = i0; i < i1; ++i) {
+    const value_t* __restrict a_row = a.RowPtr(i);
+    value_t* __restrict c_row = c.RowPtr(i);
+    for (index_t j = n8; j < n; ++j) {
+      value_t sum = c_row[j];
+      for (index_t k = 0; k < kk; ++k) sum += a_row[k] * b.RowPtr(k)[j];
+      c_row[j] = sum;
+    }
+  }
+}
+
+void AxpyAvx2(value_t* values, const value_t* row, value_t scale,
+              index_t n) {
+  const __m256d vs = _mm256_set1_pd(scale);
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d product = _mm256_mul_pd(vs, _mm256_loadu_pd(row + j));
+    _mm256_storeu_pd(values + j,
+                     _mm256_add_pd(_mm256_loadu_pd(values + j), product));
+  }
+  for (; j < n; ++j) values[j] += scale * row[j];
+}
+
+value_t CsrRowDotAvx2(const value_t* values, const index_t* col_idx,
+                      index_t p0, index_t p1, const value_t* x) {
+  if (p1 - p0 < kGatherMinNnz) return CsrRowDotScalar(values, col_idx, p0, p1, x);
+  __m256d acc = _mm256_setzero_pd();
+  index_t p = p0;
+  for (; p + 4 <= p1; p += 4) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(col_idx + p));
+    const __m256d xv = _mm256_i64gather_pd(x, idx, 8);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(values + p), xv));
+  }
+  value_t sum = HorizontalSum(acc);
+  for (; p < p1; ++p) sum += values[p] * x[col_idx[p]];
+  return sum;
+}
+
+value_t DotAvx2(const value_t* a, const value_t* x, index_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  index_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(x + j)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + j + 4),
+                                             _mm256_loadu_pd(x + j + 4)));
+  }
+  if (j + 4 <= n) {
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(x + j)));
+    j += 4;
+  }
+  value_t sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; j < n; ++j) sum += a[j] * x[j];
+  return sum;
+}
+
+}  // namespace internal
+}  // namespace atmx::simd
+
+#else  // !ATMX_SIMD_AVX2_COMPILED
+
+#include "common/check.h"
+
+namespace atmx::simd {
+
+bool Avx2Compiled() { return false; }
+
+namespace internal {
+
+void DddGemmAvx2(const DenseView&, const DenseView&, const DenseMutView&,
+                 index_t, index_t) {
+  ATMX_CHECK(false);  // unreachable: dispatcher never selects kAvx2
+}
+
+void AxpyAvx2(value_t*, const value_t*, value_t, index_t) {
+  ATMX_CHECK(false);
+}
+
+value_t CsrRowDotAvx2(const value_t*, const index_t*, index_t, index_t,
+                      const value_t*) {
+  ATMX_CHECK(false);
+  return 0.0;
+}
+
+value_t DotAvx2(const value_t*, const value_t*, index_t) {
+  ATMX_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace internal
+}  // namespace atmx::simd
+
+#endif  // ATMX_SIMD_AVX2_COMPILED

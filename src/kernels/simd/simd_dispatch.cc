@@ -1,0 +1,75 @@
+#include "kernels/simd/simd_dispatch.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.h"
+
+namespace atmx::simd {
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kGeneric:
+      return "generic";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // FMA is probed alongside AVX2 because the AVX2 kernels assume both ISA
+  // extensions were enabled at compile time (-mavx2 -mfma); the two ship
+  // together on every AVX2-capable core.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level ResolveLevel(const char* env_value, bool cpu_avx2, bool avx2_compiled,
+                   std::string* warning) {
+  const bool avx2_ok = cpu_avx2 && avx2_compiled;
+  const Level best = avx2_ok ? Level::kAvx2 : Level::kGeneric;
+  std::string v = env_value == nullptr ? "" : env_value;
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v.empty() || v == "auto") return best;
+  if (v == "scalar") return Level::kScalar;
+  if (v == "generic") return Level::kGeneric;
+  if (v == "avx2") {
+    if (avx2_ok) return Level::kAvx2;
+    *warning = avx2_compiled
+                   ? "ATMX_SIMD=avx2 requested but this CPU lacks AVX2/FMA; "
+                     "falling back to the generic register-blocked kernels"
+                   : "ATMX_SIMD=avx2 requested but the library was built "
+                     "without AVX2 codegen; falling back to the generic "
+                     "register-blocked kernels";
+    return Level::kGeneric;
+  }
+  *warning = "unknown ATMX_SIMD value '" + v +
+             "' (expected scalar|generic|avx2|auto); using auto";
+  return best;
+}
+
+Level ActiveLevel() {
+  static const Level level = [] {
+    std::string warning;
+    const Level resolved = ResolveLevel(std::getenv("ATMX_SIMD"),
+                                        CpuSupportsAvx2(), Avx2Compiled(),
+                                        &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "atmx: %s\n", warning.c_str());
+    }
+    // Observable as a gauge so traces/bench reports record which kernel
+    // set produced the numbers (0 scalar, 1 generic, 2 avx2).
+    ATMX_GAUGE_SET("simd.level", static_cast<double>(resolved));
+    return resolved;
+  }();
+  return level;
+}
+
+}  // namespace atmx::simd

@@ -1,0 +1,67 @@
+// Runtime SIMD dispatch for the hot micro-kernels (dense GEMM, CSR SpMV
+// row accumulation, and the SPA dense-row scatter).
+//
+// Three implementation levels exist:
+//
+//   kScalar   the original straight-line loops — the floating-point
+//             reference every other level is validated against
+//   kGeneric  portable register-blocked kernels (plain C++, same tile
+//             shape and summation order as the AVX2 kernels, so the
+//             compiler's auto-vectorizer can do the rest on any ISA)
+//   kAvx2     AVX2 intrinsics with explicit mul+add (no FMA contraction;
+//             see the reproducibility contract below)
+//
+// The level is resolved exactly once per process, from CPUID plus the
+// ATMX_SIMD environment variable (scalar|generic|avx2|auto, default
+// auto = best supported). docs/KERNELS.md documents the mechanism.
+//
+// Floating-point reproducibility contract: for the dense kernel (DddGemm)
+// and the SPA scatter (Axpy) every level performs per-element
+// round(a*b) followed by round(c + ab) in ascending-k order — bitwise
+// identical across levels (the kernel translation units are compiled with
+// -ffp-contract=off to keep the scalar code from being FMA-contracted).
+// The SpMV row dot products use lane-parallel partial sums at kAvx2, an
+// unavoidable reassociation; they are validated against the scalar order
+// within an ULP bound instead (see tests/test_simd_kernels.cc).
+
+#ifndef ATMX_KERNELS_SIMD_SIMD_DISPATCH_H_
+#define ATMX_KERNELS_SIMD_SIMD_DISPATCH_H_
+
+#include <string>
+
+namespace atmx::simd {
+
+enum class Level {
+  kScalar = 0,
+  kGeneric = 1,
+  kAvx2 = 2,
+};
+
+inline constexpr int kNumLevels = 3;
+
+// Stable lowercase name ("scalar", "generic", "avx2"); static literal.
+const char* LevelName(Level level);
+
+// True iff the AVX2 translation unit was compiled with AVX2/FMA codegen
+// (x86-64 hosts whose compiler accepts -mavx2 -mfma).
+bool Avx2Compiled();
+
+// Runtime probe: the executing CPU supports AVX2 and FMA. Always false on
+// non-x86 builds.
+bool CpuSupportsAvx2();
+
+// Pure resolution logic, separated for testability. `env_value` is the
+// raw ATMX_SIMD value (nullptr = unset). Unknown values and unsatisfiable
+// requests degrade gracefully: `*warning` receives a one-line message
+// (left untouched otherwise) and the best supported level is returned.
+Level ResolveLevel(const char* env_value, bool cpu_avx2, bool avx2_compiled,
+                   std::string* warning);
+
+// The process-wide level, resolved on first call (thread-safe) from
+// ResolveLevel(getenv("ATMX_SIMD"), ...). Pin ATMX_SIMD=scalar for
+// bit-reproducible runs across hosts.
+Level ActiveLevel();
+
+}  // namespace atmx::simd
+
+#endif  // ATMX_KERNELS_SIMD_SIMD_DISPATCH_H_

@@ -1,0 +1,40 @@
+// Per-level kernel implementations shared between the dispatching
+// translation unit (simd_portable.cc) and the AVX2 translation unit
+// (simd_avx2.cc). Not part of the public kernel API.
+
+#ifndef ATMX_KERNELS_SIMD_SIMD_INTERNAL_H_
+#define ATMX_KERNELS_SIMD_SIMD_INTERNAL_H_
+
+#include "common/types.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx::simd::internal {
+
+// Scalar reference implementations (the seed kernels).
+void DddGemmScalar(const DenseView& a, const DenseView& b,
+                   const DenseMutView& c, index_t i0, index_t i1);
+void AxpyScalar(value_t* values, const value_t* row, value_t scale,
+                index_t n);
+value_t CsrRowDotScalar(const value_t* values, const index_t* col_idx,
+                        index_t p0, index_t p1, const value_t* x);
+value_t DotScalar(const value_t* a, const value_t* x, index_t n);
+
+// Portable register-blocked dense kernel (same tile shape and summation
+// order as the AVX2 kernel).
+void DddGemmGeneric(const DenseView& a, const DenseView& b,
+                    const DenseMutView& c, index_t i0, index_t i1);
+
+// AVX2 implementations; defined as working kernels only when the AVX2
+// translation unit is compiled with AVX2/FMA codegen (Avx2Compiled()),
+// as aborting stubs otherwise — the dispatcher never selects kAvx2 in
+// that configuration.
+void DddGemmAvx2(const DenseView& a, const DenseView& b,
+                 const DenseMutView& c, index_t i0, index_t i1);
+void AxpyAvx2(value_t* values, const value_t* row, value_t scale, index_t n);
+value_t CsrRowDotAvx2(const value_t* values, const index_t* col_idx,
+                      index_t p0, index_t p1, const value_t* x);
+value_t DotAvx2(const value_t* a, const value_t* x, index_t n);
+
+}  // namespace atmx::simd::internal
+
+#endif  // ATMX_KERNELS_SIMD_SIMD_INTERNAL_H_

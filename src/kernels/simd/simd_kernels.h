@@ -1,0 +1,68 @@
+// Level-explicit micro-kernels behind the SIMD dispatch. The public
+// operator-facing entry points (DddGemm, SpMV, SparseAccumulator) call
+// these with ActiveLevel(); tests and benches call them with an explicit
+// level to compare implementations without touching process state.
+//
+// Reproducibility contract (see simd_dispatch.h):
+//   DddGemmLevel, AxpyLevel      bitwise identical across all levels
+//   CsrRowDotLevel, DotLevel     kAvx2 reassociates into 4 lane-partial
+//                                sums (documented order below); validated
+//                                against kScalar within an ULP bound
+
+#ifndef ATMX_KERNELS_SIMD_SIMD_KERNELS_H_
+#define ATMX_KERNELS_SIMD_SIMD_KERNELS_H_
+
+#include "common/types.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx::simd {
+
+// Register-tile geometry of the blocked dense kernel: kGeneric and kAvx2
+// accumulate C in kMr x kNr register tiles (kNr doubles = 2 AVX2 vectors),
+// streaming B rows once per 4 output rows instead of once per output row.
+inline constexpr index_t kMr = 4;
+inline constexpr index_t kNr = 8;
+
+// C[i0:i1, :] += (A * B)[i0:i1, :]. Same semantics as DddGemm; every level
+// accumulates each C element in ascending-k order with separately rounded
+// multiply and add, so results are bitwise identical across levels.
+void DddGemmLevel(Level level, const DenseView& a, const DenseView& b,
+                  const DenseMutView& c, index_t i0, index_t i1);
+
+// values[j] += scale * row[j] for j in [0, n) — the SPA dense-mode row
+// scatter. Per-element round(scale*row[j]) then round(+=): bitwise
+// identical across levels.
+void AxpyLevel(Level level, value_t* values, const value_t* row,
+               value_t scale, index_t n);
+
+// Dot product of CSR row positions [p0, p1) against the (window-adjusted)
+// dense vector x: sum of values[p] * x[col_idx[p]].
+//   kScalar/kGeneric: single accumulator, ascending p.
+//   kAvx2: 4 lane accumulators over gathered x (lane l sums p0+l, p0+l+4,
+//          ...), reduced pairwise ((l0+l2)+(l1+l3)), then the scalar tail
+//          in ascending order. Gathers engage only for rows of at least
+//          kGatherMinNnz entries; shorter rows take the scalar path.
+value_t CsrRowDotLevel(Level level, const value_t* values,
+                       const index_t* col_idx, index_t p0, index_t p1,
+                       const value_t* x);
+
+// Dense dot product a[0..n) . x[0..n) (dense-tile SpMV rows).
+//   kScalar/kGeneric: single accumulator, ascending j.
+//   kAvx2: 2 vector accumulators (even/odd 4-lane blocks), pairwise
+//          reduction, scalar tail.
+value_t DotLevel(Level level, const value_t* a, const value_t* x, index_t n);
+
+// Row-length threshold below which CsrRowDotLevel(kAvx2) stays scalar:
+// the gather setup cost is only amortized by longer rows.
+inline constexpr index_t kGatherMinNnz = 8;
+
+// Convenience wrappers dispatching on ActiveLevel().
+inline void Axpy(value_t* values, const value_t* row, value_t scale,
+                 index_t n) {
+  AxpyLevel(ActiveLevel(), values, row, scale, n);
+}
+
+}  // namespace atmx::simd
+
+#endif  // ATMX_KERNELS_SIMD_SIMD_KERNELS_H_

@@ -1,0 +1,176 @@
+// Scalar reference kernels, the portable register-blocked kernels, and
+// the per-level dispatch switches.
+//
+// This translation unit is compiled with -ffp-contract=off: the bitwise
+// identity between the scalar loops and the explicit mul+add SIMD kernels
+// relies on the compiler not contracting `c += a * b` into an FMA here.
+
+#include "kernels/simd/simd_kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "kernels/simd/simd_internal.h"
+
+namespace atmx::simd {
+namespace internal {
+
+void DddGemmScalar(const DenseView& a, const DenseView& b,
+                   const DenseMutView& c, index_t i0, index_t i1) {
+  const index_t kk = a.cols;
+  const index_t n = b.cols;
+  // i-k-j loop order: the inner j loop streams one B row and one C row;
+  // k is blocked so the working set of B rows stays cache-resident for
+  // tiles near the maximum dense tile size. Each C element accumulates in
+  // globally ascending k order regardless of the blocking.
+  constexpr index_t kKBlock = 64;
+  for (index_t kb = 0; kb < kk; kb += kKBlock) {
+    const index_t kend = std::min(kb + kKBlock, kk);
+    for (index_t i = i0; i < i1; ++i) {
+      const value_t* __restrict a_row = a.RowPtr(i);
+      value_t* __restrict c_row = c.RowPtr(i);
+      for (index_t k = kb; k < kend; ++k) {
+        // No zero-skip: this is the honest BLAS-style dense kernel; the
+        // cost model and calibration rely on its density-independent cost.
+        const value_t av = a_row[k];
+        const value_t* __restrict b_row = b.RowPtr(k);
+        for (index_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void AxpyScalar(value_t* values, const value_t* row, value_t scale,
+                index_t n) {
+  for (index_t j = 0; j < n; ++j) values[j] += scale * row[j];
+}
+
+value_t CsrRowDotScalar(const value_t* values, const index_t* col_idx,
+                        index_t p0, index_t p1, const value_t* x) {
+  value_t sum = 0.0;
+  for (index_t p = p0; p < p1; ++p) sum += values[p] * x[col_idx[p]];
+  return sum;
+}
+
+value_t DotScalar(const value_t* a, const value_t* x, index_t n) {
+  value_t sum = 0.0;
+  for (index_t j = 0; j < n; ++j) sum += a[j] * x[j];
+  return sum;
+}
+
+namespace {
+
+// One kMr x kNr (or narrower row-tail) strip of the register-blocked
+// kernel: C rows stay in `acc` across the whole k loop, so each C element
+// is loaded and stored exactly once while B rows are streamed. Ascending-k
+// mul+add per element keeps the result bitwise equal to the scalar loop.
+template <int kRows>
+void GemmRegisterStrip(const DenseView& a, const DenseView& b,
+                       const DenseMutView& c, index_t i, index_t j0,
+                       index_t j1) {
+  const index_t kk = a.cols;
+  const value_t* __restrict a_rows[kRows];
+  value_t* __restrict c_rows[kRows];
+  for (int r = 0; r < kRows; ++r) {
+    a_rows[r] = a.RowPtr(i + r);
+    c_rows[r] = c.RowPtr(i + r);
+  }
+  for (index_t j = j0; j + kNr <= j1; j += kNr) {
+    value_t acc[kRows][kNr];
+    for (int r = 0; r < kRows; ++r) {
+      for (index_t t = 0; t < kNr; ++t) acc[r][t] = c_rows[r][j + t];
+    }
+    for (index_t k = 0; k < kk; ++k) {
+      const value_t* __restrict b_row = b.RowPtr(k) + j;
+      for (int r = 0; r < kRows; ++r) {
+        const value_t av = a_rows[r][k];
+        for (index_t t = 0; t < kNr; ++t) acc[r][t] += av * b_row[t];
+      }
+    }
+    for (int r = 0; r < kRows; ++r) {
+      for (index_t t = 0; t < kNr; ++t) c_rows[r][j + t] = acc[r][t];
+    }
+  }
+  // Column tail: per-element ascending-k accumulation.
+  const index_t tail0 = j1 - (j1 - j0) % kNr;
+  for (int r = 0; r < kRows; ++r) {
+    for (index_t j = tail0; j < j1; ++j) {
+      value_t sum = c_rows[r][j];
+      for (index_t k = 0; k < kk; ++k) sum += a_rows[r][k] * b.At(k, j);
+      c_rows[r][j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+void DddGemmGeneric(const DenseView& a, const DenseView& b,
+                    const DenseMutView& c, index_t i0, index_t i1) {
+  const index_t n = b.cols;
+  index_t i = i0;
+  for (; i + kMr <= i1; i += kMr) GemmRegisterStrip<kMr>(a, b, c, i, 0, n);
+  for (; i < i1; ++i) GemmRegisterStrip<1>(a, b, c, i, 0, n);
+}
+
+}  // namespace internal
+
+void DddGemmLevel(Level level, const DenseView& a, const DenseView& b,
+                  const DenseMutView& c, index_t i0, index_t i1) {
+  ATMX_DCHECK_EQ(a.cols, b.rows);
+  ATMX_DCHECK_EQ(a.rows, c.rows);
+  ATMX_DCHECK_EQ(b.cols, c.cols);
+  ATMX_DCHECK(i0 >= 0 && i1 <= c.rows);
+  switch (level) {
+    case Level::kScalar:
+      internal::DddGemmScalar(a, b, c, i0, i1);
+      return;
+    case Level::kGeneric:
+      internal::DddGemmGeneric(a, b, c, i0, i1);
+      return;
+    case Level::kAvx2:
+      internal::DddGemmAvx2(a, b, c, i0, i1);
+      return;
+  }
+}
+
+void AxpyLevel(Level level, value_t* values, const value_t* row,
+               value_t scale, index_t n) {
+  switch (level) {
+    case Level::kScalar:
+    case Level::kGeneric:
+      // The plain loop is already the optimal portable form; kGeneric
+      // shares it.
+      internal::AxpyScalar(values, row, scale, n);
+      return;
+    case Level::kAvx2:
+      internal::AxpyAvx2(values, row, scale, n);
+      return;
+  }
+}
+
+value_t CsrRowDotLevel(Level level, const value_t* values,
+                       const index_t* col_idx, index_t p0, index_t p1,
+                       const value_t* x) {
+  switch (level) {
+    case Level::kScalar:
+    case Level::kGeneric:
+      return internal::CsrRowDotScalar(values, col_idx, p0, p1, x);
+    case Level::kAvx2:
+      return internal::CsrRowDotAvx2(values, col_idx, p0, p1, x);
+  }
+  return 0.0;
+}
+
+value_t DotLevel(Level level, const value_t* a, const value_t* x,
+                 index_t n) {
+  switch (level) {
+    case Level::kScalar:
+    case Level::kGeneric:
+      return internal::DotScalar(a, x, n);
+    case Level::kAvx2:
+      return internal::DotAvx2(a, x, n);
+  }
+  return 0.0;
+}
+
+}  // namespace atmx::simd

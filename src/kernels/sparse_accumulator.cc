@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "kernels/simd/simd_kernels.h"
 #include "obs/obs.h"
 
 namespace atmx {
@@ -85,6 +86,26 @@ void SparseAccumulator::HashGrow() {
     hash_vals_[slot] = old_vals[static_cast<std::size_t>(s)];
     occupied_.push_back(static_cast<index_t>(slot));
   }
+}
+
+void SparseAccumulator::AddScaledDenseRow(const value_t* row, value_t scale) {
+  if (mode_ == Mode::kHash) {
+    for (index_t j = 0; j < width_; ++j) HashAdd(j, scale * row[j]);
+    return;
+  }
+  // Occupy every column once (idempotent across repeated scatter calls),
+  // then accumulate with the level-dispatched axpy. Same per-element
+  // round(scale*row[j]) then round(+=) as Add, so results stay bitwise
+  // identical to the per-element path.
+  if (static_cast<index_t>(occupied_.size()) != width_) {
+    for (index_t j = 0; j < width_; ++j) {
+      if (!flags_[j]) {
+        flags_[j] = 1;
+        occupied_.push_back(j);
+      }
+    }
+  }
+  simd::Axpy(values_.data(), row, scale, width_);
 }
 
 void SparseAccumulator::FlushToBuilder(CsrBuilder* builder) {

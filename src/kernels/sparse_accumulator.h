@@ -78,6 +78,13 @@ class SparseAccumulator {
     }
   }
 
+  // values[j] += scale * row[j] for every j in [0, width): the dense-row
+  // scatter used by the D*S mixed kernels. In dense mode this occupies all
+  // columns once and then runs a single vectorized axpy over the value
+  // array — bitwise identical to width Add(j, scale * row[j]) calls, which
+  // is what hash mode falls back to.
+  void AddScaledDenseRow(const value_t* row, value_t scale);
+
   // Appends the accumulated row (sorted by column, zeros kept — an explicit
   // cancellation to 0.0 still counts as a stored element, matching CSR
   // semantics of numeric kernels) into `builder`, then clears.

@@ -1,6 +1,8 @@
 #include "ops/spmv.h"
 
 #include "common/check.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_kernels.h"
 #include "obs/obs.h"
 #include "topology/thread_pool.h"
 
@@ -11,15 +13,15 @@ std::vector<value_t> SpMV(const CsrMatrix& a, const std::vector<value_t>& x) {
   ATMX_PERF_SPAN_ARGS("kernel", "spmv_csr", "kernel.spmv_csr",
                       {"rows", a.rows()}, {"nnz", a.nnz()});
   std::vector<value_t> y(a.rows(), 0.0);
-  const auto& col_idx = a.col_idx();
-  const auto& values = a.values();
+  // Dispatch level hoisted out of the row loop (one static read per call,
+  // not per row).
+  const simd::Level level = simd::ActiveLevel();
+  const index_t* col_idx = a.col_idx().data();
+  const value_t* values = a.values().data();
   const auto& row_ptr = a.row_ptr();
   for (index_t i = 0; i < a.rows(); ++i) {
-    value_t sum = 0.0;
-    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-      sum += values[p] * x[col_idx[p]];
-    }
-    y[i] = sum;
+    y[i] = simd::CsrRowDotLevel(level, values, col_idx, row_ptr[i],
+                                row_ptr[i + 1], x.data());
   }
   return y;
 }
@@ -27,29 +29,25 @@ std::vector<value_t> SpMV(const CsrMatrix& a, const std::vector<value_t>& x) {
 namespace {
 
 // Accumulates one tile's contribution into y (indices in matrix coords).
-void ApplyTile(const Tile& t, const std::vector<value_t>& x,
+// Dense tile rows take the dense dot kernel; sparse tile rows take the
+// CSR row-dot kernel with x rebased to the tile's column window.
+void ApplyTile(simd::Level level, const Tile& t, const std::vector<value_t>& x,
                std::vector<value_t>* y) {
+  const value_t* x_win = x.data() + t.col0();
   if (t.is_dense()) {
     const DenseMatrix& d = t.dense();
     for (index_t i = 0; i < d.rows(); ++i) {
       const value_t* row = d.data() + i * d.ld();
-      value_t sum = 0.0;
-      for (index_t j = 0; j < d.cols(); ++j) {
-        sum += row[j] * x[t.col0() + j];
-      }
-      (*y)[t.row0() + i] += sum;
+      (*y)[t.row0() + i] += simd::DotLevel(level, row, x_win, d.cols());
     }
   } else {
     const CsrMatrix& s = t.sparse();
-    const auto& col_idx = s.col_idx();
-    const auto& values = s.values();
+    const index_t* col_idx = s.col_idx().data();
+    const value_t* values = s.values().data();
     const auto& row_ptr = s.row_ptr();
     for (index_t i = 0; i < s.rows(); ++i) {
-      value_t sum = 0.0;
-      for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-        sum += values[p] * x[t.col0() + col_idx[p]];
-      }
-      (*y)[t.row0() + i] += sum;
+      (*y)[t.row0() + i] += simd::CsrRowDotLevel(
+          level, values, col_idx, row_ptr[i], row_ptr[i + 1], x_win);
     }
   }
 }
@@ -65,6 +63,10 @@ std::vector<value_t> SpMVParallel(const ATMatrix& a,
   ATMX_PERF_SPAN_ARGS("kernel", "spmv_atm_parallel",
                       "kernel.spmv_atm_parallel", {"rows", a.rows()},
                       {"tiles", static_cast<index_t>(a.tiles().size())});
+  // Resolve the dispatch level on the calling thread before fanning out:
+  // ActiveLevel's first call writes a gauge and possibly a warning, which
+  // should not race from worker threads.
+  const simd::Level level = simd::ActiveLevel();
   const int teams = config.EffectiveTeams();
   // A tile is processed by the band containing its first row, but tall
   // tiles write rows owned by other bands — so each team accumulates into
@@ -87,7 +89,7 @@ std::vector<value_t> SpMVParallel(const ATMatrix& a,
         for (index_t ti : a.TilesInRowBand(band)) {
           const Tile& t = a.tiles()[ti];
           if (t.row0() != a.row_bounds()[band]) continue;  // counted once
-          ApplyTile(t, x, &partials[team.team_id()]);
+          ApplyTile(level, t, x, &partials[team.team_id()]);
         }
       },
       static_options, nullptr);
@@ -104,31 +106,8 @@ std::vector<value_t> SpMV(const ATMatrix& a, const std::vector<value_t>& x) {
                       {"rows", a.rows()},
                       {"tiles", static_cast<index_t>(a.tiles().size())});
   std::vector<value_t> y(a.rows(), 0.0);
-  for (const Tile& t : a.tiles()) {
-    if (t.is_dense()) {
-      const DenseMatrix& d = t.dense();
-      for (index_t i = 0; i < d.rows(); ++i) {
-        const value_t* row = d.data() + i * d.ld();
-        value_t sum = 0.0;
-        for (index_t j = 0; j < d.cols(); ++j) {
-          sum += row[j] * x[t.col0() + j];
-        }
-        y[t.row0() + i] += sum;
-      }
-    } else {
-      const CsrMatrix& s = t.sparse();
-      const auto& col_idx = s.col_idx();
-      const auto& values = s.values();
-      const auto& row_ptr = s.row_ptr();
-      for (index_t i = 0; i < s.rows(); ++i) {
-        value_t sum = 0.0;
-        for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-          sum += values[p] * x[t.col0() + col_idx[p]];
-        }
-        y[t.row0() + i] += sum;
-      }
-    }
-  }
+  const simd::Level level = simd::ActiveLevel();
+  for (const Tile& t : a.tiles()) ApplyTile(level, t, x, &y);
   return y;
 }
 

@@ -47,7 +47,22 @@ Result<CooMatrix> ReadMatrixMarket(const std::string& path) {
   }
   const bool symmetric = symmetry == "symmetric";
   if (!symmetric && symmetry != "general") {
-    return Status::Unimplemented("unsupported symmetry: " + symmetry);
+    // Name the two standard-but-unsupported banners explicitly: both need
+    // value transforms on expansion (negation / conjugation) that this
+    // reader does not implement, and a generic "unsupported" would read
+    // like a typo in the banner rather than a known limitation.
+    if (symmetry == "skew-symmetric") {
+      return Status::Unimplemented(
+          "skew-symmetric MatrixMarket files are not supported (expanding "
+          "the lower triangle requires negated mirror values): " + path);
+    }
+    if (symmetry == "hermitian") {
+      return Status::Unimplemented(
+          "hermitian MatrixMarket files are not supported (complex-valued; "
+          "this reader handles real/integer/pattern fields only): " + path);
+    }
+    return Status::InvalidArgument("unknown symmetry '" + symmetry +
+                                   "' in MatrixMarket banner: " + path);
   }
 
   // Skip comments.
@@ -73,6 +88,8 @@ Result<CooMatrix> ReadMatrixMarket(const std::string& path) {
                                                  : declared_nnz));
   for (index_t k = 0; k < declared_nnz; ++k) {
     index_t r, c;
+    // Pattern files carry no value column; every structural entry reads
+    // as an explicit 1.0.
     double v = 1.0;
     if (!(in >> r >> c)) {
       return Status::IoError("truncated entries in " + path);
@@ -87,6 +104,12 @@ Result<CooMatrix> ReadMatrixMarket(const std::string& path) {
     coo.Add(r - 1, c - 1, v);
     if (symmetric && r != c) coo.Add(c - 1, r - 1, v);
   }
+  // Duplicate-entry policy: coordinates listed more than once sum, and the
+  // COO we hand out is already coalesced. Deferring the sum to CooToCsr
+  // (which also sums) would leave COO-level consumers — density maps,
+  // partitioning, nnz() — seeing duplicate-inflated counts for the same
+  // file.
+  coo.CoalesceDuplicates();
   return coo;
 }
 

@@ -15,7 +15,10 @@ namespace atmx {
 // Reads a MatrixMarket coordinate file. Supports `real`, `integer` and
 // `pattern` fields (pattern entries get value 1.0) and the `general` and
 // `symmetric` symmetry modes (symmetric files are expanded to both
-// triangles).
+// triangles); `skew-symmetric` and `hermitian` banners are rejected with a
+// specific Unimplemented status. Coordinates listed more than once are
+// summed, and the returned COO is coalesced (nnz() counts distinct
+// coordinates).
 Result<CooMatrix> ReadMatrixMarket(const std::string& path);
 
 // Writes `coo` as a general real coordinate MatrixMarket file.

@@ -61,6 +61,93 @@ TEST(MatrixMarketTest, ReadsPatternAsOnes) {
   EXPECT_DOUBLE_EQ(CooToDense(read.value()).At(0, 1), 1.0);
 }
 
+TEST(MatrixMarketTest, SumsDuplicateEntries) {
+  const std::string path = TempPath("dup.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "3 3 4\n"
+        << "1 2 1.5\n"
+        << "3 3 2.0\n"
+        << "1 2 2.5\n"
+        << "1 2 -1.0\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  // Duplicates sum and the returned COO is coalesced: nnz counts distinct
+  // coordinates, not file lines.
+  EXPECT_EQ(read.value().nnz(), 2);
+  DenseMatrix d = CooToDense(read.value());
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d.At(2, 2), 2.0);
+}
+
+TEST(MatrixMarketTest, SumsSymmetricDiagonalDuplicates) {
+  const std::string path = TempPath("dupsym.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        << "2 2 3\n"
+        << "2 1\n"
+        << "2 2\n"
+        << "2 2\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_TRUE(read.ok());
+  // Off-diagonal expands to both triangles (1 each), the duplicated
+  // diagonal pattern entries sum to 2.0.
+  EXPECT_EQ(read.value().nnz(), 3);
+  DenseMatrix d = CooToDense(read.value());
+  EXPECT_DOUBLE_EQ(d.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(d.At(1, 1), 2.0);
+}
+
+TEST(MatrixMarketTest, RejectsSkewSymmetricWithSpecificStatus) {
+  const std::string path = TempPath("skew.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        << "2 2 1\n"
+        << "2 1 3.0\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(read.status().ToString().find("skew-symmetric"),
+            std::string::npos);
+}
+
+TEST(MatrixMarketTest, RejectsHermitianWithSpecificStatus) {
+  const std::string path = TempPath("herm.mtx");
+  {
+    std::ofstream out(path);
+    // Real-field banner so the symmetry branch (not the complex-field
+    // rejection) is the one under test.
+    out << "%%MatrixMarket matrix coordinate real hermitian\n"
+        << "2 2 1\n"
+        << "1 1 1.0\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(read.status().ToString().find("hermitian"), std::string::npos);
+}
+
+TEST(MatrixMarketTest, RejectsUnknownSymmetryAsInvalidArgument) {
+  const std::string path = TempPath("sym_typo.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symetric\n"
+        << "2 2 1\n"
+        << "1 1 1.0\n";
+  }
+  Result<CooMatrix> read = ReadMatrixMarket(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().ToString().find("symetric"), std::string::npos);
+}
+
 TEST(MatrixMarketTest, RejectsMissingFile) {
   Result<CooMatrix> read = ReadMatrixMarket(TempPath("nonexistent.mtx"));
   EXPECT_FALSE(read.ok());

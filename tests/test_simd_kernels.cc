@@ -1,0 +1,334 @@
+// Scalar-vs-SIMD contract tests for the level-dispatched micro-kernels:
+//  - DddGemmLevel / AxpyLevel must be bitwise identical across every
+//    runnable level (same per-element ascending-k order, separately
+//    rounded mul and add);
+//  - CsrRowDotLevel / DotLevel may reassociate into lane-partial sums on
+//    kAvx2 and are validated against the scalar reference within a small
+//    ULP bound;
+//  - SparseAccumulator::AddScaledDenseRow must match the per-element Add
+//    path bitwise in both accumulator modes;
+//  - ResolveLevel env/CPU parsing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_kernels.h"
+#include "kernels/sparse_accumulator.h"
+#include "storage/dense_matrix.h"
+#include "tests/test_util.h"
+
+namespace atmx {
+namespace {
+
+using simd::Level;
+
+std::vector<Level> RunnableLevels() {
+  std::vector<Level> levels = {Level::kScalar, Level::kGeneric};
+  if (simd::Avx2Compiled() && simd::CpuSupportsAvx2()) {
+    levels.push_back(Level::kAvx2);
+  }
+  return levels;
+}
+
+// Distance in representable doubles (0 = bitwise identical). Requires
+// finite inputs of matching sign or values straddling zero by < 2^63 ulps.
+std::int64_t UlpDistance(double a, double b) {
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) ia = std::numeric_limits<std::int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int64_t>::min() - ib;
+  return ia >= ib ? ia - ib : ib - ia;
+}
+
+DenseMatrix RandomDense(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      m.At(i, j) = rng.NextDouble() * 2.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+std::vector<value_t> RandomVector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.NextDouble() * 2.0 - 1.0;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// DddGemmLevel: bitwise identity across levels.
+
+struct GemmShape {
+  index_t m, k, n;
+};
+
+// Shapes chosen to cover every tile-edge case of the 4x8 register blocking:
+// exact multiples, row tails (m % 4), column tails (n % 8), single
+// rows/columns, k = 0 and empty outputs.
+const GemmShape kGemmShapes[] = {
+    {4, 4, 8},    // exactly one register tile
+    {8, 16, 16},  // multiple full tiles
+    {7, 13, 21},  // row tail 3, column tail 5
+    {33, 1, 33},  // k=1, row tail 1, column tail 1
+    {1, 64, 1},   // single row, single column (pure tail)
+    {5, 9, 9},    // row tail 1, column tail 1
+    {4, 8, 7},    // narrower than one vector pair
+    {3, 5, 4},    // no full 4-row strip at all
+    {6, 0, 10},   // k = 0: C must be left untouched
+    {0, 5, 8},    // empty row range
+    {4, 5, 0},    // empty column range
+};
+
+TEST(SimdDddGemm, BitwiseIdenticalAcrossLevels) {
+  for (const GemmShape& s : kGemmShapes) {
+    DenseMatrix a = RandomDense(s.m, s.k, 1000 + s.m);
+    DenseMatrix b = RandomDense(s.k, s.n, 2000 + s.n);
+    // Nonzero initial C so accumulation (not overwrite) is covered.
+    DenseMatrix c_ref = RandomDense(s.m, s.n, 3000 + s.k);
+    simd::DddGemmLevel(Level::kScalar, a.View(), b.View(), c_ref.MutView(), 0,
+                       s.m);
+    for (Level level : RunnableLevels()) {
+      if (level == Level::kScalar) continue;
+      DenseMatrix c = RandomDense(s.m, s.n, 3000 + s.k);  // same seed: same C0
+      simd::DddGemmLevel(level, a.View(), b.View(), c.MutView(), 0, s.m);
+      for (index_t i = 0; i < s.m; ++i) {
+        for (index_t j = 0; j < s.n; ++j) {
+          ASSERT_EQ(c_ref.At(i, j), c.At(i, j))
+              << "level=" << simd::LevelName(level) << " shape=" << s.m << "x"
+              << s.k << "x" << s.n << " at (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDddGemm, PartialRowRangeMatchesScalar) {
+  const index_t m = 13, k = 11, n = 19;
+  DenseMatrix a = RandomDense(m, k, 7);
+  DenseMatrix b = RandomDense(k, n, 8);
+  for (Level level : RunnableLevels()) {
+    DenseMatrix c_ref(m, n);
+    DenseMatrix c(m, n);
+    simd::DddGemmLevel(Level::kScalar, a.View(), b.View(), c_ref.MutView(), 3,
+                       10);
+    simd::DddGemmLevel(level, a.View(), b.View(), c.MutView(), 3, 10);
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        ASSERT_EQ(c_ref.At(i, j), c.At(i, j));
+      }
+    }
+    // Rows outside [3, 10) stay zero.
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_EQ(0.0, c.At(0, j));
+      ASSERT_EQ(0.0, c.At(12, j));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AxpyLevel: bitwise identity across levels, including vector tails.
+
+TEST(SimdAxpy, BitwiseIdenticalAcrossLevels) {
+  for (index_t n : {0, 1, 3, 4, 5, 7, 8, 9, 31, 100}) {
+    std::vector<value_t> row = RandomVector(n, 42 + n);
+    std::vector<value_t> base = RandomVector(n, 142 + n);
+    const value_t scale = -0.37;
+    std::vector<value_t> ref = base;
+    simd::AxpyLevel(Level::kScalar, ref.data(), row.data(), scale, n);
+    for (Level level : RunnableLevels()) {
+      std::vector<value_t> values = base;
+      simd::AxpyLevel(level, values.data(), row.data(), scale, n);
+      for (index_t j = 0; j < n; ++j) {
+        ASSERT_EQ(ref[j], values[j])
+            << "level=" << simd::LevelName(level) << " n=" << n << " j=" << j;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CsrRowDotLevel / DotLevel: ULP-bounded against the scalar reference.
+
+TEST(SimdCsrRowDot, ShortRowsAreBitwiseScalar) {
+  // Below kGatherMinNnz every level takes the scalar path.
+  const index_t n = simd::kGatherMinNnz - 1;
+  std::vector<value_t> values = RandomVector(n, 1);
+  std::vector<value_t> x = RandomVector(64, 2);
+  std::vector<index_t> cols;
+  for (index_t p = 0; p < n; ++p) cols.push_back(p * 7 % 64);
+  const value_t ref =
+      simd::CsrRowDotLevel(Level::kScalar, values.data(), cols.data(), 0, n,
+                           x.data());
+  for (Level level : RunnableLevels()) {
+    EXPECT_EQ(ref, simd::CsrRowDotLevel(level, values.data(), cols.data(), 0,
+                                        n, x.data()));
+  }
+}
+
+TEST(SimdCsrRowDot, UlpBoundedAcrossLevels) {
+  Rng rng(99);
+  for (index_t nnz : {8, 9, 12, 15, 64, 257}) {
+    const index_t width = 4 * nnz;
+    std::vector<value_t> values = RandomVector(nnz, 10 + nnz);
+    std::vector<value_t> x = RandomVector(width, 20 + nnz);
+    std::vector<index_t> cols(nnz);
+    for (index_t p = 0; p < nnz; ++p) {
+      cols[p] = static_cast<index_t>(rng.NextBounded(width));
+    }
+    std::sort(cols.begin(), cols.end());
+    // Offset start position: kernels must honor [p0, p1), not [0, nnz).
+    for (index_t p0 : {index_t{0}, index_t{1}}) {
+      const value_t ref = simd::CsrRowDotLevel(
+          Level::kScalar, values.data(), cols.data(), p0, nnz, x.data());
+      for (Level level : RunnableLevels()) {
+        const value_t got = simd::CsrRowDotLevel(level, values.data(),
+                                                 cols.data(), p0, nnz,
+                                                 x.data());
+        // Reassociation into 4 lane partials: error grows like sqrt(n) ulps
+        // in practice; 16 + nnz/4 is a loose deterministic envelope.
+        EXPECT_LE(UlpDistance(ref, got), 16 + nnz / 4)
+            << "level=" << simd::LevelName(level) << " nnz=" << nnz
+            << " p0=" << p0 << " ref=" << ref << " got=" << got;
+      }
+    }
+  }
+}
+
+TEST(SimdDot, UlpBoundedAcrossLevels) {
+  for (index_t n : {0, 1, 4, 7, 8, 11, 12, 64, 1001}) {
+    std::vector<value_t> a = RandomVector(n, 5 + n);
+    std::vector<value_t> x = RandomVector(n, 6 + n);
+    const value_t ref = simd::DotLevel(Level::kScalar, a.data(), x.data(), n);
+    for (Level level : RunnableLevels()) {
+      const value_t got = simd::DotLevel(level, a.data(), x.data(), n);
+      EXPECT_LE(UlpDistance(ref, got), 16 + n / 4)
+          << "level=" << simd::LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SparseAccumulator::AddScaledDenseRow.
+
+TEST(SimdSpaScatter, DenseModeMatchesPerElementAdd) {
+  for (index_t width : {0, 1, 7, 8, 64, 300}) {
+    std::vector<value_t> row = RandomVector(width, 70 + width);
+    const value_t scale = 1.75;
+    SparseAccumulator per_element(width);
+    SparseAccumulator bulk(width);
+    // Pre-touch a few columns so the scatter runs on a partially occupied
+    // accumulator.
+    for (index_t j = 0; j < width; j += 5) {
+      per_element.Add(j, 0.5);
+      bulk.Add(j, 0.5);
+    }
+    for (index_t j = 0; j < width; ++j) per_element.Add(j, scale * row[j]);
+    bulk.AddScaledDenseRow(row.data(), scale);
+    ASSERT_EQ(per_element.touched(), bulk.touched());
+    std::vector<value_t> a(width, 0.0);
+    std::vector<value_t> b(width, 0.0);
+    per_element.FlushToDenseRow(a.data());
+    bulk.FlushToDenseRow(b.data());
+    for (index_t j = 0; j < width; ++j) {
+      ASSERT_EQ(a[j], b[j]) << "width=" << width << " j=" << j;
+    }
+  }
+}
+
+TEST(SimdSpaScatter, ScatterTwiceAccumulates) {
+  const index_t width = 37;
+  std::vector<value_t> row = RandomVector(width, 3);
+  SparseAccumulator spa(width);
+  spa.AddScaledDenseRow(row.data(), 2.0);
+  spa.AddScaledDenseRow(row.data(), -1.0);
+  EXPECT_EQ(spa.touched(), width);
+  std::vector<value_t> out(width, 0.0);
+  spa.FlushToDenseRow(out.data());
+  for (index_t j = 0; j < width; ++j) {
+    const value_t expect = 2.0 * row[j] + -1.0 * row[j];
+    ASSERT_EQ(expect, out[j]);
+  }
+}
+
+TEST(SimdSpaScatter, HashModeMatchesPerElementAdd) {
+  const index_t width = 1024;
+  SparseAccumulator per_element;
+  SparseAccumulator bulk;
+  per_element.ResizeAdaptive(width, 4.0);
+  bulk.ResizeAdaptive(width, 4.0);
+  ASSERT_EQ(SparseAccumulator::Mode::kHash, bulk.mode());
+  std::vector<value_t> row = RandomVector(width, 11);
+  const value_t scale = -0.25;
+  for (index_t j = 0; j < width; ++j) per_element.Add(j, scale * row[j]);
+  bulk.AddScaledDenseRow(row.data(), scale);
+  std::vector<value_t> a(width, 0.0);
+  std::vector<value_t> b(width, 0.0);
+  per_element.FlushToDenseRow(a.data());
+  bulk.FlushToDenseRow(b.data());
+  for (index_t j = 0; j < width; ++j) ASSERT_EQ(a[j], b[j]);
+}
+
+// ---------------------------------------------------------------------------
+// ResolveLevel: env parsing and CPU/build gating.
+
+TEST(SimdResolve, AutoPicksBestAvailable) {
+  std::string w;
+  EXPECT_EQ(Level::kAvx2, simd::ResolveLevel(nullptr, true, true, &w));
+  EXPECT_EQ(Level::kAvx2, simd::ResolveLevel("auto", true, true, &w));
+  EXPECT_EQ(Level::kAvx2, simd::ResolveLevel("AUTO", true, true, &w));
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel(nullptr, false, true, &w));
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel(nullptr, true, false, &w));
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel("", false, false, &w));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SimdResolve, ExplicitOverrides) {
+  std::string w;
+  EXPECT_EQ(Level::kScalar, simd::ResolveLevel("scalar", true, true, &w));
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel("generic", true, true, &w));
+  EXPECT_EQ(Level::kAvx2, simd::ResolveLevel("avx2", true, true, &w));
+  EXPECT_EQ(Level::kScalar, simd::ResolveLevel("Scalar", false, false, &w));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SimdResolve, UnsatisfiableAvx2FallsBackWithWarning) {
+  std::string w;
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel("avx2", false, true, &w));
+  EXPECT_NE(std::string::npos, w.find("AVX2"));
+  w.clear();
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel("avx2", true, false, &w));
+  EXPECT_NE(std::string::npos, w.find("without AVX2 codegen"));
+}
+
+TEST(SimdResolve, UnknownValueWarnsAndUsesAuto) {
+  std::string w;
+  EXPECT_EQ(Level::kAvx2, simd::ResolveLevel("sse9000", true, true, &w));
+  EXPECT_NE(std::string::npos, w.find("sse9000"));
+  w.clear();
+  EXPECT_EQ(Level::kGeneric, simd::ResolveLevel("sse9000", false, true, &w));
+}
+
+TEST(SimdResolve, ActiveLevelIsRunnable) {
+  const Level level = simd::ActiveLevel();
+  const auto runnable = RunnableLevels();
+  EXPECT_NE(runnable.end(),
+            std::find(runnable.begin(), runnable.end(), level));
+  // Stable across calls (resolved once per process).
+  EXPECT_EQ(level, simd::ActiveLevel());
+}
+
+}  // namespace
+}  // namespace atmx

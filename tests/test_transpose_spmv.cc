@@ -157,5 +157,31 @@ TEST(SpMVTest, EmptyMatrixGivesZeroVector) {
   for (value_t v : y) EXPECT_EQ(v, 0.0);
 }
 
+// Regression tests for the x-size validation: a short vector must be
+// rejected by the always-on check in every SpMV entry point, not read out
+// of range. (These are death tests because size mismatches are programming
+// errors, handled by ATMX_CHECK rather than Status.)
+TEST(SpMVDeathTest, CsrRejectsMismatchedVectorLength) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CooMatrix coo = RandomCoo(8, 8, 20, 11);
+  CsrMatrix a = CooToCsr(coo);
+  std::vector<value_t> short_x(7, 1.0);
+  std::vector<value_t> long_x(9, 1.0);
+  EXPECT_DEATH(SpMV(a, short_x), "x.size\\(\\)");
+  EXPECT_DEATH(SpMV(a, long_x), "x.size\\(\\)");
+}
+
+TEST(SpMVDeathTest, AtMatrixAndParallelRejectMismatchedVectorLength) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  CooMatrix coo = RandomCoo(32, 32, 100, 13);
+  ATMatrix atm = PartitionToAtm(coo, config);
+  std::vector<value_t> short_x(31, 1.0);
+  EXPECT_DEATH(SpMV(atm, short_x), "x.size\\(\\)");
+  EXPECT_DEATH(SpMVParallel(atm, short_x, config), "x.size\\(\\)");
+}
+
 }  // namespace
 }  // namespace atmx

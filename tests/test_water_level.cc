@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "estimate/density_estimator.h"
+#include "gen/synthetic.h"
+#include "obs/obs.h"
+#include "ops/atmult.h"
+#include "tile/partitioner.h"
 
 namespace atmx {
 namespace {
@@ -65,6 +71,100 @@ TEST(WaterLevelTest, DenseBlocksCanRescueInfeasibleSparseLayout) {
   EXPECT_TRUE(result.feasible);
   EXPECT_LE(result.projected_bytes, (sparse_all + dense_all) / 2);
 }
+
+TEST(WaterLevelTest, AllEqualDensityFlipsTogether) {
+  // Every bar has the same height: the `>=` threshold semantics mean the
+  // blocks can only flip dense all at once, never partially. At rho 0.7 a
+  // dense flip shrinks a block (0.7 * 16 = 11.2 > 8 B/cell).
+  DensityMap map = FourBlockMap(0.7, 0.7, 0.7, 0.7);
+  const std::size_t sparse_all =
+      static_cast<std::size_t>(4 * 0.7 * 256 * 16);  // 11468
+  const std::size_t dense_all = 4 * 256 * 8;         // 8192
+  ASSERT_LT(dense_all, sparse_all);
+  // Limit admits all-dense but not all-sparse: the committed level must be
+  // the full flip — projected_bytes is exactly dense_all, never one of the
+  // partial-flip intermediate sums.
+  WaterLevelResult result = SolveWaterLevel(map, 9000);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LE(result.threshold, 0.7);
+  EXPECT_EQ(result.projected_bytes, dense_all);  // all four flipped
+
+  // With the limit below all-dense too, nothing fits: infeasible, and the
+  // reported level is the minimum-memory one (everything dense here).
+  WaterLevelResult tight = SolveWaterLevel(map, dense_all - 1);
+  EXPECT_FALSE(tight.feasible);
+  EXPECT_EQ(tight.projected_bytes, dense_all);
+}
+
+TEST(WaterLevelTest, EmptyDensityMap) {
+  DensityMap map(0, 0, 16);
+  WaterLevelResult result = SolveWaterLevel(map, 0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.projected_bytes, 0u);
+  EXPECT_GT(result.threshold, 1.0);  // nothing to surface
+}
+
+TEST(WaterLevelTest, ZeroMemLimitFallsBackToMinimumMemory) {
+  DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  WaterLevelResult result = SolveWaterLevel(map, 0);
+  EXPECT_FALSE(result.feasible);
+  // The fallback level is the global memory minimum over all levels.
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (double t : {0.05, 0.2, 0.5, 0.9, 1.0 + 1e-12}) {
+    best = std::min(best, EstimateMemoryBytes(map, t));
+  }
+  EXPECT_EQ(result.projected_bytes, best);
+  EXPECT_EQ(result.projected_bytes, EstimateMemoryBytes(map, result.threshold));
+}
+
+TEST(WaterLevelTest, ProjectedBytesMatchesEstimateAtCommittedThreshold) {
+  // The solver's projection must be exactly EstimateMemoryBytes at the
+  // threshold it reports — a single formula both the solver and ATMULT's
+  // predicted_bytes gauge agree on — across feasible, tie, and infeasible
+  // outcomes.
+  const DensityMap maps[] = {
+      FourBlockMap(0.9, 0.5, 0.2, 0.05), FourBlockMap(0.3, 0.3, 0.3, 0.3),
+      FourBlockMap(0.95, 0.95, 0.95, 0.95), FourBlockMap(0.0, 0.0, 0.0, 0.0)};
+  const std::size_t limits[] = {0, 1000, 2700, 7000, 8192,
+                                std::numeric_limits<std::size_t>::max()};
+  for (const DensityMap& map : maps) {
+    for (std::size_t limit : limits) {
+      WaterLevelResult result = SolveWaterLevel(map, limit);
+      EXPECT_EQ(result.projected_bytes,
+                EstimateMemoryBytes(map, result.threshold));
+    }
+  }
+}
+
+#ifdef ATMX_OBS_ENABLED
+TEST(WaterLevelTest, PredictionMatchesAtmultResultBytesOnExactWorkload) {
+  // Block-diagonal with fully dense blocks and no background noise: the
+  // density estimator is exact, so the water-level projection published as
+  // atmult.waterlevel.predicted_bytes must agree with the realized result
+  // size (atmult.result_bytes) up to the density-map grid granularity.
+  AtmConfig config;
+  config.b_atomic = 16;
+  config.llc_bytes = 1 << 20;
+  config.num_sockets = 1;
+  config.cores_per_socket = 2;
+  CooMatrix a_coo = GenerateDiagonalDenseBlocks(128, 4, 32, 1.0, 0, 17);
+  ATMatrix a = PartitionToAtm(a_coo, config);
+  AtMult op(config);
+  ATMatrix c = op.Multiply(a, a);
+  ASSERT_GT(c.nnz(), 0);
+  const double predicted = obs::MetricsRegistry::Global()
+                               .GetGauge("atmult.waterlevel.predicted_bytes")
+                               .Value();
+  const double actual = obs::MetricsRegistry::Global()
+                            .GetGauge("atmult.result_bytes")
+                            .Value();
+  ASSERT_GT(predicted, 0.0);
+  ASSERT_GT(actual, 0.0);
+  // A^2 of a disjoint block-diagonal matrix keeps the same fully-dense
+  // block structure, so prediction and result agree to within 10%.
+  EXPECT_NEAR(predicted / actual, 1.0, 0.1);
+}
+#endif  // ATMX_OBS_ENABLED
 
 TEST(EffectiveWriteThresholdTest, KeepsRhoWWhenMemoryAllows) {
   DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);

@@ -3,7 +3,7 @@
 
 Usage:
   compare_bench.py BASELINE.json CURRENT.json [--max-regress PCT]
-                   [--allow-missing-baseline]
+                   [--allow-missing-baseline] [--update-baselines]
 
 Both files must follow the BenchReporter schema (schema_version 1, see
 bench/bench_common.h). Cases are matched by name; for each pair the median
@@ -15,6 +15,13 @@ wall time ratio current/baseline decides the verdict:
   MISSING_CASE      case in baseline but not in current   (exit 1)
   MISSING_BASELINE  case in current but not in baseline
                     (exit 1 unless --allow-missing-baseline)
+  BASELINE_ADDED    with --update-baselines: the current-only case was
+                    appended to the baseline file (never fails)
+
+--update-baselines rewrites BASELINE.json with every current-only case
+appended, so adding a bench case is a one-command baseline refresh instead
+of hand-editing JSON. Existing baseline entries are never overwritten —
+deliberate re-baselining of a changed case means deleting it first.
 
 Counter deltas, when present in both files, are printed for context but
 never gate: they vary across hosts and kernel versions.
@@ -33,6 +40,7 @@ IMPROVEMENT = "IMPROVEMENT"
 OK = "OK"
 MISSING_CASE = "MISSING_CASE"
 MISSING_BASELINE = "MISSING_BASELINE"
+BASELINE_ADDED = "BASELINE_ADDED"
 
 
 class SchemaError(ValueError):
@@ -131,6 +139,26 @@ def compare(baseline, current, max_regress_pct=10.0):
     return results
 
 
+def update_baselines(baseline, current, results):
+    """Appends current-only cases to `baseline`, relabelling their result
+    rows MISSING_BASELINE -> BASELINE_ADDED. Returns the number added."""
+    cur_cases = {c["name"]: c for c in current["cases"]}
+    added = 0
+    for row in results:
+        if row["verdict"] != MISSING_BASELINE:
+            continue
+        baseline["cases"].append(cur_cases[row["name"]])
+        row["verdict"] = BASELINE_ADDED
+        added += 1
+    return added
+
+
+def write_report(report, path):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=1)
+        f.write("\n")
+
+
 def format_row(row):
     def fmt(value):
         return "-" if value is None else f"{value:.6g}"
@@ -154,6 +182,10 @@ def main(argv=None):
     parser.add_argument("--allow-missing-baseline", action="store_true",
                         help="do not fail on cases absent from the "
                              "baseline")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="append current-only cases to BASELINE.json "
+                             "(reported as BASELINE_ADDED, never failing); "
+                             "existing entries are left untouched")
     args = parser.parse_args(argv)
 
     try:
@@ -164,6 +196,15 @@ def main(argv=None):
         return 2
 
     results = compare(baseline, current, args.max_regress)
+    added = 0
+    if args.update_baselines:
+        added = update_baselines(baseline, current, results)
+        if added:
+            try:
+                write_report(baseline, args.baseline)
+            except OSError as err:
+                print(f"compare_bench: {err}", file=sys.stderr)
+                return 2
     failures = 0
     for row in results:
         print(format_row(row))
@@ -175,7 +216,9 @@ def main(argv=None):
 
     n = len(results)
     print(f"\ncompare_bench: {n} case(s), {failures} failing "
-          f"(threshold +{args.max_regress:g}%)")
+          f"(threshold +{args.max_regress:g}%)"
+          + (f", {added} baseline(s) added to {args.baseline}"
+             if added else ""))
     return 1 if failures else 0
 
 

@@ -145,6 +145,64 @@ class MainTest(unittest.TestCase):
                 compare_bench.main([ok, slow, "--max-regress", "1000"]), 0)
             self.assertEqual(compare_bench.main([ok, "/nonexistent"]), 2)
 
+    def test_update_baselines_appends_new_cases(self):
+        import json
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmpdir:
+            base = self._write(tmpdir, "base.json",
+                               make_report([("old", 0.1)]))
+            cur = self._write(tmpdir, "cur.json",
+                              make_report([("old", 0.1), ("new", 0.2)]))
+            # Without the flag the new case fails the gate and the baseline
+            # file is untouched.
+            self.assertEqual(compare_bench.main([base, cur]), 1)
+            with open(base, encoding="utf-8") as f:
+                self.assertEqual(len(json.load(f)["cases"]), 1)
+            # With the flag it passes and the case is appended.
+            self.assertEqual(
+                compare_bench.main([base, cur, "--update-baselines"]), 0)
+            with open(base, encoding="utf-8") as f:
+                updated = json.load(f)
+            names = [c["name"] for c in updated["cases"]]
+            self.assertEqual(names, ["old", "new"])
+            self.assertEqual(
+                updated["cases"][1]["wall_seconds"]["median"], 0.2)
+            # The rewritten file still validates, and a second run is a
+            # clean no-op (idempotent).
+            compare_bench.validate_report(updated)
+            self.assertEqual(
+                compare_bench.main([base, cur, "--update-baselines"]), 0)
+            with open(base, encoding="utf-8") as f:
+                self.assertEqual(len(json.load(f)["cases"]), 2)
+
+    def test_update_baselines_never_overwrites_existing(self):
+        import json
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmpdir:
+            base = self._write(tmpdir, "base.json",
+                               make_report([("a", 0.1)]))
+            cur = self._write(tmpdir, "cur.json", make_report([("a", 0.5)]))
+            # A regressed existing case still fails even with the flag, and
+            # its baseline median is not replaced.
+            self.assertEqual(
+                compare_bench.main([base, cur, "--update-baselines"]), 1)
+            with open(base, encoding="utf-8") as f:
+                report = json.load(f)
+            self.assertEqual(
+                report["cases"][0]["wall_seconds"]["median"], 0.1)
+
+    def test_update_baselines_relabels_results(self):
+        base = make_report([("old", 0.1)])
+        cur = make_report([("old", 0.1), ("new", 0.2)])
+        results = compare_bench.compare(base, cur, max_regress_pct=10)
+        added = compare_bench.update_baselines(base, cur, results)
+        self.assertEqual(added, 1)
+        self.assertEqual(verdicts(results), {
+            "old": compare_bench.OK,
+            "new": compare_bench.BASELINE_ADDED,
+        })
+        self.assertEqual([c["name"] for c in base["cases"]], ["old", "new"])
+
 
 if __name__ == "__main__":
     unittest.main()
