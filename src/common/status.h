@@ -25,8 +25,13 @@ enum class StatusCode {
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
-// A success-or-error value. Cheap to copy in the Ok case.
-class Status {
+// A success-or-error value. Cheap to copy in the Ok case. [[nodiscard]] at
+// class level: every function returning a Status (or Result) produces a
+// value the caller must examine — silently dropping an error is exactly
+// the defect class this type exists to prevent. Tests that intentionally
+// exercise a failure path spell the discard as `(void)expr;` with a
+// comment (tools/atmx_lint.py flags laundering in src/).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -69,7 +74,7 @@ class Status {
 
 // Holds either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, above.

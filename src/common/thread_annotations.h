@@ -1,0 +1,74 @@
+// Clang Thread Safety Analysis annotations (no-ops on other compilers).
+//
+// These macros attach compile-time *capability* semantics to the locking
+// layer: a field tagged ATMX_GUARDED_BY(mu) may only be touched while `mu`
+// is held, a method tagged ATMX_REQUIRES(mu) may only be called with `mu`
+// held, and the analysis rejects violations at compile time under
+// `-Wthread-safety` (see docs/STATIC_ANALYSIS.md). The annotated wrapper
+// types live in common/mutex.h; raw std::mutex / std::lock_guard are
+// banned outside that file (enforced by tools/atmx_lint.py), because the
+// standard types carry no capability attributes and silently opt their
+// users out of the analysis.
+//
+// Naming follows the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the ATMX_
+// prefix keeps the macros out of the global namespace.
+
+#ifndef ATMX_COMMON_THREAD_ANNOTATIONS_H_
+#define ATMX_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ATMX_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ATMX_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// Type annotations: a lockable type and an RAII scope that manages one.
+#define ATMX_CAPABILITY(x) ATMX_THREAD_ANNOTATION_(capability(x))
+#define ATMX_SCOPED_CAPABILITY ATMX_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data annotations: the declared field (or, for ATMX_PT_GUARDED_BY, the
+// data a declared pointer points at) is protected by the given capability.
+#define ATMX_GUARDED_BY(x) ATMX_THREAD_ANNOTATION_(guarded_by(x))
+#define ATMX_PT_GUARDED_BY(x) ATMX_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-order annotations on mutex members (checked under
+// -Wthread-safety-beta): acquiring out of the declared order is an error.
+#define ATMX_ACQUIRED_BEFORE(...) \
+  ATMX_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ATMX_ACQUIRED_AFTER(...) \
+  ATMX_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function annotations: capabilities the caller must hold (REQUIRES), must
+// NOT hold (EXCLUDES), or that the function itself acquires/releases.
+#define ATMX_REQUIRES(...) \
+  ATMX_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ATMX_REQUIRES_SHARED(...) \
+  ATMX_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ATMX_ACQUIRE(...) \
+  ATMX_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ATMX_ACQUIRE_SHARED(...) \
+  ATMX_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define ATMX_RELEASE(...) \
+  ATMX_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ATMX_RELEASE_SHARED(...) \
+  ATMX_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define ATMX_TRY_ACQUIRE(...) \
+  ATMX_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define ATMX_EXCLUDES(...) ATMX_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// The function returns a reference to the given capability (accessor
+// pattern: `Mutex& mu() ATMX_RETURN_CAPABILITY(mu_)`).
+#define ATMX_RETURN_CAPABILITY(x) ATMX_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (e.g. init before any
+// thread exists). Every use must carry a comment justifying it.
+#define ATMX_NO_THREAD_SAFETY_ANALYSIS \
+  ATMX_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// Runtime assertion that a capability is held (for call graphs the
+// analysis cannot follow); purely an analysis fact, no generated code.
+#define ATMX_ASSERT_CAPABILITY(x) \
+  ATMX_THREAD_ANNOTATION_(assert_capability(x))
+
+#endif  // ATMX_COMMON_THREAD_ANNOTATIONS_H_

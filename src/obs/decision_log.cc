@@ -14,7 +14,7 @@ DecisionLog& DecisionLog::Global() {
 
 void DecisionLog::SetCapacity(std::size_t capacity) {
   ATMX_CHECK_GT(capacity, 0u);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = capacity;
   records_.clear();
   records_.shrink_to_fit();
@@ -25,7 +25,7 @@ void DecisionLog::SetCapacity(std::size_t capacity) {
 void DecisionLog::Record(const DecisionRecord& record) {
   if (!enabled()) return;
   total_recorded_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (records_.size() < capacity_) {
     records_.push_back(record);
     return;
@@ -36,7 +36,7 @@ void DecisionLog::Record(const DecisionRecord& record) {
 }
 
 std::vector<DecisionRecord> DecisionLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!wrapped_) return records_;
   std::vector<DecisionRecord> out;
   out.reserve(records_.size());
@@ -48,7 +48,7 @@ std::vector<DecisionRecord> DecisionLog::Snapshot() const {
 }
 
 void DecisionLog::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   records_.clear();
   next_slot_ = 0;
   wrapped_ = false;

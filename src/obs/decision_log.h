@@ -14,10 +14,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "kernels/kernel_common.h"
 
@@ -87,11 +88,12 @@ class DecisionLog {
   std::atomic<std::uint64_t> next_op_id_{1};
   std::atomic<std::uint64_t> total_recorded_{0};
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_ = kDefaultCapacity;
-  std::size_t next_slot_ = 0;  // ring write position once full
-  bool wrapped_ = false;
-  std::vector<DecisionRecord> records_;
+  mutable Mutex mutex_;
+  std::size_t capacity_ ATMX_GUARDED_BY(mutex_) = kDefaultCapacity;
+  // Ring write position once full.
+  std::size_t next_slot_ ATMX_GUARDED_BY(mutex_) = 0;
+  bool wrapped_ ATMX_GUARDED_BY(mutex_) = false;
+  std::vector<DecisionRecord> records_ ATMX_GUARDED_BY(mutex_);
 };
 
 }  // namespace atmx::obs

@@ -54,7 +54,7 @@ std::vector<double> MetricsRegistry::DefaultBounds() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ATMX_CHECK(gauges_.find(name) == gauges_.end());
   ATMX_CHECK(histograms_.find(name) == histograms_.end());
   auto it = counters_.find(name);
@@ -66,7 +66,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ATMX_CHECK(counters_.find(name) == counters_.end());
   ATMX_CHECK(histograms_.find(name) == histograms_.end());
   auto it = gauges_.find(name);
@@ -78,7 +78,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ATMX_CHECK(counters_.find(name) == counters_.end());
   ATMX_CHECK(gauges_.find(name) == gauges_.end());
   auto it = histograms_.find(name);
@@ -93,7 +93,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> samples;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSample s;
@@ -127,7 +127,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

@@ -60,7 +60,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer;
   if (buffer == nullptr) {
     buffer = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -72,7 +72,7 @@ void TraceRecorder::Append(TraceEvent event, const TraceArg* args,
   event.args_json = RenderArgs(args, num_args);
   ThreadBuffer& buffer = LocalBuffer();
   event.tid = buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  MutexLock lock(buffer.mutex);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -118,9 +118,9 @@ void TraceRecorder::RecordInstant(const char* category, const char* name,
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     buffer->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
@@ -129,9 +129,9 @@ void TraceRecorder::Clear() {
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> all;
   {
-    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    MutexLock registry_lock(registry_mutex_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> lock(buffer->mutex);
+      MutexLock lock(buffer->mutex);
       all.insert(all.end(), buffer->events.begin(), buffer->events.end());
     }
   }
@@ -143,10 +143,10 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 }
 
 std::size_t TraceRecorder::EventCount() const {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   std::size_t count = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     count += buffer->events.size();
   }
   return count;

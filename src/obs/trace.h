@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace atmx::obs {
 
@@ -113,28 +114,43 @@ class TraceRecorder {
   std::string ToJson() const;
 
   // ToJson() to a file.
-  Status WriteJson(const std::string& path) const;
+  [[nodiscard]] Status WriteJson(const std::string& path) const;
 
   static constexpr std::size_t kMaxEventsPerThread = 1 << 20;
 
  private:
+  // LOCK ORDER: registry_mutex_ strictly before any shard `mutex`.
+  // Snapshot/Clear/EventCount walk buffers_ under registry_mutex_ and take
+  // each shard lock nested inside it; the append hot path takes only its
+  // own shard lock and must NEVER acquire registry_mutex_ while holding it
+  // (LocalBuffer registers a new shard under registry_mutex_ *before* the
+  // shard is ever locked). The shard mutexes are per-thread dynamic
+  // objects, so the order is documented here rather than expressed with
+  // ATMX_ACQUIRED_AFTER (which needs statically nameable members);
+  // tools/atmx_lint.py's self-test pins this comment so it cannot rot
+  // silently.
   struct ThreadBuffer {
-    std::mutex mutex;  // shard lock: append vs Snapshot/Clear
-    std::vector<TraceEvent> events;
+    Mutex mutex;  // shard lock: append vs Snapshot/Clear
+    std::vector<TraceEvent> events ATMX_GUARDED_BY(mutex);
+    // Written once during registration (under registry_mutex_, before the
+    // buffer is published in buffers_); immutable afterwards, so the
+    // owning thread's unlocked reads in Append are race-free.
     std::uint32_t tid;
   };
 
   TraceRecorder() = default;
 
-  ThreadBuffer& LocalBuffer();
-  void Append(TraceEvent event, const TraceArg* args, std::size_t num_args);
+  ThreadBuffer& LocalBuffer() ATMX_EXCLUDES(registry_mutex_);
+  void Append(TraceEvent event, const TraceArg* args, std::size_t num_args)
+      ATMX_EXCLUDES(registry_mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> dropped_{0};
 
-  mutable std::mutex registry_mutex_;  // guards buffers_ / next_tid_
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::uint32_t next_tid_ = 1;
+  mutable Mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      ATMX_GUARDED_BY(registry_mutex_);
+  std::uint32_t next_tid_ ATMX_GUARDED_BY(registry_mutex_) = 1;
 };
 
 // RAII span: captures the start time at construction and records one

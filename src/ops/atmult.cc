@@ -5,7 +5,6 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -227,7 +226,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
   std::vector<Tile> c_tiles(static_cast<std::size_t>(num_tasks));
 
   ConversionCache cache;
-  std::mutex stats_mutex;
+  Mutex stats_mutex;
 #if defined(ATMX_OBS_ENABLED)
   // Result-tile bytes recorded with the mem tracker during this operation;
   // released at the end (ownership passes to the caller) so the tracker
@@ -675,7 +674,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
       (pp.b_home == exec_node ? local_read : remote_read) += pp.b_read_bytes;
     }
 
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     stats->optimize_seconds += opt_seconds;
     stats->multiply_seconds += mult_seconds;
     stats->pair_multiplications += pairs_done;

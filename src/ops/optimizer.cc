@@ -53,7 +53,7 @@ ConversionCache::~ConversionCache() {
 #if defined(ATMX_OBS_ENABLED)
   std::uint64_t bytes;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     bytes = cached_bytes_;
   }
   obs::MemTracker::Global().RecordFree(bytes);
@@ -65,7 +65,7 @@ const DenseMatrix& ConversionCache::GetDense(Side side, index_t tile_idx,
                                              double* conversion_seconds) {
   ATMX_CHECK(!tile.is_dense());
   const std::uint64_t key = Key(side, tile_idx);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = dense_.find(key);
   if (it == dense_.end()) {
     ATMX_TRACE_SPAN_ARGS("convert", "sparse_to_dense",
@@ -94,7 +94,7 @@ const CsrMatrix& ConversionCache::GetSparse(Side side, index_t tile_idx,
                                             double* conversion_seconds) {
   ATMX_CHECK(tile.is_dense());
   const std::uint64_t key = Key(side, tile_idx);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sparse_.find(key);
   if (it == sparse_.end()) {
     ATMX_TRACE_SPAN_ARGS("convert", "dense_to_sparse",
@@ -118,12 +118,12 @@ const CsrMatrix& ConversionCache::GetSparse(Side side, index_t tile_idx,
 }
 
 bool ConversionCache::HasDense(Side side, index_t tile_idx) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dense_.count(Key(side, tile_idx)) > 0;
 }
 
 bool ConversionCache::HasSparse(Side side, index_t tile_idx) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sparse_.count(Key(side, tile_idx)) > 0;
 }
 

@@ -8,9 +8,10 @@
 #define ATMX_OPS_OPTIMIZER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "cost/cost_model.h"
 #include "kernels/kernel_common.h"
 #include "tile/tile.h"
@@ -65,12 +66,22 @@ class ConversionCache {
   bool HasDense(Side side, index_t tile_idx) const;
   bool HasSparse(Side side, index_t tile_idx) const;
 
-  index_t sparse_to_dense_count() const { return sparse_to_dense_count_; }
-  index_t dense_to_sparse_count() const { return dense_to_sparse_count_; }
+  // Conversion counts so far. Locked: tasks on other teams may still be
+  // converting while a caller polls (the pre-annotation accessors read the
+  // guarded counters unlocked, a defect the thread-safety migration
+  // surfaced — see ConversionCacheTest.ConversionCountersAreLockProtected).
+  index_t sparse_to_dense_count() const {
+    MutexLock lock(mutex_);
+    return sparse_to_dense_count_;
+  }
+  index_t dense_to_sparse_count() const {
+    MutexLock lock(mutex_);
+    return dense_to_sparse_count_;
+  }
 
   // Bytes of converted payloads currently held by the cache.
   std::uint64_t cached_bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return cached_bytes_;
   }
 
@@ -80,12 +91,14 @@ class ConversionCache {
            static_cast<std::uint64_t>(tile_idx);
   }
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<DenseMatrix>> dense_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<CsrMatrix>> sparse_;
-  index_t sparse_to_dense_count_ = 0;
-  index_t dense_to_sparse_count_ = 0;
-  std::uint64_t cached_bytes_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<DenseMatrix>> dense_
+      ATMX_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::unique_ptr<CsrMatrix>> sparse_
+      ATMX_GUARDED_BY(mutex_);
+  index_t sparse_to_dense_count_ ATMX_GUARDED_BY(mutex_) = 0;
+  index_t dense_to_sparse_count_ ATMX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t cached_bytes_ ATMX_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace atmx

@@ -19,10 +19,10 @@ namespace atmx {
 // specific Unimplemented status. Coordinates listed more than once are
 // summed, and the returned COO is coalesced (nnz() counts distinct
 // coordinates).
-Result<CooMatrix> ReadMatrixMarket(const std::string& path);
+[[nodiscard]] Result<CooMatrix> ReadMatrixMarket(const std::string& path);
 
 // Writes `coo` as a general real coordinate MatrixMarket file.
-Status WriteMatrixMarket(const CooMatrix& coo, const std::string& path);
+[[nodiscard]] Status WriteMatrixMarket(const CooMatrix& coo, const std::string& path);
 
 }  // namespace atmx
 

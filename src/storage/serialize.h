@@ -20,18 +20,18 @@
 
 namespace atmx {
 
-Status SaveMatrix(const CooMatrix& m, const std::string& path);
-Status SaveMatrix(const CsrMatrix& m, const std::string& path);
-Status SaveMatrix(const DenseMatrix& m, const std::string& path);
-Status SaveMatrix(const ATMatrix& m, const std::string& path);
+[[nodiscard]] Status SaveMatrix(const CooMatrix& m, const std::string& path);
+[[nodiscard]] Status SaveMatrix(const CsrMatrix& m, const std::string& path);
+[[nodiscard]] Status SaveMatrix(const DenseMatrix& m, const std::string& path);
+[[nodiscard]] Status SaveMatrix(const ATMatrix& m, const std::string& path);
 
-Result<CooMatrix> LoadCooMatrix(const std::string& path);
-Result<CsrMatrix> LoadCsrMatrix(const std::string& path);
-Result<DenseMatrix> LoadDenseMatrix(const std::string& path);
-Result<ATMatrix> LoadATMatrix(const std::string& path);
+[[nodiscard]] Result<CooMatrix> LoadCooMatrix(const std::string& path);
+[[nodiscard]] Result<CsrMatrix> LoadCsrMatrix(const std::string& path);
+[[nodiscard]] Result<DenseMatrix> LoadDenseMatrix(const std::string& path);
+[[nodiscard]] Result<ATMatrix> LoadATMatrix(const std::string& path);
 
 // Peeks at the type tag of a saved file: "coo", "csr", "dense", "atm".
-Result<std::string> PeekMatrixType(const std::string& path);
+[[nodiscard]] Result<std::string> PeekMatrixType(const std::string& path);
 
 }  // namespace atmx
 

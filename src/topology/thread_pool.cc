@@ -40,11 +40,11 @@ WorkerTeam::WorkerTeam(int team_id, int num_threads) : team_id_(team_id) {
 
 WorkerTeam::~WorkerTeam() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_.store(true, std::memory_order_release);
     generation_.fetch_add(1, std::memory_order_release);
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -55,15 +55,15 @@ void WorkerTeam::ParallelRun(const std::function<void(int)>& fn) {
   }
   ATMX_COUNTER_INC("threadpool.parallel_runs");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     pending_ = static_cast<int>(threads_.size());
     generation_.fetch_add(1, std::memory_order_release);
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
   fn(0);  // The caller participates as thread 0.
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) job_done_.Wait(mutex_);
   job_ = nullptr;
 }
 
@@ -83,20 +83,20 @@ void WorkerTeam::WorkerLoop(int thread_index) {
     }
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_ready_.wait(lock, [&] {
-        return shutdown_.load(std::memory_order_relaxed) ||
+      MutexLock lock(mutex_);
+      while (!(shutdown_.load(std::memory_order_relaxed) ||
                generation_.load(std::memory_order_relaxed) !=
-                   seen_generation;
-      });
+                   seen_generation)) {
+        job_ready_.Wait(mutex_);
+      }
       if (shutdown_.load(std::memory_order_relaxed)) return;
       seen_generation = generation_.load(std::memory_order_relaxed);
       job = job_;
     }
     if (job != nullptr) (*job)(thread_index);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) job_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--pending_ == 0) job_done_.NotifyAll();
     }
   }
 }
@@ -171,14 +171,20 @@ void TeamScheduler::RunTasks(
   // enough that a lock per pop is noise next to the task itself, and a
   // mutex keeps the protocol trivially TSan-clean.
   struct TaskQueue {
-    std::mutex mu;
-    std::deque<index_t> q;
+    Mutex mu;
+    std::deque<index_t> q ATMX_GUARDED_BY(mu);
   };
   std::vector<TaskQueue> queues(static_cast<std::size_t>(nt));
+  // The population / ordering phase below runs before any driver thread
+  // exists, but it still takes the queue locks: uncontended acquisitions
+  // are noise next to home_of/cost_of, and the analysis then covers every
+  // access uniformly instead of needing an escape hatch.
   for (index_t task = 0; task < num_tasks; ++task) {
     const int home = home_of(task);
     ATMX_CHECK(home >= 0 && home < nt);
-    queues[static_cast<std::size_t>(home)].q.push_back(task);
+    TaskQueue& tq = queues[static_cast<std::size_t>(home)];
+    MutexLock lock(tq.mu);
+    tq.q.push_back(task);
   }
 
   // Longest-processing-time-first within each home queue: the expensive
@@ -191,6 +197,7 @@ void TeamScheduler::RunTasks(
       cost[static_cast<std::size_t>(task)] = options.cost_of(task);
     }
     for (auto& tq : queues) {
+      MutexLock lock(tq.mu);
       std::stable_sort(tq.q.begin(), tq.q.end(),
                        [&](index_t a, index_t b) {
                          return cost[static_cast<std::size_t>(a)] >
@@ -204,11 +211,15 @@ void TeamScheduler::RunTasks(
   // imbalance directly bounds the makespan; with stealing it is what the
   // steal traffic (threadpool.steals) has to level out.
   {
-    std::size_t min_depth = queues.empty() ? 0 : queues[0].q.size();
-    std::size_t max_depth = min_depth;
-    for (const auto& tq : queues) {
-      min_depth = std::min(min_depth, tq.q.size());
-      max_depth = std::max(max_depth, tq.q.size());
+    std::size_t min_depth = 0;
+    std::size_t max_depth = 0;
+    bool first_queue = true;
+    for (auto& tq : queues) {
+      MutexLock lock(tq.mu);
+      const std::size_t depth = tq.q.size();
+      min_depth = first_queue ? depth : std::min(min_depth, depth);
+      max_depth = std::max(max_depth, depth);
+      first_queue = false;
     }
     ATMX_COUNTER_ADD("threadpool.tasks", num_tasks);
     ATMX_GAUGE_SET("threadpool.queue_depth.max", max_depth);
@@ -262,7 +273,7 @@ void TeamScheduler::RunTasks(
         int source = -1;
         {
           TaskQueue& home = queues[self];
-          std::lock_guard<std::mutex> lock(home.mu);
+          MutexLock lock(home.mu);
           if (!home.q.empty()) {
             task = home.q.front();
             home.q.pop_front();
@@ -272,7 +283,7 @@ void TeamScheduler::RunTasks(
         if (source < 0 && options.work_stealing) {
           for (int v : victims[self]) {
             TaskQueue& victim = queues[static_cast<std::size_t>(v)];
-            std::lock_guard<std::mutex> lock(victim.mu);
+            MutexLock lock(victim.mu);
             if (!victim.q.empty()) {
               task = victim.q.back();
               victim.q.pop_back();

@@ -14,15 +14,15 @@
 #define ATMX_TOPOLOGY_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace atmx {
@@ -58,16 +58,16 @@ class WorkerTeam {
   const int team_id_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable job_ready_;
-  std::condition_variable job_done_;
-  const std::function<void(int)>* job_ = nullptr;
+  Mutex mutex_;
+  CondVar job_ready_;
+  CondVar job_done_;
+  const std::function<void(int)>* job_ ATMX_GUARDED_BY(mutex_) = nullptr;
   // Atomic so WorkerLoop can spin briefly on a new generation without the
   // mutex before falling back to the condvar wait (small-tile wake
   // latency). Both are still only *written* under mutex_.
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<bool> shutdown_{false};
-  int pending_ = 0;
+  int pending_ ATMX_GUARDED_BY(mutex_) = 0;
 };
 
 // Scheduling policy of one TeamScheduler::RunTasks batch.

@@ -30,22 +30,22 @@ namespace atmx {
 // ends at nnz; col_idx/values are the same length; within every row the
 // column ids are strictly increasing (sorted, no duplicates) and in
 // [0, cols); all values are finite.
-Status ValidateCsr(const CsrMatrix& m);
+[[nodiscard]] Status ValidateCsr(const CsrMatrix& m);
 
 // COO invariants: every entry lies inside the matrix bounds and its value
 // is finite. With `allow_duplicates == false` (the default) repeated
 // (row, col) coordinates are an error — staging tables that intentionally
 // carry duplicates should be checked after CoalesceDuplicates().
-Status ValidateCoo(const CooMatrix& m, bool allow_duplicates = false);
+[[nodiscard]] Status ValidateCoo(const CooMatrix& m, bool allow_duplicates = false);
 
 // Dense invariants: non-negative shape and finite values (NaN/Inf indicate
 // an uninitialized or corrupted payload).
-Status ValidateDense(const DenseMatrix& m);
+[[nodiscard]] Status ValidateDense(const DenseMatrix& m);
 
 // Density-map invariants: positive block size, grid dimensions matching
 // ceil(rows/block) x ceil(cols/block), and every cell a finite density in
 // [0, 1].
-Status ValidateDensityMap(const DensityMap& map);
+[[nodiscard]] Status ValidateDensityMap(const DensityMap& map);
 
 // Options for ValidateAtMatrix. The default options check what every
 // ATMatrix must satisfy regardless of how it was built; the opt-in flags
@@ -82,7 +82,7 @@ struct AtmValidateOptions {
 // the tiles, nnz accounting adding up, a density map of matching geometry
 // whose cell counts equal the actual per-block non-zeros, plus the opt-in
 // checks described on AtmValidateOptions.
-Status ValidateAtMatrix(const ATMatrix& m,
+[[nodiscard]] Status ValidateAtMatrix(const ATMatrix& m,
                         const AtmValidateOptions& options = {});
 
 }  // namespace atmx

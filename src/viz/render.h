@@ -26,12 +26,12 @@ std::string RenderTileLayoutAscii(const ATMatrix& atm,
 
 // Grayscale PGM (P2) of a density map, one pixel per block. Darker pixels
 // mean denser blocks, like the paper's figures.
-Status WriteDensityMapPgm(const DensityMap& map, const std::string& path);
+[[nodiscard]] Status WriteDensityMapPgm(const DensityMap& map, const std::string& path);
 
 // PGM of the tile layout: sparse tiles render their density in gray, dense
 // tiles render a diagonal hatch pattern (as in Fig. 2), tile borders are
 // drawn black.
-Status WriteTileLayoutPgm(const ATMatrix& atm, const std::string& path,
+[[nodiscard]] Status WriteTileLayoutPgm(const ATMatrix& atm, const std::string& path,
                           index_t pixels_per_block = 4);
 
 }  // namespace atmx

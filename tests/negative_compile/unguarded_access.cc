@@ -1,0 +1,77 @@
+// Negative-compilation probe for the thread-safety annotations: proves the
+// capability system actually rejects unguarded access when analyzed by
+// Clang, i.e. that the macros in common/thread_annotations.h are not
+// silently expanding to nothing under the enforcing toolchain.
+//
+// Two ctest entries (Clang-only; see tests/CMakeLists.txt) compile this TU
+// with `-fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror`:
+//   - thread_safety_negative_compile: -DATMX_NC_VIOLATE=1, expected to
+//     FAIL (WILL_FAIL) on the unguarded accesses below;
+//   - thread_safety_positive_control: no define, expected to compile
+//     cleanly — guarding against the probe failing for unrelated reasons
+//     (a broken include path would otherwise "pass" the negative test).
+//
+// Under GCC the annotations are no-ops and both variants compile; the
+// ctest entries are simply not registered there.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    atmx::MutexLock lock(mutex_);
+    value_ = v;
+  }
+
+  int GetLocked() {
+    atmx::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void NotifyUnderLock() {
+    atmx::MutexLock lock(mutex_);
+    changed_.NotifyAll();
+  }
+
+  void WaitForNonZero() {
+    atmx::MutexLock lock(mutex_);
+    while (value_ == 0) changed_.Wait(mutex_);
+  }
+
+#if defined(ATMX_NC_VIOLATE)
+  // Each of these is one diagnostic class the analysis must reject.
+  int ReadWithoutLock() {
+    return value_;  // -Wthread-safety: reading without holding mutex_
+  }
+
+  void WriteWithoutLock(int v) {
+    value_ = v;  // -Wthread-safety: writing without holding mutex_
+  }
+
+  void WaitWithoutLock() {
+    changed_.Wait(mutex_);  // -Wthread-safety: Wait REQUIRES(mutex_)
+  }
+
+  void ReadUnderWrongLock() {
+    atmx::MutexLock lock(other_mutex_);
+    (void)value_;  // -Wthread-safety: wrong capability held
+  }
+#endif
+
+ private:
+  atmx::Mutex mutex_;
+  atmx::Mutex other_mutex_;
+  atmx::CondVar changed_;
+  int value_ ATMX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  return g.GetLocked() == 1 ? 0 : 1;
+}

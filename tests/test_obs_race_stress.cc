@@ -1,0 +1,166 @@
+// TSan-targeted stress for the observability layer's lock protocols: the
+// MetricsRegistry registration map (mutex-guarded) under concurrent
+// first-use registration and snapshotting, the TraceRecorder's
+// registry-then-shard two-lock nesting (append vs Snapshot/Clear — the
+// exact interleaving the LOCK ORDER comment in obs/trace.h governs), and
+// the DecisionLog ring buffer. Assertions are simple totals; the point is
+// that ThreadSanitizer sees every edge of each protocol under schedules a
+// single-threaded unit test never produces.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace atmx {
+namespace {
+
+using obs::DecisionLog;
+using obs::DecisionRecord;
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+
+TEST(ObsRaceStressTest, MetricsRegistrationAndUpdatesVsSnapshot) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 300;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Snapshot and the renderers walk all three maps under the registry
+    // mutex while writers are concurrently inserting into them.
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.Snapshot();
+      (void)registry.ToJson();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::string mine =
+          "race_test.writer" + std::to_string(w) + ".count";
+      for (int round = 0; round < kRounds; ++round) {
+        // Shared name: every thread races the first-use registration.
+        registry.GetCounter("race_test.shared.count").Increment();
+        // Private name re-looked-up each round: map reads under writes.
+        registry.GetCounter(mine).Increment();
+        registry.GetGauge("race_test.shared.gauge")
+            .Set(static_cast<double>(round));
+        registry.GetHistogram("race_test.shared.hist")
+            .Observe(static_cast<double>(round % 16));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(registry.GetCounter("race_test.shared.count").Value(),
+            static_cast<std::uint64_t>(kWriters) * kRounds);
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(registry
+                  .GetCounter("race_test.writer" + std::to_string(w) +
+                              ".count")
+                  .Value(),
+              static_cast<std::uint64_t>(kRounds));
+  }
+  EXPECT_EQ(registry.GetHistogram("race_test.shared.hist").TotalCount(),
+            static_cast<std::uint64_t>(kWriters) * kRounds);
+}
+
+TEST(ObsRaceStressTest, TraceAppendVsSnapshotAndClear) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 400;
+  std::atomic<bool> stop{false};
+
+  // Snapshot and Clear take registry_mutex_ and then every shard lock
+  // nested inside it; appends take only their own shard lock. This loop
+  // races both against fresh-thread buffer registration (each writer's
+  // first append) and steady-state appends.
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)recorder.Snapshot();
+      (void)recorder.EventCount();
+      recorder.Clear();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::int64_t now = TraceRecorder::NowNanos();
+        recorder.RecordComplete("race", "span", now, 10,
+                                {{"round", round}});
+        recorder.RecordInstant("race", "instant", {{"round", round}});
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  sweeper.join();
+  recorder.Disable();
+  recorder.Clear();
+  EXPECT_EQ(recorder.EventCount(), 0u);
+
+  // The recorder still works single-threaded after the churn.
+  recorder.Enable();
+  recorder.RecordInstant("race", "after");
+  recorder.Disable();
+  EXPECT_EQ(recorder.EventCount(), 1u);
+  recorder.Clear();
+}
+
+TEST(ObsRaceStressTest, DecisionLogRecordVsSnapshot) {
+  DecisionLog& log = DecisionLog::Global();
+  log.SetCapacity(256);  // small ring: force wrap-around under contention
+  log.SetEnabled(true);
+  const std::uint64_t base_total = log.TotalRecorded();
+
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)log.Snapshot();
+      (void)log.ToJson();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        DecisionRecord record;
+        record.op_id = log.NextOpId();
+        record.ti = w;
+        record.tj = round;
+        log.Record(record);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  log.SetEnabled(false);
+
+  EXPECT_EQ(log.TotalRecorded() - base_total,
+            static_cast<std::uint64_t>(kWriters) * kRounds);
+  EXPECT_EQ(log.Snapshot().size(), 256u);  // ring stayed capped
+  log.Clear();
+}
+
+}  // namespace
+}  // namespace atmx

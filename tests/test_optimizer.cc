@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "storage/convert.h"
 #include "tests/test_util.h"
 
@@ -116,6 +120,55 @@ TEST(ConversionCacheTest, SidesAndIndicesAreIndependentKeys) {
   cache.GetDense(ConversionCache::kRight, 1, tile, &seconds);
   cache.GetDense(ConversionCache::kLeft, 2, tile, &seconds);
   EXPECT_EQ(cache.sparse_to_dense_count(), 3);
+}
+
+TEST(ConversionCacheTest, ConversionCountersAreLockProtected) {
+  // Regression for the unlocked counter accessors the thread-safety
+  // migration surfaced: sparse_to_dense_count()/dense_to_sparse_count()
+  // read mutex-guarded fields without taking the mutex, so a caller
+  // polling mid-operation raced the converting workers. Under TSan this
+  // test reproduces the old report; the totals double as a correctness
+  // check either way.
+  CooMatrix coo = atmx::testing::RandomCoo(16, 16, 60, 3);
+  Tile sparse_tile = Tile::MakeSparse(0, 0, CooToCsr(coo));
+  DenseMatrix dense(16, 16);
+  dense.At(1, 2) = 1.0;
+  Tile dense_tile = Tile::MakeDense(0, 0, std::move(dense));
+
+  ConversionCache cache;
+  constexpr int kThreads = 4;
+  constexpr index_t kTilesPerThread = 64;
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    // Counters are monotone; a torn or stale read can only manifest as a
+    // TSan report or a non-monotone observation.
+    index_t last_s2d = 0;
+    index_t last_d2s = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const index_t s2d = cache.sparse_to_dense_count();
+      const index_t d2s = cache.dense_to_sparse_count();
+      EXPECT_GE(s2d, last_s2d);
+      EXPECT_GE(d2s, last_d2s);
+      last_s2d = s2d;
+      last_d2s = d2s;
+    }
+  });
+  std::vector<std::thread> converters;
+  for (int t = 0; t < kThreads; ++t) {
+    converters.emplace_back([&, t] {
+      double seconds = 0.0;
+      for (index_t i = 0; i < kTilesPerThread; ++i) {
+        const index_t idx = t * kTilesPerThread + i;
+        cache.GetDense(ConversionCache::kLeft, idx, sparse_tile, &seconds);
+        cache.GetSparse(ConversionCache::kRight, idx, dense_tile, &seconds);
+      }
+    });
+  }
+  for (auto& t : converters) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_EQ(cache.sparse_to_dense_count(), kThreads * kTilesPerThread);
+  EXPECT_EQ(cache.dense_to_sparse_count(), kThreads * kTilesPerThread);
 }
 
 }  // namespace

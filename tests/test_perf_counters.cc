@@ -167,7 +167,9 @@ TEST(PerfCountersTest, LiveCountersAttributeToSpans) {
     obs::ScopedPerfSpan outer("test", "live_outer", "kernel.live_outer");
     {
       obs::ScopedPerfSpan inner("test", "live_inner", "kernel.live_inner");
-      for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 0.5;
+      for (int i = 0; i < 2000000; ++i) {
+        sink = sink + static_cast<double>(i) * 0.5;
+      }
     }
   }
   recorder.Disable();
@@ -201,7 +203,7 @@ TEST(PerfCountersTest, LiveSnapshotDeltaRoundTrip) {
   ASSERT_TRUE(begin.valid);
   ASSERT_NE(begin.present, 0u);
   volatile double sink = 0.0;
-  for (int i = 0; i < 1000000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<double>(i);
   (void)sink;
   const PerfDelta delta = obs::PerfDeltaSince(begin);
   ASSERT_TRUE(delta.valid);
@@ -209,7 +211,9 @@ TEST(PerfCountersTest, LiveSnapshotDeltaRoundTrip) {
   // Every absent slot stays zero.
   for (int i = 0; i < obs::kNumPerfCounters; ++i) {
     const auto id = static_cast<PerfCounterId>(i);
-    if (!delta.has(id)) EXPECT_EQ(delta[id], 0u);
+    if (!delta.has(id)) {
+      EXPECT_EQ(delta[id], 0u);
+    }
   }
 }
 
