@@ -68,7 +68,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("ablation_granularity", argc, argv);
   atmx::bench::Run();
   return 0;
 }

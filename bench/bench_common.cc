@@ -1,15 +1,22 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <sstream>
+#include <thread>
 
 #include "common/timer.h"
 #include "obs/obs.h"
+#if defined(ATMX_OBS_ENABLED)
+#include "obs/flight_recorder.h"
+#include "obs/snapshot_ring.h"
+#include "obs/stats_server.h"
+#endif
 #include "cost/calibration.h"
 #include "kernels/sparse_kernels.h"
 #include "kernels/dense_kernels.h"
@@ -82,6 +89,90 @@ void MaybeEnableTracing(int argc, char** argv) {
   if (const char* path = std::getenv("ATMX_TRACE_OUT")) {
     if (path[0] != '\0') EnableTracingTo(path);
   }
+}
+
+#if defined(ATMX_OBS_ENABLED)
+
+namespace {
+
+// Set by MaybeStartStatsServer, read by the atexit hook.
+int* StatsLingerSeconds() {
+  static int* seconds = new int(0);
+  return seconds;
+}
+
+void StopStatsAtExit() {
+  const int linger = *StatsLingerSeconds();
+  if (linger > 0) {
+    std::fprintf(stderr, "stats: lingering %d s before shutdown\n", linger);
+    std::this_thread::sleep_for(std::chrono::seconds(linger));
+  }
+  obs::SnapshotSampler::Global().Stop();
+  obs::StatsServer::Global().Stop();
+}
+
+}  // namespace
+
+#endif  // ATMX_OBS_ENABLED
+
+void MaybeStartStatsServer(int argc, char** argv) {
+  int port = -1;  // -1 = not requested
+  static constexpr char kFlag[] = "--stats-port=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      port = std::atoi(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  if (port < 0) {
+    if (const char* env = std::getenv("ATMX_STATS_PORT")) {
+      if (env[0] != '\0') port = std::atoi(env);
+    }
+  }
+  const bool flight = EnvInt("ATMX_FLIGHT", port >= 0 ? 1 : 0) != 0;
+  if (port < 0 && !flight) return;
+#if defined(ATMX_OBS_ENABLED)
+  if (flight) {
+    Status status = obs::FlightRecorder::Global().Install();
+    if (!status.ok()) {
+      std::fprintf(stderr, "stats: flight recorder: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (port < 0) return;
+  obs::StatsServer::Options server_options;
+  server_options.port = port;
+  Status status = obs::StatsServer::Global().Start(server_options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "stats: %s\n", status.ToString().c_str());
+    return;
+  }
+  obs::SnapshotSampler::Options sampler_options;
+  sampler_options.period =
+      std::chrono::milliseconds(EnvInt("ATMX_STATS_PERIOD_MS", 250));
+  status = obs::SnapshotSampler::Global().Start(sampler_options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "stats: sampler: %s\n", status.ToString().c_str());
+  }
+  *StatsLingerSeconds() =
+      static_cast<int>(EnvInt("ATMX_STATS_LINGER", 0));
+  std::atexit(StopStatsAtExit);
+  // CI scrapers parse this line for the ephemeral port; keep the format
+  // stable and flush so it is visible before the bench body starts.
+  std::fprintf(stderr, "stats: serving http://127.0.0.1:%d/metrics\n",
+               obs::StatsServer::Global().port());
+  std::fflush(stderr);
+#else
+  std::fprintf(
+      stderr,
+      "stats: ignoring stats/flight request — built with -DATMX_OBS=OFF\n");
+#endif
+}
+
+void InitBenchTelemetry(const std::string& bench_name, int argc,
+                        char** argv) {
+  MaybeEnableTracing(argc, argv);
+  MaybeEnableBenchReport(bench_name, argc, argv);
+  MaybeStartStatsServer(argc, argv);
 }
 
 BenchEnv BenchEnv::FromEnvironment() {

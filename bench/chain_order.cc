@@ -119,7 +119,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("chain_order", argc, argv);
   atmx::bench::Run();
   return 0;
 }

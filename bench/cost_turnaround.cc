@@ -72,7 +72,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("cost_turnaround", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -108,7 +108,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("curve_locality", argc, argv);
   atmx::bench::Run();
   return 0;
 }

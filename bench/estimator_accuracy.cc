@@ -58,7 +58,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("estimator_accuracy", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -80,7 +80,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("fig10_opt_steps", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -79,7 +79,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("fig2_layout", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -100,7 +100,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("fig5_waterlevel", argc, argv);
   atmx::bench::Run();
   return 0;
 }

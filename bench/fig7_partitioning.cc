@@ -59,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("fig7_partitioning", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -110,8 +110,7 @@ void Run() {
 }  // namespace atmx::bench
 
 int main(int argc, char** argv) {
-  atmx::bench::MaybeEnableTracing(argc, argv);
-  atmx::bench::MaybeEnableBenchReport("fig8_spgemm", argc, argv);
+  atmx::bench::InitBenchTelemetry("fig8_spgemm", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -168,7 +168,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("fig9_mixed", argc, argv);
   atmx::bench::Run();
   return 0;
 }

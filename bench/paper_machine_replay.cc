@@ -86,7 +86,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("paper_machine_replay", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_common.h"
@@ -157,15 +158,27 @@ void RunSkew() {
 }  // namespace atmx::bench
 
 int main(int argc, char** argv) {
-  atmx::bench::MaybeEnableTracing(argc, argv);
+  atmx::bench::InitBenchTelemetry("parallel_scaling", argc, argv);
   bool skew = false;
+  // --repeat=N re-runs the selected workload N times: a long-lived
+  // process for live-scrape / flight-recorder scenarios (CI polls
+  // /metrics between repetitions and expects rate.* gauges to move).
+  int repeat = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skew") == 0) skew = true;
+    static constexpr char kRepeat[] = "--repeat=";
+    if (std::strncmp(argv[i], kRepeat, sizeof(kRepeat) - 1) == 0) {
+      repeat = std::atoi(argv[i] + sizeof(kRepeat) - 1);
+    }
   }
-  if (skew) {
-    atmx::bench::RunSkew();
-  } else {
-    atmx::bench::Run();
+  if (repeat < 1) repeat = 1;
+  for (int run = 0; run < repeat; ++run) {
+    if (repeat > 1) std::printf("=== repetition %d/%d ===\n", run + 1, repeat);
+    if (skew) {
+      atmx::bench::RunSkew();
+    } else {
+      atmx::bench::Run();
+    }
   }
   return 0;
 }

@@ -62,7 +62,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("scale_sweep", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -125,8 +125,7 @@ void Run() {
 }  // namespace atmx::bench
 
 int main(int argc, char** argv) {
-  atmx::bench::MaybeEnableTracing(argc, argv);
-  atmx::bench::MaybeEnableBenchReport("simd_kernels", argc, argv);
+  atmx::bench::InitBenchTelemetry("simd_kernels", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -61,8 +61,7 @@ void Run() {
 }  // namespace atmx::bench
 
 int main(int argc, char** argv) {
-  atmx::bench::MaybeEnableTracing(argc, argv);
-  atmx::bench::MaybeEnableBenchReport("spmv_bench", argc, argv);
+  atmx::bench::InitBenchTelemetry("spmv_bench", argc, argv);
   atmx::bench::Run();
   return 0;
 }

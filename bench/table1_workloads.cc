@@ -52,7 +52,8 @@ void Run() {
 }  // namespace
 }  // namespace atmx::bench
 
-int main() {
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("table1_workloads", argc, argv);
   atmx::bench::Run();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,14 @@ namespace atmx::internal {
 namespace {
 
 thread_local std::string check_context;
+
+std::atomic<CheckFailureHook> failure_hook{nullptr};
+
+void RunFailureHook() {
+  if (CheckFailureHook hook = failure_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
+}
 
 void PrintFailure(const char* file, int line, const char* expr,
                   const char* values) {
@@ -26,8 +35,13 @@ void PrintFailure(const char* file, int line, const char* expr,
 
 const std::string& CheckContext() { return check_context; }
 
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return failure_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 void CheckFailed(const char* file, int line, const char* expr) {
   PrintFailure(file, line, expr, "");
+  RunFailureHook();
   std::abort();
 }
 
@@ -35,6 +49,7 @@ void CheckOpFailedStr(const char* file, int line, const char* expr,
                       const std::string& a, const std::string& b) {
   const std::string values = " (" + a + " vs " + b + ")";
   PrintFailure(file, line, expr, values.c_str());
+  RunFailureHook();
   std::abort();
 }
 

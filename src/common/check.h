@@ -21,6 +21,15 @@ namespace atmx::internal {
 // The current thread's check context ("" when unset).
 const std::string& CheckContext();
 
+// Installs a hook invoked (once, on the failing thread, after the failure
+// message is printed) before a failed ATMX_CHECK aborts the process. Used
+// by the obs flight recorder to persist its pre-rendered dump; the hook
+// must be async-signal-safe-adjacent: it runs in a process about to
+// abort, so no allocation, no locks that kernel code might hold. Passing
+// nullptr uninstalls. Returns the previously installed hook.
+using CheckFailureHook = void (*)();
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
 
 [[noreturn]] void CheckOpFailedStr(const char* file, int line,

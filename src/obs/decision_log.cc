@@ -56,7 +56,11 @@ void DecisionLog::Clear() {
 }
 
 std::string DecisionLog::ToJson() const {
-  const std::vector<DecisionRecord> records = Snapshot();
+  return RenderDecisionRecordsJson(Snapshot());
+}
+
+std::string RenderDecisionRecordsJson(
+    const std::vector<DecisionRecord>& records) {
   std::ostringstream os;
   os << '[';
   bool first = true;

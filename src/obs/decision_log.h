@@ -96,6 +96,12 @@ class DecisionLog {
   std::vector<DecisionRecord> records_ ATMX_GUARDED_BY(mutex_);
 };
 
+// Renders `records` as the ToJson document — factored out so callers
+// holding their own snapshot (the flight recorder's bounded tail) render
+// without re-snapshotting the global log.
+std::string RenderDecisionRecordsJson(
+    const std::vector<DecisionRecord>& records);
+
 }  // namespace atmx::obs
 
 #endif  // ATMX_OBS_DECISION_LOG_H_

@@ -1,0 +1,210 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace atmx::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+bool IsMetricChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::string MangleMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out.push_back('_');
+  }
+  for (char c : name) {
+    out.push_back(IsMetricChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderOpenMetrics(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  for (const MetricSample& s : samples) {
+    const std::string name = MangleMetricName(s.name);
+    switch (s.type) {
+      case MetricSample::Type::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << "_total " << s.counter_value << '\n';
+        break;
+      case MetricSample::Type::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << ' ' << FmtDouble(s.gauge_value) << '\n';
+        break;
+      case MetricSample::Type::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        // Cumulative buckets over the per-bucket counts; the +Inf bucket
+        // is the coherently snapshotted total count, which the Observe
+        // ordering guarantees is >= the sum of the per-bucket counts (see
+        // Histogram::TakeSnapshot), so the series stays non-decreasing
+        // and +Inf == _count as OpenMetrics requires.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          if (i < s.buckets.size()) cumulative += s.buckets[i];
+          os << name << "_bucket{le=\"" << FmtDouble(s.bounds[i]) << "\"} "
+             << cumulative << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << s.count << '\n';
+        os << name << "_sum " << FmtDouble(s.sum) << '\n';
+        os << name << "_count " << s.count << '\n';
+        break;
+      }
+    }
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+std::string RenderMetricsJson(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) os << ",\n";
+    first = false;
+    os << '"' << EscapeJson(s.name) << "\":";
+    switch (s.type) {
+      case MetricSample::Type::kCounter:
+        os << s.counter_value;
+        break;
+      case MetricSample::Type::kGauge:
+        os << FmtDouble(s.gauge_value);
+        break;
+      case MetricSample::Type::kHistogram: {
+        os << "{\"count\":" << s.count << ",\"sum\":" << FmtDouble(s.sum)
+           << ",\"bounds\":[";
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          if (i > 0) os << ',';
+          os << FmtDouble(s.bounds[i]);
+        }
+        os << "],\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) os << ',';
+          os << s.buckets[i];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+namespace {
+
+// Advances past one balanced JSON value starting at `i` ('{' or '['),
+// honouring string literals. Returns the index one past the value (or
+// `n` on truncated input).
+std::size_t SkipBalanced(std::string_view s, std::size_t i) {
+  const std::size_t n = s.size();
+  int depth = 0;
+  bool in_string = false;
+  for (; i < n; ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return n;
+}
+
+// Reads a JSON string starting at the opening quote `i`; appends the
+// unescaped-enough key (escapes kept verbatim except \" and \\) and
+// returns the index one past the closing quote.
+std::size_t ReadString(std::string_view s, std::size_t i, std::string* out) {
+  const std::size_t n = s.size();
+  ++i;  // opening quote
+  for (; i < n; ++i) {
+    const char c = s[i];
+    if (c == '\\' && i + 1 < n) {
+      out->push_back(s[i + 1]);
+      ++i;
+    } else if (c == '"') {
+      return i + 1;
+    } else {
+      out->push_back(c);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> ExtractTopLevelNumbers(
+    std::string_view json) {
+  std::vector<std::pair<std::string, double>> out;
+  const std::size_t n = json.size();
+  std::size_t i = 0;
+  while (i < n && std::isspace(static_cast<unsigned char>(json[i]))) ++i;
+  if (i >= n || json[i] != '{') return out;
+  ++i;
+  while (i < n) {
+    while (i < n && json[i] != '"' && json[i] != '}') ++i;
+    if (i >= n || json[i] == '}') break;
+    std::string key;
+    i = ReadString(json, i, &key);
+    while (i < n && json[i] != ':') ++i;
+    if (i >= n) break;
+    ++i;  // ':'
+    while (i < n && std::isspace(static_cast<unsigned char>(json[i]))) ++i;
+    if (i >= n) break;
+    const char c = json[i];
+    if (c == '{' || c == '[') {
+      i = SkipBalanced(json, i);
+    } else if (c == '"') {
+      std::string ignored;
+      i = ReadString(json, i, &ignored);
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::string number(json.substr(i, 64));
+      char* end = nullptr;
+      const double value = std::strtod(number.c_str(), &end);
+      if (end != number.c_str()) {
+        out.emplace_back(std::move(key), value);
+        i += static_cast<std::size_t>(end - number.c_str());
+      } else {
+        ++i;
+      }
+    } else {
+      // true/false/null: skip the literal.
+      while (i < n && json[i] != ',' && json[i] != '}') ++i;
+    }
+    while (i < n && json[i] != ',' && json[i] != '}') ++i;
+    if (i < n && json[i] == ',') ++i;
+    if (i < n && json[i] == '}') break;
+  }
+  return out;
+}
+
+}  // namespace atmx::obs

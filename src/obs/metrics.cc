@@ -5,7 +5,7 @@
 
 #include "common/check.h"
 #include "common/table_printer.h"
-#include "obs/json_util.h"
+#include "obs/exposition.h"
 
 namespace atmx::obs {
 
@@ -20,7 +20,11 @@ void Histogram::Observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t bucket =
       static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Ordering contract with TakeSnapshot: count (and sum) update first,
+  // the bucket last with release. A snapshot acquire-loads the buckets
+  // before reading count, so every observation visible in a bucket has
+  // its count increment visible too — count >= Σbuckets in any snapshot,
+  // no matter how many Observe calls race with it.
   count_.fetch_add(1, std::memory_order_relaxed);
   // fetch_add on atomic<double> requires C++20 library support that gcc
   // lacks at some versions; a CAS loop is portable and uncontended-cheap.
@@ -28,6 +32,7 @@ void Histogram::Observe(double value) {
   while (!sum_.compare_exchange_weak(sum, sum + value,
                                      std::memory_order_relaxed)) {
   }
+  buckets_[bucket].fetch_add(1, std::memory_order_release);
 }
 
 std::vector<std::uint64_t> Histogram::BucketCounts() const {
@@ -36,6 +41,20 @@ std::vector<std::uint64_t> Histogram::BucketCounts() const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return counts;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(buckets_.size());
+  // Buckets first, with acquire: any increment we see here synchronizes
+  // with the releasing fetch_add in Observe, making the matching count
+  // increment (sequenced before it) visible to the loads below.
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_acquire);
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 void Histogram::Reset() {
@@ -114,9 +133,10 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     s.name = name;
     s.type = MetricSample::Type::kHistogram;
     s.bounds = histogram->bounds();
-    s.buckets = histogram->BucketCounts();
-    s.count = histogram->TotalCount();
-    s.sum = histogram->Sum();
+    Histogram::Snapshot snap = histogram->TakeSnapshot();
+    s.buckets = std::move(snap.buckets);
+    s.count = snap.count;
+    s.sum = snap.sum;
     samples.push_back(std::move(s));
   }
   std::sort(samples.begin(), samples.end(),
@@ -133,51 +153,8 @@ void MetricsRegistry::ResetAll() {
   for (const auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
-namespace {
-
-std::string FmtDouble(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return std::string(buf);
-}
-
-}  // namespace
-
 std::string MetricsRegistry::ToJson() const {
-  const std::vector<MetricSample> samples = Snapshot();
-  std::ostringstream os;
-  os << '{';
-  bool first = true;
-  for (const MetricSample& s : samples) {
-    if (!first) os << ",\n";
-    first = false;
-    os << '"' << EscapeJson(s.name) << "\":";
-    switch (s.type) {
-      case MetricSample::Type::kCounter:
-        os << s.counter_value;
-        break;
-      case MetricSample::Type::kGauge:
-        os << FmtDouble(s.gauge_value);
-        break;
-      case MetricSample::Type::kHistogram: {
-        os << "{\"count\":" << s.count << ",\"sum\":" << FmtDouble(s.sum)
-           << ",\"bounds\":[";
-        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
-          if (i > 0) os << ',';
-          os << FmtDouble(s.bounds[i]);
-        }
-        os << "],\"buckets\":[";
-        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
-          if (i > 0) os << ',';
-          os << s.buckets[i];
-        }
-        os << "]}";
-        break;
-      }
-    }
-  }
-  os << '}';
-  return os.str();
+  return RenderMetricsJson(Snapshot());
 }
 
 std::string MetricsRegistry::ToTable() const {

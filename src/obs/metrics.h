@@ -60,6 +60,16 @@ class Gauge {
 // consumers can derive the mean.
 class Histogram {
  public:
+  // Coherent-enough view of a histogram taken concurrently with Observe:
+  // `count >= sum of buckets` always holds (see the ordering contract in
+  // Observe/TakeSnapshot), which the cumulative OpenMetrics rendering
+  // (+Inf bucket == _count, non-decreasing series) depends on.
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  // size bounds().size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
@@ -67,6 +77,9 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   // Bucket counts, size bounds().size() + 1 (last = overflow).
   std::vector<std::uint64_t> BucketCounts() const;
+  // Buckets + count + sum with the count >= Σbuckets guarantee; scrapes
+  // and registry snapshots use this instead of three independent reads.
+  Snapshot TakeSnapshot() const;
   std::uint64_t TotalCount() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -101,6 +114,10 @@ struct MetricSample {
 
 class MetricsRegistry {
  public:
+  // Stand-alone registries are constructible for tests; production code
+  // uses the Global() instance.
+  MetricsRegistry() = default;
+
   static MetricsRegistry& Global();
 
   // Returns the metric registered under `name`, creating it on first use.
@@ -129,8 +146,6 @@ class MetricsRegistry {
   static std::vector<double> DefaultBounds();
 
  private:
-  MetricsRegistry() = default;
-
   // Guards the registration maps only; the metric objects themselves are
   // lock-free and stay valid (stable addresses) once created, so cached
   // references update without ever touching mutex_ again.

@@ -1,0 +1,158 @@
+#include "obs/snapshot_ring.h"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+
+namespace atmx::obs {
+
+std::vector<std::pair<std::string, double>> DeriveRates(
+    const TimedSnapshot& older, const TimedSnapshot& newer) {
+  std::vector<std::pair<std::string, double>> rates;
+  const double dt =
+      static_cast<double>(newer.ts_ns - older.ts_ns) / 1e9;
+  if (dt <= 0.0) return rates;
+  std::map<std::string_view, std::uint64_t> old_counters;
+  for (const MetricSample& s : older.samples) {
+    if (s.type == MetricSample::Type::kCounter) {
+      old_counters[s.name] = s.counter_value;
+    }
+  }
+  double write_bytes_delta = 0.0;
+  bool have_write_bytes = false;
+  for (const MetricSample& s : newer.samples) {
+    if (s.type != MetricSample::Type::kCounter) continue;
+    const auto it = old_counters.find(s.name);
+    const std::uint64_t old_value =
+        it == old_counters.end() ? 0 : it->second;
+    // A counter below its old value means the registry was reset
+    // mid-window; report a zero rate rather than a negative one.
+    const double delta =
+        s.counter_value >= old_value
+            ? static_cast<double>(s.counter_value - old_value)
+            : 0.0;
+    rates.emplace_back("rate." + s.name, delta / dt);
+    if (s.name == "atmult.bytes.local_write" ||
+        s.name == "atmult.bytes.remote_write") {
+      write_bytes_delta += delta;
+      have_write_bytes = true;
+    }
+  }
+  if (have_write_bytes) {
+    rates.emplace_back("rate.atmult.result_bytes", write_bytes_delta / dt);
+  }
+  return rates;
+}
+
+SnapshotSampler& SnapshotSampler::Global() {
+  static SnapshotSampler* sampler = new SnapshotSampler();
+  return *sampler;
+}
+
+SnapshotSampler::~SnapshotSampler() { Stop(); }
+
+Status SnapshotSampler::Start(const Options& options) {
+  if (options.period.count() <= 0) {
+    return Status::InvalidArgument("sampler period must be positive");
+  }
+  if (options.ring_capacity < 2) {
+    return Status::InvalidArgument("sampler ring_capacity must be >= 2");
+  }
+  MutexLock lock(mu_);
+  if (running_) {
+    return Status::Internal("SnapshotSampler already running");
+  }
+  options_ = options;
+  stop_requested_ = false;
+  running_ = true;
+  // The thread samples immediately (seeding the ring), then ticks.
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::Ok();
+}
+
+void SnapshotSampler::Stop() {
+  std::thread joined;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    joined = std::move(thread_);
+  }
+  cv_.NotifyAll();
+  if (joined.joinable()) joined.join();
+}
+
+bool SnapshotSampler::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+void SnapshotSampler::ThreadMain() {
+  for (;;) {
+    SampleOnce();
+    MutexLock lock(mu_);
+    if (stop_requested_) return;
+    cv_.WaitFor(mu_, options_.period);
+    if (stop_requested_) return;
+  }
+}
+
+MetricsRegistry& SnapshotSampler::registry() const {
+  MetricsRegistry* reg;
+  {
+    MutexLock lock(mu_);
+    reg = options_.registry;
+  }
+  return reg != nullptr ? *reg : MetricsRegistry::Global();
+}
+
+void SnapshotSampler::SampleOnce() {
+  MetricsRegistry& reg = registry();
+  TimedSnapshot snap;
+  snap.ts_ns = TraceRecorder::NowNanos();
+  snap.samples = reg.Snapshot();
+
+  std::vector<std::pair<std::string, double>> rates;
+  double window_seconds = 0.0;
+  bool publish;
+  {
+    MutexLock lock(mu_);
+    publish = options_.publish_rates;
+    if (!ring_.empty()) {
+      window_seconds =
+          static_cast<double>(snap.ts_ns - ring_.back().ts_ns) / 1e9;
+      rates = DeriveRates(ring_.back(), snap);
+    }
+    ring_.push_back(std::move(snap));
+    const std::size_t cap = std::max<std::size_t>(options_.ring_capacity, 2);
+    while (ring_.size() > cap) ring_.pop_front();
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+
+  if (publish) {
+    for (const auto& [name, value] : rates) {
+      reg.GetGauge(name).Set(value);
+    }
+    if (window_seconds > 0.0) {
+      reg.GetGauge("sampler.window_seconds").Set(window_seconds);
+    }
+    reg.GetCounter("sampler.ticks").Increment();
+  }
+
+  // Keep the crash dump at most one tick stale.
+  FlightRecorder::Global().Refresh();
+}
+
+std::vector<TimedSnapshot> SnapshotSampler::History(
+    std::size_t max_count) const {
+  MutexLock lock(mu_);
+  const std::size_t n = std::min(max_count, ring_.size());
+  return std::vector<TimedSnapshot>(ring_.end() - static_cast<long>(n),
+                                    ring_.end());
+}
+
+}  // namespace atmx::obs

@@ -1,0 +1,125 @@
+// Windowed-rate sampler: a background thread that takes periodic
+// MetricsRegistry snapshots into a fixed ring and, from each consecutive
+// pair, derives per-second rates for every counter — published back into
+// the registry as `rate.<counter-name>` gauges (plus the composite
+// `rate.atmult.result_bytes` over the local+remote write-byte counters).
+// Cumulative counters answer "how much since process start"; the rate
+// gauges answer "how fast right now", which is what a live scrape of
+// `/metrics` (stats_server.h) or `atmx watch` wants.
+//
+// The sampler also keeps the flight recorder's pre-rendered crash dump
+// fresh: each tick re-renders the dump buffers (flight_recorder.h), so a
+// fatal signal at any point persists a snapshot at most one period old.
+//
+// Sampler bookkeeping metrics: `sampler.ticks` (counter),
+// `sampler.window_seconds` (gauge, measured width of the last window).
+//
+// Compiled only under -DATMX_OBS=ON.
+
+#ifndef ATMX_OBS_SNAPSHOT_RING_H_
+#define ATMX_OBS_SNAPSHOT_RING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace atmx::obs {
+
+// One registry snapshot with the steady-clock instant it was taken
+// (TraceRecorder::NowNanos epoch, so snapshots and trace events share a
+// timeline).
+struct TimedSnapshot {
+  std::int64_t ts_ns = 0;
+  std::vector<MetricSample> samples;
+};
+
+// Derives `rate.*` gauge values from two snapshots of the same registry:
+// for every counter in `newer`, (newer - older) / window_seconds (older
+// value 0 when the counter registered mid-window; 0.0 instead of a
+// negative rate when the registry was reset mid-window), plus
+// `rate.atmult.result_bytes` summing the atmult.bytes.{local,remote}_write
+// deltas when present. Returns an empty vector when the window is empty
+// or non-positive. Pure function of its inputs — tests drive it with
+// hand-built snapshots.
+std::vector<std::pair<std::string, double>> DeriveRates(
+    const TimedSnapshot& older, const TimedSnapshot& newer);
+
+// The background sampler. Start/Stop are idempotent-safe to call from one
+// controlling thread; sampling itself runs on a dedicated thread created
+// by Start.
+class SnapshotSampler {
+ public:
+  struct Options {
+    // Tick period. The rate window equals the period in steady state.
+    std::chrono::milliseconds period{500};
+    // Snapshots retained; >= 2 so a rate window always exists.
+    std::size_t ring_capacity = 120;
+    // Publish rate.* gauges back into the registry (off in tests that
+    // want DeriveRates output without registry side effects).
+    bool publish_rates = true;
+    // Registry to sample; nullptr = MetricsRegistry::Global().
+    MetricsRegistry* registry = nullptr;
+  };
+
+  // Process-wide sampler used by bench_common / stats_server wiring.
+  static SnapshotSampler& Global();
+
+  SnapshotSampler() = default;
+  ~SnapshotSampler();
+
+  SnapshotSampler(const SnapshotSampler&) = delete;
+  SnapshotSampler& operator=(const SnapshotSampler&) = delete;
+
+  // Seeds the ring with one immediate sample and launches the thread.
+  // InvalidArgument on a non-positive period or ring_capacity < 2;
+  // Internal if already running.
+  [[nodiscard]] Status Start(const Options& options);
+
+  // Signals the thread, joins it, and leaves the ring intact. No-op when
+  // not running.
+  void Stop();
+
+  bool running() const;
+
+  // Takes one sample now (also the per-tick body): snapshot the registry,
+  // push into the ring, derive + publish rates against the previous
+  // entry, refresh the flight recorder. Callable without Start for
+  // deterministic tests.
+  void SampleOnce();
+
+  // The newest `max_count` snapshots, oldest first.
+  std::vector<TimedSnapshot> History(std::size_t max_count) const;
+
+  // Samples taken so far (including the seed sample).
+  std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ThreadMain();
+
+  MetricsRegistry& registry() const;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  Options options_ ATMX_GUARDED_BY(mu_);
+  bool running_ ATMX_GUARDED_BY(mu_) = false;
+  bool stop_requested_ ATMX_GUARDED_BY(mu_) = false;
+  std::thread thread_ ATMX_GUARDED_BY(mu_);
+  std::deque<TimedSnapshot> ring_ ATMX_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+}  // namespace atmx::obs
+
+#endif  // ATMX_OBS_SNAPSHOT_RING_H_

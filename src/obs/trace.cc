@@ -153,7 +153,10 @@ std::size_t TraceRecorder::EventCount() const {
 }
 
 std::string TraceRecorder::ToJson() const {
-  const std::vector<TraceEvent> events = Snapshot();
+  return RenderTraceEventsJson(Snapshot());
+}
+
+std::string RenderTraceEventsJson(const std::vector<TraceEvent>& events) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;

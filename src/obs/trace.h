@@ -186,6 +186,12 @@ class ScopedSpan {
   std::vector<TraceArg> args_;
 };
 
+// Renders `events` as a complete Chrome trace_event JSON document:
+// {"traceEvents":[...],"displayTimeUnit":"ms"}. TraceRecorder::ToJson is
+// this over a full Snapshot(); the flight recorder calls it directly with
+// a bounded tail of the ring so a crash dump stays small.
+std::string RenderTraceEventsJson(const std::vector<TraceEvent>& events);
+
 }  // namespace atmx::obs
 
 #endif  // ATMX_OBS_TRACE_H_

@@ -117,7 +117,7 @@ CsrMatrix CsrFromSlice(const CooEntry* entries, index_t count, index_t r0,
 // Materializes the region [z0, z1) as one tile of the given class.
 void MaterializeRegion(PartitionContext* ctx, std::uint64_t z0,
                        std::uint64_t z1, index_t nnz, bool dense_class) {
-  ctx->materialize_timer.Start();
+  ctx->materialize_timer.Resume();
   const RegionBox box = RegionOf(*ctx, z0, z1);
   // Element slice: block range [z0, z1) covers element Z-values
   // [z0 * b^2, z1 * b^2).
@@ -143,7 +143,7 @@ void MaterializeRegion(PartitionContext* ctx, std::uint64_t z0,
         box.r0, box.c0,
         CsrFromSlice(slice, count, box.r0, box.c0, box.rows, box.cols)));
   }
-  ctx->materialize_timer.Stop();
+  ctx->materialize_timer.Pause();
 }
 
 // Alg. 1, RecQtPart: returns what the region [z0, z1) wants its parent to

@@ -123,6 +123,52 @@ TEST(ObsRaceStressTest, TraceAppendVsSnapshotAndClear) {
   recorder.Clear();
 }
 
+TEST(ObsRaceStressTest, HistogramObserveVsTakeSnapshotStaysCoherent) {
+  // Observe orders count -> sum -> bucket and TakeSnapshot reads buckets
+  // first, so every concurrent snapshot must satisfy count >= Σbuckets —
+  // the invariant the cumulative OpenMetrics rendering (+Inf == _count,
+  // non-decreasing series) is built on. Check it on every snapshot taken
+  // while writers are mid-Observe, not just at quiescence.
+  obs::Histogram hist({1.0, 8.0, 64.0});
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 20000;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots_checked{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::Histogram::Snapshot snap = hist.TakeSnapshot();
+      std::uint64_t bucket_total = 0;
+      for (const std::uint64_t b : snap.buckets) bucket_total += b;
+      ASSERT_GE(snap.count, bucket_total);
+      ASSERT_EQ(snap.buckets.size(), hist.bounds().size() + 1);
+      snapshots_checked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        hist.Observe(static_cast<double>(round % 100));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_GT(snapshots_checked.load(), 0u);
+
+  // Quiescent totals line up exactly once the races end.
+  const obs::Histogram::Snapshot final_snap = hist.TakeSnapshot();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kWriters) * kRounds;
+  EXPECT_EQ(final_snap.count, expected);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : final_snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, expected);
+}
+
 TEST(ObsRaceStressTest, DecisionLogRecordVsSnapshot) {
   DecisionLog& log = DecisionLog::Global();
   log.SetCapacity(256);  // small ring: force wrap-around under contention

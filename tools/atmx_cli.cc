@@ -14,25 +14,38 @@
 //   atmx profile <a> <b>                 multiply with hardware counters,
 //                                        print a per-kernel-variant table
 //                                        (cycles, IPC, LLC miss rate, ...)
+//   atmx watch <url>                     poll a live stats endpoint
+//                                        (bench --stats-port=...) and
+//                                        render a rate table per tick
 //
 // Files ending in .mtx are MatrixMarket; .atm/.bin are the library's
 // binary format (AT MATRIX or staged COO). Config knobs come from the
 // same ATMX_* environment variables as the benchmarks.
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/config.h"
 #include "common/table_printer.h"
 #include "gen/workloads.h"
 #include "kernels/kernel_dispatch.h"
 #include "obs/obs.h"
+#if defined(ATMX_OBS_ENABLED)
+#include "obs/exposition.h"
+#include "obs/stats_server.h"
+#endif
 #include "ops/atmult.h"
 #include "ops/explain.h"
 #include "storage/convert.h"
@@ -427,6 +440,136 @@ int CmdProfile(const std::string& a_path, const std::string& b_path) {
 #endif
 }
 
+#if defined(ATMX_OBS_ENABLED)
+// One `atmx watch` tick: everything needed to turn two consecutive
+// /metrics.json scrapes into a rate table.
+struct WatchSample {
+  std::chrono::steady_clock::time_point when;
+  std::map<std::string, double> values;
+};
+
+WatchSample MakeWatchSample(const std::string& body) {
+  WatchSample sample;
+  sample.when = std::chrono::steady_clock::now();
+  for (auto& [name, value] : obs::ExtractTopLevelNumbers(body)) {
+    sample.values.emplace(std::move(name), value);
+  }
+  return sample;
+}
+
+std::string FmtWatchValue(double value) {
+  const double rounded = std::nearbyint(value);
+  if (std::fabs(value - rounded) < 1e-9 && std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(rounded));
+  }
+  return TablePrinter::Fmt(value, 3);
+}
+#endif  // ATMX_OBS_ENABLED
+
+int CmdWatch(const std::string& url, int interval_ms, int count) {
+#if defined(ATMX_OBS_ENABLED)
+  Result<obs::HttpUrl> parsed = obs::ParseHttpUrl(url);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  obs::HttpUrl target = parsed.value();
+  // Watch consumes the JSON document; accept a bare host:port or a
+  // /metrics URL and land on /metrics.json either way.
+  if (target.path == "/" || target.path == "/metrics") {
+    target.path = "/metrics.json";
+  }
+
+  const bool is_tty = isatty(STDOUT_FILENO) != 0;
+  std::optional<WatchSample> previous;
+  int successful_scrapes = 0;
+  for (int tick = 0; count <= 0 || tick < count; ++tick) {
+    Result<std::string> body =
+        obs::HttpGet(target.host, target.port, target.path);
+    if (!body.ok()) {
+      if (successful_scrapes > 0) {
+        std::printf("watch: endpoint gone (%s) after %d scrapes, done\n",
+                    body.status().ToString().c_str(), successful_scrapes);
+        return 0;
+      }
+      std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+      return 1;
+    }
+    ++successful_scrapes;
+    WatchSample sample = MakeWatchSample(body.value());
+
+    if (previous) {
+      const double dt =
+          std::chrono::duration<double>(sample.when - previous->when)
+              .count();
+      // Rows: every metric that moved since the last scrape, with a
+      // client-side delta/s; the server's own windowed `rate.*` gauges
+      // ride along even when momentarily flat so the table keeps shape.
+      struct Row {
+        const std::string* name;
+        double value;
+        double rate;
+      };
+      std::vector<Row> rows;
+      for (const auto& [name, value] : sample.values) {
+        const auto old = previous->values.find(name);
+        const double delta =
+            old != previous->values.end() ? value - old->second : value;
+        const bool is_server_rate = name.rfind("rate.", 0) == 0;
+        if (delta == 0.0 && !is_server_rate) continue;
+        rows.push_back(
+            {&name, value, is_server_rate || dt <= 0.0 ? 0.0 : delta / dt});
+      }
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const Row& a, const Row& b) {
+                         return std::fabs(a.rate) > std::fabs(b.rate);
+                       });
+      constexpr std::size_t kMaxRows = 30;
+      const std::size_t shown = std::min(rows.size(), kMaxRows);
+
+      if (is_tty && tick > 1) std::printf("\x1b[H\x1b[2J");
+      std::printf("watch %s:%d%s  tick %d  dt %.2fs  (%zu of %zu moving)\n",
+                  target.host.c_str(), target.port, target.path.c_str(),
+                  tick, dt, shown, rows.size());
+      TablePrinter table({"metric", "value", "delta/s"});
+      for (std::size_t i = 0; i < shown; ++i) {
+        // Server-derived rate.* gauges already are per-second rates;
+        // the delta/s column would just be their second derivative.
+        table.AddRow({*rows[i].name, FmtWatchValue(rows[i].value),
+                      rows[i].name->rfind("rate.", 0) == 0
+                          ? std::string("-")
+                          : TablePrinter::Fmt(rows[i].rate, 1)});
+      }
+      table.Print();
+      if (rows.empty()) std::printf("(idle: no metric moved)\n");
+      std::printf("\n");
+      std::fflush(stdout);
+    } else {
+      const std::string ticks_note =
+          count > 0 ? " for " + std::to_string(count) + " ticks"
+                    : std::string();
+      std::printf("watch: %zu metrics at %s:%d%s, polling every %d ms%s\n",
+                  sample.values.size(), target.host.c_str(), target.port,
+                  target.path.c_str(), interval_ms, ticks_note.c_str());
+      std::fflush(stdout);
+    }
+    previous = std::move(sample);
+    if (count > 0 && tick + 1 >= count) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+#else
+  (void)url;
+  (void)interval_ms;
+  (void)count;
+  std::fprintf(stderr,
+               "error: this binary was built with -DATMX_OBS=OFF; "
+               "rebuild with -DATMX_OBS=ON for watch\n");
+  return 1;
+#endif
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -439,7 +582,8 @@ int Usage() {
                "  atmx gen <workload-id> <scale> <out>\n"
                "  atmx trace <a> <b> <out.trace.json>\n"
                "  atmx metrics <a> <b> [--json]\n"
-               "  atmx profile <a> <b>\n");
+               "  atmx profile <a> <b>\n"
+               "  atmx watch <url> [--interval=ms] [--count=n]\n");
   return 2;
 }
 
@@ -468,5 +612,22 @@ int main(int argc, char** argv) {
     return CmdMetrics(argv[2], argv[3], as_json);
   }
   if (cmd == "profile" && argc == 4) return CmdProfile(argv[2], argv[3]);
+  if (cmd == "watch" && argc >= 3) {
+    int interval_ms = 1000;
+    int count = 0;  // 0 = poll until the endpoint disappears
+    for (int i = 3; i < argc; ++i) {
+      static constexpr char kInterval[] = "--interval=";
+      static constexpr char kCount[] = "--count=";
+      if (std::strncmp(argv[i], kInterval, sizeof(kInterval) - 1) == 0) {
+        interval_ms = std::atoi(argv[i] + sizeof(kInterval) - 1);
+      } else if (std::strncmp(argv[i], kCount, sizeof(kCount) - 1) == 0) {
+        count = std::atoi(argv[i] + sizeof(kCount) - 1);
+      } else {
+        return Usage();
+      }
+    }
+    if (interval_ms < 1) interval_ms = 1;
+    return CmdWatch(argv[2], interval_ms, count);
+  }
   return Usage();
 }

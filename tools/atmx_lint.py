@@ -42,7 +42,12 @@ The checks (each with a self-test in tools/test_atmx_lint.py):
                          blocks or re-enters the locking object under a
                          held lock is a deadlock waiting to happen. The
                          scheduler's contract is lock -> pop -> unlock ->
-                         invoke.
+                         invoke. The same check bans blocking socket calls
+                         (accept/recv/send/sendto/write) under a held
+                         MutexLock in src/obs/stats_server.cc: a stuck
+                         client must never be able to wedge Start/Stop.
+                         shutdown(2)/close(2) stay allowed — they are how
+                         Stop unwedges the listener.
 
 Exit status 0 when clean, 1 when any check reports a violation, 2 on usage
 errors. Output is one `path:line: [check] message` per violation, so the
@@ -317,11 +322,20 @@ LOCK_DECL_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]")
 CALLBACK_CALL_RE = re.compile(
     r"(?:(?<![\w.>:])(?:run|fn|cost_of|home_of|callback)\s*\(|"
     r"\(\s*\*\s*job\s*\)\s*\()")
+# Blocking socket syscalls that must not run under the stats-server
+# lifecycle mutex. The lookbehind rejects member calls (`x.send(`,
+# `p->send(`) but accepts the bare and `::`-qualified forms the file
+# uses. shutdown/close are deliberately absent: Stop() calls them under
+# mu_ to unblock the listener, which is the point of the discipline.
+SOCKET_CALL_RE = re.compile(
+    r"(?<![\w.>])(?:accept|recv|send|sendto|write)\s*\(")
+SOCKET_CHECKED_FILES = (os.path.join("obs", "stats_server.cc"),)
 
 
 def check_no_lock_across_callback(repo: str) -> List[Violation]:
     violations = []
     for path in iter_files(repo, "src", (".cc", ".h")):
+        socket_checked = any(path.endswith(f) for f in SOCKET_CHECKED_FILES)
         code = strip_comments_and_strings(read(path))
         depth = 0
         lock_depths: List[int] = []  # brace depth at each active MutexLock
@@ -343,6 +357,12 @@ def check_no_lock_across_callback(repo: str) -> List[Violation]:
                     "user-supplied callback invoked while a MutexLock is "
                     "held; unlock before invoking (lock -> pop -> unlock "
                     "-> invoke)"))
+            if lock_depths and socket_checked and SOCKET_CALL_RE.search(line):
+                violations.append(Violation(
+                    path, lineno, "no-lock-across-callback",
+                    "blocking socket call under a held MutexLock in the "
+                    "stats server; a stuck client could wedge Start/Stop "
+                    "(release mu_ before accept/recv/send)"))
             if LOCK_DECL_RE.search(line):
                 lock_depths.append(depth)
         # (unbalanced braces reset naturally at EOF; next file restarts)

@@ -219,6 +219,58 @@ class LintCheckTest(unittest.TestCase):
             "}\n"))
         self.assertEqual(self.run_check("no-lock-across-callback"), [])
 
+    def test_socket_call_under_lock_flagged(self):
+        self.repo.write("src/obs/stats_server.cc", (
+            "void StatsServer::ThreadMain() {\n"
+            "  MutexLock lock(mu_);\n"
+            "  const int fd = accept(listen_fd, nullptr, nullptr);\n"
+            "  send(fd, body.data(), body.size(), 0);\n"
+            "}\n"))
+        v = self.run_check("no-lock-across-callback")
+        self.assertEqual(len(v), 2)
+        self.assertIn("socket call", v[0].message)
+
+    def test_socket_call_outside_lock_clean(self):
+        self.repo.write("src/obs/stats_server.cc", (
+            "void StatsServer::ThreadMain() {\n"
+            "  {\n"
+            "    MutexLock lock(mu_);\n"
+            "    running_ = true;\n"
+            "  }\n"
+            "  const int fd = accept(listen_fd, nullptr, nullptr);\n"
+            "  send(fd, body.data(), body.size(), 0);\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-callback"), [])
+
+    def test_shutdown_under_lock_allowed(self):
+        # Stop() holds mu_ while shutting the listener down — that is how
+        # it unblocks accept, and the check must not ban it.
+        self.repo.write("src/obs/stats_server.cc", (
+            "void StatsServer::Stop() {\n"
+            "  MutexLock lock(mu_);\n"
+            "  shutdown(fd, SHUT_RDWR);\n"
+            "  close(fd);\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-callback"), [])
+
+    def test_socket_call_under_lock_other_file_not_flagged(self):
+        # The socket rule is scoped to the stats server; write() on a
+        # plain fd elsewhere under a lock is out of its jurisdiction.
+        self.repo.write("src/io/ok.cc", (
+            "void Flush() {\n"
+            "  MutexLock lock(mu_);\n"
+            "  write(fd_, buf, n);\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-callback"), [])
+
+    def test_member_named_send_under_lock_clean(self):
+        self.repo.write("src/obs/stats_server.cc", (
+            "void StatsServer::Poke() {\n"
+            "  MutexLock lock(mu_);\n"
+            "  channel_.send(1);\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-callback"), [])
+
 
 class RealRepoTest(unittest.TestCase):
     """The actual repository must satisfy every invariant."""
