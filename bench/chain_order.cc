@@ -26,9 +26,11 @@ struct ChainCase {
   std::vector<CooMatrix> matrices;
 };
 
-double MeasurePlan(const std::vector<const ATMatrix*>& chain,
+double MeasurePlan(const std::string& case_name,
+                   const std::vector<const ATMatrix*>& chain,
                    const ChainPlan& plan, const AtMult& op) {
-  return MeasureSeconds([&] { ExecuteChain(chain, plan, op); });
+  return BenchReporter::Global().MeasureCase(
+      case_name, [&] { ExecuteChain(chain, plan, op); });
 }
 
 // A left-to-right plan for comparison: split[i][j] = j - 1.
@@ -43,6 +45,7 @@ ChainPlan LeftToRightPlan(int n) {
 
 void Run() {
   BenchEnv env = BenchEnv::FromEnvironment();
+  BenchReporter::Global().Configure("chain_order", env);
   std::printf("=== Chain-order optimization (SpMacho extension) ===\n");
   std::printf("%s\n\n", env.Describe().c_str());
 
@@ -101,8 +104,10 @@ void Run() {
     const double est_ltr =
         EstimateLeftToRightCost(maps, env.cost_model, env.config.rho_write);
 
-    const double t_planned = MeasurePlan(chain, planned, op);
-    const double t_ltr = MeasurePlan(chain, ltr, op);
+    const double t_planned =
+        MeasurePlan(std::string(c.name) + ".planned", chain, planned, op);
+    const double t_ltr =
+        MeasurePlan(std::string(c.name) + ".ltr", chain, ltr, op);
     table.AddRow({c.name, planned.ToString(),
                   TablePrinter::Fmt(t_planned, 4),
                   TablePrinter::Fmt(t_ltr, 4),

@@ -1,0 +1,150 @@
+// Extension experiment: the tall-skinny SpMM regime and fused chains.
+//
+// Workloads of the form A * X with A a big sparse (R-MAT-like) matrix and
+// X a dense n x 64 panel are the backbone of iterative solvers and graph
+// embeddings. Two claims are measured here:
+//
+//   1. SpMM panel kernels: ATMULT on A * X routes the sparse x dense
+//      row-panel windows (n <= kSpmmMaxPanelCols) to the register-blocked
+//      SpMM kernel family (kernels/simd/simd_spmm.cc) and must beat the
+//      sequential spspd Gustavson baseline.
+//   2. Fused chains: A * (A * X) executed as one tile-granular task DAG
+//      with the panel kernels (docs/CHAINS.md) must beat the unfused
+//      two-step — the pre-fusion execution model: product-at-a-time with
+//      a full-matrix barrier, generic per-non-zero row kernels
+//      (SetSpmmPanelEnabled(false)) and panel-blind cost pricing — by
+//      >= 1.3x, recorded in the committed baseline
+//      (bench/baselines/BENCH_spmm_tall_skinny.json).
+//
+// Cases: chain.fused / chain.two_step (plus chain.unfused — the fused
+// executor switched off but panel kernels kept — to isolate the dataflow
+// contribution) and the single-product spmm.atmult / spmm.spspd
+// reference points, at three sparse topologies.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+#include "gen/workloads.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "ops/chain.h"
+#include "storage/convert.h"
+#include "tile/partitioner.h"
+
+namespace atmx::bench {
+namespace {
+
+struct SpmmCase {
+  std::string name;
+  CooMatrix a;
+};
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  BenchReporter::Global().Configure("spmm_tall_skinny", env);
+  std::printf("=== Tall-skinny SpMM + fused chain execution ===\n");
+  std::printf("%s\n\n", env.Describe().c_str());
+
+  const index_t n = static_cast<index_t>(4000 * env.scale / 0.03);
+  constexpr index_t kPanelCols = 64;
+
+  std::vector<SpmmCase> cases;
+  cases.push_back({"rmat", MakeWorkloadMatrix("G3", env.scale, 21)});
+  cases.push_back({"scale-free",
+                   GenerateScaleFreeCorrelation(n, n * 16, 0.8, 22)});
+  cases.push_back({"uniform", GenerateUniform(n, n, n * 16, 23)});
+
+  TablePrinter table({"topology", "n", "nnz(A)", "spmm[s]", "vs spspd",
+                      "fused[s]", "unfused[s]", "two-step[s]",
+                      "fused speedup"});
+  for (SpmmCase& c : cases) {
+    const index_t rows = c.a.rows();
+    CooMatrix x_coo = DenseToCoo(GenerateFullDense(c.a.cols(), kPanelCols,
+                                                   24));
+    ATMatrix a = PartitionToAtm(c.a, env.config);
+    ATMatrix x = PartitionToAtm(x_coo, env.config);
+
+    // 1. Single-product SpMM through ATMULT (panel kernels engaged for
+    //    every window: the dense operand is kPanelCols wide).
+    AtMult op(env.config, env.cost_model);
+    const double t_spmm =
+        BenchReporter::Global().MeasureCase(c.name + ".spmm.atmult", [&] {
+          op.Multiply(a, x);
+        });
+    CsrMatrix a_csr = CooToCsr(c.a);
+    CsrMatrix x_csr = CooToCsr(x_coo);
+    BaselineResult spspd = RunSpspd(a_csr, x_csr);
+    BenchReporter::Global().AddSample(c.name + ".spmm.spspd",
+                                      spspd.seconds);
+
+    // 2. A * (A * X) — fused dataflow + panel kernels vs the pre-fusion
+    //    two-step (product-at-a-time, generic kernels, panel-blind
+    //    pricing) vs unfused-but-panel (dataflow ablation).
+    std::vector<const ATMatrix*> chain = {&a, &a, &x};
+    std::vector<const DensityMap*> maps = {&a.density_map(),
+                                           &a.density_map(),
+                                           &x.density_map()};
+    ChainCostOptions cost_options;
+    cost_options.fused = true;
+    ChainPlan plan = PlanChain(maps, env.cost_model, env.config.rho_write,
+                               cost_options);
+
+    AtmConfig fused_config = env.config;
+    fused_config.fused_chains = true;
+    AtmConfig unfused_config = env.config;
+    unfused_config.fused_chains = false;
+    AtMult fused_op(fused_config, env.cost_model);
+    AtMult unfused_op(unfused_config, env.cost_model);
+    // Panel-blind pricing: the pre-fusion cost model charged the generic
+    // sparse-x-dense rate for every window width.
+    CostParams two_step_params = env.cost_model.params();
+    two_step_params.c_sdd_panel = two_step_params.c_sdd;
+    AtMult two_step_op(unfused_config, CostModel(two_step_params));
+
+    // One untimed warm-up per configuration: the first execution pays
+    // allocator growth and page faults that would otherwise bias
+    // whichever case runs first.
+    ExecuteChain(chain, plan, fused_op);
+    const double t_fused =
+        BenchReporter::Global().MeasureCase(c.name + ".chain.fused", [&] {
+          ChainExecStats stats;
+          ExecuteChain(chain, plan, fused_op, &stats);
+        });
+    ExecuteChain(chain, plan, unfused_op);
+    const double t_unfused =
+        BenchReporter::Global().MeasureCase(c.name + ".chain.unfused", [&] {
+          ChainExecStats stats;
+          ExecuteChain(chain, plan, unfused_op, &stats);
+        });
+    simd::SetSpmmPanelEnabled(false);
+    ExecuteChain(chain, plan, two_step_op);
+    const double t_two_step =
+        BenchReporter::Global().MeasureCase(c.name + ".chain.two_step", [&] {
+          ChainExecStats stats;
+          ExecuteChain(chain, plan, two_step_op, &stats);
+        });
+    simd::SetSpmmPanelEnabled(true);
+
+    table.AddRow({c.name, std::to_string(rows),
+                  std::to_string(c.a.nnz()), TablePrinter::Fmt(t_spmm, 4),
+                  FmtSpeedup(spspd, t_spmm), TablePrinter::Fmt(t_fused, 4),
+                  TablePrinter::Fmt(t_unfused, 4),
+                  TablePrinter::Fmt(t_two_step, 4),
+                  TablePrinter::Fmt(t_two_step / std::max(t_fused, 1e-12),
+                                    2) +
+                      "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace atmx::bench
+
+int main(int argc, char** argv) {
+  atmx::bench::InitBenchTelemetry("spmm_tall_skinny", argc, argv);
+  atmx::bench::Run();
+  return 0;
+}

@@ -52,6 +52,7 @@ std::string AtmConfig::ToString() const {
      << ", est=" << (density_estimation ? 1 : 0)
      << ", mixed=" << (mixed_tiles ? 1 : 0)
      << ", jit=" << (dynamic_conversion ? 1 : 0)
+     << ", fuse=" << (fused_chains ? 1 : 0)
      << ", steal=" << (work_stealing ? 1 : 0) << "}";
   return os.str();
 }

@@ -69,6 +69,15 @@ struct AtmConfig {
   bool mixed_tiles = true;
   // Step 6: dynamic just-in-time tile conversions in the optimizer.
   bool dynamic_conversion = true;
+  // Fused chain execution (docs/CHAINS.md): ExecuteChain runs the planned
+  // parenthesization as one tile-granular task DAG — downstream products
+  // start as soon as their input result-tiles complete, and intermediate
+  // tiles are dropped after their last consumer finishes. Results are
+  // bitwise identical to product-at-a-time execution; off restores the
+  // per-product barrier. Ignored (falls back to unfused) when
+  // result_mem_limit_bytes is finite, since the water-level method needs
+  // each product's full estimate before any of its tiles run.
+  bool fused_chains = true;
 
   // --- Parallelism (section III-F) ---------------------------------------
   // 0 means "one team per socket" / "cores_per_socket threads per team".

@@ -90,6 +90,25 @@ CostParams Calibrate(const CalibrationOptions& options) {
                  }) /
                  (static_cast<double>(sa.nnz()) * n);
 
+  // sdd panel: per nnzA * panel width, probed at the tall-skinny shape
+  // SddGemm routes to the register-strip SpMM kernels (64 columns).
+  {
+    const index_t panel_cols = std::min<index_t>(64, n);
+    DenseMatrix panel(n, panel_cols);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < panel_cols; ++j) {
+        panel.At(i, j) = rng.NextDouble() + 0.5;
+      }
+    }
+    DenseMatrix out_panel(n, panel_cols);
+    fitted.c_sdd_panel =
+        MedianNanos(options.repetitions,
+                    [&] {
+                      SddGemm(sa, wa, panel.View(), out_panel.MutView(), 0, n);
+                    }) /
+        (static_cast<double>(sa.nnz()) * panel_cols);
+  }
+
   // dsd: per m * nnzB.
   fitted.c_dsd = MedianNanos(options.repetitions, [&] {
                    DsdGemm(da.View(), sb, wb, out.MutView(), 0, n);

@@ -4,12 +4,14 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "kernels/simd/simd_kernels.h"
 
 namespace atmx {
 
 std::string CostParams::ToString() const {
   std::ostringstream os;
-  os << "CostParams{ddd=" << c_ddd << ", sdd=" << c_sdd << ", dsd=" << c_dsd
+  os << "CostParams{ddd=" << c_ddd << ", sdd=" << c_sdd
+     << ", sddp=" << c_sdd_panel << ", dsd=" << c_dsd
      << ", ssd=" << c_ssd << ", row=" << row_overhead
      << ", wd=" << dense_write << ", ws=" << sparse_write
      << ", sort=" << sparse_sort << ", s2d=" << convert_sparse_to_dense
@@ -28,8 +30,16 @@ double CostModel::ComputeCost(KernelType kernel,
     case KernelType::kDDS:
       return params_.c_ddd * volume;
     case KernelType::kSDD:
+      // nnzA_window rows of B are streamed densely. Tall-skinny panels
+      // (the shape SddGemm routes to the register-strip SpMM kernels) pay
+      // the cheaper panel rate. Only the dense-C variant: the sparse-C
+      // SPA path (kSDS) has no panel kernel and keeps the generic rate.
+      if (s.n <= simd::kSpmmMaxPanelCols) {
+        return params_.c_sdd_panel * s.rho_a * volume +
+               params_.row_overhead * m;
+      }
+      return params_.c_sdd * s.rho_a * volume + params_.row_overhead * m;
     case KernelType::kSDS:
-      // nnzA_window rows of B are streamed densely.
       return params_.c_sdd * s.rho_a * volume + params_.row_overhead * m;
     case KernelType::kDSD:
     case KernelType::kDSS:

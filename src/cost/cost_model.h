@@ -26,6 +26,12 @@ struct CostParams {
   // Compute: cost per executed multiply-add, by operand representation.
   double c_ddd = 1.0;   // dense x dense: per m*k*n
   double c_sdd = 5.0;   // sparse x dense: per nnzA_w * n
+  // sparse x *tall-skinny* dense (n <= simd::kSpmmMaxPanelCols): per
+  // nnzA_w * n at the register-strip SpMM panel rate — the C row stays in
+  // registers across the non-zero loop, so the per-element rate is lower
+  // than c_sdd. Priced separately so the optimizer prefers keeping a
+  // skinny right operand dense (the fused-chain A * (A * X) shape).
+  double c_sdd_panel = 3.0;
   double c_dsd = 6.0;   // dense x sparse: per m * nnzB_w (column indirection)
   double c_ssd = 16.0;  // sparse x sparse: per expected intermediate product
 

@@ -51,6 +51,40 @@ DensityMap EstimateProductDensity(const DensityMap& a, const DensityMap& b) {
   return c;
 }
 
+void EstimateProductDensityRegion(const DensityMap& a, const DensityMap& b,
+                                  index_t bi0, index_t bi1, index_t bj0,
+                                  index_t bj1, DensityMap* out) {
+  ATMX_CHECK_EQ(a.cols(), b.rows());
+  ATMX_CHECK_EQ(a.block(), b.block());
+  ATMX_CHECK_EQ(out->rows(), a.rows());
+  ATMX_CHECK_EQ(out->cols(), b.cols());
+  ATMX_CHECK_EQ(out->block(), a.block());
+  ATMX_CHECK(bi0 >= 0 && bi1 <= out->grid_rows());
+  ATMX_CHECK(bj0 >= 0 && bj1 <= out->grid_cols());
+
+  const index_t grid_k = a.grid_cols();
+  for (index_t bi = bi0; bi < bi1; ++bi) {
+    for (index_t bj = bj0; bj < bj1; ++bj) {
+      // Same term sequence as the full estimator: ascending bk, skipping
+      // zero blocks of A (outer guard there) and of B (the b_row_nonzero
+      // pre-index there) — the log-space accumulation order per block is
+      // identical, so the rounded result is too.
+      double log_zero = 0.0;
+      for (index_t bk = 0; bk < grid_k; ++bk) {
+        const double rho_a = a.At(bi, bk);
+        if (rho_a <= 0.0) continue;
+        const double rho_b = b.At(bk, bj);
+        if (rho_b <= 0.0) continue;
+        const double w = static_cast<double>(a.BlockWidth(bk));
+        const double p = rho_a * rho_b;
+        log_zero += p >= 1.0 ? -std::numeric_limits<double>::infinity()
+                             : w * std::log1p(-p);
+      }
+      out->Set(bi, bj, std::clamp(-std::expm1(log_zero), 0.0, 1.0));
+    }
+  }
+}
+
 DensityMap CombineAdditive(const DensityMap& x, const DensityMap& y) {
   ATMX_CHECK_EQ(x.rows(), y.rows());
   ATMX_CHECK_EQ(x.cols(), y.cols());

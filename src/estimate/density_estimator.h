@@ -25,6 +25,17 @@ namespace atmx {
 // matrices (paper, section IV-D).
 DensityMap EstimateProductDensity(const DensityMap& a, const DensityMap& b);
 
+// Computes only the block region [bi0, bi1) x [bj0, bj1) of
+// EstimateProductDensity(a, b), writing into `out` (which must have the
+// product's shape and block size). Every written block is bitwise
+// identical to the full estimator's value — same contraction terms in the
+// same ascending block-column order — which is what lets the fused chain
+// executor fill a product's estimate region-by-region as the producing
+// bands complete, without changing any downstream decision.
+void EstimateProductDensityRegion(const DensityMap& a, const DensityMap& b,
+                                  index_t bi0, index_t bi1, index_t bj0,
+                                  index_t bj1, DensityMap* out);
+
 // Density map of the sum X + Y of two independent random matrices with
 // the given block densities: rho = 1 - (1 - rho_x)(1 - rho_y). Used when
 // ATMULT accumulates into an existing matrix (C' = C + A*B). Maps must

@@ -1,5 +1,8 @@
 #include "kernels/mixed_kernels.h"
 
+#include "kernels/simd/simd_kernels.h"
+#include "obs/obs.h"
+
 namespace atmx {
 
 void SddGemm(const CsrMatrix& a, const Window& wa, const DenseView& b,
@@ -10,6 +13,22 @@ void SddGemm(const CsrMatrix& a, const Window& wa, const DenseView& b,
   const auto& a_cols = a.col_idx();
   const auto& a_vals = a.values();
   const index_t n = b.cols;
+
+  if (n <= simd::kSpmmMaxPanelCols && simd::SpmmPanelEnabled()) {
+    // Tall-skinny panel: the whole C row fits in a few register strips,
+    // so the panel kernels hold it across the non-zero loop instead of
+    // re-streaming it per non-zero. Bitwise identical to the loop below.
+    ATMX_COUNTER_INC("kernel.spmm_panel.invocations");
+    const simd::Level level = simd::ActiveLevel();
+    for (index_t i = i0; i < i1; ++i) {
+      index_t ap0, ap1;
+      CsrRowRange(a, wa.r0 + i, wa.c0, wa.c1, &ap0, &ap1);
+      if (ap0 == ap1) continue;
+      simd::SpmmRowPanelLevel(level, a_vals.data(), a_cols.data(), ap0, ap1,
+                              wa.c0, b, c.RowPtr(i));
+    }
+    return;
+  }
 
   for (index_t i = i0; i < i1; ++i) {
     value_t* __restrict c_row = c.RowPtr(i);

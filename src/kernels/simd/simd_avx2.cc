@@ -122,6 +122,61 @@ value_t CsrRowDotAvx2(const value_t* values, const index_t* col_idx,
   return sum;
 }
 
+namespace {
+
+// One kLanes*4-column strip of the SpMM row panel: the C row segment
+// stays in kLanes ymm accumulators across the non-zero loop, B row
+// segments are streamed with a broadcast multiplier. Explicit mul+add in
+// ascending-p order — bitwise identical to the scalar loop.
+template <int kLanes>
+void SpmmStripAvx2(const value_t* values, const index_t* col_idx,
+                   index_t p0, index_t p1, index_t col_offset,
+                   const DenseView& b, value_t* c_row, index_t j) {
+  __m256d acc[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    acc[l] = _mm256_loadu_pd(c_row + j + 4 * l);
+  }
+  for (index_t p = p0; p < p1; ++p) {
+    const __m256d av = _mm256_set1_pd(values[p]);
+    const value_t* __restrict b_row = b.RowPtr(col_idx[p] - col_offset) + j;
+    for (int l = 0; l < kLanes; ++l) {
+      acc[l] = _mm256_add_pd(
+          acc[l], _mm256_mul_pd(av, _mm256_loadu_pd(b_row + 4 * l)));
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    _mm256_storeu_pd(c_row + j + 4 * l, acc[l]);
+  }
+}
+
+}  // namespace
+
+void SpmmRowPanelAvx2(const value_t* values, const index_t* col_idx,
+                      index_t p0, index_t p1, index_t col_offset,
+                      const DenseView& b, value_t* c_row) {
+  const index_t n = b.cols;
+  index_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    SpmmStripAvx2<4>(values, col_idx, p0, p1, col_offset, b, c_row, j);
+  }
+  if (j + 8 <= n) {
+    SpmmStripAvx2<2>(values, col_idx, p0, p1, col_offset, b, c_row, j);
+    j += 8;
+  }
+  if (j + 4 <= n) {
+    SpmmStripAvx2<1>(values, col_idx, p0, p1, col_offset, b, c_row, j);
+    j += 4;
+  }
+  // Column tail (< 4): per-element ascending-p accumulation.
+  for (; j < n; ++j) {
+    value_t sum = c_row[j];
+    for (index_t p = p0; p < p1; ++p) {
+      sum += values[p] * b.RowPtr(col_idx[p] - col_offset)[j];
+    }
+    c_row[j] = sum;
+  }
+}
+
 value_t DotAvx2(const value_t* a, const value_t* x, index_t n) {
   __m256d acc0 = _mm256_setzero_pd();
   __m256d acc1 = _mm256_setzero_pd();
@@ -173,6 +228,11 @@ value_t CsrRowDotAvx2(const value_t*, const index_t*, index_t, index_t,
 value_t DotAvx2(const value_t*, const value_t*, index_t) {
   ATMX_CHECK(false);
   return 0.0;
+}
+
+void SpmmRowPanelAvx2(const value_t*, const index_t*, index_t, index_t,
+                      index_t, const DenseView&, value_t*) {
+  ATMX_CHECK(false);
 }
 
 }  // namespace internal

@@ -1,5 +1,6 @@
 #include "kernels/simd/simd_dispatch.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +71,30 @@ Level ActiveLevel() {
     return resolved;
   }();
   return level;
+}
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0 / 1 once known.
+std::atomic<int> g_spmm_panel{-1};
+
+}  // namespace
+
+bool SpmmPanelEnabled() {
+  int state = g_spmm_panel.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  std::string v;
+  if (const char* env = std::getenv("ATMX_SPMM_PANEL")) v = env;
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  const bool on = v.empty() || (v != "0" && v != "off" && v != "false");
+  g_spmm_panel.store(on ? 1 : 0, std::memory_order_relaxed);
+  ATMX_GAUGE_SET("simd.spmm_panel", on ? 1.0 : 0.0);
+  return on;
+}
+
+void SetSpmmPanelEnabled(bool enabled) {
+  g_spmm_panel.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  ATMX_GAUGE_SET("simd.spmm_panel", enabled ? 1.0 : 0.0);
 }
 
 }  // namespace atmx::simd

@@ -62,6 +62,19 @@ Level ResolveLevel(const char* env_value, bool cpu_avx2, bool avx2_compiled,
 // bit-reproducible runs across hosts.
 Level ActiveLevel();
 
+// Whether SddGemm routes tall-skinny windows (n <= kSpmmMaxPanelCols)
+// through the register-strip SpMM panel kernels. Resolved from
+// ATMX_SPMM_PANEL on first query (default on; "0"/"off"/"false"
+// disable). The off setting is an ablation knob for benchmarks comparing
+// against the generic per-non-zero row loop — results are bitwise
+// identical either way, only the C-row register reuse differs.
+bool SpmmPanelEnabled();
+
+// Overrides the panel routing at runtime (ablation benches measuring
+// both sides in one process). Not intended for concurrent use with
+// in-flight multiplications.
+void SetSpmmPanelEnabled(bool enabled);
+
 }  // namespace atmx::simd
 
 #endif  // ATMX_KERNELS_SIMD_SIMD_DISPATCH_H_

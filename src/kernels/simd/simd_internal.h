@@ -24,6 +24,14 @@ value_t DotScalar(const value_t* a, const value_t* x, index_t n);
 void DddGemmGeneric(const DenseView& a, const DenseView& b,
                     const DenseMutView& c, index_t i0, index_t i1);
 
+// Tall-skinny SpMM row-panel kernels (see SpmmRowPanelLevel).
+void SpmmRowPanelScalar(const value_t* values, const index_t* col_idx,
+                        index_t p0, index_t p1, index_t col_offset,
+                        const DenseView& b, value_t* c_row);
+void SpmmRowPanelGeneric(const value_t* values, const index_t* col_idx,
+                         index_t p0, index_t p1, index_t col_offset,
+                         const DenseView& b, value_t* c_row);
+
 // AVX2 implementations; defined as working kernels only when the AVX2
 // translation unit is compiled with AVX2/FMA codegen (Avx2Compiled()),
 // as aborting stubs otherwise — the dispatcher never selects kAvx2 in
@@ -34,6 +42,9 @@ void AxpyAvx2(value_t* values, const value_t* row, value_t scale, index_t n);
 value_t CsrRowDotAvx2(const value_t* values, const index_t* col_idx,
                       index_t p0, index_t p1, const value_t* x);
 value_t DotAvx2(const value_t* a, const value_t* x, index_t n);
+void SpmmRowPanelAvx2(const value_t* values, const index_t* col_idx,
+                      index_t p0, index_t p1, index_t col_offset,
+                      const DenseView& b, value_t* c_row);
 
 }  // namespace atmx::simd::internal
 

@@ -57,10 +57,38 @@ value_t DotLevel(Level level, const value_t* a, const value_t* x, index_t n);
 // the gather setup cost is only amortized by longer rows.
 inline constexpr index_t kGatherMinNnz = 8;
 
+// Widest dense row panel the tall-skinny SpMM kernels handle with the
+// C row held in register strips. SddGemm routes through SpmmRowPanelLevel
+// when b.cols <= this; the cost model prices such pairs at the panel rate
+// (CostParams::c_sdd_panel). 256 doubles = 2 KiB per B row, so a handful
+// of hot B rows plus the C row strip stay L1-resident.
+inline constexpr index_t kSpmmMaxPanelCols = 256;
+
+// Tall-skinny SpMM row step (CSR row x dense row panel):
+//
+//   c_row[j] += sum_p values[p] * b.RowPtr(col_idx[p] - col_offset)[j]
+//
+// for j in [0, b.cols), p ascending over [p0, p1). kGeneric/kAvx2 keep the
+// C row in register strips across the whole p loop (B rows are streamed
+// once per strip); every level accumulates each c element in ascending-p
+// order with separately rounded multiply and add, so results are bitwise
+// identical across levels — the same contract as DddGemm/Axpy.
+void SpmmRowPanelLevel(Level level, const value_t* values,
+                       const index_t* col_idx, index_t p0, index_t p1,
+                       index_t col_offset, const DenseView& b,
+                       value_t* c_row);
+
 // Convenience wrappers dispatching on ActiveLevel().
 inline void Axpy(value_t* values, const value_t* row, value_t scale,
                  index_t n) {
   AxpyLevel(ActiveLevel(), values, row, scale, n);
+}
+
+inline void SpmmRowPanel(const value_t* values, const index_t* col_idx,
+                         index_t p0, index_t p1, index_t col_offset,
+                         const DenseView& b, value_t* c_row) {
+  SpmmRowPanelLevel(ActiveLevel(), values, col_idx, p0, p1, col_offset, b,
+                    c_row);
 }
 
 }  // namespace atmx::simd

@@ -1,0 +1,99 @@
+// Tall-skinny SpMM row-panel kernels: one CSR row times a dense row panel
+// of at most kSpmmMaxPanelCols columns, with the C row held in register
+// strips across the non-zero loop. This is the sparse x tall-dense shape
+// of fused chains (A * (A * X) with X an n x 64 feature panel), where the
+// plain SddGemm loop re-loads the C row from memory once per non-zero.
+//
+// This translation unit is compiled with -ffp-contract=off: every level
+// performs per-element round(a*b) then round(c + ab) in ascending
+// non-zero order, bitwise identical to the SddGemm scalar loop — the
+// compiler must not contract the mul+add into an FMA here.
+
+#include "kernels/simd/simd_kernels.h"
+
+#include "kernels/simd/simd_internal.h"
+
+namespace atmx::simd {
+namespace internal {
+
+void SpmmRowPanelScalar(const value_t* values, const index_t* col_idx,
+                        index_t p0, index_t p1, index_t col_offset,
+                        const DenseView& b, value_t* c_row) {
+  const index_t n = b.cols;
+  for (index_t p = p0; p < p1; ++p) {
+    const value_t av = values[p];
+    const value_t* __restrict b_row = b.RowPtr(col_idx[p] - col_offset);
+    for (index_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+  }
+}
+
+namespace {
+
+// One kWidth-column strip: the C row segment stays in `acc` across the
+// whole non-zero loop, so each C element is loaded and stored exactly
+// once while B row segments are streamed. Ascending-p mul+add per element
+// keeps the result bitwise equal to the scalar loop.
+template <int kWidth>
+void SpmmStrip(const value_t* values, const index_t* col_idx, index_t p0,
+               index_t p1, index_t col_offset, const DenseView& b,
+               value_t* __restrict c_row, index_t j) {
+  value_t acc[kWidth];
+  for (int t = 0; t < kWidth; ++t) acc[t] = c_row[j + t];
+  for (index_t p = p0; p < p1; ++p) {
+    const value_t av = values[p];
+    const value_t* __restrict b_row = b.RowPtr(col_idx[p] - col_offset) + j;
+    for (int t = 0; t < kWidth; ++t) acc[t] += av * b_row[t];
+  }
+  for (int t = 0; t < kWidth; ++t) c_row[j + t] = acc[t];
+}
+
+}  // namespace
+
+void SpmmRowPanelGeneric(const value_t* values, const index_t* col_idx,
+                         index_t p0, index_t p1, index_t col_offset,
+                         const DenseView& b, value_t* c_row) {
+  // 2 * kNr doubles = two cache lines per strip, the same width the AVX2
+  // kernel covers with four ymm accumulators.
+  constexpr index_t kStrip = 2 * kNr;
+  const index_t n = b.cols;
+  index_t j = 0;
+  for (; j + kStrip <= n; j += kStrip) {
+    SpmmStrip<kStrip>(values, col_idx, p0, p1, col_offset, b, c_row, j);
+  }
+  if (j + kNr <= n) {
+    SpmmStrip<kNr>(values, col_idx, p0, p1, col_offset, b, c_row, j);
+    j += kNr;
+  }
+  // Column tail (< kNr): per-element ascending-p accumulation.
+  for (; j < n; ++j) {
+    value_t sum = c_row[j];
+    for (index_t p = p0; p < p1; ++p) {
+      sum += values[p] * b.RowPtr(col_idx[p] - col_offset)[j];
+    }
+    c_row[j] = sum;
+  }
+}
+
+}  // namespace internal
+
+void SpmmRowPanelLevel(Level level, const value_t* values,
+                       const index_t* col_idx, index_t p0, index_t p1,
+                       index_t col_offset, const DenseView& b,
+                       value_t* c_row) {
+  switch (level) {
+    case Level::kScalar:
+      internal::SpmmRowPanelScalar(values, col_idx, p0, p1, col_offset, b,
+                                   c_row);
+      return;
+    case Level::kGeneric:
+      internal::SpmmRowPanelGeneric(values, col_idx, p0, p1, col_offset, b,
+                                    c_row);
+      return;
+    case Level::kAvx2:
+      internal::SpmmRowPanelAvx2(values, col_idx, p0, p1, col_offset, b,
+                                 c_row);
+      return;
+  }
+}
+
+}  // namespace atmx::simd

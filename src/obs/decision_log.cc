@@ -22,6 +22,31 @@ void DecisionLog::SetCapacity(std::size_t capacity) {
   wrapped_ = false;
 }
 
+void DecisionLog::RecordChain(const ChainDecisionRecord& record) {
+  if (!enabled()) return;
+  MutexLock lock(mutex_);
+  if (chain_records_.size() < kChainCapacity) {
+    chain_records_.push_back(record);
+    return;
+  }
+  chain_records_[chain_next_slot_] = record;
+  chain_next_slot_ = (chain_next_slot_ + 1) % kChainCapacity;
+  chain_wrapped_ = true;
+}
+
+std::vector<ChainDecisionRecord> DecisionLog::ChainSnapshot() const {
+  MutexLock lock(mutex_);
+  if (!chain_wrapped_) return chain_records_;
+  std::vector<ChainDecisionRecord> out;
+  out.reserve(chain_records_.size());
+  out.insert(out.end(),
+             chain_records_.begin() + static_cast<long>(chain_next_slot_),
+             chain_records_.end());
+  out.insert(out.end(), chain_records_.begin(),
+             chain_records_.begin() + static_cast<long>(chain_next_slot_));
+  return out;
+}
+
 void DecisionLog::Record(const DecisionRecord& record) {
   if (!enabled()) return;
   total_recorded_.fetch_add(1, std::memory_order_relaxed);
@@ -52,11 +77,18 @@ void DecisionLog::Clear() {
   records_.clear();
   next_slot_ = 0;
   wrapped_ = false;
+  chain_records_.clear();
+  chain_next_slot_ = 0;
+  chain_wrapped_ = false;
   total_recorded_.store(0, std::memory_order_relaxed);
 }
 
 std::string DecisionLog::ToJson() const {
   return RenderDecisionRecordsJson(Snapshot());
+}
+
+std::string DecisionLog::ChainsToJson() const {
+  return RenderChainDecisionRecordsJson(ChainSnapshot());
 }
 
 std::string RenderDecisionRecordsJson(
@@ -85,6 +117,38 @@ std::string RenderDecisionRecordsJson(
                   ",\"stored_cost\":%.6g,\"chosen_cost\":%.6g}",
                   r.stored_cost, r.chosen_cost);
     os << buf;
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string RenderChainDecisionRecordsJson(
+    const std::vector<ChainDecisionRecord>& records) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const ChainDecisionRecord& r : records) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"op\":" << r.op_id << ",\"plan\":\"" << EscapeJson(r.plan)
+       << "\",\"length\":" << r.length;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"planned_cost\":%.6g,\"ltr_cost\":%.6g,"
+                  "\"total_seconds\":%.6g",
+                  r.planned_cost, r.left_to_right_cost, r.total_seconds);
+    os << buf;
+    os << ",\"fused\":" << (r.fused ? "true" : "false")
+       << ",\"fused_tasks\":" << r.fused_tasks
+       << ",\"resident_peak_bytes\":" << r.resident_peak_bytes
+       << ",\"products\":[";
+    bool pfirst = true;
+    for (const std::string& s : r.product_summaries) {
+      if (!pfirst) os << ',';
+      pfirst = false;
+      os << '"' << EscapeJson(s) << '"';
+    }
+    os << "]}";
   }
   os << ']';
   return os.str();

@@ -45,6 +45,24 @@ struct DecisionRecord {
   double chosen_cost = 0.0;  // score of the selected plan
 };
 
+// One executed chain multiplication: the planner's choice and the
+// realized execution shape (the "EXPLAIN" record behind `atmx decisions`
+// for chains).
+struct ChainDecisionRecord {
+  std::uint64_t op_id = 0;          // shared by the chain's product records
+  std::string plan;                 // parenthesization, e.g. "((A0*A1)*A2)"
+  index_t length = 0;               // matrices in the chain
+  double planned_cost = 0.0;        // DP-optimal estimated cost
+  double left_to_right_cost = 0.0;  // naive evaluation order, for contrast
+  bool fused = false;               // tile-granular dataflow execution
+  index_t fused_tasks = 0;          // tile tasks in the DAG (0 unfused)
+  std::uint64_t resident_peak_bytes = 0;  // peak resident intermediates
+  double total_seconds = 0.0;
+  // One line per product in execution order (post-order of the plan
+  // tree), e.g. "pairs=12 kernels=34 multiply=0.01s".
+  std::vector<std::string> product_summaries;
+};
+
 class DecisionLog {
  public:
   static DecisionLog& Global();
@@ -66,8 +84,15 @@ class DecisionLog {
   // No-op while disabled.
   void Record(const DecisionRecord& record);
 
+  // No-op while disabled. Chain records live in their own (small) ring so
+  // one big chain's pair records cannot evict the chain summaries.
+  void RecordChain(const ChainDecisionRecord& record);
+
   // Buffered records, oldest first.
   std::vector<DecisionRecord> Snapshot() const;
+
+  // Buffered chain records, oldest first.
+  std::vector<ChainDecisionRecord> ChainSnapshot() const;
 
   // Total records ever accepted (including ones the ring has evicted).
   std::uint64_t TotalRecorded() const {
@@ -79,7 +104,11 @@ class DecisionLog {
   // [{"op":..,"ti":..,...}, ...], oldest first.
   std::string ToJson() const;
 
+  // [{"op":..,"plan":..,...}, ...], oldest first.
+  std::string ChainsToJson() const;
+
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  static constexpr std::size_t kChainCapacity = 1 << 10;
 
  private:
   DecisionLog() = default;
@@ -94,6 +123,9 @@ class DecisionLog {
   std::size_t next_slot_ ATMX_GUARDED_BY(mutex_) = 0;
   bool wrapped_ ATMX_GUARDED_BY(mutex_) = false;
   std::vector<DecisionRecord> records_ ATMX_GUARDED_BY(mutex_);
+  std::size_t chain_next_slot_ ATMX_GUARDED_BY(mutex_) = 0;
+  bool chain_wrapped_ ATMX_GUARDED_BY(mutex_) = false;
+  std::vector<ChainDecisionRecord> chain_records_ ATMX_GUARDED_BY(mutex_);
 };
 
 // Renders `records` as the ToJson document — factored out so callers
@@ -101,6 +133,10 @@ class DecisionLog {
 // without re-snapshotting the global log.
 std::string RenderDecisionRecordsJson(
     const std::vector<DecisionRecord>& records);
+
+// Chain-record counterpart of RenderDecisionRecordsJson.
+std::string RenderChainDecisionRecordsJson(
+    const std::vector<ChainDecisionRecord>& records);
 
 }  // namespace atmx::obs
 

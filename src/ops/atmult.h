@@ -26,6 +26,8 @@
 
 namespace atmx {
 
+class ConversionCache;
+
 // Timing breakdown and counters of one ATMULT operation (the quantities
 // behind Figs. 8b, 9c, 9d of the paper).
 struct AtMultStats {
@@ -103,10 +105,20 @@ class AtMult {
                   const CostModel& cost_model = CostModel());
 
   const AtmConfig& config() const { return config_; }
+  const CostModel& cost_model() const { return cost_model_; }
 
   // C = A * B. Both operands must share the atomic block size.
   ATMatrix Multiply(const ATMatrix& a, const ATMatrix& b,
                     AtMultStats* stats = nullptr) const;
+
+  // Same, with caller-owned JIT conversion caches (one per operand
+  // matrix, both addressed in the ConversionCache::kLeft key space; pass
+  // the same cache twice when a == b). The chain executor uses this so a
+  // matrix appearing in several products converts each tile at most once
+  // per chain instead of once per product. Null pointers fall back to the
+  // private per-operation cache.
+  ATMatrix Multiply(const ATMatrix& a, const ATMatrix& b, AtMultStats* stats,
+                    ConversionCache* a_cache, ConversionCache* b_cache) const;
 
   // C' = C + A * B — the full operator signature of section III. The
   // accumulator C must have shape a.rows() x b.cols() and the same atomic
@@ -131,7 +143,9 @@ class AtMult {
 
  private:
   ATMatrix MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
-                        const ATMatrix& b, AtMultStats* stats) const;
+                        const ATMatrix& b, AtMultStats* stats,
+                        ConversionCache* a_cache = nullptr,
+                        ConversionCache* b_cache = nullptr) const;
 
   AtmConfig config_;
   CostModel cost_model_;

@@ -1,16 +1,23 @@
 #include "ops/chain.h"
 
 #include <limits>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "estimate/density_estimator.h"
+#include "obs/obs.h"
+#include "ops/chain_exec.h"
+#include "ops/optimizer.h"
 
 namespace atmx {
 
 double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
-                            const CostModel& model, double rho_write) {
+                            const CostModel& model, double rho_write,
+                            double write_factor) {
   ATMX_CHECK_EQ(x.cols(), y.rows());
   ATMX_CHECK_EQ(x.block(), y.block());
   const CostParams& p = model.params();
@@ -49,10 +56,19 @@ double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
       }
     }
   }
-  return p.c_ssd * products + write_cost;
+  return p.c_ssd * products + write_factor * write_cost;
 }
 
 namespace {
+
+// Write-cost scale for the product (i..j) of an n-matrix chain: fused
+// execution discounts every intermediate's materialization (resident
+// tiles, written once, consumed cache-hot), but the root product's result
+// really is handed to the caller at full cost.
+double WriteFactorFor(const ChainCostOptions& options, int i, int j, int n) {
+  const bool is_root = i == 0 && j == n - 1;
+  return options.fused && !is_root ? options.fused_write_factor : 1.0;
+}
 
 void AppendPlanString(const ChainPlan& plan, int i, int j,
                       std::ostringstream* os) {
@@ -77,7 +93,8 @@ std::string ChainPlan::ToString() const {
 }
 
 ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
-                    const CostModel& model, double rho_write) {
+                    const CostModel& model, double rho_write,
+                    const ChainCostOptions& options) {
   const int n = static_cast<int>(maps.size());
   ATMX_CHECK_GE(n, 1);
   for (int i = 0; i + 1 < n; ++i) {
@@ -106,11 +123,12 @@ ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
   for (int length = 2; length <= n; ++length) {
     for (int i = 0; i + length - 1 < n; ++i) {
       const int j = i + length - 1;
+      const double write_factor = WriteFactorFor(options, i, j, n);
       for (int k = i; k < j; ++k) {
         const double candidate =
             cost[i][k] + cost[k + 1][j] +
             EstimateMultiplyCost(map_of(i, k), map_of(k + 1, j), model,
-                                 rho_write);
+                                 rho_write, write_factor);
         if (candidate < cost[i][j]) {
           cost[i][j] = candidate;
           plan.split[i][j] = k;
@@ -126,12 +144,15 @@ ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
 }
 
 double EstimateLeftToRightCost(const std::vector<const DensityMap*>& maps,
-                               const CostModel& model, double rho_write) {
-  ATMX_CHECK_GE(maps.size(), 1u);
+                               const CostModel& model, double rho_write,
+                               const ChainCostOptions& options) {
+  const int n = static_cast<int>(maps.size());
+  ATMX_CHECK_GE(n, 1);
   double total = 0.0;
   DensityMap running = *maps[0];
-  for (std::size_t i = 1; i < maps.size(); ++i) {
-    total += EstimateMultiplyCost(running, *maps[i], model, rho_write);
+  for (int i = 1; i < n; ++i) {
+    total += EstimateMultiplyCost(running, *maps[i], model, rho_write,
+                                  WriteFactorFor(options, 0, i, n));
     running = EstimateProductDensity(running, *maps[i]);
   }
   return total;
@@ -139,40 +160,132 @@ double EstimateLeftToRightCost(const std::vector<const DensityMap*>& maps,
 
 namespace {
 
-ATMatrix ExecuteSubchain(const std::vector<const ATMatrix*>& chain,
-                         const ChainPlan& plan, const AtMult& op, int i,
-                         int j, AtMultStats* stats_accum) {
+// A subchain's result without deep-copying leaves: `view` is always
+// valid; `owned` holds materialized intermediates.
+struct NodeResult {
+  const ATMatrix* view = nullptr;
+  std::unique_ptr<ATMatrix> owned;
+};
+
+// Product-at-a-time execution (post-order, left subtree first). JIT
+// conversion caches are shared per distinct source matrix so a matrix
+// appearing in several products converts each tile at most once per chain.
+NodeResult ExecuteSubchain(
+    const std::vector<const ATMatrix*>& chain, const ChainPlan& plan,
+    const AtMult& op, int i, int j,
+    std::map<const ATMatrix*, std::unique_ptr<ConversionCache>>* caches,
+    ChainExecStats* stats) {
   if (i == j) {
-    return *chain[i];  // deep copy of the leaf (chain inputs are reusable)
+    NodeResult leaf;
+    leaf.view = chain[i];
+    return leaf;
   }
   const int k = plan.split[i][j];
-  ATMatrix left = ExecuteSubchain(chain, plan, op, i, k, stats_accum);
-  ATMatrix right = ExecuteSubchain(chain, plan, op, k + 1, j, stats_accum);
-  AtMultStats stats;
-  ATMatrix result = op.Multiply(left, right, &stats);
-  if (stats_accum != nullptr) {
-    stats_accum->total_seconds += stats.total_seconds;
-    stats_accum->estimate_seconds += stats.estimate_seconds;
-    stats_accum->optimize_seconds += stats.optimize_seconds;
-    stats_accum->multiply_seconds += stats.multiply_seconds;
-    stats_accum->pair_multiplications += stats.pair_multiplications;
-    stats_accum->sparse_to_dense_conversions +=
-        stats.sparse_to_dense_conversions;
-    stats_accum->dense_to_sparse_conversions +=
-        stats.dense_to_sparse_conversions;
-  }
+  NodeResult left = ExecuteSubchain(chain, plan, op, i, k, caches, stats);
+  NodeResult right =
+      ExecuteSubchain(chain, plan, op, k + 1, j, caches, stats);
+  auto cache_for = [caches](const ATMatrix* m) {
+    auto& slot = (*caches)[m];
+    if (slot == nullptr) slot = std::make_unique<ConversionCache>();
+    return slot.get();
+  };
+  AtMultStats product_stats;
+  NodeResult result;
+  result.owned = std::make_unique<ATMatrix>(
+      op.Multiply(*left.view, *right.view, &product_stats,
+                  cache_for(left.view), cache_for(right.view)));
+  result.view = result.owned.get();
+  // Intermediate operands are dead now; drop their conversions with them.
+  if (left.owned != nullptr) caches->erase(left.view);
+  if (right.owned != nullptr) caches->erase(right.view);
+  internal::AccumulateProductStats(product_stats, &stats->total);
+  stats->per_product.push_back(std::move(product_stats));
   return result;
 }
+
+#if defined(ATMX_OBS_ENABLED)
+void RecordChainDecision(const std::vector<const ATMatrix*>& chain,
+                         const ChainPlan& plan, const AtMult& op,
+                         const ChainExecStats& stats, double total_seconds) {
+  obs::DecisionLog& log = obs::DecisionLog::Global();
+  if (!log.enabled()) return;
+  obs::ChainDecisionRecord rec;
+  rec.op_id = log.NextOpId();
+  rec.plan = plan.ToString();
+  rec.length = static_cast<index_t>(chain.size());
+  rec.planned_cost = plan.estimated_cost;
+  if (chain.size() >= 2) {
+    std::vector<const DensityMap*> maps;
+    maps.reserve(chain.size());
+    for (const ATMatrix* m : chain) maps.push_back(&m->density_map());
+    ChainCostOptions options;
+    options.fused = stats.fused;
+    rec.left_to_right_cost = EstimateLeftToRightCost(
+        maps, op.cost_model(), op.config().rho_write, options);
+  }
+  rec.fused = stats.fused;
+  rec.fused_tasks = stats.fused_tasks;
+  rec.resident_peak_bytes = stats.resident_peak_bytes;
+  rec.total_seconds = total_seconds;
+  rec.product_summaries.reserve(stats.per_product.size());
+  for (const AtMultStats& p : stats.per_product) {
+    std::ostringstream os;
+    os << "pairs=" << p.pair_multiplications
+       << " kernels=" << p.TotalKernelInvocations()
+       << " conv=" << (p.sparse_to_dense_conversions +
+                       p.dense_to_sparse_conversions)
+       << " c_tiles(d/sp)=" << p.dense_result_tiles << "/"
+       << p.sparse_result_tiles << " multiply=" << p.multiply_seconds << "s";
+    rec.product_summaries.push_back(os.str());
+  }
+  log.RecordChain(rec);
+}
+#endif
 
 }  // namespace
 
 ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
                       const ChainPlan& plan, const AtMult& op,
-                      AtMultStats* stats_accum) {
+                      ChainExecStats* stats) {
   ATMX_CHECK_GE(chain.size(), 1u);
   ATMX_CHECK_EQ(chain.size(), plan.split.size());
-  return ExecuteSubchain(chain, plan, op, 0,
-                         static_cast<int>(chain.size()) - 1, stats_accum);
+  ChainExecStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = ChainExecStats();
+
+  WallTimer timer;
+  ATMatrix result;
+  if (chain.size() == 1) {
+    result = *chain[0];  // deep copy: chain inputs are reusable
+  } else if (op.config().fused_chains &&
+             internal::CanFuseChain(chain, op.config())) {
+    result = internal::ExecuteChainFused(chain, plan, op, stats);
+  } else {
+    std::map<const ATMatrix*, std::unique_ptr<ConversionCache>> caches;
+    NodeResult root =
+        ExecuteSubchain(chain, plan, op, 0,
+                        static_cast<int>(chain.size()) - 1, &caches, stats);
+    result = std::move(*root.owned);
+  }
+  const double total_seconds = timer.ElapsedSeconds();
+#if defined(ATMX_OBS_ENABLED)
+  RecordChainDecision(chain, plan, op, *stats, total_seconds);
+#else
+  (void)total_seconds;
+#endif
+  return result;
+}
+
+ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
+                      const ChainPlan& plan, const AtMult& op,
+                      AtMultStats* stats_accum) {
+  ChainExecStats stats;
+  ATMatrix result = ExecuteChain(chain, plan, op, &stats);
+  if (stats_accum != nullptr) {
+    // Historical contract: *accumulates* into the caller's struct.
+    internal::AccumulateProductStats(stats.total, stats_accum);
+  }
+  return result;
 }
 
 }  // namespace atmx

@@ -25,8 +25,24 @@ namespace atmx {
 // only the operands' density maps: expected intermediate products priced
 // at the sparse-kernel rate plus the write cost of the estimated result.
 // Cheap enough to evaluate O(n^3) times inside the chain DP.
+// `write_factor` scales the write-side term — fused execution keeps an
+// intermediate's tiles resident and feeds them straight into the consuming
+// product, so their materialization cost is discounted (see
+// ChainCostOptions::fused_write_factor).
 double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
-                            const CostModel& model, double rho_write);
+                            const CostModel& model, double rho_write,
+                            double write_factor = 1.0);
+
+// Fusion-aware chain pricing. When `fused` is set, every *intermediate*
+// product's write cost is scaled by `fused_write_factor` (< 1: resident
+// tiles are written once, cache-hot, and never re-materialized); the root
+// product — whose result really is handed to the caller — keeps full
+// write cost. This can shift the DP towards plans with larger but
+// shorter-lived intermediates.
+struct ChainCostOptions {
+  bool fused = false;
+  double fused_write_factor = 0.35;
+};
 
 struct ChainPlan {
   // split[i][j] = k: evaluate (A_i..A_k) * (A_{k+1}..A_j). Valid for
@@ -41,14 +57,44 @@ struct ChainPlan {
 // Dynamic-programming plan over the chain's density maps. All maps must
 // share the block size, and neighbours must have compatible shapes.
 ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
-                    const CostModel& model, double rho_write);
+                    const CostModel& model, double rho_write,
+                    const ChainCostOptions& options = {});
 
 // Cost of evaluating the chain strictly left-to-right, for comparison.
 double EstimateLeftToRightCost(const std::vector<const DensityMap*>& maps,
-                               const CostModel& model, double rho_write);
+                               const CostModel& model, double rho_write,
+                               const ChainCostOptions& options = {});
+
+// Execution statistics of one chain: the accumulated operator stats plus
+// the per-product breakdown (products in execution = post-order of the
+// plan tree, left subtree first; the last entry is the root product) and
+// the fused-dataflow quantities.
+struct ChainExecStats {
+  AtMultStats total;
+  std::vector<AtMultStats> per_product;
+
+  bool fused = false;
+  // Tile tasks in the fused DAG (0 when executed product-at-a-time).
+  index_t fused_tasks = 0;
+  // Peak bytes of intermediate result tiles simultaneously resident
+  // during fused execution (tiles are dropped after their last consumer).
+  std::uint64_t resident_peak_bytes = 0;
+};
 
 // Executes the chain according to the plan using the given operator.
-// `stats_accum`, if non-null, accumulates the per-product statistics.
+// When the operator's config has `fused_chains` set (and the chain has at
+// least two products under an unbounded memory budget), the whole chain
+// runs as one tile-granular task DAG — see docs/CHAINS.md; otherwise
+// product-at-a-time. Both paths produce bitwise-identical results.
+// Intermediate-operand JIT conversions go through one shared
+// ConversionCache per distinct source matrix either way, so a matrix
+// appearing in several products converts each tile at most once per
+// chain. `stats`, if non-null, receives the full breakdown.
+ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
+                      const ChainPlan& plan, const AtMult& op,
+                      ChainExecStats* stats);
+
+// Back-compat convenience: accumulates only the summed operator stats.
 ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
                       const ChainPlan& plan, const AtMult& op,
                       AtMultStats* stats_accum = nullptr);

@@ -1,0 +1,557 @@
+#include "ops/chain_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/mutex.h"
+#include "common/timer.h"
+#include "estimate/density_estimator.h"
+#include "obs/obs.h"
+#include "ops/optimizer.h"
+#include "ops/product_task.h"
+#include "tile/tile_lifetime.h"
+#include "topology/thread_pool.h"
+
+namespace atmx::internal {
+
+bool CanFuseChain(const std::vector<const ATMatrix*>& chain,
+                  const AtmConfig& config) {
+  if (chain.size() < 3) return false;  // fewer than two products
+  // A finite memory SLA requires the water-level method over each
+  // product's *complete* estimate before its first tile runs — a
+  // per-product barrier, i.e. unfused execution.
+  if (config.result_mem_limit_bytes !=
+      std::numeric_limits<std::size_t>::max()) {
+    return false;
+  }
+  return true;
+}
+
+void AccumulateProductStats(const AtMultStats& s, AtMultStats* total) {
+  total->estimate_seconds += s.estimate_seconds;
+  total->optimize_seconds += s.optimize_seconds;
+  total->multiply_seconds += s.multiply_seconds;
+  total->total_seconds += s.total_seconds;
+  total->effective_write_threshold = s.effective_write_threshold;
+  total->pair_multiplications += s.pair_multiplications;
+  total->sparse_to_dense_conversions += s.sparse_to_dense_conversions;
+  total->dense_to_sparse_conversions += s.dense_to_sparse_conversions;
+  total->dense_result_tiles += s.dense_result_tiles;
+  total->sparse_result_tiles += s.sparse_result_tiles;
+  for (int v = 0; v < kNumKernelTypes; ++v) {
+    total->kernel_invocations[v] += s.kernel_invocations[v];
+  }
+  total->tasks_stolen += s.tasks_stolen;
+  if (total->team_busy_seconds.size() < s.team_busy_seconds.size()) {
+    total->team_busy_seconds.resize(s.team_busy_seconds.size(), 0.0);
+  }
+  for (std::size_t t = 0; t < s.team_busy_seconds.size(); ++t) {
+    total->team_busy_seconds[t] += s.team_busy_seconds[t];
+  }
+  if (total->team_cpu_seconds.size() < s.team_cpu_seconds.size()) {
+    total->team_cpu_seconds.resize(s.team_cpu_seconds.size(), 0.0);
+  }
+  for (std::size_t t = 0; t < s.team_cpu_seconds.size(); ++t) {
+    total->team_cpu_seconds[t] += s.team_cpu_seconds[t];
+  }
+  total->local_read_bytes += s.local_read_bytes;
+  total->remote_read_bytes += s.remote_read_bytes;
+  total->local_write_bytes += s.local_write_bytes;
+  total->remote_write_bytes += s.remote_write_bytes;
+}
+
+namespace {
+
+// One product of the plan tree. Nodes are created in post-order (left
+// subtree, right subtree, self), so children always have smaller ids than
+// their parent and the per-product stats vector matches the unfused
+// executor's execution order; the root is the last node.
+struct ProductNode {
+  int left_leaf = -1;   // chain index when the left operand is an input
+  int left_node = -1;   // producing node when it is an intermediate
+  int right_leaf = -1;
+  int right_node = -1;
+  int parent = -1;      // consuming node; -1 for the root
+  bool is_left_of_parent = false;
+
+  index_t num_ti = 0;       // result row bands (left operand's row bands)
+  index_t num_tj = 0;       // result col bands (right operand's col bands)
+  index_t task_offset = 0;  // global id of this node's task (0, 0)
+
+  // The materializing result grid: slot ti * num_tj + tj.
+  std::vector<Tile> tiles;
+  std::vector<index_t> row_bounds;
+  std::vector<index_t> col_bounds;
+  DensityMap map;                    // actual densities, filled per task
+  std::vector<double> block_counts;  // per-atomic-block nnz counts
+  DensityMap estimate;               // estimator output, filled per task
+  DensityMap planned_map;            // planning-time estimate (LPT costs)
+
+  // JIT conversions of this node's result tiles, when a consuming task
+  // prefers the other representation.
+  std::unique_ptr<ConversionCache> result_cache;
+
+  ProductContext ctx;
+  AtMultStats stats;
+
+  // Consumer countdowns for dropping this node's result tiles: as the
+  // left operand of the parent, row band ti is retired when all parent
+  // tasks (ti, *) finished; as the right operand, col band tj when all
+  // (*, tj) finished.
+  std::vector<std::atomic<index_t>> remaining;
+};
+
+// Builds the product tree for the subchain (i..j) in post-order and
+// returns the subchain root's node id.
+int BuildNodes(const ChainPlan& plan, int i, int j,
+               std::vector<std::unique_ptr<ProductNode>>* nodes) {
+  const int k = plan.split[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+  const int left = i < k ? BuildNodes(plan, i, k, nodes) : -1;
+  const int right = k + 1 < j ? BuildNodes(plan, k + 1, j, nodes) : -1;
+  auto node = std::make_unique<ProductNode>();
+  node->left_node = left;
+  node->left_leaf = i == k ? i : -1;
+  node->right_node = right;
+  node->right_leaf = k + 1 == j ? k + 1 : -1;
+  const int id = static_cast<int>(nodes->size());
+  if (left >= 0) {
+    (*nodes)[static_cast<std::size_t>(left)]->parent = id;
+    (*nodes)[static_cast<std::size_t>(left)]->is_left_of_parent = true;
+  }
+  if (right >= 0) {
+    (*nodes)[static_cast<std::size_t>(right)]->parent = id;
+    (*nodes)[static_cast<std::size_t>(right)]->is_left_of_parent = false;
+  }
+  nodes->push_back(std::move(node));
+  return id;
+}
+
+using NodeVec = std::vector<std::unique_ptr<ProductNode>>;
+
+const DensityMap& LeftActualMap(const std::vector<const ATMatrix*>& chain,
+                                const NodeVec& nodes,
+                                const ProductNode& node) {
+  return node.left_leaf >= 0
+             ? chain[static_cast<std::size_t>(node.left_leaf)]->density_map()
+             : nodes[static_cast<std::size_t>(node.left_node)]->map;
+}
+
+const DensityMap& RightActualMap(const std::vector<const ATMatrix*>& chain,
+                                 const NodeVec& nodes,
+                                 const ProductNode& node) {
+  return node.right_leaf >= 0
+             ? chain[static_cast<std::size_t>(node.right_leaf)]->density_map()
+             : nodes[static_cast<std::size_t>(node.right_node)]->map;
+}
+
+const DensityMap& LeftPlannedMap(const std::vector<const ATMatrix*>& chain,
+                                 const NodeVec& nodes,
+                                 const ProductNode& node) {
+  return node.left_leaf >= 0
+             ? chain[static_cast<std::size_t>(node.left_leaf)]->density_map()
+             : nodes[static_cast<std::size_t>(node.left_node)]->planned_map;
+}
+
+const DensityMap& RightPlannedMap(const std::vector<const ATMatrix*>& chain,
+                                  const NodeVec& nodes,
+                                  const ProductNode& node) {
+  return node.right_leaf >= 0
+             ? chain[static_cast<std::size_t>(node.right_leaf)]->density_map()
+             : nodes[static_cast<std::size_t>(node.right_node)]->planned_map;
+}
+
+}  // namespace
+
+ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
+                           const ChainPlan& plan, const AtMult& op,
+                           ChainExecStats* stats) {
+  ATMX_CHECK(stats != nullptr);
+  const AtmConfig& config = op.config();
+  const index_t block = chain[0]->b_atomic();
+  const int n = static_cast<int>(chain.size());
+
+  NodeVec nodes;
+  nodes.reserve(static_cast<std::size_t>(n) - 1);
+  const int root_id = BuildNodes(plan, 0, n - 1, &nodes);
+  ATMX_CHECK_EQ(root_id, static_cast<int>(nodes.size()) - 1);
+
+#if defined(ATMX_OBS_ENABLED)
+  const bool audit_enabled = obs::DecisionLog::Global().enabled();
+  std::atomic<std::uint64_t> root_tracked_bytes{0};
+#endif
+  Mutex stats_mutex;
+  ResidentTileSet resident;
+
+  // Shared JIT conversion caches, one per distinct input matrix, addressed
+  // with the kLeft key space on both operand sides — a matrix appearing in
+  // several products (or twice in one) converts each tile at most once per
+  // chain. Intermediates get their producing node's result_cache.
+  std::map<const ATMatrix*, std::unique_ptr<ConversionCache>> leaf_caches;
+  auto leaf_cache = [&](int leaf) {
+    auto& slot = leaf_caches[chain[static_cast<std::size_t>(leaf)]];
+    if (slot == nullptr) slot = std::make_unique<ConversionCache>();
+    return slot.get();
+  };
+
+  // --- Per-node setup (children before parents: post-order ids). --------
+  index_t total_tasks = 0;
+  for (auto& node_ptr : nodes) {
+    ProductNode& node = *node_ptr;
+    node.row_bounds =
+        node.left_leaf >= 0
+            ? chain[static_cast<std::size_t>(node.left_leaf)]->row_bounds()
+            : nodes[static_cast<std::size_t>(node.left_node)]->row_bounds;
+    node.col_bounds =
+        node.right_leaf >= 0
+            ? chain[static_cast<std::size_t>(node.right_leaf)]->col_bounds()
+            : nodes[static_cast<std::size_t>(node.right_node)]->col_bounds;
+    node.num_ti = static_cast<index_t>(node.row_bounds.size()) - 1;
+    node.num_tj = static_cast<index_t>(node.col_bounds.size()) - 1;
+    node.task_offset = total_tasks;
+    total_tasks += node.num_ti * node.num_tj;
+
+    const index_t rows = node.row_bounds.back();
+    const index_t cols = node.col_bounds.back();
+    node.tiles.resize(static_cast<std::size_t>(node.num_ti * node.num_tj));
+    node.map = DensityMap(rows, cols, block);
+    node.block_counts.assign(static_cast<std::size_t>(node.map.grid_rows()) *
+                                 static_cast<std::size_t>(node.map.grid_cols()),
+                             0.0);
+    if (config.density_estimation) {
+      node.estimate = DensityMap(rows, cols, block);
+    }
+    node.result_cache = std::make_unique<ConversionCache>();
+
+    ProductContext& ctx = node.ctx;
+    if (node.left_leaf >= 0) {
+      ctx.a = OperandView::FromMatrix(
+          *chain[static_cast<std::size_t>(node.left_leaf)]);
+      ctx.a_cache = leaf_cache(node.left_leaf);
+    } else {
+      ProductNode& l = *nodes[static_cast<std::size_t>(node.left_node)];
+      ctx.a = OperandView::FromGrid(&l.tiles, &l.row_bounds, &l.col_bounds,
+                                    &l.map);
+      ctx.a_cache = l.result_cache.get();
+    }
+    if (node.right_leaf >= 0) {
+      ctx.b = OperandView::FromMatrix(
+          *chain[static_cast<std::size_t>(node.right_leaf)]);
+      ctx.b_cache = leaf_cache(node.right_leaf);
+    } else {
+      ProductNode& r = *nodes[static_cast<std::size_t>(node.right_node)];
+      ctx.b = OperandView::FromGrid(&r.tiles, &r.row_bounds, &r.col_bounds,
+                                    &r.map);
+      ctx.b_cache = r.result_cache.get();
+    }
+    ctx.block = block;
+    ctx.use_estimate = config.density_estimation;
+    ctx.estimate = &node.estimate;
+    // The unbounded memory budget (CanFuseChain) keeps the water level at
+    // the performance-optimal threshold, exactly as the unfused path's
+    // EffectiveWriteThreshold fast path does.
+    ctx.rho_w = config.rho_write;
+    ctx.dynamic_conversion = config.dynamic_conversion;
+    ctx.cost_model = &op.cost_model();
+    ctx.a_cache_side = ConversionCache::kLeft;
+    ctx.b_cache_side = ConversionCache::kLeft;
+    ctx.c_tiles = &node.tiles;
+    ctx.block_counts = &node.block_counts;
+    ctx.grid_cols = node.map.grid_cols();
+    ctx.stats = &node.stats;
+    ctx.stats_mutex = &stats_mutex;
+    node.stats.effective_write_threshold = ctx.rho_w;
+#if defined(ATMX_OBS_ENABLED)
+    ctx.audit_enabled = audit_enabled;
+    ctx.op_id = audit_enabled ? obs::DecisionLog::Global().NextOpId() : 0;
+    if (node.parent < 0) ctx.tracked_bytes = &root_tracked_bytes;
+#endif
+  }
+  // Retire countdowns: sized by the operand band the parent consumes;
+  // parents have larger ids, so their band counts exist only after the
+  // first pass.
+  for (auto& node_ptr : nodes) {
+    ProductNode& node = *node_ptr;
+    if (node.parent < 0) continue;
+    ProductNode& p = *nodes[static_cast<std::size_t>(node.parent)];
+    const std::size_t bands = static_cast<std::size_t>(
+        node.is_left_of_parent ? node.num_ti : node.num_tj);
+    const index_t consumers = node.is_left_of_parent ? p.num_tj : p.num_ti;
+    node.remaining = std::vector<std::atomic<index_t>>(bands);
+    for (auto& r : node.remaining) {
+      r.store(consumers, std::memory_order_relaxed);
+    }
+  }
+
+  // --- Dependency graph over the global task space. ---------------------
+  // Task (ti, tj) of a product reads the left operand's entire row band ti
+  // and the right operand's entire col band tj, so it depends on every
+  // left-child task (ti, *) and every right-child task (*, tj).
+  std::vector<index_t> dep_count(static_cast<std::size_t>(total_tasks), 0);
+  std::vector<std::vector<index_t>> successors(
+      static_cast<std::size_t>(total_tasks));
+  for (auto& node_ptr : nodes) {
+    ProductNode& node = *node_ptr;
+    const index_t deps =
+        (node.left_node >= 0
+             ? nodes[static_cast<std::size_t>(node.left_node)]->num_tj
+             : 0) +
+        (node.right_node >= 0
+             ? nodes[static_cast<std::size_t>(node.right_node)]->num_ti
+             : 0);
+    for (index_t t = 0; t < node.num_ti * node.num_tj; ++t) {
+      dep_count[static_cast<std::size_t>(node.task_offset + t)] = deps;
+    }
+    if (node.parent < 0) continue;
+    ProductNode& p = *nodes[static_cast<std::size_t>(node.parent)];
+    for (index_t ti = 0; ti < node.num_ti; ++ti) {
+      for (index_t tj = 0; tj < node.num_tj; ++tj) {
+        auto& succ = successors[static_cast<std::size_t>(
+            node.task_offset + ti * node.num_tj + tj)];
+        if (node.is_left_of_parent) {
+          succ.reserve(static_cast<std::size_t>(p.num_tj));
+          for (index_t j = 0; j < p.num_tj; ++j) {
+            succ.push_back(p.task_offset + ti * p.num_tj + j);
+          }
+        } else {
+          succ.reserve(static_cast<std::size_t>(p.num_ti));
+          for (index_t i = 0; i < p.num_ti; ++i) {
+            succ.push_back(p.task_offset + i * p.num_tj + tj);
+          }
+        }
+      }
+    }
+  }
+
+  // Global task id -> owning node, via the offsets (nodes are in offset
+  // order by construction).
+  std::vector<index_t> offsets;
+  offsets.reserve(nodes.size());
+  for (const auto& node_ptr : nodes) offsets.push_back(node_ptr->task_offset);
+  auto node_of = [&](index_t task) {
+    return static_cast<int>(std::upper_bound(offsets.begin(), offsets.end(),
+                                             task) -
+                            offsets.begin()) -
+           1;
+  };
+
+  // --- LPT queue ordering from planning-time estimates. -----------------
+  // The unfused path prices tasks against the operands' actual density
+  // maps; here intermediates have no actual map until they materialize, so
+  // queue order uses the estimator's planned maps instead (order is a
+  // performance hint only — results are unaffected).
+  ScheduleOptions sched_options;
+  sched_options.work_stealing = config.work_stealing;
+  if (config.work_stealing && total_tasks > 0) {
+    auto task_cost = std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(total_tasks));
+    for (auto& node_ptr : nodes) {
+      ProductNode& node = *node_ptr;
+      const DensityMap& amap = LeftPlannedMap(chain, nodes, node);
+      const DensityMap& bmap = RightPlannedMap(chain, nodes, node);
+      node.planned_map = EstimateProductDensity(amap, bmap);
+      const index_t k = amap.cols();
+      const index_t k_blocks = CeilDiv(k, block);
+      std::vector<double> rho_a_band(static_cast<std::size_t>(node.num_ti));
+      for (index_t ti = 0; ti < node.num_ti; ++ti) {
+        const index_t r0 = node.row_bounds[static_cast<std::size_t>(ti)];
+        const index_t m =
+            node.row_bounds[static_cast<std::size_t>(ti) + 1] - r0;
+        rho_a_band[static_cast<std::size_t>(ti)] =
+            amap.RegionDensity(r0 / block, 0, CeilDiv(m, block), k_blocks);
+      }
+      std::vector<double> rho_b_band(static_cast<std::size_t>(node.num_tj));
+      for (index_t tj = 0; tj < node.num_tj; ++tj) {
+        const index_t c0 = node.col_bounds[static_cast<std::size_t>(tj)];
+        const index_t w =
+            node.col_bounds[static_cast<std::size_t>(tj) + 1] - c0;
+        rho_b_band[static_cast<std::size_t>(tj)] =
+            bmap.RegionDensity(0, c0 / block, k_blocks, CeilDiv(w, block));
+      }
+      for (index_t ti = 0; ti < node.num_ti; ++ti) {
+        for (index_t tj = 0; tj < node.num_tj; ++tj) {
+          MultiplyShape shape;
+          shape.m = node.row_bounds[static_cast<std::size_t>(ti) + 1] -
+                    node.row_bounds[static_cast<std::size_t>(ti)];
+          shape.k = k;
+          shape.n = node.col_bounds[static_cast<std::size_t>(tj) + 1] -
+                    node.col_bounds[static_cast<std::size_t>(tj)];
+          shape.rho_a = rho_a_band[static_cast<std::size_t>(ti)];
+          shape.rho_b = rho_b_band[static_cast<std::size_t>(tj)];
+          if (config.density_estimation) {
+            shape.rho_c = node.planned_map.RegionDensity(
+                node.row_bounds[static_cast<std::size_t>(ti)] / block,
+                node.col_bounds[static_cast<std::size_t>(tj)] / block,
+                CeilDiv(shape.m, block), CeilDiv(shape.n, block));
+          }
+          (*task_cost)[static_cast<std::size_t>(node.task_offset +
+                                                ti * node.num_tj + tj)] =
+              EstimateTaskCost(op.cost_model(), shape);
+        }
+      }
+    }
+    sched_options.cost_of = [task_cost](index_t task) {
+      return (*task_cost)[static_cast<std::size_t>(task)];
+    };
+  }
+
+  // --- Run the DAG. -----------------------------------------------------
+  const int teams = config.EffectiveTeams();
+  TeamScheduler scheduler(teams, config.EffectiveThreadsPerTeam());
+  ATMX_TRACE_SPAN_ARGS("chain", "fused_exec",
+                       {"products", static_cast<index_t>(nodes.size())},
+                       {"tasks", total_tasks});
+
+  auto run_task = [&](WorkerTeam& team, index_t task) {
+    const int node_id = node_of(task);
+    ProductNode& node = *nodes[static_cast<std::size_t>(node_id)];
+    const index_t local = task - node.task_offset;
+    const index_t ti = local / node.num_tj;
+    const index_t tj = local % node.num_tj;
+    ATMX_TRACE_SPAN_ARGS("chain", "fused_tile", {"product", node_id},
+                         {"ti", ti}, {"tj", tj});
+    ATMX_COUNTER_INC("atmult.fused.tiles");
+
+    const index_t bi0 = node.row_bounds[static_cast<std::size_t>(ti)] / block;
+    const index_t bi1 =
+        CeilDiv(node.row_bounds[static_cast<std::size_t>(ti) + 1], block);
+    const index_t bj0 = node.col_bounds[static_cast<std::size_t>(tj)] / block;
+    const index_t bj1 =
+        CeilDiv(node.col_bounds[static_cast<std::size_t>(tj) + 1], block);
+    if (node.ctx.use_estimate) {
+      // Region-by-region estimate from the operands' *actual* maps —
+      // bitwise identical to the full pre-pass the unfused path runs,
+      // because the dependency edges guarantee the operand bands this
+      // region reads are final.
+      WallTimer est_timer;
+      EstimateProductDensityRegion(LeftActualMap(chain, nodes, node),
+                                   RightActualMap(chain, nodes, node), bi0,
+                                   bi1, bj0, bj1, &node.estimate);
+      const double est_seconds = est_timer.ElapsedSeconds();
+      MutexLock lock(stats_mutex);
+      node.stats.estimate_seconds += est_seconds;
+    }
+
+    RunProductTileTask(node.ctx, team, local);
+
+    // Actual result densities for downstream estimates — the same
+    // counts/area division as MultiplyImpl's closing loop (tasks write
+    // disjoint grid regions).
+    for (index_t bi = bi0; bi < bi1; ++bi) {
+      for (index_t bj = bj0; bj < bj1; ++bj) {
+        const double area = static_cast<double>(node.map.BlockArea(bi, bj));
+        node.map.Set(bi, bj,
+                     area > 0 ? node.block_counts[static_cast<std::size_t>(
+                                    bi * node.ctx.grid_cols + bj)] /
+                                    area
+                              : 0.0);
+      }
+    }
+
+    const Tile& produced = node.tiles[static_cast<std::size_t>(local)];
+    {
+      MutexLock lock(stats_mutex);
+      if (produced.is_dense()) {
+        node.stats.dense_result_tiles++;
+      } else {
+        node.stats.sparse_result_tiles++;
+      }
+    }
+    if (node.parent >= 0) {
+      resident.Charge(produced.MemoryBytes());
+    }
+
+    // Retire operand bands whose last consumer this task was. acq_rel on
+    // the countdown orders every consumer's reads before the release.
+    if (node.left_node >= 0) {
+      ProductNode& l = *nodes[static_cast<std::size_t>(node.left_node)];
+      if (l.remaining[static_cast<std::size_t>(ti)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        std::vector<index_t> band(static_cast<std::size_t>(l.num_tj));
+        for (index_t j = 0; j < l.num_tj; ++j) {
+          band[static_cast<std::size_t>(j)] = ti * l.num_tj + j;
+        }
+        resident.Retire(&l.tiles, band);
+      }
+    }
+    if (node.right_node >= 0) {
+      ProductNode& r = *nodes[static_cast<std::size_t>(node.right_node)];
+      if (r.remaining[static_cast<std::size_t>(tj)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        std::vector<index_t> band(static_cast<std::size_t>(r.num_ti));
+        for (index_t i = 0; i < r.num_ti; ++i) {
+          band[static_cast<std::size_t>(i)] = i * r.num_tj + tj;
+        }
+        resident.Retire(&r.tiles, band);
+      }
+    }
+  };
+
+  ScheduleStats sched_stats;
+  scheduler.RunTaskGraph(
+      total_tasks, dep_count, successors,
+      [&](index_t task) {
+        // Same round-robin home as one unfused product: the task's result
+        // tile-row, within its own product.
+        const int node_id = node_of(task);
+        const ProductNode& node = *nodes[static_cast<std::size_t>(node_id)];
+        return static_cast<int>(((task - node.task_offset) / node.num_tj) %
+                                static_cast<index_t>(teams));
+      },
+      run_task, sched_options, &sched_stats);
+
+  // --- Close out stats. -------------------------------------------------
+  stats->fused = true;
+  stats->fused_tasks = total_tasks;
+  stats->resident_peak_bytes = resident.peak_bytes();
+  stats->per_product.reserve(nodes.size());
+  for (auto& node_ptr : nodes) {
+    ProductNode& node = *node_ptr;
+    node.stats.total_seconds = node.stats.PhaseSeconds();
+    AccumulateProductStats(node.stats, &stats->total);
+    stats->per_product.push_back(node.stats);
+  }
+  // Per-product conversion deltas are ill-defined under fusion (products
+  // interleave on shared caches); the chain totals come straight from the
+  // caches.
+  index_t s2d = 0;
+  index_t d2s = 0;
+  for (const auto& entry : leaf_caches) {
+    s2d += entry.second->sparse_to_dense_count();
+    d2s += entry.second->dense_to_sparse_count();
+  }
+  for (const auto& node_ptr : nodes) {
+    s2d += node_ptr->result_cache->sparse_to_dense_count();
+    d2s += node_ptr->result_cache->dense_to_sparse_count();
+  }
+  stats->total.sparse_to_dense_conversions = s2d;
+  stats->total.dense_to_sparse_conversions = d2s;
+  stats->total.tasks_stolen = static_cast<index_t>(sched_stats.TotalSteals());
+  stats->total.team_busy_seconds = sched_stats.busy_seconds;
+  stats->total.team_cpu_seconds = sched_stats.cpu_seconds;
+
+  ProductNode& root = *nodes[static_cast<std::size_t>(root_id)];
+  ATMatrix result(root.row_bounds.back(), root.col_bounds.back(), block,
+                  std::move(root.tiles), std::move(root.map));
+
+#if defined(ATMX_OBS_ENABLED)
+  ATMX_COUNTER_INC("atmult.fused.chains");
+  ATMX_COUNTER_ADD("atmult.fused.products",
+                   static_cast<std::uint64_t>(nodes.size()));
+  ATMX_GAUGE_SET("atmult.fused.resident_bytes_peak",
+                 static_cast<double>(stats->resident_peak_bytes));
+  obs::MemTracker::Global().RecordFree(
+      root_tracked_bytes.load(std::memory_order_relaxed));
+  obs::MemTracker::SampleProcess();
+#endif
+  return result;
+}
+
+}  // namespace atmx::internal

@@ -1,0 +1,49 @@
+// Fused chain execution (docs/CHAINS.md): runs a planned chain
+// parenthesization as ONE tile-granular task DAG instead of a sequence of
+// product-at-a-time ATMULT calls. Every (row band, col band) pair of every
+// product in the plan tree is a task; a downstream product's task starts
+// the moment the input result-tiles it reads are complete — there is no
+// full-matrix barrier between products. Intermediate result tiles stay
+// resident only from their producing task until their last consuming task
+// finishes (ResidentTileSet), so the peak intermediate footprint can stay
+// far below materializing every intermediate whole.
+//
+// Both paths run the identical per-tile pipeline (RunProductTileTask) on
+// bitwise-identical inputs — same operand tiles, same band iteration
+// order, same region-by-region density estimates, same write threshold —
+// so fused results are bitwise identical to unfused ones.
+
+#ifndef ATMX_OPS_CHAIN_EXEC_H_
+#define ATMX_OPS_CHAIN_EXEC_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "ops/chain.h"
+#include "tile/at_matrix.h"
+
+namespace atmx::internal {
+
+// True when the chain is eligible for fused execution: at least two
+// products (three matrices) under an unbounded result-memory budget. A
+// finite budget needs each product's complete density estimate for the
+// water-level method before any of its tiles may run, which reinstates
+// the per-product barrier — those chains fall back to product-at-a-time.
+bool CanFuseChain(const std::vector<const ATMatrix*>& chain,
+                  const AtmConfig& config);
+
+// Executes the planned chain as one dependency-scheduled tile-task DAG.
+// Preconditions: CanFuseChain() holds, chain.size() == plan.split.size(),
+// and `stats` is non-null (the caller owns reporting).
+ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
+                           const ChainPlan& plan, const AtMult& op,
+                           ChainExecStats* stats);
+
+// Adds one product's operator stats into the chain total (timings,
+// counters, kernel invocations, per-team seconds, locality bytes). Shared
+// by the fused and product-at-a-time executors.
+void AccumulateProductStats(const AtMultStats& s, AtMultStats* total);
+
+}  // namespace atmx::internal
+
+#endif  // ATMX_OPS_CHAIN_EXEC_H_

@@ -94,6 +94,42 @@ std::string FormatDecisionLog(const std::vector<obs::DecisionRecord>& records,
   }
   return os.str();
 }
+
+std::string FormatChainDecisions(
+    const std::vector<obs::ChainDecisionRecord>& records, index_t max_rows) {
+  std::ostringstream os;
+  os << "ChainDecisions: " << records.size() << " chains\n";
+  if (records.empty()) return os.str();
+
+  TablePrinter table({"op", "plan", "len", "planned", "left-to-right",
+                      "fused", "tasks", "resident peak", "time"});
+  const index_t total = static_cast<index_t>(records.size());
+  const index_t shown = std::min<index_t>(max_rows, total);
+  // Newest records are the interesting ones; the snapshot is oldest-first.
+  for (index_t i = total - shown; i < total; ++i) {
+    const obs::ChainDecisionRecord& r = records[i];
+    table.AddRow({std::to_string(r.op_id), r.plan, std::to_string(r.length),
+                  TablePrinter::Fmt(r.planned_cost, 0),
+                  TablePrinter::Fmt(r.left_to_right_cost, 0),
+                  r.fused ? "yes" : "no", std::to_string(r.fused_tasks),
+                  TablePrinter::FmtBytes(r.resident_peak_bytes),
+                  TablePrinter::Fmt(r.total_seconds, 4) + "s"});
+  }
+  os << table.ToString();
+  if (shown < total) {
+    os << "  ... " << (total - shown) << " older chains\n";
+  }
+
+  const obs::ChainDecisionRecord& last = records.back();
+  if (!last.product_summaries.empty()) {
+    os << "  products of chain op " << last.op_id << " (" << last.plan
+       << "):\n";
+    for (std::size_t i = 0; i < last.product_summaries.size(); ++i) {
+      os << "    P" << i << ": " << last.product_summaries[i] << "\n";
+    }
+  }
+  return os.str();
+}
 #endif  // ATMX_OBS_ENABLED
 
 MultiplyPlan ExplainMultiply(const ATMatrix& a, const ATMatrix& b,

@@ -64,6 +64,14 @@ MultiplyPlan ExplainMultiply(const ATMatrix& a, const ATMatrix& b,
 // layer is built in.
 std::string FormatDecisionLog(const std::vector<obs::DecisionRecord>& records,
                               index_t max_rows = 24);
+
+// Renders chain-decision records (one per ExecuteChain call: chosen
+// parenthesization, planned vs left-to-right cost, fusion outcome,
+// resident-tile peak) as a table followed by the per-product breakdown of
+// the most recent chain. See docs/CHAINS.md.
+std::string FormatChainDecisions(
+    const std::vector<obs::ChainDecisionRecord>& records,
+    index_t max_rows = 16);
 #endif
 
 }  // namespace atmx

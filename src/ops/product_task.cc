@@ -1,0 +1,572 @@
+#include "ops/product_task.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "kernels/kernel_dispatch.h"
+#include "kernels/sparse_accumulator.h"
+#include "obs/obs.h"
+
+namespace atmx::internal {
+
+OperandView OperandView::FromMatrix(const ATMatrix& m) {
+  OperandView v;
+  v.tiles_ = &m.tiles();
+  v.row_bounds_ = &m.row_bounds();
+  v.col_bounds_ = &m.col_bounds();
+  v.map_ = &m.density_map();
+  v.row_band_tiles_.resize(static_cast<std::size_t>(m.num_row_bands()));
+  for (index_t band = 0; band < m.num_row_bands(); ++band) {
+    const auto span = m.TilesInRowBand(band);
+    v.row_band_tiles_[static_cast<std::size_t>(band)].assign(span.begin(),
+                                                             span.end());
+  }
+  v.col_band_tiles_.resize(static_cast<std::size_t>(m.num_col_bands()));
+  for (index_t band = 0; band < m.num_col_bands(); ++band) {
+    const auto span = m.TilesInColBand(band);
+    v.col_band_tiles_[static_cast<std::size_t>(band)].assign(span.begin(),
+                                                             span.end());
+  }
+  return v;
+}
+
+OperandView OperandView::FromGrid(const std::vector<Tile>* tiles,
+                                  const std::vector<index_t>* row_bounds,
+                                  const std::vector<index_t>* col_bounds,
+                                  const DensityMap* map) {
+  OperandView v;
+  v.tiles_ = tiles;
+  v.row_bounds_ = row_bounds;
+  v.col_bounds_ = col_bounds;
+  v.map_ = map;
+  const index_t nrb = static_cast<index_t>(row_bounds->size()) - 1;
+  const index_t ncb = static_cast<index_t>(col_bounds->size()) - 1;
+  ATMX_CHECK_EQ(static_cast<index_t>(tiles->size()), nrb * ncb);
+  v.row_band_tiles_.resize(static_cast<std::size_t>(nrb));
+  for (index_t ti = 0; ti < nrb; ++ti) {
+    auto& band = v.row_band_tiles_[static_cast<std::size_t>(ti)];
+    band.reserve(static_cast<std::size_t>(ncb));
+    for (index_t tj = 0; tj < ncb; ++tj) band.push_back(ti * ncb + tj);
+  }
+  v.col_band_tiles_.resize(static_cast<std::size_t>(ncb));
+  for (index_t tj = 0; tj < ncb; ++tj) {
+    auto& band = v.col_band_tiles_[static_cast<std::size_t>(tj)];
+    band.reserve(static_cast<std::size_t>(nrb));
+    for (index_t ti = 0; ti < nrb; ++ti) band.push_back(ti * ncb + tj);
+  }
+  return v;
+}
+
+namespace {
+
+// One matching tile pair contributing to a C tile: A tile x B tile over the
+// shared contraction range [k0, k1).
+struct MatchedPair {
+  const Tile* a_tile;
+  index_t a_idx;
+  const Tile* b_tile;
+  index_t b_idx;
+  index_t k0;
+  index_t k1;
+};
+
+// Prepared pair: operands resolved to concrete representations/windows.
+struct PreparedPair {
+  Operand a;
+  Operand b;
+  std::uint64_t a_read_bytes;
+  std::uint64_t b_read_bytes;
+  int a_home;
+  int b_home;
+};
+
+// Concatenates per-thread row-chunk CSRs (chunk c covers rows
+// [splits[c], splits[c+1])) into one matrix of `rows` rows.
+CsrMatrix ConcatCsrRowChunks(std::vector<CsrMatrix> chunks, index_t rows,
+                             index_t cols) {
+  index_t nnz = 0;
+  for (const CsrMatrix& c : chunks) nnz += c.nnz();
+  std::vector<index_t> row_ptr;
+  row_ptr.reserve(rows + 1);
+  row_ptr.push_back(0);
+  std::vector<index_t> col_idx;
+  col_idx.reserve(nnz);
+  std::vector<value_t> values;
+  values.reserve(nnz);
+  for (const CsrMatrix& c : chunks) {
+    const index_t offset = static_cast<index_t>(col_idx.size());
+    for (index_t i = 0; i < c.rows(); ++i) {
+      row_ptr.push_back(c.row_ptr()[i + 1] + offset);
+    }
+    col_idx.insert(col_idx.end(), c.col_idx().begin(), c.col_idx().end());
+    values.insert(values.end(), c.values().begin(), c.values().end());
+  }
+  ATMX_CHECK_EQ(static_cast<index_t>(row_ptr.size()), rows + 1);
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+// Approximate bytes read from an operand window, for locality accounting.
+std::uint64_t ApproxWindowBytes(bool dense, double rho, index_t m,
+                                index_t n) {
+  const double area = static_cast<double>(m) * static_cast<double>(n);
+  return static_cast<std::uint64_t>(
+      dense ? area * kDenseElemBytes : rho * area * kSparseElemBytes);
+}
+
+}  // namespace
+
+void RunProductTileTask(const ProductContext& ctx, WorkerTeam& team,
+                        index_t task) {
+  const OperandView& a = ctx.a;
+  const OperandView& b = ctx.b;
+  const index_t block = ctx.block;
+  const index_t num_tj = b.num_col_bands();
+  const index_t ti = task / num_tj;
+  const index_t tj = task % num_tj;
+  const index_t r0 = a.row_bounds()[ti];
+  const index_t r1 = a.row_bounds()[ti + 1];
+  const index_t c0 = b.col_bounds()[tj];
+  const index_t c1 = b.col_bounds()[tj + 1];
+  // Once per task, so cheap enough to keep in release builds: any check
+  // failure below names the C tile being produced.
+  ScopedCheckContext check_ctx(
+      "AtMult tile (%lld,%lld) C[%lld:%lld,%lld:%lld)",
+      static_cast<long long>(ti), static_cast<long long>(tj),
+      static_cast<long long>(r0), static_cast<long long>(r1),
+      static_cast<long long>(c0), static_cast<long long>(c1));
+  const index_t m = r1 - r0;
+  const index_t n = c1 - c0;
+  const int exec_node = team.team_id();
+  ATMX_TRACE_SPAN_ARGS("op", "tile_task",
+                       {"ti", ti}, {"tj", tj}, {"node", exec_node},
+                       {"rows", m}, {"cols", n});
+
+  double opt_seconds = 0.0;
+  double conv_seconds = 0.0;  // subsumed by the optimizer timer below
+  double mult_seconds = 0.0;
+  index_t pairs_done = 0;
+  std::uint64_t local_read = 0, remote_read = 0;
+  std::array<index_t, kNumKernelTypes> task_kernels{};
+
+  std::vector<Tile>& c_tiles = *ctx.c_tiles;
+  std::vector<double>& block_counts = *ctx.block_counts;
+  const index_t grid_cols = ctx.grid_cols;
+
+  // Target representation from the estimated density (Alg. 2 l. 6).
+  double rho_c = 0.0;
+  if (ctx.use_estimate) {
+    rho_c = ctx.estimate->RegionDensity(r0 / block, c0 / block,
+                                        CeilDiv(m, block), CeilDiv(n, block));
+  }
+  const bool c_dense = ctx.use_estimate && rho_c >= ctx.rho_w;
+
+  // Accumulator windows: tiles of the initial C overlapping this task's
+  // region, with their intersection boxes in region-local coordinates.
+  struct SeedWindow {
+    const Tile* tile;
+    index_t tr0, tr1, tc0, tc1;  // tile-local intersection
+    index_t out_r0, out_c0;      // region-local offset of the window
+  };
+  std::vector<SeedWindow> seeds;
+  if (ctx.c_init != nullptr) {
+    for (const Tile& t : ctx.c_init->tiles()) {
+      const index_t ir0 = std::max(r0, t.row0());
+      const index_t ir1 = std::min(r1, t.row_end());
+      const index_t ic0 = std::max(c0, t.col0());
+      const index_t ic1 = std::min(c1, t.col_end());
+      if (ir0 < ir1 && ic0 < ic1 && t.nnz() > 0) {
+        seeds.push_back({&t, ir0 - t.row0(), ir1 - t.row0(),
+                         ic0 - t.col0(), ic1 - t.col0(), ir0 - r0,
+                         ic0 - c0});
+        // The referenced accumulator window is read exactly once while
+        // seeding; account it like the operand windows so MultiplyAdd's
+        // locality fractions include the C-side traffic.
+        const double tile_area =
+            static_cast<double>(t.rows()) * static_cast<double>(t.cols());
+        const double rho =
+            tile_area > 0 ? static_cast<double>(t.nnz()) / tile_area : 0.0;
+        const std::uint64_t bytes = ApproxWindowBytes(
+            t.is_dense(), rho, ir1 - ir0, ic1 - ic0);
+        (t.home_node() == exec_node ? local_read : remote_read) += bytes;
+      }
+    }
+  }
+
+  // --- Match tiles along the contraction dimension (Fig. 4). ----------
+  std::vector<MatchedPair> matched;
+  {
+    auto a_band = a.TilesInRowBand(ti);
+    auto b_band = b.TilesInColBand(tj);
+    std::size_t ia = 0, ib = 0;
+    while (ia < a_band.size() && ib < b_band.size()) {
+      const Tile& at = a.tile(a_band[ia]);
+      const Tile& bt = b.tile(b_band[ib]);
+      const index_t k0 = std::max(at.col0(), bt.row0());
+      const index_t k1 = std::min(at.col_end(), bt.row_end());
+      if (k1 > k0 && at.nnz() > 0 && bt.nnz() > 0) {
+        matched.push_back({&at, a_band[ia], &bt, b_band[ib], k0, k1});
+      }
+      if (at.col_end() <= bt.row_end()) {
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+  }
+
+  // --- Optimize each pair: representations + JIT conversions. ---------
+  std::vector<PreparedPair> prepared;
+  prepared.reserve(matched.size());
+  {
+    WallTimer opt_timer;
+    for (const MatchedPair& mp : matched) {
+      const index_t k = mp.k1 - mp.k0;
+      MultiplyShape shape;
+      shape.m = m;
+      shape.k = k;
+      shape.n = n;
+      shape.rho_a = a.map().RegionDensity(
+          r0 / block, mp.k0 / block, CeilDiv(m, block), CeilDiv(k, block));
+      shape.rho_b = b.map().RegionDensity(
+          mp.k0 / block, c0 / block, CeilDiv(k, block), CeilDiv(n, block));
+      shape.rho_c = rho_c;
+
+      // The tile pair matched on bounding boxes, but the referenced
+      // windows can still be exactly empty (e.g. a huge melted sparse
+      // tile that only touches the band in a far corner). The density
+      // map is exact at block granularity and windows are block-aligned,
+      // so a zero region density proves the pair contributes nothing.
+      if (shape.rho_a == 0.0 || shape.rho_b == 0.0) continue;
+
+      PairDecision decision;
+      if (ctx.dynamic_conversion) {
+        const bool a_cached =
+            mp.a_tile->is_dense()
+                ? ctx.a_cache->HasSparse(ctx.a_cache_side, mp.a_idx)
+                : ctx.a_cache->HasDense(ctx.a_cache_side, mp.a_idx);
+        const bool b_cached =
+            mp.b_tile->is_dense()
+                ? ctx.b_cache->HasSparse(ctx.b_cache_side, mp.b_idx)
+                : ctx.b_cache->HasDense(ctx.b_cache_side, mp.b_idx);
+        decision = DecidePairRepresentations(
+            *ctx.cost_model, shape, mp.a_tile->is_dense(),
+            mp.b_tile->is_dense(), a_cached, b_cached, c_dense,
+            /*allow_conversion=*/true);
+      } else {
+        decision.a_dense = mp.a_tile->is_dense();
+        decision.b_dense = mp.b_tile->is_dense();
+      }
+
+#if defined(ATMX_OBS_ENABLED)
+      if (ctx.audit_enabled) {
+        obs::DecisionRecord rec;
+        rec.op_id = ctx.op_id;
+        rec.ti = ti;
+        rec.tj = tj;
+        rec.k0 = mp.k0;
+        rec.k1 = mp.k1;
+        rec.rho_a = shape.rho_a;
+        rec.rho_b = shape.rho_b;
+        rec.rho_c = rho_c;
+        rec.rho_w = ctx.rho_w;
+        rec.a_stored_dense = mp.a_tile->is_dense();
+        rec.b_stored_dense = mp.b_tile->is_dense();
+        rec.c_dense = c_dense;
+        rec.kernel =
+            MakeKernelType(decision.a_dense, decision.b_dense, c_dense);
+        rec.a_converted = decision.a_converted;
+        rec.b_converted = decision.b_converted;
+        rec.stored_cost = decision.stored_cost;
+        rec.chosen_cost = decision.projected_cost;
+        obs::DecisionLog::Global().Record(rec);
+      }
+#endif
+
+      PreparedPair pp;
+      pp.a_home = mp.a_tile->home_node();
+      pp.b_home = mp.b_tile->home_node();
+      // A operand: window rows = C rows, window cols = [k0, k1).
+      const Window wa{r0 - mp.a_tile->row0(), r1 - mp.a_tile->row0(),
+                      mp.k0 - mp.a_tile->col0(),
+                      mp.k1 - mp.a_tile->col0()};
+      if (decision.a_dense) {
+        const DenseMatrix& dm =
+            mp.a_tile->is_dense()
+                ? mp.a_tile->dense()
+                : ctx.a_cache->GetDense(ctx.a_cache_side, mp.a_idx,
+                                        *mp.a_tile, &conv_seconds);
+        pp.a = Operand::Dense(
+            dm.View().Window(wa.r0, wa.c0, wa.rows(), wa.cols()));
+      } else {
+        const CsrMatrix& sm =
+            mp.a_tile->is_dense()
+                ? ctx.a_cache->GetSparse(ctx.a_cache_side, mp.a_idx,
+                                         *mp.a_tile, &conv_seconds)
+                : mp.a_tile->sparse();
+        pp.a = Operand::Sparse(&sm, wa);
+      }
+      // B operand: window rows = [k0, k1), window cols = C cols.
+      const Window wb{mp.k0 - mp.b_tile->row0(), mp.k1 - mp.b_tile->row0(),
+                      c0 - mp.b_tile->col0(), c1 - mp.b_tile->col0()};
+      if (decision.b_dense) {
+        const DenseMatrix& dm =
+            mp.b_tile->is_dense()
+                ? mp.b_tile->dense()
+                : ctx.b_cache->GetDense(ctx.b_cache_side, mp.b_idx,
+                                        *mp.b_tile, &conv_seconds);
+        pp.b = Operand::Dense(
+            dm.View().Window(wb.r0, wb.c0, wb.rows(), wb.cols()));
+      } else {
+        const CsrMatrix& sm =
+            mp.b_tile->is_dense()
+                ? ctx.b_cache->GetSparse(ctx.b_cache_side, mp.b_idx,
+                                         *mp.b_tile, &conv_seconds)
+                : mp.b_tile->sparse();
+        pp.b = Operand::Sparse(&sm, wb);
+      }
+      pp.a_read_bytes = ApproxWindowBytes(decision.a_dense, shape.rho_a,
+                                          shape.m, shape.k);
+      pp.b_read_bytes = ApproxWindowBytes(decision.b_dense, shape.rho_b,
+                                          shape.k, shape.n);
+      prepared.push_back(std::move(pp));
+    }
+    // The surrounding timer already covers the JIT conversions
+    // (conv_seconds), so only the timer is accumulated.
+    opt_seconds += opt_timer.ElapsedSeconds();
+    (void)conv_seconds;
+  }
+
+  // --- Execute: accumulate all pairs into the C tile. -----------------
+  WallTimer mult_timer;
+  if (prepared.empty() && seeds.empty()) {
+    // Nothing contributes to this C tile (common off the diagonal of
+    // banded matrices): emit an empty sparse tile without touching the
+    // row loop.
+    c_tiles[task] = Tile::MakeSparse(r0, c0, CsrMatrix(m, n));
+  } else if (c_dense) {
+    DenseMatrix target(m, n);
+    for (const SeedWindow& sw : seeds) {
+      if (sw.tile->is_dense()) {
+        const DenseMatrix& d = sw.tile->dense();
+        for (index_t i = sw.tr0; i < sw.tr1; ++i) {
+          const value_t* src = d.data() + i * d.ld() + sw.tc0;
+          value_t* dst = target.data() +
+                         (sw.out_r0 + i - sw.tr0) * target.ld() +
+                         sw.out_c0;
+          for (index_t j = 0; j < sw.tc1 - sw.tc0; ++j) dst[j] += src[j];
+        }
+      } else {
+        const CsrMatrix& sp = sw.tile->sparse();
+        for (index_t i = sw.tr0; i < sw.tr1; ++i) {
+          index_t first, last;
+          sp.RowColRange(i, sw.tc0, sw.tc1, &first, &last);
+          value_t* dst =
+              target.data() + (sw.out_r0 + i - sw.tr0) * target.ld();
+          for (index_t p = first; p < last; ++p) {
+            dst[sw.out_c0 + sp.col_idx()[p] - sw.tc0] += sp.values()[p];
+          }
+        }
+      }
+    }
+    for (const PreparedPair& pp : prepared) {
+      const KernelType kt = DispatchKernelType(pp.a, pp.b, /*c_dense=*/true);
+      ++task_kernels[static_cast<int>(kt)];
+      // Perf span: counter deltas (LLC misses etc.) land as args on the
+      // kernel trace span and accumulate under kernel.<variant>.*. On a
+      // multi-thread team only the calling thread's share is counted.
+      ATMX_PERF_SPAN_ARGS("kernel", KernelTypeName(kt),
+                          KernelPerfMetricPrefix(kt), {"ti", ti},
+                          {"tj", tj}, {"rows", m}, {"cols", n},
+                          {"node", exec_node});
+      team.ParallelFor(m, /*grain=*/16, [&](index_t lo, index_t hi) {
+        MultiplyIntoDense(pp.a, pp.b, target.MutView(), lo, hi);
+      });
+    }
+    // Single cache-hot pass: per-block counts + tile nnz.
+    index_t tile_nnz = 0;
+    for (index_t i = 0; i < m; ++i) {
+      const index_t bi = (r0 + i) / block;
+      const value_t* row = target.data() + i * target.ld();
+      for (index_t j0 = 0; j0 < n; j0 += block) {
+        const index_t j1 = std::min(j0 + block, n);
+        index_t count = 0;
+        for (index_t j = j0; j < j1; ++j) count += (row[j] != 0.0);
+        block_counts[bi * grid_cols + (c0 + j0) / block] +=
+            static_cast<double>(count);
+        tile_nnz += count;
+      }
+    }
+    c_tiles[task] =
+        Tile::MakeDenseCounted(r0, c0, std::move(target), tile_nnz);
+  } else {
+    // Seeds one region-local row of the accumulator into the SPA.
+    auto seed_row = [&](index_t i, SparseAccumulator* spa) {
+      for (const SeedWindow& sw : seeds) {
+        const index_t ti_local = sw.tr0 + (i - sw.out_r0);
+        if (i < sw.out_r0 || ti_local >= sw.tr1) continue;
+        if (sw.tile->is_dense()) {
+          const DenseMatrix& d = sw.tile->dense();
+          const value_t* src = d.data() + ti_local * d.ld();
+          for (index_t j = sw.tc0; j < sw.tc1; ++j) {
+            if (src[j] != 0.0) {
+              spa->Add(sw.out_c0 + j - sw.tc0, src[j]);
+            }
+          }
+        } else {
+          const CsrMatrix& sp = sw.tile->sparse();
+          index_t first, last;
+          sp.RowColRange(ti_local, sw.tc0, sw.tc1, &first, &last);
+          for (index_t p = first; p < last; ++p) {
+            spa->Add(sw.out_c0 + sp.col_idx()[p] - sw.tc0,
+                     sp.values()[p]);
+          }
+        }
+      }
+    };
+#if defined(ATMX_OBS_ENABLED)
+    // The SPA row loop interleaves all pairs, so per-pair timing does
+    // not exist; each pair still gets one complete event (emitted after
+    // the loop, covering the whole loop interval and flagged
+    // `interleaved`) so the "kernel" span count equals the kernel
+    // invocation counters.
+    const std::int64_t sparse_loop_start_ns =
+        obs::TraceRecorder::Global().enabled() ? obs::TraceRecorder::NowNanos()
+                                               : -1;
+    const obs::PerfSnapshot sparse_loop_begin = obs::PerfBeginSnapshot();
+#endif
+    const int num_chunks =
+        static_cast<int>(std::min<index_t>(team.size(), std::max<index_t>(
+                                                            1, m / 64)));
+    // Nagasaka-style accumulator selection: ultra-sparse result rows use
+    // the hash SPA instead of paying O(n) dense-array init + flag-array
+    // cache pollution. Unknown density (estimation off) keeps the dense
+    // default; either mode produces bitwise-identical rows.
+    const double expected_row_nnz =
+        ctx.use_estimate ? rho_c * static_cast<double>(n) : -1.0;
+    if (num_chunks <= 1) {
+      CsrBuilder builder(m, n);
+      SparseAccumulator spa;
+      spa.ResizeAdaptive(n, expected_row_nnz);
+      for (index_t i = 0; i < m; ++i) {
+        seed_row(i, &spa);
+        for (const PreparedPair& pp : prepared) {
+          AccumulateRowInto(pp.a, pp.b, i, &spa);
+        }
+        spa.FlushToBuilder(&builder);
+        builder.FinishRowsUpTo(i + 1);
+      }
+      c_tiles[task] = Tile::MakeSparse(r0, c0, builder.Build());
+    } else {
+      std::vector<CsrMatrix> chunks(num_chunks);
+      std::vector<index_t> splits(num_chunks + 1);
+      for (int t = 0; t <= num_chunks; ++t) {
+        splits[t] = m * t / num_chunks;
+      }
+      team.ParallelRun([&](int thread) {
+        if (thread >= num_chunks) return;
+        const index_t lo = splits[thread];
+        const index_t hi = splits[thread + 1];
+        CsrBuilder builder(hi - lo, n);
+        SparseAccumulator spa;
+        spa.ResizeAdaptive(n, expected_row_nnz);
+        for (index_t i = lo; i < hi; ++i) {
+          seed_row(i, &spa);
+          for (const PreparedPair& pp : prepared) {
+            AccumulateRowInto(pp.a, pp.b, i, &spa);
+          }
+          spa.FlushToBuilder(&builder);
+          builder.FinishRowsUpTo(i - lo + 1);
+        }
+        chunks[thread] = builder.Build();
+      });
+      c_tiles[task] =
+          Tile::MakeSparse(r0, c0, ConcatCsrRowChunks(std::move(chunks),
+                                                      m, n));
+    }
+    for (const PreparedPair& pp : prepared) {
+      const KernelType kt =
+          DispatchKernelType(pp.a, pp.b, /*c_dense=*/false);
+      ++task_kernels[static_cast<int>(kt)];
+    }
+#if defined(ATMX_OBS_ENABLED)
+    const obs::PerfDelta sparse_loop_delta =
+        obs::PerfDeltaSince(sparse_loop_begin);
+    if (sparse_loop_delta.valid && !prepared.empty()) {
+      // The interleaved row loop has no per-pair hardware attribution; a
+      // single-variant loop (the common case) is attributed exactly to
+      // that variant, a mixed loop under a shared pseudo-variant rather
+      // than over-counting every variant with the full delta.
+      const KernelType kt0 = DispatchKernelType(
+          prepared.front().a, prepared.front().b, /*c_dense=*/false);
+      bool uniform = true;
+      for (const PreparedPair& pp : prepared) {
+        if (DispatchKernelType(pp.a, pp.b, /*c_dense=*/false) != kt0) {
+          uniform = false;
+          break;
+        }
+      }
+      obs::AccumulatePerfMetrics(uniform ? KernelPerfMetricPrefix(kt0)
+                                         : "kernel.mixed_sparse_loop",
+                                 sparse_loop_delta);
+    }
+    if (sparse_loop_start_ns >= 0 && !prepared.empty()) {
+      const std::int64_t dur_ns =
+          obs::TraceRecorder::NowNanos() - sparse_loop_start_ns;
+      std::vector<obs::TraceArg> loop_args = {
+          {"ti", ti},   {"tj", tj},          {"rows", m},
+          {"cols", n},  {"node", exec_node}, {"interleaved", 1}};
+      obs::AppendPerfArgs(sparse_loop_delta, &loop_args);
+      for (const PreparedPair& pp : prepared) {
+        const KernelType kt =
+            DispatchKernelType(pp.a, pp.b, /*c_dense=*/false);
+        obs::TraceRecorder::Global().RecordComplete(
+            "kernel", KernelTypeName(kt), sparse_loop_start_ns, dur_ns,
+            loop_args);
+      }
+    }
+#endif
+  }
+  if (!c_dense) {
+    const CsrMatrix& sp = c_tiles[task].sparse();
+    for (index_t i = 0; i < m; ++i) {
+      const index_t bi = (r0 + i) / block;
+      for (index_t col : sp.RowCols(i)) {
+        block_counts[bi * grid_cols + (c0 + col) / block] += 1.0;
+      }
+    }
+  }
+  mult_seconds = mult_timer.ElapsedSeconds();
+  c_tiles[task].set_home_node(exec_node);  // first-touch placement
+#if defined(ATMX_OBS_ENABLED)
+  if (ctx.tracked_bytes != nullptr) {
+    const std::size_t tile_bytes = c_tiles[task].MemoryBytes();
+    obs::MemTracker::Global().RecordAlloc(tile_bytes);
+    ctx.tracked_bytes->fetch_add(tile_bytes, std::memory_order_relaxed);
+  }
+#endif
+  pairs_done = static_cast<index_t>(prepared.size());
+
+  for (const PreparedPair& pp : prepared) {
+    (pp.a_home == exec_node ? local_read : remote_read) += pp.a_read_bytes;
+    (pp.b_home == exec_node ? local_read : remote_read) += pp.b_read_bytes;
+  }
+
+  MutexLock lock(*ctx.stats_mutex);
+  AtMultStats* stats = ctx.stats;
+  stats->optimize_seconds += opt_seconds;
+  stats->multiply_seconds += mult_seconds;
+  stats->pair_multiplications += pairs_done;
+  for (int v = 0; v < kNumKernelTypes; ++v) {
+    stats->kernel_invocations[v] += task_kernels[static_cast<std::size_t>(v)];
+  }
+  stats->local_read_bytes += local_read;
+  stats->remote_read_bytes += remote_read;
+  stats->local_write_bytes += c_tiles[task].MemoryBytes();
+}
+
+}  // namespace atmx::internal

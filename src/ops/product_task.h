@@ -1,0 +1,146 @@
+// The tile-granular unit of work shared by ATMULT and the fused chain
+// executor: one task produces one C tile of one product A * B, running the
+// full per-pair pipeline (window matching, dynamic representation
+// decisions with JIT conversions, kernel dispatch, density bookkeeping).
+//
+// AtMult::MultiplyImpl wraps this in a flat RunTasks batch over one
+// product; ops/chain_exec.cc wraps it in a cross-product task DAG where an
+// operand may be a still-materializing intermediate. Both paths execute
+// the *same* code on the same inputs, which is what makes fused chain
+// execution bitwise-identical to product-at-a-time execution (see
+// docs/CHAINS.md).
+
+#ifndef ATMX_OPS_PRODUCT_TASK_H_
+#define ATMX_OPS_PRODUCT_TASK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/mutex.h"
+#include "cost/cost_model.h"
+#include "estimate/density_map.h"
+#include "ops/atmult.h"
+#include "ops/optimizer.h"
+#include "tile/at_matrix.h"
+#include "tile/tile.h"
+#include "topology/thread_pool.h"
+
+namespace atmx::internal {
+
+// Band-level view of one multiplication operand. Either a finished
+// ATMatrix, or a row-band x col-band grid of tiles that another product is
+// still filling in (the fused-chain intermediate). The view carries its
+// own band->tile index lists so both shapes expose the identical
+// iteration order (tiles within a row band ordered by col0, within a col
+// band by row0 — for the grid this is exactly the tj / ti order, matching
+// what ATMatrix::BuildBands would produce for the same tiles).
+class OperandView {
+ public:
+  OperandView() = default;
+
+  static OperandView FromMatrix(const ATMatrix& m);
+
+  // Grid mode: `tiles` has one slot per (row band, col band) pair, row
+  // major — slot ti * (col_bounds->size() - 1) + tj. Slots may be filled
+  // after construction; callers must not read a tile before its producer
+  // completed (the chain executor's dependency edges guarantee this).
+  static OperandView FromGrid(const std::vector<Tile>* tiles,
+                              const std::vector<index_t>* row_bounds,
+                              const std::vector<index_t>* col_bounds,
+                              const DensityMap* map);
+
+  index_t rows() const { return row_bounds_->back(); }
+  index_t cols() const { return col_bounds_->back(); }
+  index_t num_row_bands() const {
+    return static_cast<index_t>(row_bounds_->size()) - 1;
+  }
+  index_t num_col_bands() const {
+    return static_cast<index_t>(col_bounds_->size()) - 1;
+  }
+  const std::vector<index_t>& row_bounds() const { return *row_bounds_; }
+  const std::vector<index_t>& col_bounds() const { return *col_bounds_; }
+
+  std::span<const index_t> TilesInRowBand(index_t band) const {
+    return row_band_tiles_[static_cast<std::size_t>(band)];
+  }
+  std::span<const index_t> TilesInColBand(index_t band) const {
+    return col_band_tiles_[static_cast<std::size_t>(band)];
+  }
+  const Tile& tile(index_t idx) const {
+    return (*tiles_)[static_cast<std::size_t>(idx)];
+  }
+  const DensityMap& map() const { return *map_; }
+
+ private:
+  const std::vector<Tile>* tiles_ = nullptr;
+  const std::vector<index_t>* row_bounds_ = nullptr;
+  const std::vector<index_t>* col_bounds_ = nullptr;
+  const DensityMap* map_ = nullptr;
+  std::vector<std::vector<index_t>> row_band_tiles_;
+  std::vector<std::vector<index_t>> col_band_tiles_;
+};
+
+// Everything one product's tile tasks share. The pointers stay owned by
+// the caller and must outlive every RunProductTileTask call.
+struct ProductContext {
+  OperandView a;
+  OperandView b;
+  index_t block = 1;  // atomic block edge
+
+  // Density-estimation phase output. When use_estimate is set, `estimate`
+  // must cover at least the task's block region by the time the task runs
+  // (the fused executor fills it region-by-region).
+  bool use_estimate = false;
+  const DensityMap* estimate = nullptr;
+  double rho_w = 0.0;  // effective write threshold rhoD_W
+
+  bool dynamic_conversion = true;
+  const CostModel* cost_model = nullptr;
+
+  // JIT conversion caches for the two operands, plus the key side each is
+  // addressed with. A private per-operation cache uses one object with
+  // kLeft/kRight sides; the chain executor passes one cache per source
+  // matrix (always addressed as kLeft), so a matrix repeated across
+  // products — or on both sides of one product — shares its conversions.
+  ConversionCache* a_cache = nullptr;
+  ConversionCache::Side a_cache_side = ConversionCache::kLeft;
+  ConversionCache* b_cache = nullptr;
+  ConversionCache::Side b_cache_side = ConversionCache::kRight;
+
+  // Optional accumulator (MultiplyAdd's C); null for plain products.
+  const ATMatrix* c_init = nullptr;
+
+  // Output: tile slot per task (task = ti * b.num_col_bands() + tj) and
+  // the per-atomic-block nnz counts of the result (grid of the result's
+  // density map, row-major with `grid_cols` columns). Tasks write disjoint
+  // slots / grid regions.
+  std::vector<Tile>* c_tiles = nullptr;
+  std::vector<double>* block_counts = nullptr;
+  index_t grid_cols = 0;
+
+  // Per-product stats accumulation, guarded by stats_mutex.
+  AtMultStats* stats = nullptr;
+  Mutex* stats_mutex = nullptr;
+
+  // Decision-audit grouping (0 / false when auditing is off).
+  std::uint64_t op_id = 0;
+  bool audit_enabled = false;
+
+  // When non-null, result-tile bytes are recorded with the MemTracker and
+  // accumulated here so the caller can release the operator-transient
+  // footprint when ownership passes on.
+  std::atomic<std::uint64_t>* tracked_bytes = nullptr;
+};
+
+// Runs task `task` (= ti * b.num_col_bands() + tj): produces the C tile
+// for row band ti x col band tj into (*ctx.c_tiles)[task], accumulates the
+// block counts and stats. `team` provides intra-task parallelism and the
+// locality accounting node.
+void RunProductTileTask(const ProductContext& ctx, WorkerTeam& team,
+                        index_t task);
+
+}  // namespace atmx::internal
+
+#endif  // ATMX_OPS_PRODUCT_TASK_H_

@@ -1,0 +1,47 @@
+#include "tile/tile_lifetime.h"
+
+#include "obs/obs.h"
+
+namespace atmx {
+
+void ResidentTileSet::Charge(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+#if defined(ATMX_OBS_ENABLED)
+  obs::MemTracker::Global().RecordAlloc(bytes);
+  ATMX_GAUGE_SET("atmult.fused.resident_bytes", static_cast<double>(now));
+#endif
+}
+
+std::uint64_t ResidentTileSet::Retire(std::vector<Tile>* tiles,
+                                      std::span<const index_t> indices) {
+  std::uint64_t released = 0;
+  for (index_t idx : indices) {
+    Tile& t = (*tiles)[static_cast<std::size_t>(idx)];
+    released += t.MemoryBytes();
+    // Keep the bounding box (band bookkeeping may still look at windows)
+    // but drop the payload.
+    t = Tile::MakeSparse(t.row0(), t.col0(), CsrMatrix(t.rows(), t.cols()));
+  }
+  ReleaseCharge(released);
+  return released;
+}
+
+void ResidentTileSet::ReleaseCharge(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t now =
+      current_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+#if defined(ATMX_OBS_ENABLED)
+  obs::MemTracker::Global().RecordFree(bytes);
+  ATMX_GAUGE_SET("atmult.fused.resident_bytes", static_cast<double>(now));
+#else
+  (void)now;
+#endif
+}
+
+}  // namespace atmx

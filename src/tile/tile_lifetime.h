@@ -1,0 +1,59 @@
+// Resident-intermediate accounting for fused chain execution (see
+// docs/CHAINS.md): intermediate result tiles stay resident only from the
+// task that produced them until their last consuming task finishes, and
+// this tracker follows that footprint — charging the MemTracker while the
+// tiles live, releasing the charge (and the tile payloads themselves) when
+// a band of tiles is retired.
+
+#ifndef ATMX_TILE_TILE_LIFETIME_H_
+#define ATMX_TILE_TILE_LIFETIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "tile/tile.h"
+
+namespace atmx {
+
+// Thread-safe footprint tracker for the tiles of fused-chain
+// intermediates. Tasks call Charge() as they produce tiles and Retire()
+// when a band's dependency count shows every consumer finished; the peak
+// is the largest intermediate working set the fused execution ever held —
+// the number the resident_peak_bytes stat and the
+// `atmult.fused.resident_bytes_peak` gauge report.
+class ResidentTileSet {
+ public:
+  // Records `bytes` of freshly produced intermediate tiles (also charged
+  // to the process MemTracker when the observability layer is built in).
+  void Charge(std::uint64_t bytes);
+
+  // Releases the payloads of `tiles[idx]` for idx in `indices` — each
+  // tile is replaced by an empty sparse tile with the same bounding box —
+  // and uncharges their bytes. Returns the bytes released. Callers must
+  // guarantee no concurrent reader of those tiles (the fused executor's
+  // dependency edges do).
+  std::uint64_t Retire(std::vector<Tile>* tiles,
+                       std::span<const index_t> indices);
+
+  // Uncharges without touching any tiles (the root result, whose
+  // ownership passes to the caller at the end of the chain).
+  void ReleaseCharge(std::uint64_t bytes);
+
+  std::uint64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+}  // namespace atmx
+
+#endif  // ATMX_TILE_TILE_LIFETIME_H_

@@ -160,6 +160,197 @@ void TeamScheduler::RunTasks(
   RunTasks(num_tasks, home_of, run, ScheduleOptions(), nullptr);
 }
 
+void TeamScheduler::RunTaskGraph(
+    index_t num_tasks, const std::vector<index_t>& dep_count,
+    const std::vector<std::vector<index_t>>& successors,
+    const std::function<int(index_t)>& home_of,
+    const std::function<void(WorkerTeam&, index_t)>& run,
+    const ScheduleOptions& options, ScheduleStats* stats_out) {
+  const int nt = num_teams();
+  ATMX_CHECK_EQ(static_cast<index_t>(dep_count.size()), num_tasks);
+  ATMX_CHECK_EQ(static_cast<index_t>(successors.size()), num_tasks);
+
+  // Home teams are fixed up front; home_of runs outside any lock.
+  std::vector<int> homes(static_cast<std::size_t>(num_tasks));
+  for (index_t task = 0; task < num_tasks; ++task) {
+    const int home = home_of(task);
+    ATMX_CHECK(home >= 0 && home < nt);
+    homes[static_cast<std::size_t>(task)] = home;
+  }
+
+  // One mutex for the whole graph state: releases are rare (one lock round
+  // per task) next to the tile-sized tasks, and a single lock keeps the
+  // ready/dependency protocol trivially race-free.
+  struct GraphState {
+    Mutex mu;
+    CondVar ready_cv;
+    std::vector<index_t> deps ATMX_GUARDED_BY(mu);
+    std::vector<std::deque<index_t>> queues ATMX_GUARDED_BY(mu);
+    index_t completed ATMX_GUARDED_BY(mu) = 0;
+  };
+  // Initially-ready tasks enter in submission order; with a cost model
+  // they are re-ordered longest-first like RunTasks, so the expensive
+  // sources start immediately and thieves take the cheap tail. Costs are
+  // evaluated before any lock exists (cost_of is a caller callback).
+  std::vector<index_t> ready;
+  for (index_t task = 0; task < num_tasks; ++task) {
+    const index_t deps = dep_count[static_cast<std::size_t>(task)];
+    ATMX_CHECK_GE(deps, 0);
+    if (deps == 0) ready.push_back(task);
+  }
+  if (options.work_stealing && options.cost_of) {
+    std::vector<double> cost(ready.size());
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      cost[i] = options.cost_of(ready[i]);
+    }
+    std::vector<std::size_t> order(ready.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return cost[x] > cost[y];
+                     });
+    std::vector<index_t> sorted(ready.size());
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      sorted[i] = ready[order[i]];
+    }
+    ready = std::move(sorted);
+  }
+
+  GraphState state;
+  {
+    MutexLock lock(state.mu);
+    state.deps = dep_count;
+    state.queues.resize(static_cast<std::size_t>(nt));
+    for (index_t task : ready) {
+      state.queues[static_cast<std::size_t>(
+                       homes[static_cast<std::size_t>(task)])]
+          .push_back(task);
+    }
+  }
+
+  std::vector<std::vector<int>> victims(static_cast<std::size_t>(nt));
+  if (options.work_stealing && nt > 1) {
+    for (int t = 0; t < nt; ++t) {
+      auto& order = victims[static_cast<std::size_t>(t)];
+      for (int v = 0; v < nt; ++v) {
+        if (v != t) order.push_back(v);
+      }
+      std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+        return NumaDistance(t, x, nt) < NumaDistance(t, y, nt);
+      });
+    }
+  }
+
+  ScheduleStats stats;
+  stats.executed_per_team.assign(static_cast<std::size_t>(nt), 0);
+  stats.stolen_per_team.assign(static_cast<std::size_t>(nt), 0);
+  stats.busy_seconds.assign(static_cast<std::size_t>(nt), 0.0);
+  stats.cpu_seconds.assign(static_cast<std::size_t>(nt), 0.0);
+  WallTimer makespan_timer;
+  ATMX_COUNTER_ADD("threadpool.graph_tasks", num_tasks);
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(teams_.size());
+  for (int t = 0; t < nt; ++t) {
+    drivers.emplace_back([&, t] {
+      const std::size_t self = static_cast<std::size_t>(t);
+      index_t executed = 0;
+      index_t stolen = 0;
+      double busy = 0.0;
+      double cpu = 0.0;
+      for (;;) {
+        index_t task = -1;
+        int source = -1;
+        {
+          MutexLock lock(state.mu);
+          for (;;) {
+            if (!state.queues[self].empty()) {
+              task = state.queues[self].front();
+              state.queues[self].pop_front();
+              source = t;
+              break;
+            }
+            if (options.work_stealing) {
+              for (int v : victims[self]) {
+                auto& vq = state.queues[static_cast<std::size_t>(v)];
+                if (!vq.empty()) {
+                  task = vq.back();
+                  vq.pop_back();
+                  source = v;
+                  break;
+                }
+              }
+              if (source >= 0) break;
+            }
+            if (state.completed == num_tasks) break;
+            // Nothing ready anywhere but tasks still in flight: their
+            // completions will release successors (or finish the batch).
+            state.ready_cv.Wait(state.mu);
+          }
+        }
+        if (source < 0) break;
+        const bool was_stolen = source != t;
+        WallTimer task_timer;
+        ThreadCpuTimer task_cpu_timer;
+        {
+          ATMX_TRACE_SPAN_ARGS("sched", "task", {"team", t}, {"task", task},
+                               {"home", source},
+                               {"stolen", was_stolen ? 1 : 0});
+#if defined(ATMX_OBS_ENABLED)
+          if (was_stolen) {
+            obs::TraceRecorder::Global().RecordInstant(
+                "sched", "steal",
+                {{"thief", t}, {"victim", source}, {"task", task}});
+          }
+#endif
+          run(*teams_[self], task);
+        }
+        busy += task_timer.ElapsedSeconds();
+        cpu += task_cpu_timer.ElapsedSeconds();
+        ++executed;
+        if (was_stolen) ++stolen;
+        {
+          MutexLock lock(state.mu);
+          ++state.completed;
+          for (index_t succ : successors[static_cast<std::size_t>(task)]) {
+            ATMX_CHECK(succ >= 0 && succ < num_tasks);
+            index_t& remaining = state.deps[static_cast<std::size_t>(succ)];
+            ATMX_CHECK_GT(remaining, 0);
+            if (--remaining == 0) {
+              // Front of the home queue: the successor consumes this
+              // task's freshly produced tile, so run it before colder
+              // initially-ready work.
+              state.queues[static_cast<std::size_t>(
+                               homes[static_cast<std::size_t>(succ)])]
+                  .push_front(succ);
+            }
+          }
+        }
+        state.ready_cv.NotifyAll();
+      }
+      stats.executed_per_team[self] = executed;
+      stats.stolen_per_team[self] = stolen;
+      stats.busy_seconds[self] = busy;
+      stats.cpu_seconds[self] = cpu;
+    });
+  }
+  for (auto& d : drivers) d.join();
+  stats.makespan_seconds = makespan_timer.ElapsedSeconds();
+  {
+    MutexLock lock(state.mu);
+    // A cyclic graph or inconsistent counts/edges would have deadlocked
+    // the drivers above; an unreleased task here means the caller passed
+    // counts larger than the edges actually delivered.
+    ATMX_CHECK_EQ(state.completed, num_tasks);
+  }
+#if defined(ATMX_OBS_ENABLED)
+  if (options.work_stealing) {
+    ATMX_COUNTER_ADD("threadpool.steals", stats.TotalSteals());
+  }
+#endif
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+}
+
 void TeamScheduler::RunTasks(
     index_t num_tasks, const std::function<int(index_t)>& home_of,
     const std::function<void(WorkerTeam&, index_t)>& run,

@@ -139,6 +139,26 @@ class TeamScheduler {
                 const std::function<void(WorkerTeam&, index_t)>& run,
                 const ScheduleOptions& options, ScheduleStats* stats);
 
+  // Dependency-aware batch: tasks form a DAG instead of an independent
+  // set. `dep_count[t]` is the number of predecessors of task t;
+  // `successors[t]` lists the tasks unblocked when t completes (each
+  // successor's count drops by one per listed edge). A task is released to
+  // its home queue the moment its count reaches zero — there is no global
+  // barrier between "phases", which is what lets a fused chain start a
+  // downstream product's tile while sibling tiles of the upstream product
+  // are still running. Newly released tasks are pushed to the *front* of
+  // their home queue so consumers run while their producer's output is
+  // still cache-hot; the initially-ready set keeps submission order (LPT
+  // when `options.cost_of` is set). Stealing takes from the back, as in
+  // RunTasks. The graph must be acyclic with consistent counts/edges or
+  // the call deadlocks its drivers; both are checked on completion.
+  void RunTaskGraph(index_t num_tasks,
+                    const std::vector<index_t>& dep_count,
+                    const std::vector<std::vector<index_t>>& successors,
+                    const std::function<int(index_t)>& home_of,
+                    const std::function<void(WorkerTeam&, index_t)>& run,
+                    const ScheduleOptions& options, ScheduleStats* stats);
+
  private:
   std::vector<std::unique_ptr<WorkerTeam>> teams_;
 };

@@ -225,7 +225,12 @@ TEST(AtMultStatsTest, ConversionsHappenForSparseTimesFullDense) {
   CooMatrix b = DenseToCoo(GenerateFullDense(96, 96, 18));
   ATMatrix atm_a = PartitionToAtm(a, config);
   ATMatrix atm_b = PartitionToAtm(b, config);
-  AtMult op(config);
+  // Tile windows here are narrow enough for the SpMM panel rate, which
+  // (intentionally) keeps A sparse under the default cost model; level the
+  // panel rate so this test keeps exercising the JIT conversion machinery.
+  CostParams params;
+  params.c_sdd_panel = params.c_sdd;
+  AtMult op(config, CostModel(params));
   AtMultStats stats;
   ATMatrix c = op.Multiply(atm_a, atm_b, &stats);
   EXPECT_GT(stats.sparse_to_dense_conversions, 0);

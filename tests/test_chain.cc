@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "gen/synthetic.h"
 #include "kernels/sparse_kernels.h"
 #include "ops/reference_mult.h"
@@ -76,6 +78,52 @@ TEST(ChainPlanTest, PrefersCheapSideFirst) {
   EXPECT_LT(plan.estimated_cost, naive);
 }
 
+TEST(ChainPlanTest, TwoMatrixPlan) {
+  CooMatrix a = RandomCoo(32, 48, 150, 20);
+  CooMatrix b = RandomCoo(48, 32, 150, 21);
+  DensityMap a_map = DensityMap::FromCoo(a, 16);
+  DensityMap b_map = DensityMap::FromCoo(b, 16);
+  ChainPlan plan = PlanChain({&a_map, &b_map}, CostModel(), 0.03);
+  EXPECT_EQ(plan.ToString(), "(A0*A1)");
+  EXPECT_EQ(plan.split[0][1], 0);
+  EXPECT_GT(plan.estimated_cost, 0.0);
+}
+
+TEST(ChainPlanDeathTest, MismatchedBlocksDie) {
+  CooMatrix a = RandomCoo(32, 32, 100, 22);
+  DensityMap block16 = DensityMap::FromCoo(a, 16);
+  DensityMap block8 = DensityMap::FromCoo(a, 8);
+  EXPECT_DEATH(PlanChain({&block16, &block8}, CostModel(), 0.03), "block");
+}
+
+TEST(ChainPlanDeathTest, IncompatibleShapesDie) {
+  CooMatrix a = RandomCoo(32, 48, 100, 23);
+  CooMatrix b = RandomCoo(32, 32, 100, 24);  // 48 != 32
+  DensityMap a_map = DensityMap::FromCoo(a, 16);
+  DensityMap b_map = DensityMap::FromCoo(b, 16);
+  EXPECT_DEATH(PlanChain({&a_map, &b_map}, CostModel(), 0.03),
+               "cols");
+}
+
+TEST(ChainExecuteTest, AllEmptyChainProducesEmptyResult) {
+  // Structurally empty operands: the planner and both executors must
+  // survive zero-density maps and produce an all-zero result.
+  const AtmConfig config = ChainConfig();
+  CooMatrix empty(48, 48);
+  ATMatrix a = PartitionToAtm(empty, config);
+  ATMatrix b = PartitionToAtm(empty, config);
+  ATMatrix c = PartitionToAtm(empty, config);
+  ChainPlan plan = PlanChain(
+      {&a.density_map(), &b.density_map(), &c.density_map()}, CostModel(),
+      config.rho_write);
+  AtMult op(config);
+  ChainExecStats stats;
+  ATMatrix result = ExecuteChain({&a, &b, &c}, plan, op, &stats);
+  EXPECT_EQ(result.rows(), 48);
+  EXPECT_EQ(result.cols(), 48);
+  EXPECT_EQ(result.ToCsr().nnz(), 0);
+}
+
 TEST(ChainExecuteTest, MatchesReferenceForAnyPlan) {
   const AtmConfig config = ChainConfig();
   CooMatrix a_coo = RandomCoo(40, 56, 350, 8);
@@ -127,6 +175,105 @@ TEST(ChainExecuteTest, FourMatrixChain) {
     expected = ReferenceMultiply(expected, CooToDense(coos[i]));
   }
   ExpectDenseNear(expected, CsrToDense(result.ToCsr()), 1e-8);
+}
+
+// Fused execution must be indistinguishable from product-at-a-time: the
+// same per-tile pipeline runs on the same inputs in both modes, so the
+// result must match bitwise — structure AND values — for any team count.
+TEST(ChainExecuteTest, FusedMatchesUnfusedBitwiseAcrossTeams) {
+  std::vector<CooMatrix> coos;
+  coos.push_back(RandomCoo(64, 48, 700, 30));
+  coos.push_back(RandomCoo(48, 64, 800, 31));
+  coos.push_back(RandomCoo(64, 40, 600, 32));
+  coos.push_back(RandomCoo(40, 56, 500, 33));
+
+  for (int teams : {1, 2, 4}) {
+    AtmConfig config = ChainConfig();
+    config.num_sockets = teams;
+    config.cores_per_socket = 2;
+
+    std::vector<ATMatrix> atms;
+    for (const CooMatrix& coo : coos) {
+      atms.push_back(PartitionToAtm(coo, config));
+    }
+    std::vector<const ATMatrix*> chain;
+    std::vector<const DensityMap*> maps;
+    for (const ATMatrix& atm : atms) {
+      chain.push_back(&atm);
+      maps.push_back(&atm.density_map());
+    }
+    ChainPlan plan = PlanChain(maps, CostModel(), config.rho_write);
+
+    AtmConfig fused_config = config;
+    fused_config.fused_chains = true;
+    AtmConfig unfused_config = config;
+    unfused_config.fused_chains = false;
+
+    ChainExecStats fused_stats;
+    ChainExecStats unfused_stats;
+    CsrMatrix fused = ExecuteChain(chain, plan, AtMult(fused_config),
+                                   &fused_stats)
+                          .ToCsr();
+    CsrMatrix unfused = ExecuteChain(chain, plan, AtMult(unfused_config),
+                                     &unfused_stats)
+                            .ToCsr();
+    EXPECT_TRUE(fused_stats.fused) << "teams=" << teams;
+    EXPECT_GT(fused_stats.fused_tasks, 0) << "teams=" << teams;
+    EXPECT_FALSE(unfused_stats.fused) << "teams=" << teams;
+    EXPECT_EQ(fused_stats.per_product.size(), unfused_stats.per_product.size())
+        << "teams=" << teams;
+
+    ASSERT_EQ(fused.rows(), unfused.rows()) << "teams=" << teams;
+    ASSERT_EQ(fused.cols(), unfused.cols()) << "teams=" << teams;
+    ASSERT_EQ(fused.nnz(), unfused.nnz()) << "teams=" << teams;
+    EXPECT_EQ(fused.row_ptr(), unfused.row_ptr()) << "teams=" << teams;
+    EXPECT_EQ(fused.col_idx(), unfused.col_idx()) << "teams=" << teams;
+    // Element-wise exact equality (operator== on the vectors would hide
+    // which element diverged).
+    for (std::size_t i = 0; i < fused.values().size(); ++i) {
+      ASSERT_EQ(fused.values()[i], unfused.values()[i])
+          << "teams=" << teams << " value index " << i;
+    }
+  }
+}
+
+// Team count must not change fused results either (band-ordered task
+// execution is commutative over the deterministic per-tile pipeline).
+TEST(ChainExecuteTest, FusedResultIdenticalAcrossTeamCounts) {
+  std::vector<CooMatrix> coos;
+  coos.push_back(RandomCoo(56, 56, 900, 40));
+  coos.push_back(RandomCoo(56, 56, 900, 41));
+  coos.push_back(RandomCoo(56, 56, 900, 42));
+
+  std::optional<CsrMatrix> reference;
+  for (int teams : {1, 2, 4}) {
+    AtmConfig config = ChainConfig();
+    config.num_sockets = teams;
+    config.fused_chains = true;
+
+    std::vector<ATMatrix> atms;
+    for (const CooMatrix& coo : coos) {
+      atms.push_back(PartitionToAtm(coo, config));
+    }
+    std::vector<const ATMatrix*> chain;
+    std::vector<const DensityMap*> maps;
+    for (const ATMatrix& atm : atms) {
+      chain.push_back(&atm);
+      maps.push_back(&atm.density_map());
+    }
+    ChainPlan plan = PlanChain(maps, CostModel(), config.rho_write);
+    ChainExecStats stats;
+    CsrMatrix result =
+        ExecuteChain(chain, plan, AtMult(config), &stats).ToCsr();
+    EXPECT_TRUE(stats.fused) << "teams=" << teams;
+    if (!reference.has_value()) {
+      reference = std::move(result);
+      continue;
+    }
+    EXPECT_EQ(result.row_ptr(), reference->row_ptr()) << "teams=" << teams;
+    EXPECT_EQ(result.col_idx(), reference->col_idx()) << "teams=" << teams;
+    EXPECT_EQ(result.values(), reference->values()) << "teams=" << teams;
+  }
 }
 
 }  // namespace

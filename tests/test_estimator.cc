@@ -37,6 +37,33 @@ TEST(EstimatorTest, FullTimesFullIsFull) {
   EXPECT_DOUBLE_EQ(c.At(1, 1), 1.0);
 }
 
+TEST(EstimatorTest, RegionEstimateBitwiseMatchesFullEstimate) {
+  // The fused chain executor fills a product's estimate region-by-region
+  // as producing bands complete; downstream decisions only stay identical
+  // to the unfused path if every region value is BITWISE equal to the
+  // full estimator's, not merely close.
+  CooMatrix a_coo = atmx::testing::RandomCoo(96, 64, 900, 50);
+  CooMatrix b_coo = atmx::testing::RandomCoo(64, 80, 700, 51);
+  DensityMap a = DensityMap::FromCoo(a_coo, 16);
+  DensityMap b = DensityMap::FromCoo(b_coo, 16);
+
+  DensityMap full = EstimateProductDensity(a, b);
+  DensityMap pieced(96, 80, 16);
+  // Irregular single-block and multi-block regions covering the grid.
+  for (index_t bi = 0; bi < full.grid_rows(); ++bi) {
+    EstimateProductDensityRegion(a, b, bi, bi + 1, 0, 2, &pieced);
+    EstimateProductDensityRegion(a, b, bi, bi + 1, 2, full.grid_cols(),
+                                 &pieced);
+  }
+  for (index_t bi = 0; bi < full.grid_rows(); ++bi) {
+    for (index_t bj = 0; bj < full.grid_cols(); ++bj) {
+      // Exact: same contraction terms in the same order.
+      EXPECT_EQ(full.At(bi, bj), pieced.At(bi, bj))
+          << "block (" << bi << "," << bj << ")";
+    }
+  }
+}
+
 TEST(EstimatorTest, MatchesClosedFormSingleBlock) {
   // One block of width w: rho_c = 1 - (1 - ra*rb)^w.
   DensityMap a(16, 16, 16), b(16, 16, 16);

@@ -56,8 +56,10 @@ TEST(PairDecisionTest, CachedConversionTipsTheScale) {
   // Density near the turnaround: without a cached conversion the
   // conversion cost keeps the tile sparse; with the conversion already
   // cached the dense kernel is free to win.
+  // n wide enough to stay out of the SpMM panel regime (its cheaper
+  // sparse x dense rate moves the turnaround, tested separately below).
   const double rho = 0.26;
-  const MultiplyShape shape = Shape(128, 128, 128, rho, 1.0, 0.9);
+  const MultiplyShape shape = Shape(128, 128, 512, rho, 1.0, 0.9);
   PairDecision uncached = DecidePairRepresentations(
       model, shape, false, true, false, false, true, true);
   PairDecision cached = DecidePairRepresentations(model, shape, false, true,
@@ -66,6 +68,20 @@ TEST(PairDecisionTest, CachedConversionTipsTheScale) {
   EXPECT_TRUE(cached.a_dense);
   // The cached projected cost can never exceed the uncached one.
   EXPECT_LE(cached.projected_cost, uncached.projected_cost + 1e-9);
+}
+
+TEST(PairDecisionTest, PanelRateKeepsSparseAgainstSkinnyDense) {
+  CostModel model;
+  // Same densities as CachedConversionTipsTheScale, but a tall-skinny
+  // dense B (n <= kSpmmMaxPanelCols): the register-strip SpMM panel rate
+  // prices the sparse x dense kernel below the dense one up to
+  // rho = c_ddd / c_sdd_panel, so A stays sparse even when its dense
+  // conversion would be free.
+  const MultiplyShape shape = Shape(128, 128, 128, 0.26, 1.0, 0.9);
+  PairDecision cached = DecidePairRepresentations(model, shape, false, true,
+                                                  true, false, true, true);
+  EXPECT_FALSE(cached.a_dense);
+  EXPECT_TRUE(cached.b_dense);
 }
 
 TEST(PairDecisionTest, DenseOperandCanConvertToSparse) {

@@ -160,6 +160,71 @@ TEST(SimdAxpy, BitwiseIdenticalAcrossLevels) {
 }
 
 // ---------------------------------------------------------------------------
+// SpmmRowPanelLevel: bitwise identity across levels, including every strip
+// tail (16/8/4/scalar) and a non-zero column offset.
+
+TEST(SimdSpmmRowPanel, BitwiseIdenticalAcrossLevels) {
+  const index_t k = 20;  // B rows
+  for (index_t n : {1, 3, 4, 7, 8, 15, 16, 17, 33, 64, 100, 256}) {
+    DenseMatrix b = RandomDense(k, n, 5000 + n);
+    // A sparse row touching a mix of B rows, some repeated-adjacent-free,
+    // ascending as CSR guarantees.
+    std::vector<index_t> cols = {0, 1, 3, 7, 8, 12, 19};
+    std::vector<value_t> vals = RandomVector(static_cast<index_t>(cols.size()),
+                                             6000 + n);
+    std::vector<value_t> c_ref = RandomVector(n, 7000 + n);
+    simd::SpmmRowPanelLevel(Level::kScalar, vals.data(), cols.data(), 0,
+                            static_cast<index_t>(cols.size()), 0, b.View(),
+                            c_ref.data());
+    for (Level level : RunnableLevels()) {
+      if (level == Level::kScalar) continue;
+      std::vector<value_t> c = RandomVector(n, 7000 + n);  // same seed: same C0
+      simd::SpmmRowPanelLevel(level, vals.data(), cols.data(), 0,
+                              static_cast<index_t>(cols.size()), 0, b.View(),
+                              c.data());
+      for (index_t j = 0; j < n; ++j) {
+        ASSERT_EQ(c_ref[j], c[j]) << "level=" << simd::LevelName(level)
+                                  << " n=" << n << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SimdSpmmRowPanel, HonorsRangeAndColumnOffset) {
+  const index_t k = 8, n = 21;
+  DenseMatrix b = RandomDense(k, n, 11);
+  // Global CSR arrays where only positions [2, 5) belong to this window;
+  // window columns start at 100, so B row = col - 100.
+  std::vector<index_t> cols = {90, 95, 100, 103, 107, 120};
+  std::vector<value_t> vals = RandomVector(6, 12);
+  for (Level level : RunnableLevels()) {
+    std::vector<value_t> c(n, 0.25);
+    simd::SpmmRowPanelLevel(level, vals.data(), cols.data(), 2, 5, 100,
+                            b.View(), c.data());
+    for (index_t j = 0; j < n; ++j) {
+      value_t want = 0.25;
+      for (index_t p = 2; p < 5; ++p) want += vals[p] * b.At(cols[p] - 100, j);
+      ASSERT_EQ(want, c[j]) << "level=" << simd::LevelName(level)
+                            << " j=" << j;
+    }
+  }
+}
+
+TEST(SimdSpmmRowPanel, EmptyRowLeavesCUntouched) {
+  const index_t n = 16;
+  DenseMatrix b = RandomDense(4, n, 13);
+  std::vector<index_t> cols = {1};
+  std::vector<value_t> vals = {2.0};
+  for (Level level : RunnableLevels()) {
+    std::vector<value_t> c = RandomVector(n, 14);
+    const std::vector<value_t> before = c;
+    simd::SpmmRowPanelLevel(level, vals.data(), cols.data(), 1, 1, 0,
+                            b.View(), c.data());
+    EXPECT_EQ(before, c);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // CsrRowDotLevel / DotLevel: ULP-bounded against the scalar reference.
 
 TEST(SimdCsrRowDot, ShortRowsAreBitwiseScalar) {

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/mutex.h"
+
 namespace atmx {
 namespace {
 
@@ -105,6 +107,104 @@ TEST(TeamSchedulerTest, NoTasks) {
   scheduler.RunTasks(
       0, [](index_t) { return 0; },
       [](WorkerTeam&, index_t) { FAIL() << "no task should run"; });
+}
+
+TEST(TeamSchedulerTest, TaskGraphRespectsDependencyOrder) {
+  // Diamond per lane: 0 -> {1, 2} -> 3 (x4 lanes), plus an independent
+  // source. Every task must observe all predecessors completed.
+  TeamScheduler scheduler(2, 2);
+  constexpr index_t kLanes = 4;
+  const index_t num_tasks = kLanes * 4 + 1;
+  std::vector<index_t> deps(num_tasks, 0);
+  std::vector<std::vector<index_t>> successors(num_tasks);
+  for (index_t lane = 0; lane < kLanes; ++lane) {
+    const index_t base = lane * 4;
+    successors[base] = {base + 1, base + 2};
+    deps[base + 1] = 1;
+    deps[base + 2] = 1;
+    successors[base + 1] = {base + 3};
+    successors[base + 2] = {base + 3};
+    deps[base + 3] = 2;
+  }
+  std::vector<std::atomic<int>> done(num_tasks);
+  std::vector<std::atomic<int>> runs(num_tasks);
+  std::atomic<bool> order_ok{true};
+  ScheduleStats stats;
+  scheduler.RunTaskGraph(
+      num_tasks, deps, successors,
+      [](index_t task) { return static_cast<int>(task % 2); },
+      [&](WorkerTeam&, index_t task) {
+        if (task % 4 != 0 && task < kLanes * 4) {
+          const index_t base = (task / 4) * 4;
+          if (task % 4 == 3) {
+            if (!done[base + 1].load() || !done[base + 2].load()) {
+              order_ok.store(false);
+            }
+          } else if (!done[base].load()) {
+            order_ok.store(false);
+          }
+        }
+        runs[task].fetch_add(1);
+        done[task].store(1);
+      },
+      ScheduleOptions(), &stats);
+  EXPECT_TRUE(order_ok.load());
+  index_t executed = 0;
+  for (index_t t = 0; t < num_tasks; ++t) {
+    EXPECT_EQ(runs[t].load(), 1) << "task " << t;
+    executed += runs[t].load();
+  }
+  EXPECT_EQ(executed, num_tasks);
+  index_t stats_total = 0;
+  for (index_t n : stats.executed_per_team) stats_total += n;
+  EXPECT_EQ(stats_total, num_tasks);
+}
+
+TEST(TeamSchedulerTest, TaskGraphStaticModeRunsChainSequentially) {
+  // A pure chain 0 -> 1 -> ... -> 9 with stealing off: only one task is
+  // ever ready, so completions must strictly increase.
+  TeamScheduler scheduler(3, 1);
+  const index_t n = 10;
+  std::vector<index_t> deps(n, 1);
+  deps[0] = 0;
+  std::vector<std::vector<index_t>> successors(n);
+  for (index_t t = 0; t + 1 < n; ++t) successors[t] = {t + 1};
+  ScheduleOptions options;
+  options.work_stealing = false;
+  std::vector<index_t> sequence;
+  Mutex mu;
+  scheduler.RunTaskGraph(
+      n, deps, successors,
+      [](index_t task) { return static_cast<int>(task % 3); },
+      [&](WorkerTeam&, index_t task) {
+        MutexLock lock(mu);
+        sequence.push_back(task);
+      },
+      options, nullptr);
+  ASSERT_EQ(sequence.size(), static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) EXPECT_EQ(sequence[t], t);
+}
+
+TEST(TeamSchedulerTest, TaskGraphAllReadyBehavesLikeRunTasks) {
+  TeamScheduler scheduler(2, 1);
+  const index_t n = 16;
+  std::vector<index_t> deps(n, 0);
+  std::vector<std::vector<index_t>> successors(n);
+  std::vector<std::atomic<int>> runs(n);
+  scheduler.RunTaskGraph(
+      n, deps, successors,
+      [](index_t task) { return static_cast<int>(task % 2); },
+      [&](WorkerTeam&, index_t task) { runs[task].fetch_add(1); },
+      ScheduleOptions(), nullptr);
+  for (index_t t = 0; t < n; ++t) EXPECT_EQ(runs[t].load(), 1);
+}
+
+TEST(TeamSchedulerTest, TaskGraphEmpty) {
+  TeamScheduler scheduler(2, 1);
+  scheduler.RunTaskGraph(
+      0, {}, {}, [](index_t) { return 0; },
+      [](WorkerTeam&, index_t) { FAIL() << "no task should run"; },
+      ScheduleOptions(), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+#include "tile/tile_lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "storage/csr_matrix.h"
+#include "storage/dense_matrix.h"
+
+namespace atmx {
+namespace {
+
+Tile DenseTile(index_t row0, index_t col0, index_t n) {
+  DenseMatrix payload(n, n);
+  for (index_t i = 0; i < n; ++i) payload.At(i, i) = 1.0;
+  return Tile::MakeDense(row0, col0, std::move(payload));
+}
+
+TEST(ResidentTileSetTest, ChargeAndReleaseTrackPeak) {
+  ResidentTileSet resident;
+  EXPECT_EQ(resident.current_bytes(), 0u);
+  EXPECT_EQ(resident.peak_bytes(), 0u);
+
+  resident.Charge(1000);
+  resident.Charge(500);
+  EXPECT_EQ(resident.current_bytes(), 1500u);
+  EXPECT_EQ(resident.peak_bytes(), 1500u);
+
+  resident.ReleaseCharge(1000);
+  EXPECT_EQ(resident.current_bytes(), 500u);
+  // Peak is a high-water mark; release never lowers it.
+  EXPECT_EQ(resident.peak_bytes(), 1500u);
+
+  resident.Charge(200);
+  EXPECT_EQ(resident.current_bytes(), 700u);
+  EXPECT_EQ(resident.peak_bytes(), 1500u);
+}
+
+TEST(ResidentTileSetTest, RetireReleasesPayloadsAndBytes) {
+  ResidentTileSet resident;
+  std::vector<Tile> tiles;
+  tiles.push_back(DenseTile(0, 0, 16));
+  tiles.push_back(DenseTile(0, 16, 16));
+  tiles.push_back(DenseTile(16, 0, 16));
+  std::uint64_t charged = 0;
+  for (const Tile& t : tiles) {
+    charged += t.MemoryBytes();
+    resident.Charge(t.MemoryBytes());
+  }
+  EXPECT_EQ(resident.current_bytes(), charged);
+
+  // Retire the first row band (tiles 0 and 1).
+  const std::array<index_t, 2> band = {0, 1};
+  const std::uint64_t released = resident.Retire(&tiles, band);
+  EXPECT_GT(released, 0u);
+  EXPECT_EQ(resident.current_bytes(), charged - released);
+  EXPECT_EQ(resident.peak_bytes(), charged);
+
+  // Retired tiles keep their bounding box but drop their payload.
+  EXPECT_FALSE(tiles[0].is_dense());
+  EXPECT_EQ(tiles[0].row0(), 0);
+  EXPECT_EQ(tiles[1].col0(), 16);
+  // The survivor is untouched and accounts for the remaining charge.
+  EXPECT_TRUE(tiles[2].is_dense());
+  EXPECT_EQ(resident.current_bytes(), tiles[2].MemoryBytes());
+}
+
+TEST(ResidentTileSetTest, ConcurrentChargesKeepConsistentPeak) {
+  ResidentTileSet resident;
+  constexpr int kThreads = 4;
+  constexpr int kChargesPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&resident] {
+      for (int i = 0; i < kChargesPerThread; ++i) resident.Charge(8);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t total = 8ull * kThreads * kChargesPerThread;
+  EXPECT_EQ(resident.current_bytes(), total);
+  // All charges and no releases: the peak is exactly the total.
+  EXPECT_EQ(resident.peak_bytes(), total);
+}
+
+}  // namespace
+}  // namespace atmx

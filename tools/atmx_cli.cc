@@ -9,6 +9,11 @@
 //   atmx gen <workload-id> <scale> <out> generate a Table I workload
 //   atmx trace <a> <b> <out.trace.json>  multiply with tracing + decision
 //                                        audit, write a Chrome trace
+//   atmx decisions <a> <b> [<c> ...]     multiply a chain through the
+//                                        planner with the decision audit
+//                                        on; print the chosen plan, the
+//                                        fusion outcome, and every pair
+//                                        representation decision
 //   atmx metrics <a> <b> [--json]        multiply, dump the metrics
 //                                        registry (table or JSON)
 //   atmx profile <a> <b>                 multiply with hardware counters,
@@ -47,6 +52,7 @@
 #include "obs/stats_server.h"
 #endif
 #include "ops/atmult.h"
+#include "ops/chain.h"
 #include "ops/explain.h"
 #include "storage/convert.h"
 #include "storage/matrix_market.h"
@@ -306,6 +312,73 @@ int CmdTrace(const std::string& a_path, const std::string& b_path,
   std::fprintf(stderr,
                "error: this binary was built with -DATMX_OBS=OFF; "
                "rebuild with -DATMX_OBS=ON for tracing\n");
+  return 1;
+#endif
+}
+
+// Multiplies a chain of matrices through the chain planner with the
+// decision audit enabled, then renders what the optimizer chose: the
+// chain-level records (parenthesization, planned vs left-to-right cost,
+// fusion outcome) and the per-pair representation decisions.
+int CmdDecisions(const std::vector<std::string>& paths, bool as_json) {
+#if defined(ATMX_OBS_ENABLED)
+  AtmConfig config = ConfigFromEnv();
+  std::vector<ATMatrix> matrices;
+  matrices.reserve(paths.size());
+  for (const std::string& path : paths) {
+    Result<ATMatrix> m = LoadAsAtm(path, config);
+    if (!m.ok()) {
+      std::fprintf(stderr, "error: %s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    if (!matrices.empty() &&
+        matrices.back().cols() != m.value().rows()) {
+      std::fprintf(stderr, "error: shape mismatch %lld != %lld at %s\n",
+                   (long long)matrices.back().cols(),
+                   (long long)m.value().rows(), path.c_str());
+      return 1;
+    }
+    matrices.push_back(std::move(m).value());
+  }
+
+  std::vector<const ATMatrix*> chain;
+  std::vector<const DensityMap*> maps;
+  for (const ATMatrix& m : matrices) {
+    chain.push_back(&m);
+    maps.push_back(&m.density_map());
+  }
+
+  AtMult op(config);
+  ChainCostOptions cost_options;
+  cost_options.fused = config.fused_chains;
+  ChainPlan plan =
+      PlanChain(maps, op.cost_model(), config.rho_write, cost_options);
+  obs::DecisionLog::Global().SetEnabled(true);
+  ChainExecStats stats;
+  ATMatrix c = ExecuteChain(chain, plan, op, &stats);
+  obs::DecisionLog::Global().SetEnabled(false);
+  if (as_json) {
+    std::printf("{\"chains\":%s,\n\"pairs\":%s}\n",
+                obs::DecisionLog::Global().ChainsToJson().c_str(),
+                obs::DecisionLog::Global().ToJson().c_str());
+  } else {
+    std::printf("%s\n", stats.total.ToString().c_str());
+    std::printf(
+        "%s",
+        FormatChainDecisions(obs::DecisionLog::Global().ChainSnapshot())
+            .c_str());
+    std::printf("%s",
+                FormatDecisionLog(obs::DecisionLog::Global().Snapshot())
+                    .c_str());
+  }
+  (void)c;
+  return 0;
+#else
+  (void)paths;
+  (void)as_json;
+  std::fprintf(stderr,
+               "error: this binary was built with -DATMX_OBS=OFF; "
+               "rebuild with -DATMX_OBS=ON for the decision audit\n");
   return 1;
 #endif
 }
@@ -581,6 +654,7 @@ int Usage() {
                "  atmx convert <in> <out>\n"
                "  atmx gen <workload-id> <scale> <out>\n"
                "  atmx trace <a> <b> <out.trace.json>\n"
+               "  atmx decisions <a> <b> [<c> ...] [--json]\n"
                "  atmx metrics <a> <b> [--json]\n"
                "  atmx profile <a> <b>\n"
                "  atmx watch <url> [--interval=ms] [--count=n]\n");
@@ -605,6 +679,19 @@ int main(int argc, char** argv) {
   }
   if (cmd == "trace" && argc == 5) {
     return CmdTrace(argv[2], argv[3], argv[4]);
+  }
+  if (cmd == "decisions" && argc >= 4) {
+    bool as_json = false;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        as_json = true;
+      } else {
+        paths.emplace_back(argv[i]);
+      }
+    }
+    if (paths.size() < 2) return Usage();
+    return CmdDecisions(paths, as_json);
   }
   if (cmd == "metrics" && (argc == 4 || argc == 5)) {
     const bool as_json = argc == 5 && std::strcmp(argv[4], "--json") == 0;

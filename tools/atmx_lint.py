@@ -27,7 +27,12 @@ The checks (each with a self-test in tools/test_atmx_lint.py):
                          calls, no FMA intrinsics, no `#pragma STDC
                          FP_CONTRACT` other than OFF, and the CMake rules
                          must keep -ffp-contract=off on both the portable
-                         and the AVX2 TU.
+                         and the AVX2 TU. Every kernel TU in the directory
+                         (all .cc except the arithmetic-free dispatcher)
+                         must also be listed in a
+                         set_source_files_properties block that applies a
+                         *_KERNEL_OPTIONS list — a newly added TU cannot
+                         silently compile with default contraction.
 
   lock-order-doc         The TraceRecorder's registry-before-shard lock
                          order cannot be expressed with ATMX_ACQUIRED_AFTER
@@ -264,6 +269,12 @@ FMA_RE = re.compile(
 )
 FP_CONTRACT_PRAGMA_RE = re.compile(
     r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+(\w+)")
+SOURCE_PROPERTIES_RE = re.compile(
+    r"set_source_files_properties\s*\(([^)]*)\)", re.S)
+
+# TUs under src/kernels/simd/ that hold no kernel arithmetic and so need
+# no per-file compile options (the dispatcher only resolves levels).
+FP_CONTRACT_EXEMPT_TUS = frozenset({"simd_dispatch.cc"})
 
 
 def check_fp_contract(repo: str) -> List[Violation]:
@@ -297,6 +308,27 @@ def check_fp_contract(repo: str) -> List[Violation]:
                 cmake, 0, "fp-contract",
                 f"{var} no longer appends -ffp-contract=off; the SIMD "
                 "bitwise-identity contract needs it"))
+    # Every kernel TU must be claimed by a set_source_files_properties
+    # block that applies one of the *_KERNEL_OPTIONS lists; otherwise a
+    # newly added TU (the SpMM panel family was one) compiles with the
+    # compiler's default contraction and silently breaks the contract.
+    covered = set()
+    for m in SOURCE_PROPERTIES_RE.finditer(text):
+        block = m.group(1)
+        if "KERNEL_OPTIONS" not in block:
+            continue
+        covered.update(re.findall(r"kernels/simd/[\w./-]+\.cc", block))
+    for path in iter_files(repo, simd_dir, (".cc",)):
+        name = os.path.basename(path)
+        if name in FP_CONTRACT_EXEMPT_TUS:
+            continue
+        rel = "kernels/simd/" + name
+        if rel not in covered:
+            violations.append(Violation(
+                cmake, 0, "fp-contract",
+                f"{rel} has no set_source_files_properties entry applying "
+                "a *_KERNEL_OPTIONS list; kernel TUs must compile with "
+                "-ffp-contract=off"))
     return violations
 
 

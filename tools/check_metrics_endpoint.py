@@ -9,7 +9,9 @@ port, and then validates one of three contracts:
            (TYPE lines, charset-clean names, cumulative histogram
            buckets ending in +Inf == _count), /metrics.json parses to a
            non-empty object whose keys mangle onto the OpenMetrics
-           names, and an unknown route 404s.
+           names, and an unknown route 404s. --require-metric NAME[=MIN]
+           additionally polls /metrics.json until the named key reports
+           a value >= MIN (counters a bench promises to bump).
 
   rates    two /metrics.json scrapes taken mid-run must both carry
            rate.* gauges, at least one of which changes between them,
@@ -264,6 +266,19 @@ def mode_scrape(args: argparse.Namespace) -> None:
             if mangle(key) not in families:
                 raise Fail(f"/metrics.json key {key!r} has no OpenMetrics "
                            f"family {mangle(key)!r}")
+        # Named-metric floors (--require-metric NAME[=MIN]): the registry
+        # fills as the bench works, so keep re-scraping until every
+        # required key exists with at least the requested value.
+        for name, floor in args.require_metric:
+            while True:
+                value = doc.get(name)
+                if isinstance(value, (int, float)) and value >= floor:
+                    break
+                if time.monotonic() >= deadline:
+                    raise Fail(f"/metrics.json never reported {name!r} >= "
+                               f"{floor:g} (last value: {value!r})")
+                time.sleep(0.3)
+                doc = get_json(port)
         try:
             get(port, "/no-such-route")
             raise Fail("unknown route did not 404")
@@ -387,6 +402,20 @@ def mode_flight(args: argparse.Namespace) -> None:
 MODES = {"scrape": mode_scrape, "rates": mode_rates, "flight": mode_flight}
 
 
+def parse_metric_floor(spec: str) -> Tuple[str, float]:
+    """NAME or NAME=MIN (raw /metrics.json key, not the mangled form)."""
+    name, sep, floor = spec.partition("=")
+    if not name:
+        raise argparse.ArgumentTypeError(f"empty metric name in {spec!r}")
+    if not sep:
+        return name, 1.0
+    try:
+        return name, float(floor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"non-numeric floor {floor!r} in {spec!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -403,6 +432,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="rates: seconds between the two scrapes")
     parser.add_argument("--min-families", type=int, default=5,
                         help="scrape: minimum OpenMetrics families")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME[=MIN]", type=parse_metric_floor,
+                        help="scrape: /metrics.json must report this key "
+                             "with a value >= MIN (default 1); repeatable")
     # Split at "--" by hand: argparse's REMAINDER would swallow any
     # option written after the mode positional into the command.
     if argv is None:

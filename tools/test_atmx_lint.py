@@ -36,7 +36,12 @@ class FakeRepo:
             "// `mutex`.\n"))
         self.write("src/CMakeLists.txt", (
             'list(APPEND ATMX_PORTABLE_KERNEL_OPTIONS "-ffp-contract=off")\n'
-            'list(APPEND ATMX_AVX2_KERNEL_OPTIONS "-ffp-contract=off")\n'))
+            'list(APPEND ATMX_AVX2_KERNEL_OPTIONS "-ffp-contract=off")\n'
+            "set_source_files_properties(\n"
+            "  kernels/simd/ok.cc\n"
+            "  kernels/simd/bad.cc\n"
+            '  PROPERTIES COMPILE_OPTIONS "${ATMX_PORTABLE_KERNEL_OPTIONS}")'
+            "\n"))
 
     def write(self, rel, content):
         path = os.path.join(self.root, rel)
@@ -169,6 +174,20 @@ class LintCheckTest(unittest.TestCase):
                         'list(APPEND ATMX_AVX2_KERNEL_OPTIONS "-mavx2")\n')
         v = self.run_check("fp-contract")
         self.assertEqual(len(v), 2)  # both option lists lost the flag
+
+    def test_uncovered_kernel_tu_flagged(self):
+        # A new kernel TU with no set_source_files_properties entry would
+        # compile with the compiler's default contraction.
+        self.repo.write("src/kernels/simd/simd_new_family.cc",
+                        "double F(double a, double b) { return a * b; }\n")
+        v = self.run_check("fp-contract")
+        self.assertEqual(len(v), 1)
+        self.assertIn("simd_new_family.cc", v[0].message)
+
+    def test_dispatcher_tu_exempt_from_coverage(self):
+        self.repo.write("src/kernels/simd/simd_dispatch.cc",
+                        "int ActiveLevel() { return 1; }\n")
+        self.assertEqual(self.run_check("fp-contract"), [])
 
     # -- lock-order-doc ----------------------------------------------------
 
