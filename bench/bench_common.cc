@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "obs/obs.h"
 #if defined(ATMX_OBS_ENABLED)
+#include "obs/audit_ledger.h"
 #include "obs/flight_recorder.h"
 #include "obs/snapshot_ring.h"
 #include "obs/stats_server.h"
@@ -57,6 +58,23 @@ void FlushTraceAtExit() {
                path.c_str(), (long long)recorder.EventCount(),
                (unsigned long long)recorder.DroppedEvents());
 }
+
+// Written by EnableAuditOutputTo for the atexit flush message.
+std::string* AuditOutPath() {
+  static std::string* path = new std::string();
+  return path;
+}
+
+void FlushAuditAtExit() {
+  const std::string& path = *AuditOutPath();
+  if (path.empty()) return;
+  Status status = obs::AuditLedger::Global().FlushArmed();
+  if (!status.ok()) {
+    std::fprintf(stderr, "audit: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "audit: wrote %s\n", path.c_str());
+}
 #endif  // ATMX_OBS_ENABLED
 
 }  // namespace
@@ -88,6 +106,35 @@ void MaybeEnableTracing(int argc, char** argv) {
   }
   if (const char* path = std::getenv("ATMX_TRACE_OUT")) {
     if (path[0] != '\0') EnableTracingTo(path);
+  }
+}
+
+void EnableAuditOutputTo(const std::string& path) {
+#if defined(ATMX_OBS_ENABLED)
+  static bool registered = false;
+  *AuditOutPath() = path;
+  obs::AuditLedger::Global().ArmOutput(path);
+  if (!registered) {
+    registered = true;
+    std::atexit(FlushAuditAtExit);
+  }
+#else
+  std::fprintf(stderr,
+               "audit: ignoring %s — built with -DATMX_OBS=OFF\n",
+               path.c_str());
+#endif
+}
+
+void MaybeEnableAuditOut(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    static constexpr char kFlag[] = "--audit-out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      EnableAuditOutputTo(argv[i] + sizeof(kFlag) - 1);
+      return;
+    }
+  }
+  if (const char* path = std::getenv("ATMX_AUDIT_OUT")) {
+    if (path[0] != '\0') EnableAuditOutputTo(path);
   }
 }
 
@@ -172,6 +219,7 @@ void InitBenchTelemetry(const std::string& bench_name, int argc,
                         char** argv) {
   MaybeEnableTracing(argc, argv);
   MaybeEnableBenchReport(bench_name, argc, argv);
+  MaybeEnableAuditOut(argc, argv);
   MaybeStartStatsServer(argc, argv);
 }
 

@@ -26,6 +26,10 @@
 //                         finishes, so short runs stay scrape-able in CI
 //   ATMX_FLIGHT     1/0 — install the flight recorder independently of
 //                   (or suppress it despite) ATMX_STATS_PORT
+//   ATMX_AUDIT_OUT  path; when set (and ATMX_OBS=ON) the bench records
+//                   the prediction-vs-outcome audit ledger and writes the
+//                   schema-versioned JSON there at exit (replayed by
+//                   `atmx audit` / tools/audit_report.py)
 
 #ifndef ATMX_BENCH_BENCH_COMMON_H_
 #define ATMX_BENCH_BENCH_COMMON_H_
@@ -96,6 +100,15 @@ void EnableTracingTo(const std::string& path);
 // match) and honours the ATMX_TRACE_OUT environment variable. Benches
 // call this first thing in main().
 void MaybeEnableTracing(int argc, char** argv);
+
+// Arms the prediction-vs-outcome audit ledger (obs::AuditLedger) and
+// registers an atexit hook writing the schema-versioned ledger JSON to
+// `path`. Under ATMX_OBS=OFF this prints a warning and does nothing.
+void EnableAuditOutputTo(const std::string& path);
+
+// Scans argv for `--audit-out=<path>` and honours ATMX_AUDIT_OUT.
+// Included in InitBenchTelemetry.
+void MaybeEnableAuditOut(int argc, char** argv);
 
 // Machine-readable benchmark report (schema_version 1):
 //
@@ -192,7 +205,7 @@ void MaybeEnableBenchReport(const std::string& bench_name, int argc,
 void MaybeStartStatsServer(int argc, char** argv);
 
 // One-call telemetry init for bench main()s: MaybeEnableTracing +
-// MaybeEnableBenchReport + MaybeStartStatsServer.
+// MaybeEnableBenchReport + MaybeEnableAuditOut + MaybeStartStatsServer.
 void InitBenchTelemetry(const std::string& bench_name, int argc,
                         char** argv);
 

@@ -1,0 +1,285 @@
+// Prediction-vs-outcome audit ledger: joins every cost-model-driven
+// decision with its measured outcome so estimator calibration is a
+// measured quantity, not a belief. Six decision classes are tracked:
+//
+//   density    predicted vs actual result density per atomic block
+//   cost       predicted task cost (model units) vs measured wall time
+//   waterlevel projected result bytes vs materialized result bytes
+//   spa_mode   predicted vs realized rows-nnz feeding SPA ChooseMode
+//   repr       per-pair representation decisions with full replay inputs
+//   chain      chain plan cost vs measured execution time
+//
+// Each record observes a bounded symmetric relative error into an
+// `estimator.err.<class>` histogram (OpenMetrics `/metrics`, flight
+// recorder tail) and is retained for the schema-versioned JSON ledger
+// file (`--audit-out` / `ATMX_AUDIT_OUT`). `atmx audit` and
+// tools/audit_report.py replay a ledger offline: error distributions
+// (p50/p95/max), worst-N mispredictions, and a counterfactual pass that
+// re-runs the cost model with *measured* inputs to count "regret"
+// decisions — choices that would flip with perfect estimates. See
+// docs/OBSERVABILITY.md ("Prediction audit").
+//
+// Locking discipline: record paths take the ledger mutex only to append;
+// serialization snapshots under the mutex and performs all file I/O
+// outside it (tools/atmx_lint.py check no-lock-across-file-io).
+
+#ifndef ATMX_OBS_AUDIT_LEDGER_H_
+#define ATMX_OBS_AUDIT_LEDGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "cost/cost_model.h"
+#include "obs/json_util.h"
+
+namespace atmx::obs {
+
+inline constexpr int kAuditLedgerSchemaVersion = 1;
+
+// Bounded symmetric relative error: |predicted - actual| /
+// max(predicted, actual) in [0, 1], and exactly 0 when both sides are 0
+// (or when predicted == actual — the all-dense case must report 0.0, not
+// an epsilon). Both inputs must be non-negative.
+double SymmetricRelError(double predicted, double actual);
+
+// Nearest-rank percentile over an unsorted sample (q in [0, 1]); 0 for
+// an empty sample. tools/audit_report.py mirrors this definition
+// exactly: rank = max(0, ceil(q * count) - 1) over the sorted sample.
+double Percentile(std::vector<double> values, double q);
+
+// ---- Ledger records, one struct per decision class ----
+
+struct DensityAuditRecord {
+  std::uint64_t op = 0;
+  index_t bi = 0, bj = 0;  // atomic-block coordinates in the result grid
+  double predicted = 0.0;  // estimator block density
+  double actual = 0.0;     // measured block density
+};
+
+struct CostAuditRecord {
+  std::uint64_t op = 0;
+  index_t ti = 0, tj = 0;        // tile-task coordinates
+  double predicted_cost = 0.0;   // cost-model units (pair costs + write)
+  double measured_seconds = 0.0; // task wall time
+  double measured_cpu_ns = 0.0;  // perf task clock; 0 when unavailable
+  std::uint64_t measured_cycles = 0;  // perf cycles; 0 when unavailable
+  int kernel = -1;  // dominant KernelType; -1 when pairs mixed variants
+};
+
+struct WaterLevelAuditRecord {
+  std::uint64_t op = 0;
+  double rho_w = 0.0;                    // effective write threshold
+  std::uint64_t projected_bytes = 0;     // water-level projection
+  std::uint64_t result_bytes = 0;        // materialized result
+  std::uint64_t high_water_bytes = 0;    // MemTracker high water at close
+};
+
+struct SpaModeAuditRecord {
+  std::uint64_t op = 0;
+  index_t ti = 0, tj = 0;
+  index_t width = 0;               // accumulator width (tile cols)
+  double predicted_row_nnz = 0.0;  // ChooseMode input; < 0 = no estimate
+  double actual_row_nnz = 0.0;     // realized tile nnz / rows
+  int chosen_mode = 0;             // SparseAccumulator::Mode as int
+};
+
+// One per-pair representation decision, carrying every input
+// DecidePairRepresentations consumed so the counterfactual pass can
+// re-run it bit-for-bit with rho_c_actual in place of rho_c_pred.
+struct ReprAuditRecord {
+  std::uint64_t op = 0;
+  index_t ti = 0, tj = 0;    // C tile coordinates
+  index_t k0 = 0, k1 = 0;    // contraction window of this pair
+  index_t m = 0, k = 0, n = 0;
+  double rho_a = 0.0, rho_b = 0.0;  // exact operand window densities
+  double rho_c_pred = 0.0;   // estimated result-region density
+  double rho_c_actual = 0.0; // measured result-tile density
+  double rho_w = 0.0;
+  bool a_stored_dense = false, b_stored_dense = false;
+  bool a_cached = false, b_cached = false;  // JIT conversion cache hits
+  bool allow_conversion = false;
+  bool c_dense = false;      // chosen C representation
+  int kernel = 0;            // chosen KernelType
+  double stored_cost = 0.0, chosen_cost = 0.0;
+};
+
+struct ChainAuditRecord {
+  std::uint64_t op = 0;
+  double planned_cost = 0.0;       // chosen parenthesization, model units
+  double alternative_cost = 0.0;   // left-to-right baseline
+  bool fused = false;
+  double measured_seconds = 0.0;
+};
+
+// Everything one ledger holds: the in-memory snapshot and the parsed
+// form of a ledger file are the same type.
+struct AuditLedgerDoc {
+  int schema_version = kAuditLedgerSchemaVersion;
+  std::string git_sha;
+  CostParams cost_params;
+  bool have_cost_params = false;
+  std::uint64_t dropped = 0;  // records lost to the per-class cap
+  std::vector<DensityAuditRecord> density;
+  std::vector<CostAuditRecord> cost;
+  std::vector<WaterLevelAuditRecord> waterlevel;
+  std::vector<SpaModeAuditRecord> spa_mode;
+  std::vector<ReprAuditRecord> repr;
+  std::vector<ChainAuditRecord> chain;
+
+  bool empty() const {
+    return density.empty() && cost.empty() && waterlevel.empty() &&
+           spa_mode.empty() && repr.empty() && chain.empty();
+  }
+};
+
+std::string RenderAuditLedgerJson(const AuditLedgerDoc& doc);
+[[nodiscard]] Result<AuditLedgerDoc> ParseAuditLedgerJson(std::string_view text);
+[[nodiscard]] Result<AuditLedgerDoc> LoadAuditLedger(const std::string& path);
+
+// ---- Offline report (the `atmx audit` / audit_report.py contract) ----
+
+struct AuditErrorStats {
+  std::size_t count = 0;
+  double p50 = 0.0, p95 = 0.0, max = 0.0, mean = 0.0;
+};
+
+struct AuditWorstEntry {
+  std::string decision_class;
+  std::uint64_t op = 0;
+  index_t ti = 0, tj = 0;  // tile/block coordinates of the misprediction
+  double predicted = 0.0, actual = 0.0;
+  double err = 0.0;
+};
+
+struct AuditReport {
+  AuditErrorStats density, cost, waterlevel, spa_mode, repr, chain;
+  // Counterfactual pass over repr records: how many pair decisions would
+  // pick a different kernel if the estimator had returned the measured
+  // result density, and the cost-unit gap that choosing "wrong" left on
+  // the table under the measured inputs.
+  std::size_t repr_considered = 0;
+  std::size_t repr_regret = 0;
+  double repr_regret_cost = 0.0;
+  // SPA ChooseMode replayed with the realized rows-nnz.
+  std::size_t spa_considered = 0;
+  std::size_t spa_regret = 0;
+  // Seconds per cost unit fitted over the ledger (cost / chain classes
+  // compare model units against wall time through this scale).
+  double cost_scale = 0.0;
+  double chain_scale = 0.0;
+  std::vector<AuditWorstEntry> worst;  // across classes, worst first
+};
+
+// Deterministic: the report is a pure function of the document (the
+// counterfactual pass re-runs DecidePairRepresentations with the
+// ledger's own CostParams).
+AuditReport BuildAuditReport(const AuditLedgerDoc& doc, std::size_t worst_n);
+
+std::string RenderAuditReportText(const AuditReport& report);
+
+// ---- Calibration-drift gate (compare_bench.py-style verdicts) ----
+
+struct AuditGateResult {
+  bool ok = true;
+  int regressions = 0;
+  std::string text;  // one verdict line per checked envelope bound
+};
+
+// Checks the report against a committed baseline envelope document:
+//   {"schema_version":1,"kind":"atmx_audit_baseline",
+//    "classes":{"density":{"p50":..,"p95":..,"max":..}, ...},
+//    "max_repr_regret_fraction":..,"max_spa_regret_fraction":..}
+// Every bound present in the baseline must hold for the report (classes
+// with zero records are skipped with a SKIP verdict). ok == false iff
+// any bound is exceeded.
+AuditGateResult EvaluateAuditGate(const AuditReport& report,
+                                  const JsonValue& baseline);
+
+// Worsens every density prediction in `doc` by pushing it `scale`-x
+// further away from its measured value (multiplied when over-predicting,
+// divided when under-predicting; capped at 1.0 where the value is a
+// density) — the CI negative test injects a 2x misestimate and asserts
+// the drift gate fails. Scaling away from the measurement (rather than
+// blindly multiplying) guarantees the error grows regardless of the
+// estimator's bias direction.
+void InjectDensityMisestimate(AuditLedgerDoc* doc, double scale);
+
+// Serializes an envelope baseline derived from `report`: each class
+// bound is the measured value times `margin` (floored at a small
+// absolute slack so near-zero measurements do not produce unholdable
+// envelopes), regret fractions likewise.
+std::string RenderAuditEnvelopeJson(const AuditReport& report, double margin);
+
+// ---- The process-global ledger ----
+
+class AuditLedger {
+ public:
+  static AuditLedger& Global();
+
+  // Recording is off by default; bench_common arms it for --audit-out /
+  // ATMX_AUDIT_OUT runs and tests flip it directly.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Stamps the cost parameters the recording operation decided with
+  // (required for counterfactual replay; last writer wins).
+  void SetCostParams(const CostParams& params);
+
+  void RecordDensity(const DensityAuditRecord& r);
+  void RecordCost(const CostAuditRecord& r);
+  void RecordWaterLevel(const WaterLevelAuditRecord& r);
+  void RecordSpaMode(const SpaModeAuditRecord& r);
+  void RecordRepr(const ReprAuditRecord& r);
+  void RecordChain(const ChainAuditRecord& r);
+
+  AuditLedgerDoc Snapshot() const;
+  void Clear();
+
+  std::string ToJson() const;
+  // Snapshots under the mutex, renders and writes with no lock held.
+  [[nodiscard]] Status WriteJson(const std::string& path) const;
+
+  // Arms an output path (and enables recording); FlushArmed writes the
+  // ledger there — bench_common registers it via atexit.
+  void ArmOutput(std::string path);
+  bool armed() const;
+  [[nodiscard]] Status FlushArmed() const;
+
+ private:
+  AuditLedger() = default;
+
+  // Per-class retention cap: beyond it records are counted as dropped,
+  // not stored (the error histograms still see every observation).
+  static constexpr std::size_t kMaxRecordsPerClass = 1u << 16;
+
+  template <typename Record>
+  void Append(std::vector<Record>& dst, const Record& r)
+      ATMX_REQUIRES(mutex_) {
+    if (dst.size() >= kMaxRecordsPerClass) {
+      ++doc_.dropped;
+      return;
+    }
+    dst.push_back(r);
+  }
+
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mutex_;
+  AuditLedgerDoc doc_ ATMX_GUARDED_BY(mutex_);
+  // Running totals for the live cost-class histogram scale.
+  double cost_pred_sum_ ATMX_GUARDED_BY(mutex_) = 0.0;
+  double cost_seconds_sum_ ATMX_GUARDED_BY(mutex_) = 0.0;
+  std::string armed_path_ ATMX_GUARDED_BY(mutex_);
+};
+
+}  // namespace atmx::obs
+
+#endif  // ATMX_OBS_AUDIT_LEDGER_H_

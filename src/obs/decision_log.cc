@@ -83,12 +83,26 @@ void DecisionLog::Clear() {
   total_recorded_.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Wraps a bare records array in the stamped document shared with the
+// BenchReporter contract (schema_version + git sha from ATMX_GIT_SHA).
+std::string StampRecordsDoc(const std::string& records) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kDecisionLogSchemaVersion
+     << ",\"git_sha\":\"" << EscapeJson(GitShaFromEnv())
+     << "\",\"records\":" << records << '}';
+  return os.str();
+}
+
+}  // namespace
+
 std::string DecisionLog::ToJson() const {
-  return RenderDecisionRecordsJson(Snapshot());
+  return StampRecordsDoc(RenderDecisionRecordsJson(Snapshot()));
 }
 
 std::string DecisionLog::ChainsToJson() const {
-  return RenderChainDecisionRecordsJson(ChainSnapshot());
+  return StampRecordsDoc(RenderChainDecisionRecordsJson(ChainSnapshot()));
 }
 
 std::string RenderDecisionRecordsJson(

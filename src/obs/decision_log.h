@@ -24,6 +24,9 @@
 
 namespace atmx::obs {
 
+// Version of the stamped ToJson()/ChainsToJson() documents.
+inline constexpr int kDecisionLogSchemaVersion = 1;
+
 // One optimizer decision for one tile-pair multiplication.
 struct DecisionRecord {
   std::uint64_t op_id = 0;   // groups records of one ATMULT operation
@@ -101,10 +104,13 @@ class DecisionLog {
 
   void Clear();
 
-  // [{"op":..,"ti":..,...}, ...], oldest first.
+  // {"schema_version":1,"git_sha":"...","records":[{"op":..,...}, ...]},
+  // records oldest first — the same stamping contract as the
+  // BenchReporter / audit-ledger documents (sha from ATMX_GIT_SHA).
   std::string ToJson() const;
 
-  // [{"op":..,"plan":..,...}, ...], oldest first.
+  // Chain-ring counterpart: {"schema_version":1,"git_sha":"...",
+  // "records":[{"op":..,"plan":..,...}, ...]}, oldest first.
   std::string ChainsToJson() const;
 
   static constexpr std::size_t kDefaultCapacity = 1 << 16;

@@ -16,6 +16,9 @@
 #include "estimate/water_level.h"
 #include "kernels/kernel_dispatch.h"
 #include "obs/obs.h"
+#if defined(ATMX_OBS_ENABLED)
+#include "obs/audit_ledger.h"
+#endif
 #include "ops/optimizer.h"
 #include "ops/product_task.h"
 #include "tile/partitioner.h"
@@ -128,8 +131,10 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
                        {"nnz_a", a.nnz()}, {"nnz_b", b.nnz()});
 #if defined(ATMX_OBS_ENABLED)
   const bool audit_enabled = obs::DecisionLog::Global().enabled();
-  const std::uint64_t op_id =
-      audit_enabled ? obs::DecisionLog::Global().NextOpId() : 0;
+  const bool ledger_enabled = obs::AuditLedger::Global().enabled();
+  const std::uint64_t op_id = (audit_enabled || ledger_enabled)
+                                  ? obs::DecisionLog::Global().NextOpId()
+                                  : 0;
 #endif
 
   // --- Density estimation + flexible write threshold (Alg. 2 l. 2-3). ---
@@ -150,12 +155,13 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
   stats->effective_write_threshold = rho_w;
   ATMX_GAUGE_SET("atmult.waterlevel.rho_w", rho_w);
 #if defined(ATMX_OBS_ENABLED)
+  std::uint64_t projected_bytes = 0;
   if (use_estimate) {
     // Projected result memory at the effective threshold — the number the
     // mem-tracker high-water mark (mem.high_water_bytes) and the realized
     // result size (atmult.result_bytes) are compared against.
-    const double projected =
-        static_cast<double>(EstimateMemoryBytes(estimate, rho_w));
+    projected_bytes = EstimateMemoryBytes(estimate, rho_w);
+    const double projected = static_cast<double>(projected_bytes);
     ATMX_GAUGE_SET("atmult.waterlevel.predicted_bytes", projected);
     if (config_.result_mem_limit_bytes !=
         std::numeric_limits<std::size_t>::max()) {
@@ -236,7 +242,13 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
 #if defined(ATMX_OBS_ENABLED)
   pctx.op_id = op_id;
   pctx.audit_enabled = audit_enabled;
+  pctx.ledger_enabled = ledger_enabled;
   pctx.tracked_bytes = &op_tracked_bytes;
+  if (ledger_enabled) {
+    // The counterfactual replay re-runs DecidePairRepresentations with
+    // the parameters this operation actually decided with.
+    obs::AuditLedger::Global().SetCostParams(cost_model_.params());
+  }
 #endif
 
   auto run_task = [&](WorkerTeam& team, index_t task) {
@@ -353,7 +365,8 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
             .Add(static_cast<std::uint64_t>(stats->kernel_invocations[v]));
       }
     }
-    // Estimator telemetry: predicted vs. actual per-block density error.
+    // Estimator telemetry: predicted vs. actual per-block density error,
+    // joined into the prediction audit ledger when one is armed.
     const DensityMap& actual = result.density_map();
     if (use_estimate && estimate.grid_rows() == actual.grid_rows() &&
         estimate.grid_cols() == actual.grid_cols()) {
@@ -364,11 +377,31 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
           ATMX_HISTOGRAM_OBSERVE_WITH("atmult.estimator.abs_error", err,
                                       0.001, 0.005, 0.01, 0.05, 0.1, 0.25,
                                       0.5, 1.0);
+          if (ledger_enabled) {
+            obs::DensityAuditRecord r;
+            r.op = op_id;
+            r.bi = bi;
+            r.bj = bj;
+            r.predicted = estimate.At(bi, bj);
+            r.actual = actual.At(bi, bj);
+            obs::AuditLedger::Global().RecordDensity(r);
+          }
         }
       }
       ATMX_GAUGE_SET("atmult.estimator.predicted_nnz",
                      estimate.ExpectedNnz());
       ATMX_GAUGE_SET("atmult.estimator.actual_nnz", actual.ExpectedNnz());
+    }
+    if (ledger_enabled && use_estimate) {
+      // Water-level outcome: projection vs the materialized result and
+      // the tracker high water while this operation ran.
+      obs::WaterLevelAuditRecord w;
+      w.op = op_id;
+      w.rho_w = rho_w;
+      w.projected_bytes = projected_bytes;
+      w.result_bytes = result.MemoryBytes();
+      w.high_water_bytes = obs::MemTracker::Global().high_water_bytes();
+      obs::AuditLedger::Global().RecordWaterLevel(w);
     }
     // Placement balance across the worker teams (first-touch home nodes of
     // the result tiles). Dynamic names => direct registry calls.

@@ -10,6 +10,9 @@
 #include "common/timer.h"
 #include "estimate/density_estimator.h"
 #include "obs/obs.h"
+#if defined(ATMX_OBS_ENABLED)
+#include "obs/audit_ledger.h"
+#endif
 #include "ops/chain_exec.h"
 #include "ops/optimizer.h"
 
@@ -208,21 +211,36 @@ void RecordChainDecision(const std::vector<const ATMatrix*>& chain,
                          const ChainPlan& plan, const AtMult& op,
                          const ChainExecStats& stats, double total_seconds) {
   obs::DecisionLog& log = obs::DecisionLog::Global();
-  if (!log.enabled()) return;
-  obs::ChainDecisionRecord rec;
-  rec.op_id = log.NextOpId();
-  rec.plan = plan.ToString();
-  rec.length = static_cast<index_t>(chain.size());
-  rec.planned_cost = plan.estimated_cost;
+  const bool ledger_enabled = obs::AuditLedger::Global().enabled();
+  if (!log.enabled() && !ledger_enabled) return;
+  double left_to_right_cost = 0.0;
   if (chain.size() >= 2) {
     std::vector<const DensityMap*> maps;
     maps.reserve(chain.size());
     for (const ATMatrix* m : chain) maps.push_back(&m->density_map());
     ChainCostOptions options;
     options.fused = stats.fused;
-    rec.left_to_right_cost = EstimateLeftToRightCost(
+    left_to_right_cost = EstimateLeftToRightCost(
         maps, op.cost_model(), op.config().rho_write, options);
   }
+  const std::uint64_t op_id = log.NextOpId();
+  if (ledger_enabled) {
+    obs::AuditLedger::Global().SetCostParams(op.cost_model().params());
+    obs::ChainAuditRecord audit;
+    audit.op = op_id;
+    audit.planned_cost = plan.estimated_cost;
+    audit.alternative_cost = left_to_right_cost;
+    audit.fused = stats.fused;
+    audit.measured_seconds = total_seconds;
+    obs::AuditLedger::Global().RecordChain(audit);
+  }
+  if (!log.enabled()) return;
+  obs::ChainDecisionRecord rec;
+  rec.op_id = op_id;
+  rec.plan = plan.ToString();
+  rec.length = static_cast<index_t>(chain.size());
+  rec.planned_cost = plan.estimated_cost;
+  rec.left_to_right_cost = left_to_right_cost;
   rec.fused = stats.fused;
   rec.fused_tasks = stats.fused_tasks;
   rec.resident_peak_bytes = stats.resident_peak_bytes;

@@ -14,6 +14,9 @@
 #include "common/timer.h"
 #include "estimate/density_estimator.h"
 #include "obs/obs.h"
+#if defined(ATMX_OBS_ENABLED)
+#include "obs/audit_ledger.h"
+#endif
 #include "ops/optimizer.h"
 #include "ops/product_task.h"
 #include "tile/tile_lifetime.h"
@@ -185,6 +188,10 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
 
 #if defined(ATMX_OBS_ENABLED)
   const bool audit_enabled = obs::DecisionLog::Global().enabled();
+  const bool ledger_enabled = obs::AuditLedger::Global().enabled();
+  if (ledger_enabled) {
+    obs::AuditLedger::Global().SetCostParams(op.cost_model().params());
+  }
   std::atomic<std::uint64_t> root_tracked_bytes{0};
 #endif
   Mutex stats_mutex;
@@ -270,7 +277,10 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
     node.stats.effective_write_threshold = ctx.rho_w;
 #if defined(ATMX_OBS_ENABLED)
     ctx.audit_enabled = audit_enabled;
-    ctx.op_id = audit_enabled ? obs::DecisionLog::Global().NextOpId() : 0;
+    ctx.ledger_enabled = ledger_enabled;
+    ctx.op_id = (audit_enabled || ledger_enabled)
+                    ? obs::DecisionLog::Global().NextOpId()
+                    : 0;
     if (node.parent < 0) ctx.tracked_bytes = &root_tracked_bytes;
 #endif
   }
@@ -536,6 +546,31 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
   stats->total.tasks_stolen = static_cast<index_t>(sched_stats.TotalSteals());
   stats->total.team_busy_seconds = sched_stats.busy_seconds;
   stats->total.team_cpu_seconds = sched_stats.cpu_seconds;
+
+#if defined(ATMX_OBS_ENABLED)
+  // Join per-node estimator output against the realized density maps
+  // before the root's map is moved into the result matrix.
+  if (ledger_enabled && config.density_estimation) {
+    for (const auto& node_ptr : nodes) {
+      const ProductNode& node = *node_ptr;
+      if (node.estimate.grid_rows() != node.map.grid_rows() ||
+          node.estimate.grid_cols() != node.map.grid_cols()) {
+        continue;
+      }
+      for (index_t bi = 0; bi < node.map.grid_rows(); ++bi) {
+        for (index_t bj = 0; bj < node.map.grid_cols(); ++bj) {
+          obs::DensityAuditRecord r;
+          r.op = node.ctx.op_id;
+          r.bi = bi;
+          r.bj = bj;
+          r.predicted = node.estimate.At(bi, bj);
+          r.actual = node.map.At(bi, bj);
+          obs::AuditLedger::Global().RecordDensity(r);
+        }
+      }
+    }
+  }
+#endif
 
   ProductNode& root = *nodes[static_cast<std::size_t>(root_id)];
   ATMatrix result(root.row_bounds.back(), root.col_bounds.back(), block,

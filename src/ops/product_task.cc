@@ -10,6 +10,9 @@
 #include "kernels/kernel_dispatch.h"
 #include "kernels/sparse_accumulator.h"
 #include "obs/obs.h"
+#if defined(ATMX_OBS_ENABLED)
+#include "obs/audit_ledger.h"
+#endif
 
 namespace atmx::internal {
 
@@ -152,6 +155,17 @@ void RunProductTileTask(const ProductContext& ctx, WorkerTeam& team,
   index_t pairs_done = 0;
   std::uint64_t local_read = 0, remote_read = 0;
   std::array<index_t, kNumKernelTypes> task_kernels{};
+#if defined(ATMX_OBS_ENABLED)
+  // Prediction-audit collection: repr records are held back until the C
+  // tile is materialized (its realized density resolves every pair
+  // decision of this task); the task-level cost prediction accumulates
+  // per-pair model costs plus the write side.
+  std::vector<obs::ReprAuditRecord> pending_repr;
+  double predicted_task_cost = 0.0;
+  double predicted_intermediates = 0.0;
+  const obs::PerfSnapshot task_perf_begin =
+      ctx.ledger_enabled ? obs::PerfBeginSnapshot() : obs::PerfSnapshot();
+#endif
 
   std::vector<Tile>& c_tiles = *ctx.c_tiles;
   std::vector<double>& block_counts = *ctx.block_counts;
@@ -244,12 +258,13 @@ void RunProductTileTask(const ProductContext& ctx, WorkerTeam& team,
       if (shape.rho_a == 0.0 || shape.rho_b == 0.0) continue;
 
       PairDecision decision;
+      bool a_cached = false, b_cached = false;
       if (ctx.dynamic_conversion) {
-        const bool a_cached =
+        a_cached =
             mp.a_tile->is_dense()
                 ? ctx.a_cache->HasSparse(ctx.a_cache_side, mp.a_idx)
                 : ctx.a_cache->HasDense(ctx.a_cache_side, mp.a_idx);
-        const bool b_cached =
+        b_cached =
             mp.b_tile->is_dense()
                 ? ctx.b_cache->HasSparse(ctx.b_cache_side, mp.b_idx)
                 : ctx.b_cache->HasDense(ctx.b_cache_side, mp.b_idx);
@@ -284,6 +299,48 @@ void RunProductTileTask(const ProductContext& ctx, WorkerTeam& team,
         rec.stored_cost = decision.stored_cost;
         rec.chosen_cost = decision.projected_cost;
         obs::DecisionLog::Global().Record(rec);
+      }
+      if (ctx.ledger_enabled) {
+        const KernelType chosen =
+            MakeKernelType(decision.a_dense, decision.b_dense, c_dense);
+        // Task-level cost prediction: pair compute (+ conversion when the
+        // optimizer priced one in) plus the expected SPA traffic feeding
+        // the write side accounted after the loop.
+        predicted_task_cost +=
+            ctx.dynamic_conversion
+                ? decision.projected_cost
+                : ctx.cost_model->ComputeCost(chosen, shape);
+        predicted_intermediates += shape.rho_a * shape.rho_b *
+                                   static_cast<double>(shape.m) *
+                                   static_cast<double>(shape.k) *
+                                   static_cast<double>(shape.n);
+        if (ctx.use_estimate && ctx.dynamic_conversion) {
+          // Held back until the tile's realized density is known.
+          obs::ReprAuditRecord repr;
+          repr.op = ctx.op_id;
+          repr.ti = ti;
+          repr.tj = tj;
+          repr.k0 = mp.k0;
+          repr.k1 = mp.k1;
+          repr.m = shape.m;
+          repr.k = shape.k;
+          repr.n = shape.n;
+          repr.rho_a = shape.rho_a;
+          repr.rho_b = shape.rho_b;
+          repr.rho_c_pred = rho_c;
+          repr.rho_c_actual = -1.0;
+          repr.rho_w = ctx.rho_w;
+          repr.a_stored_dense = mp.a_tile->is_dense();
+          repr.b_stored_dense = mp.b_tile->is_dense();
+          repr.a_cached = a_cached;
+          repr.b_cached = b_cached;
+          repr.allow_conversion = true;
+          repr.c_dense = c_dense;
+          repr.kernel = static_cast<int>(chosen);
+          repr.stored_cost = decision.stored_cost;
+          repr.chosen_cost = decision.projected_cost;
+          pending_repr.push_back(repr);
+        }
       }
 #endif
 
@@ -541,6 +598,67 @@ void RunProductTileTask(const ProductContext& ctx, WorkerTeam& team,
     }
   }
   mult_seconds = mult_timer.ElapsedSeconds();
+#if defined(ATMX_OBS_ENABLED)
+  if (ctx.ledger_enabled) {
+    auto& ledger = obs::AuditLedger::Global();
+    // The realized tile density resolves every pair decision of this
+    // task (all pairs share the C region the estimate covered).
+    const index_t tile_nnz = c_tiles[task].nnz();
+    const double area = static_cast<double>(m) * static_cast<double>(n);
+    const double rho_c_actual =
+        area > 0.0 ? static_cast<double>(tile_nnz) / area : 0.0;
+    for (obs::ReprAuditRecord& repr : pending_repr) {
+      repr.rho_c_actual = rho_c_actual;
+      ledger.RecordRepr(repr);
+    }
+    if (!prepared.empty()) {
+      predicted_task_cost += ctx.cost_model->WriteCost(
+          c_dense, m, n, rho_c, predicted_intermediates);
+      obs::CostAuditRecord cost;
+      cost.op = ctx.op_id;
+      cost.ti = ti;
+      cost.tj = tj;
+      cost.predicted_cost = predicted_task_cost;
+      cost.measured_seconds = opt_seconds + mult_seconds;
+      const obs::PerfDelta task_delta = obs::PerfDeltaSince(task_perf_begin);
+      if (task_delta.valid) {
+        if (task_delta.has(obs::PerfCounterId::kCycles)) {
+          cost.measured_cycles = task_delta[obs::PerfCounterId::kCycles];
+        }
+        if (task_delta.has(obs::PerfCounterId::kTaskClockNs)) {
+          cost.measured_cpu_ns = static_cast<double>(
+              task_delta[obs::PerfCounterId::kTaskClockNs]);
+        }
+      }
+      // Attribute the task to its kernel variant when all pairs agreed.
+      int dominant = -1;
+      bool mixed = false;
+      for (int v = 0; v < kNumKernelTypes; ++v) {
+        if (task_kernels[static_cast<std::size_t>(v)] > 0) {
+          mixed = dominant >= 0;
+          dominant = v;
+        }
+      }
+      cost.kernel = mixed ? -1 : dominant;
+      ledger.RecordCost(cost);
+      if (!c_dense) {
+        obs::SpaModeAuditRecord spa;
+        spa.op = ctx.op_id;
+        spa.ti = ti;
+        spa.tj = tj;
+        spa.width = n;
+        spa.predicted_row_nnz =
+            ctx.use_estimate ? rho_c * static_cast<double>(n) : -1.0;
+        spa.actual_row_nnz =
+            m > 0 ? static_cast<double>(tile_nnz) / static_cast<double>(m)
+                  : 0.0;
+        spa.chosen_mode = static_cast<int>(
+            SparseAccumulator::ChooseMode(n, spa.predicted_row_nnz));
+        ledger.RecordSpaMode(spa);
+      }
+    }
+  }
+#endif
   c_tiles[task].set_home_node(exec_node);  // first-touch placement
 #if defined(ATMX_OBS_ENABLED)
   if (ctx.tracked_bytes != nullptr) {

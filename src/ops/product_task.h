@@ -127,6 +127,9 @@ struct ProductContext {
   // Decision-audit grouping (0 / false when auditing is off).
   std::uint64_t op_id = 0;
   bool audit_enabled = false;
+  // Prediction-vs-outcome ledger recording (obs::AuditLedger): per-pair
+  // representation decisions, per-task cost outcomes, SPA mode choices.
+  bool ledger_enabled = false;
 
   // When non-null, result-tile bytes are recorded with the MemTracker and
   // accumulated here so the caller can release the operator-transient

@@ -22,6 +22,12 @@
 //   atmx watch <url>                     poll a live stats endpoint
 //                                        (bench --stats-port=...) and
 //                                        render a rate table per tick
+//   atmx audit <ledger.json>             replay a prediction-vs-outcome
+//                                        audit ledger (--audit-out):
+//                                        per-class error distributions,
+//                                        worst mispredictions, regret
+//                                        counts, optional drift gate
+//                                        (--gate=<baseline>)
 //
 // Files ending in .mtx are MatrixMarket; .atm/.bin are the library's
 // binary format (AT MATRIX or staged COO). Config knobs come from the
@@ -48,6 +54,7 @@
 #include "kernels/kernel_dispatch.h"
 #include "obs/obs.h"
 #if defined(ATMX_OBS_ENABLED)
+#include "obs/audit_ledger.h"
 #include "obs/exposition.h"
 #include "obs/stats_server.h"
 #endif
@@ -561,12 +568,17 @@ int CmdWatch(const std::string& url, int interval_ms, int count) {
     Result<std::string> body =
         obs::HttpGet(target.host, target.port, target.path);
     if (!body.ok()) {
+      // Both failure shapes are errors: a watch that cannot scrape has
+      // nothing to report, and CI wrappers key off the exit status.
       if (successful_scrapes > 0) {
-        std::printf("watch: endpoint gone (%s) after %d scrapes, done\n",
-                    body.status().ToString().c_str(), successful_scrapes);
-        return 0;
+        std::fprintf(stderr,
+                     "error: watch: endpoint disconnected after %d scrapes "
+                     "(%s)\n",
+                     successful_scrapes, body.status().ToString().c_str());
+      } else {
+        std::fprintf(stderr, "error: watch: endpoint unreachable (%s)\n",
+                     body.status().ToString().c_str());
       }
-      std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
       return 1;
     }
     ++successful_scrapes;
@@ -643,6 +655,96 @@ int CmdWatch(const std::string& url, int interval_ms, int count) {
 #endif
 }
 
+// Replays a prediction-vs-outcome audit ledger (--audit-out /
+// ATMX_AUDIT_OUT): per-class error distributions, worst mispredictions,
+// the counterfactual regret pass, and optionally a calibration-drift
+// gate against a committed baseline envelope. Deterministic: the same
+// ledger always produces the same report (tools/audit_report.py is the
+// Python mirror of this replay).
+int CmdAudit(const std::string& ledger_path, const std::string& gate_path,
+             std::size_t worst_n, double inject_density_scale,
+             const std::string& envelope_out) {
+#if defined(ATMX_OBS_ENABLED)
+  Result<obs::AuditLedgerDoc> loaded = obs::LoadAuditLedger(ledger_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  obs::AuditLedgerDoc ledger = loaded.value();
+  if (inject_density_scale > 0.0 && inject_density_scale != 1.0) {
+    obs::InjectDensityMisestimate(&ledger, inject_density_scale);
+    std::printf("audit: injected %gx density misestimate (negative test)\n",
+                inject_density_scale);
+  }
+  const obs::AuditReport report = obs::BuildAuditReport(ledger, worst_n);
+  std::printf("%s", obs::RenderAuditReportText(report).c_str());
+
+  if (!envelope_out.empty()) {
+    const std::string envelope = obs::RenderAuditEnvelopeJson(report, 1.5);
+    std::FILE* f = std::fopen(envelope_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: audit: cannot write %s\n",
+                   envelope_out.c_str());
+      return 1;
+    }
+    const bool ok =
+        std::fwrite(envelope.data(), 1, envelope.size(), f) ==
+        envelope.size();
+    std::fclose(f);
+    if (!ok) {
+      std::fprintf(stderr, "error: audit: short write to %s\n",
+                   envelope_out.c_str());
+      return 1;
+    }
+    std::printf("audit: wrote envelope %s\n", envelope_out.c_str());
+  }
+
+  if (!gate_path.empty()) {
+    std::FILE* f = std::fopen(gate_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: audit: cannot read %s\n",
+                   gate_path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+    Result<obs::JsonValue> baseline = obs::ParseJson(text);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "error: audit: %s: %s\n", gate_path.c_str(),
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    const obs::AuditGateResult gate =
+        obs::EvaluateAuditGate(report, baseline.value());
+    std::printf("%s", gate.text.c_str());
+    if (!gate.ok) {
+      std::fprintf(stderr,
+                   "error: audit: calibration drift — %d bound(s) "
+                   "regressed vs %s\n",
+                   gate.regressions, gate_path.c_str());
+      return 1;
+    }
+    std::printf("audit: gate ok (%s)\n", gate_path.c_str());
+  }
+  return 0;
+#else
+  (void)ledger_path;
+  (void)gate_path;
+  (void)worst_n;
+  (void)inject_density_scale;
+  (void)envelope_out;
+  std::fprintf(stderr,
+               "error: this binary was built with -DATMX_OBS=OFF; "
+               "rebuild with -DATMX_OBS=ON for audit\n");
+  return 1;
+#endif
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -657,7 +759,10 @@ int Usage() {
                "  atmx decisions <a> <b> [<c> ...] [--json]\n"
                "  atmx metrics <a> <b> [--json]\n"
                "  atmx profile <a> <b>\n"
-               "  atmx watch <url> [--interval=ms] [--count=n]\n");
+               "  atmx watch <url> [--interval=ms] [--count=n]\n"
+               "  atmx audit <ledger.json> [--gate=<baseline.json>]\n"
+               "             [--worst=n] [--inject-density-scale=f]\n"
+               "             [--write-envelope=<out.json>]\n");
   return 2;
 }
 
@@ -715,6 +820,33 @@ int main(int argc, char** argv) {
     }
     if (interval_ms < 1) interval_ms = 1;
     return CmdWatch(argv[2], interval_ms, count);
+  }
+  if (cmd == "audit" && argc >= 3) {
+    std::string gate_path;
+    std::string envelope_out;
+    std::size_t worst_n = 10;
+    double inject_density_scale = 0.0;
+    for (int i = 3; i < argc; ++i) {
+      static constexpr char kGate[] = "--gate=";
+      static constexpr char kWorst[] = "--worst=";
+      static constexpr char kInject[] = "--inject-density-scale=";
+      static constexpr char kEnvelope[] = "--write-envelope=";
+      if (std::strncmp(argv[i], kGate, sizeof(kGate) - 1) == 0) {
+        gate_path = argv[i] + sizeof(kGate) - 1;
+      } else if (std::strncmp(argv[i], kWorst, sizeof(kWorst) - 1) == 0) {
+        worst_n = static_cast<std::size_t>(
+            std::atoll(argv[i] + sizeof(kWorst) - 1));
+      } else if (std::strncmp(argv[i], kInject, sizeof(kInject) - 1) == 0) {
+        inject_density_scale = std::atof(argv[i] + sizeof(kInject) - 1);
+      } else if (std::strncmp(argv[i], kEnvelope, sizeof(kEnvelope) - 1) ==
+                 0) {
+        envelope_out = argv[i] + sizeof(kEnvelope) - 1;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdAudit(argv[2], gate_path, worst_n, inject_density_scale,
+                    envelope_out);
   }
   return Usage();
 }

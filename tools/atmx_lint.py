@@ -54,6 +54,14 @@ The checks (each with a self-test in tools/test_atmx_lint.py):
                          shutdown(2)/close(2) stay allowed — they are how
                          Stop unwedges the listener.
 
+  no-lock-across-file-io  No atmx::MutexLock scope in the audit-ledger
+                         write paths (src/obs/audit_ledger.cc) may perform
+                         file I/O (fopen/fwrite/fprintf/fputs/fflush/
+                         fclose): a slow disk would stall every thread
+                         recording a decision behind the flush. The
+                         contract is snapshot under the lock, render and
+                         write lock-free (AuditLedger::WriteJson).
+
 Exit status 0 when clean, 1 when any check reports a violation, 2 on usage
 errors. Output is one `path:line: [check] message` per violation, so the
 format is grep- and CI-annotation-friendly.
@@ -402,6 +410,48 @@ def check_no_lock_across_callback(repo: str) -> List[Violation]:
 
 
 # --------------------------------------------------------------------------
+# Check: no-lock-across-file-io
+
+# File I/O that must not run under the audit-ledger mutex: a slow disk
+# (or a pathological path like an NFS mount) would stall every recording
+# thread behind the flush. The contract is snapshot-under-lock,
+# serialize-and-write lock-free (see AuditLedger::WriteJson). Same
+# line-granular brace-depth model as the callback/socket rule above;
+# the lookbehind rejects member calls but accepts bare and
+# `std::`-qualified forms.
+FILE_IO_CALL_RE = re.compile(
+    r"(?<![\w.>])(?:fopen|fwrite|fprintf|fputs|fflush|fclose)\s*\(")
+FILE_IO_CHECKED_FILES = (os.path.join("obs", "audit_ledger.cc"),)
+
+
+def check_no_lock_across_file_io(repo: str) -> List[Violation]:
+    violations = []
+    for path in iter_files(repo, "src", (".cc", ".h")):
+        if not any(path.endswith(f) for f in FILE_IO_CHECKED_FILES):
+            continue
+        code = strip_comments_and_strings(read(path))
+        depth = 0
+        lock_depths: List[int] = []  # brace depth at each active MutexLock
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            for ch in line:
+                if ch == "}":
+                    depth -= 1
+                    while lock_depths and lock_depths[-1] > depth:
+                        lock_depths.pop()
+                elif ch == "{":
+                    depth += 1
+            if lock_depths and FILE_IO_CALL_RE.search(line):
+                violations.append(Violation(
+                    path, lineno, "no-lock-across-file-io",
+                    "file I/O under a held MutexLock in a ledger write "
+                    "path; snapshot under the lock, then render and write "
+                    "with no lock held"))
+            if LOCK_DECL_RE.search(line):
+                lock_depths.append(depth)
+    return violations
+
+
+# --------------------------------------------------------------------------
 # Optional clang-query pass
 
 def run_clang_query(repo: str, build_dir: str) -> int:
@@ -441,6 +491,7 @@ CHECKS: dict = {
     "fp-contract": check_fp_contract,
     "lock-order-doc": check_lock_order_doc,
     "no-lock-across-callback": check_no_lock_across_callback,
+    "no-lock-across-file-io": check_no_lock_across_file_io,
 }
 
 

@@ -1,0 +1,469 @@
+#!/usr/bin/env python3
+"""Replay a prediction-vs-outcome audit ledger (--audit-out / ATMX_AUDIT_OUT).
+
+Usage:
+  audit_report.py LEDGER.json [--gate BASELINE.json] [--worst N]
+                  [--inject-density-scale F] [--write-envelope OUT.json]
+
+Python mirror of `atmx audit` (src/obs/audit_ledger.cc): loads the
+schema-versioned ledger a bench wrote, computes per-decision-class
+relative-error distributions (p50/p95/max/mean), lists the worst-N
+mispredictions, and runs the counterfactual pass — re-running the cost
+model's pair-representation rule and the SPA ChooseMode rule with the
+*measured* inputs to count "regret" decisions that would flip with
+perfect estimates. With --gate it checks the report against a committed
+baseline envelope (bench/baselines/) and exits 1 on calibration drift.
+
+The replay is deterministic and must match the C++ implementation
+bit-for-bit on the printed statistics: the ledger serializes doubles with
+%.17g (round-trip exact), the percentile is the same nearest-rank
+definition, and the cost model below mirrors src/cost/cost_model.cc with
+the panel-column threshold taken from the ledger's own
+`spmm_max_panel_cols` stamp.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 1
+
+# KernelType names (src/kernels/kernel_dispatch.cc) -> (a_dense, b_dense,
+# c_dense). "mixed" marks a cost record whose task ran several variants.
+KERNEL_REPR = {
+    "ddd_gemm": (True, True, True),
+    "dspd_gemm": (True, False, True),
+    "spdd_gemm": (False, True, True),
+    "spspd_gemm": (False, False, True),
+    "ddsp_gemm": (True, True, False),
+    "dsps_gemm": (True, False, False),
+    "spds_gemm": (False, True, False),
+    "spspsp_gemm": (False, False, False),
+}
+
+# SparseAccumulator::ChooseMode constants (src/kernels/sparse_accumulator.h).
+MIN_HASH_WIDTH = 256
+HASH_DENSITY_CUTOFF = 1.0 / 64.0
+
+
+def symmetric_rel_error(predicted, actual):
+    """|p - a| / max(p, a), clamped to [0, 1]; 0 when both sides are <= 0."""
+    if predicted == actual:
+        return 0.0
+    denom = max(predicted, actual)
+    if denom <= 0.0:
+        return 0.0
+    return min(1.0, abs(predicted - actual) / denom)
+
+
+def percentile(values, q):
+    """Nearest-rank percentile: sorted[max(0, ceil(q * n) - 1)]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def kernel_name(a_dense, b_dense, c_dense):
+    for name, repr_ in KERNEL_REPR.items():
+        if repr_ == (a_dense, b_dense, c_dense):
+            return name
+    raise AssertionError("unreachable")
+
+
+def choose_mode(width, expected_row_nnz):
+    """SparseAccumulator::ChooseMode: 'dense' or 'hash'."""
+    if expected_row_nnz < 0.0 or width < MIN_HASH_WIDTH:
+        return "dense"
+    if expected_row_nnz < width * HASH_DENSITY_CUTOFF:
+        return "hash"
+    return "dense"
+
+
+class CostModel:
+    """Mirror of src/cost/cost_model.cc (compute/write/conversion costs)."""
+
+    def __init__(self, params, panel_cols):
+        self.p = params
+        self.panel_cols = panel_cols
+
+    def compute_cost(self, a_dense, b_dense, c_dense, m, k, n, rho_a, rho_b):
+        p = self.p
+        volume = float(m) * float(k) * float(n)
+        if a_dense and b_dense:  # kDDD / kDDS
+            return p["c_ddd"] * volume
+        if not a_dense and b_dense:
+            if c_dense and n <= self.panel_cols:  # kSDD panel shape
+                return p["c_sdd_panel"] * rho_a * volume + p["row_overhead"] * m
+            # kSDD (wide) and kSDS share the generic sparse-x-dense rate.
+            return p["c_sdd"] * rho_a * volume + p["row_overhead"] * m
+        if a_dense and not b_dense:  # kDSD / kDSS
+            return p["c_dsd"] * rho_b * volume + 0.25 * p["c_ddd"] * m * k
+        # kSSD / kSSS: expected intermediates + per-A-element row lookups.
+        return (p["c_ssd"] * rho_a * rho_b * volume
+                + p["row_overhead"] * (m + rho_a * m * k))
+
+    def conversion_cost(self, to_dense, m, n, rho):
+        area = float(m) * float(n)
+        if to_dense:
+            return self.p["convert_sparse_to_dense"] * (0.25 * area + rho * area)
+        return self.p["convert_dense_to_sparse"] * (0.25 * area + rho * area)
+
+
+def decide_pair(model, m, k, n, rho_a, rho_b, a_is_dense, b_is_dense,
+                a_cached, b_cached, c_dense, allow_conversion):
+    """Mirror of DecidePairRepresentations (src/ops/optimizer.cc): returns
+    (a_dense, b_dense, projected_cost). Iteration order and the strict
+    `<` comparison must match the C++ so ties resolve identically."""
+    best_a, best_b = a_is_dense, b_is_dense
+    best_cost = model.compute_cost(a_is_dense, b_is_dense, c_dense,
+                                   m, k, n, rho_a, rho_b)
+    if not allow_conversion:
+        return best_a, best_b, best_cost
+    for a_choice in (False, True):
+        for b_choice in (False, True):
+            if a_choice == a_is_dense and b_choice == b_is_dense:
+                continue
+            cost = model.compute_cost(a_choice, b_choice, c_dense,
+                                      m, k, n, rho_a, rho_b)
+            if a_choice != a_is_dense and not a_cached:
+                cost += model.conversion_cost(a_choice, m, k, rho_a)
+            if b_choice != b_is_dense and not b_cached:
+                cost += model.conversion_cost(b_choice, k, n, rho_b)
+            if cost < best_cost:
+                best_cost = cost
+                best_a, best_b = a_choice, b_choice
+    return best_a, best_b, best_cost
+
+
+def load_ledger(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("kind") != "atmx_audit_ledger":
+        raise ValueError(f"{path}: not an atmx_audit_ledger document")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')}")
+    return doc
+
+
+def push_away(predicted, actual, scale, cap):
+    moved = predicted * scale if predicted >= actual else predicted / scale
+    return min(cap, moved) if cap > 0.0 else moved
+
+
+def inject_density_misestimate(doc, scale):
+    """Mirror of InjectDensityMisestimate: push each prediction scale-x
+    further away from its measurement (worsens regardless of bias)."""
+    for r in doc.get("density", []):
+        r["pred"] = push_away(r["pred"], r["actual"], scale, 1.0)
+    for r in doc.get("repr", []):
+        actual = r.get("rho_c_actual", -1.0)
+        r["rho_c_pred"] = push_away(r["rho_c_pred"],
+                                    actual if actual >= 0.0 else 0.0,
+                                    scale, 1.0)
+    for r in doc.get("spa_mode", []):
+        if r.get("pred_row_nnz", -1.0) >= 0.0:
+            r["pred_row_nnz"] = push_away(r["pred_row_nnz"],
+                                          r["actual_row_nnz"], scale, 0.0)
+
+
+def stats_of(errs):
+    if not errs:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "count": len(errs),
+        "p50": percentile(errs, 0.50),
+        "p95": percentile(errs, 0.95),
+        "max": max(errs),
+        "mean": sum(errs) / len(errs),
+    }
+
+
+def build_report(doc, worst_n):
+    report = {"worst": []}
+    worst_all = []
+
+    def push_worst(clazz, op, ti, tj, pred, actual, err):
+        worst_all.append({"class": clazz, "op": op, "ti": ti, "tj": tj,
+                          "pred": pred, "actual": actual, "err": err})
+
+    errs = []
+    for r in doc.get("density", []):
+        err = symmetric_rel_error(r["pred"], r["actual"])
+        errs.append(err)
+        push_worst("density", r["op"], r["bi"], r["bj"], r["pred"],
+                   r["actual"], err)
+    report["density"] = stats_of(errs)
+
+    cost_records = doc.get("cost", [])
+    usable = [r for r in cost_records
+              if r["pred_cost"] > 0.0 and r["seconds"] > 0.0]
+    pred_sum = sum(r["pred_cost"] for r in usable)
+    report["cost_scale"] = (sum(r["seconds"] for r in usable) / pred_sum
+                            if pred_sum > 0.0 else 0.0)
+    errs = []
+    for r in usable:
+        scaled = r["pred_cost"] * report["cost_scale"]
+        err = symmetric_rel_error(scaled, r["seconds"])
+        errs.append(err)
+        push_worst("cost", r["op"], r["ti"], r["tj"], scaled, r["seconds"],
+                   err)
+    report["cost"] = stats_of(errs)
+
+    errs = []
+    for r in doc.get("waterlevel", []):
+        err = symmetric_rel_error(float(r["projected_bytes"]),
+                                  float(r["result_bytes"]))
+        errs.append(err)
+        push_worst("waterlevel", r["op"], 0, 0, float(r["projected_bytes"]),
+                   float(r["result_bytes"]), err)
+    report["waterlevel"] = stats_of(errs)
+
+    errs = []
+    report["spa_considered"] = 0
+    report["spa_regret"] = 0
+    for r in doc.get("spa_mode", []):
+        if r.get("pred_row_nnz", -1.0) < 0.0:
+            continue
+        report["spa_considered"] += 1
+        err = symmetric_rel_error(r["pred_row_nnz"], r["actual_row_nnz"])
+        errs.append(err)
+        push_worst("spa_mode", r["op"], r["ti"], r["tj"], r["pred_row_nnz"],
+                   r["actual_row_nnz"], err)
+        if choose_mode(r["width"], r["actual_row_nnz"]) != r["mode"]:
+            report["spa_regret"] += 1
+    report["spa_mode"] = stats_of(errs)
+
+    model = CostModel(doc.get("cost_params", {}),
+                      doc.get("spmm_max_panel_cols", 256))
+    errs = []
+    report["repr_considered"] = 0
+    report["repr_regret"] = 0
+    report["repr_regret_cost"] = 0.0
+    for r in doc.get("repr", []):
+        if r.get("rho_c_actual", -1.0) < 0.0:
+            continue
+        logged = KERNEL_REPR.get(r["kernel"])
+        if logged is None:
+            continue
+        report["repr_considered"] += 1
+        err = symmetric_rel_error(r["rho_c_pred"], r["rho_c_actual"])
+        errs.append(err)
+        push_worst("repr", r["op"], r["ti"], r["tj"], r["rho_c_pred"],
+                   r["rho_c_actual"], err)
+        # Counterfactual: replay the production rule with the measured
+        # result density (c_dense iff rho_c >= rho_w, then the pair rule).
+        c_dense_cf = r["rho_c_actual"] >= r["rho_w"]
+        cf_a, cf_b, cf_cost = decide_pair(
+            model, r["m"], r["k"], r["n"], r["rho_a"], r["rho_b"],
+            r["a_stored_dense"], r["b_stored_dense"], r["a_cached"],
+            r["b_cached"], c_dense_cf, r["allow_conversion"])
+        if kernel_name(cf_a, cf_b, c_dense_cf) != r["kernel"]:
+            report["repr_regret"] += 1
+            la, lb, _ = logged
+            logged_cost = model.compute_cost(la, lb, c_dense_cf, r["m"],
+                                             r["k"], r["n"], r["rho_a"],
+                                             r["rho_b"])
+            if la != r["a_stored_dense"] and not r["a_cached"]:
+                logged_cost += model.conversion_cost(la, r["m"], r["k"],
+                                                     r["rho_a"])
+            if lb != r["b_stored_dense"] and not r["b_cached"]:
+                logged_cost += model.conversion_cost(lb, r["k"], r["n"],
+                                                     r["rho_b"])
+            report["repr_regret_cost"] += max(0.0, logged_cost - cf_cost)
+    report["repr"] = stats_of(errs)
+
+    chain_records = doc.get("chain", [])
+    usable = [r for r in chain_records
+              if r["planned_cost"] > 0.0 and r["seconds"] > 0.0]
+    pred_sum = sum(r["planned_cost"] for r in usable)
+    report["chain_scale"] = (sum(r["seconds"] for r in usable) / pred_sum
+                             if pred_sum > 0.0 else 0.0)
+    errs = []
+    for r in usable:
+        scaled = r["planned_cost"] * report["chain_scale"]
+        err = symmetric_rel_error(scaled, r["seconds"])
+        errs.append(err)
+        push_worst("chain", r["op"], 0, 0, scaled, r["seconds"], err)
+    report["chain"] = stats_of(errs)
+
+    # Same deterministic ordering as the C++: error descending, then
+    # class / op / coordinates ascending.
+    worst_all.sort(key=lambda w: (-w["err"], w["class"], w["op"], w["ti"],
+                                  w["tj"]))
+    report["worst"] = worst_all[:worst_n]
+    return report
+
+
+CLASSES = ("density", "cost", "waterlevel", "spa_mode", "repr", "chain")
+
+
+def render_report(report):
+    lines = ["prediction audit: per-class relative error"]
+    for name in CLASSES:
+        s = report[name]
+        lines.append("%-10s count=%d p50=%.4f p95=%.4f max=%.4f mean=%.4f"
+                     % (name, s["count"], s["p50"], s["p95"], s["max"],
+                        s["mean"]))
+    lines.append("counterfactual: repr regret %d/%d (cost-unit gap %.1f), "
+                 "spa_mode regret %d/%d"
+                 % (report["repr_regret"], report["repr_considered"],
+                    report["repr_regret_cost"], report["spa_regret"],
+                    report["spa_considered"]))
+    if report["cost_scale"] > 0.0:
+        lines.append("fitted cost scale: %.3g s/unit" % report["cost_scale"])
+    if report["worst"]:
+        lines.append("worst mispredictions:")
+        for w in report["worst"]:
+            lines.append("  %-10s op=%d tile=(%d,%d) pred=%.6g actual=%.6g "
+                         "err=%.4f" % (w["class"], w["op"], w["ti"], w["tj"],
+                                       w["pred"], w["actual"], w["err"]))
+    return "\n".join(lines) + "\n"
+
+
+def evaluate_gate(report, baseline):
+    """Mirror of EvaluateAuditGate: returns (ok, regressions, text)."""
+    if (not isinstance(baseline, dict)
+            or baseline.get("kind") != "atmx_audit_baseline"
+            or baseline.get("schema_version") != SCHEMA_VERSION):
+        return (False, 1,
+                "audit-gate: baseline is not a valid atmx_audit_baseline "
+                "document\n")
+    ok = True
+    regressions = 0
+    lines = []
+
+    def check_bound(clazz, bound, measured, envelope):
+        nonlocal ok, regressions
+        limit = envelope.get(bound)
+        if not isinstance(limit, (int, float)) or isinstance(limit, bool):
+            return
+        passed = measured <= limit
+        lines.append("audit-gate: %s %s %.4f <= %.4f %s"
+                     % (clazz, bound, measured, limit,
+                        "OK" if passed else "REGRESSION"))
+        if not passed:
+            ok = False
+            regressions += 1
+
+    envelopes = baseline.get("classes")
+    if isinstance(envelopes, dict):
+        for name in CLASSES:
+            envelope = envelopes.get(name)
+            if not isinstance(envelope, dict):
+                continue
+            if report[name]["count"] == 0:
+                lines.append(f"audit-gate: {name} SKIP (no records)")
+                continue
+            for bound in ("p50", "p95", "max"):
+                check_bound(name, bound, report[name][bound], envelope)
+
+    def check_fraction(what, regret, considered, key):
+        nonlocal ok, regressions
+        limit = baseline.get(key)
+        if not isinstance(limit, (int, float)) or isinstance(limit, bool):
+            return
+        if considered == 0:
+            lines.append(f"audit-gate: {what} SKIP (no decisions)")
+            return
+        fraction = regret / considered
+        passed = fraction <= limit
+        lines.append("audit-gate: %s %.4f <= %.4f %s"
+                     % (what, fraction, limit,
+                        "OK" if passed else "REGRESSION"))
+        if not passed:
+            ok = False
+            regressions += 1
+
+    check_fraction("repr_regret_fraction", report["repr_regret"],
+                   report["repr_considered"], "max_repr_regret_fraction")
+    check_fraction("spa_regret_fraction", report["spa_regret"],
+                   report["spa_considered"], "max_spa_regret_fraction")
+    return ok, regressions, "\n".join(lines) + "\n"
+
+
+def render_envelope(report, margin):
+    """Mirror of RenderAuditEnvelopeJson (same floors and caps)."""
+
+    def bound(measured, floor_abs):
+        return max(measured * margin, floor_abs)
+
+    classes = {}
+    for name in CLASSES:
+        s = report[name]
+        if s["count"] == 0:
+            continue
+        classes[name] = {
+            "p50": min(1.0, bound(s["p50"], 0.05)),
+            "p95": min(1.0, bound(s["p95"], 0.10)),
+            "max": bound(s["max"], 0.25),
+        }
+    repr_fraction = (report["repr_regret"] / report["repr_considered"]
+                     if report["repr_considered"] else 0.0)
+    spa_fraction = (report["spa_regret"] / report["spa_considered"]
+                    if report["spa_considered"] else 0.0)
+    return json.dumps({
+        "schema_version": SCHEMA_VERSION,
+        "kind": "atmx_audit_baseline",
+        "classes": classes,
+        "max_repr_regret_fraction": min(1.0, bound(repr_fraction, 0.05)),
+        "max_spa_regret_fraction": min(1.0, bound(spa_fraction, 0.05)),
+    }, indent=1) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Replay a prediction-vs-outcome audit ledger.")
+    parser.add_argument("ledger", help="ledger JSON (--audit-out output)")
+    parser.add_argument("--gate", metavar="BASELINE",
+                        help="baseline envelope to gate against")
+    parser.add_argument("--worst", type=int, default=10,
+                        help="worst mispredictions to list (default 10)")
+    parser.add_argument("--inject-density-scale", type=float, default=0.0,
+                        help="push predictions this factor further from "
+                             "the measurements (negative test)")
+    parser.add_argument("--write-envelope", metavar="OUT",
+                        help="write a margin-1.5 baseline envelope here")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = load_ledger(args.ledger)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    if args.inject_density_scale > 0.0 and args.inject_density_scale != 1.0:
+        inject_density_misestimate(doc, args.inject_density_scale)
+        print(f"audit: injected {args.inject_density_scale:g}x density "
+              f"misestimate (negative test)")
+
+    report = build_report(doc, args.worst)
+    print(render_report(report), end="")
+
+    if args.write_envelope:
+        with open(args.write_envelope, "w", encoding="utf-8") as f:
+            f.write(render_envelope(report, 1.5))
+        print(f"audit: wrote envelope {args.write_envelope}")
+
+    if args.gate:
+        try:
+            with open(args.gate, "r", encoding="utf-8") as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: audit: {e}", file=sys.stderr)
+            return 1
+        ok, regressions, text = evaluate_gate(report, baseline)
+        print(text, end="")
+        if not ok:
+            print(f"error: audit: calibration drift — {regressions} "
+                  f"bound(s) regressed vs {args.gate}", file=sys.stderr)
+            return 1
+        print(f"audit: gate ok ({args.gate})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

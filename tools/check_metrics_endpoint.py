@@ -11,7 +11,9 @@ port, and then validates one of three contracts:
            non-empty object whose keys mangle onto the OpenMetrics
            names, and an unknown route 404s. --require-metric NAME[=MIN]
            additionally polls /metrics.json until the named key reports
-           a value >= MIN (counters a bench promises to bump).
+           a value >= MIN (counters a bench promises to bump; for
+           histogram-valued keys such as estimator.err.* the floor is
+           checked against the observation count).
 
   rates    two /metrics.json scrapes taken mid-run must both carry
            rate.* gauges, at least one of which changes between them,
@@ -269,10 +271,17 @@ def mode_scrape(args: argparse.Namespace) -> None:
         # Named-metric floors (--require-metric NAME[=MIN]): the registry
         # fills as the bench works, so keep re-scraping until every
         # required key exists with at least the requested value.
+        # Histograms render as objects in /metrics.json; their floor is
+        # checked against the observation count (estimator.err.* etc.).
+        def metric_meets(value, floor: float) -> bool:
+            if isinstance(value, dict):
+                value = value.get("count")
+            return isinstance(value, (int, float)) and value >= floor
+
         for name, floor in args.require_metric:
             while True:
                 value = doc.get(name)
-                if isinstance(value, (int, float)) and value >= floor:
+                if metric_meets(value, floor):
                     break
                 if time.monotonic() >= deadline:
                     raise Fail(f"/metrics.json never reported {name!r} >= "

@@ -290,6 +290,65 @@ class LintCheckTest(unittest.TestCase):
             "}\n"))
         self.assertEqual(self.run_check("no-lock-across-callback"), [])
 
+    # -- no-lock-across-file-io --------------------------------------------
+
+    def test_file_io_under_lock_flagged(self):
+        self.repo.write("src/obs/audit_ledger.cc", (
+            "Status AuditLedger::WriteJson(const std::string& path) {\n"
+            "  MutexLock lock(mutex_);\n"
+            "  std::FILE* f = std::fopen(path.c_str(), \"w\");\n"
+            "  fwrite(json.data(), 1, json.size(), f);\n"
+            "  fclose(f);\n"
+            "}\n"))
+        v = self.run_check("no-lock-across-file-io")
+        self.assertEqual(len(v), 3)
+        self.assertIn("file I/O", v[0].message)
+        self.assertEqual(v[0].line, 3)
+
+    def test_snapshot_then_lock_free_write_clean(self):
+        # The intended shape: the lock scope only copies, the I/O runs
+        # after it closes.
+        self.repo.write("src/obs/audit_ledger.cc", (
+            "Status AuditLedger::WriteJson(const std::string& path) {\n"
+            "  std::string json;\n"
+            "  {\n"
+            "    MutexLock lock(mutex_);\n"
+            "    json = RenderAuditLedgerJson(doc_);\n"
+            "  }\n"
+            "  std::FILE* f = std::fopen(path.c_str(), \"w\");\n"
+            "  fwrite(json.data(), 1, json.size(), f);\n"
+            "  fclose(f);\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-file-io"), [])
+
+    def test_file_io_under_lock_other_file_not_flagged(self):
+        # The rule is scoped to the ledger write paths; fprintf elsewhere
+        # under a lock is another rule's (or reviewer's) problem.
+        self.repo.write("src/io/log.cc", (
+            "void Log() {\n"
+            "  MutexLock lock(mu_);\n"
+            "  fprintf(stderr, \"x\");\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-file-io"), [])
+
+    def test_member_named_fflush_under_lock_clean(self):
+        self.repo.write("src/obs/audit_ledger.cc", (
+            "void AuditLedger::Tick() {\n"
+            "  MutexLock lock(mutex_);\n"
+            "  sink_.fflush(1);\n"
+            "  sink_->fclose();\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-file-io"), [])
+
+    def test_file_io_mention_in_comment_ignored(self):
+        self.repo.write("src/obs/audit_ledger.cc", (
+            "void AuditLedger::Note() {\n"
+            "  MutexLock lock(mutex_);\n"
+            "  // fopen() here would stall every recording thread\n"
+            "  counter_++;\n"
+            "}\n"))
+        self.assertEqual(self.run_check("no-lock-across-file-io"), [])
+
 
 class RealRepoTest(unittest.TestCase):
     """The actual repository must satisfy every invariant."""

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Self-test for tools/audit_report.py, the Python mirror of the C++ audit
+replayer (src/obs/audit_ledger.cc). The contracts locked down here are the
+ones the CI gate depends on: nearest-rank percentiles, the bounded
+symmetric error (exact 0 on perfect predictions, saturating at 1 for a
+zero estimate against a nonzero measurement), push-away misestimate
+injection that worsens the error regardless of the estimator's bias
+direction, zero counterfactual regret when predictions are fed back as
+measurements, and a drift gate that passes its own envelope and fails it
+after injection. tests/test_audit_ledger.cc covers the same ground for
+the C++ side; keeping both green keeps the two replayers interchangeable.
+"""
+
+import json
+import os
+import tempfile
+import unittest
+
+import audit_report as ar
+
+PARAMS = {
+    "c_ddd": 1.0, "c_sdd": 5.0, "c_sdd_panel": 3.0, "c_dsd": 6.0,
+    "c_ssd": 16.0, "row_overhead": 8.0, "dense_write": 0.25,
+    "sparse_write": 8.0, "sparse_sort": 2.0,
+    "convert_sparse_to_dense": 1.5, "convert_dense_to_sparse": 3.0,
+}
+
+
+class ErrorMathTest(unittest.TestCase):
+    def test_symmetric_error_exact_zero_on_match(self):
+        self.assertEqual(ar.symmetric_rel_error(1.0, 1.0), 0.0)
+        self.assertEqual(ar.symmetric_rel_error(0.73, 0.73), 0.0)
+        self.assertEqual(ar.symmetric_rel_error(0.0, 0.0), 0.0)
+
+    def test_symmetric_error_saturates_for_zero_estimate(self):
+        self.assertEqual(ar.symmetric_rel_error(0.0, 1e-9), 1.0)
+        self.assertEqual(ar.symmetric_rel_error(1e-9, 0.0), 1.0)
+        self.assertAlmostEqual(ar.symmetric_rel_error(0.5, 1.0), 0.5)
+        self.assertAlmostEqual(ar.symmetric_rel_error(1.0, 0.5), 0.5)
+
+    def test_percentile_nearest_rank(self):
+        v = [0.4, 0.1, 0.3, 0.2]
+        self.assertEqual(ar.percentile(v, 0.5), 0.2)
+        self.assertEqual(ar.percentile(v, 0.95), 0.4)
+        self.assertEqual(ar.percentile(v, 1.0), 0.4)
+        self.assertEqual(ar.percentile([], 0.5), 0.0)
+        self.assertEqual(ar.percentile([7.0], 0.5), 7.0)
+
+
+class InjectionTest(unittest.TestCase):
+    def test_push_away_under_prediction_divides(self):
+        self.assertEqual(ar.push_away(0.4, 0.5, 2.0, 1.0), 0.2)
+
+    def test_push_away_over_prediction_multiplies_and_caps(self):
+        self.assertEqual(ar.push_away(0.5, 0.25, 2.0, 1.0), 1.0)
+        self.assertEqual(ar.push_away(3.0, 1.0, 2.0, 0.0), 6.0)  # uncapped
+
+    def test_injection_worsens_both_bias_directions(self):
+        doc = {"density": [
+            {"op": 0, "bi": 0, "bj": 0, "pred": 0.4, "actual": 0.5},
+            {"op": 0, "bi": 0, "bj": 1, "pred": 0.5, "actual": 0.25},
+        ]}
+        before = [ar.symmetric_rel_error(r["pred"], r["actual"])
+                  for r in doc["density"]]
+        ar.inject_density_misestimate(doc, 2.0)
+        after = [ar.symmetric_rel_error(r["pred"], r["actual"])
+                 for r in doc["density"]]
+        for b, a in zip(before, after):
+            self.assertGreater(a, b)
+
+
+class CounterfactualTest(unittest.TestCase):
+    def _repr_record(self, model, rho_a, rho_b, rho_c, a_dense, b_dense,
+                     rho_w=0.03):
+        c_dense = rho_c >= rho_w
+        cf_a, cf_b, cost = ar.decide_pair(
+            model, 64, 48, 64, rho_a, rho_b, a_dense, b_dense,
+            False, False, c_dense, True)
+        return {
+            "op": 1, "ti": 0, "tj": 0, "k0": 0, "k1": 1,
+            "m": 64, "k": 48, "n": 64,
+            "rho_a": rho_a, "rho_b": rho_b,
+            "rho_c_pred": rho_c, "rho_c_actual": rho_c, "rho_w": rho_w,
+            "a_stored_dense": a_dense, "b_stored_dense": b_dense,
+            "a_cached": False, "b_cached": False, "allow_conversion": True,
+            "c_dense": c_dense,
+            "kernel": ar.kernel_name(cf_a, cf_b, c_dense),
+            "stored_cost": 0.0, "chosen_cost": cost,
+        }
+
+    def test_zero_regret_when_predictions_fed_back(self):
+        model = ar.CostModel(PARAMS, 256)
+        doc = {"cost_params": PARAMS, "spmm_max_panel_cols": 256, "repr": []}
+        densities = (0.001, 0.01, 0.05, 0.3, 0.9)
+        for rho_a in densities:
+            for rho_b in densities:
+                for rho_c in densities:
+                    for stored in range(4):
+                        doc["repr"].append(self._repr_record(
+                            model, rho_a, rho_b, rho_c,
+                            bool(stored & 1), bool(stored & 2)))
+        report = ar.build_report(doc, 0)
+        self.assertEqual(report["repr_considered"], len(doc["repr"]))
+        self.assertEqual(report["repr_regret"], 0)
+        self.assertEqual(report["repr_regret_cost"], 0.0)
+        self.assertEqual(report["repr"]["max"], 0.0)
+
+    def test_measurement_across_water_level_registers_regret(self):
+        model = ar.CostModel(PARAMS, 256)
+        rec = self._repr_record(model, 0.5, 0.5, 0.001, True, True)
+        rec["rho_c_actual"] = 0.9  # measured far above rho_w
+        doc = {"cost_params": PARAMS, "spmm_max_panel_cols": 256,
+               "repr": [rec]}
+        report = ar.build_report(doc, 0)
+        self.assertEqual(report["repr_considered"], 1)
+        self.assertEqual(report["repr_regret"], 1)
+
+    def test_spa_regret_zero_when_row_nnz_fed_back(self):
+        doc = {"spa_mode": [
+            {"op": 0, "ti": 0, "tj": 0, "width": w,
+             "pred_row_nnz": nnz, "actual_row_nnz": nnz,
+             "mode": ar.choose_mode(w, nnz)}
+            for w in (64, 256, 4096) for nnz in (0.5, 3.0, 17.0, 200.0)
+        ]}
+        report = ar.build_report(doc, 0)
+        self.assertEqual(report["spa_considered"], 12)
+        self.assertEqual(report["spa_regret"], 0)
+
+
+class ReportAndGateTest(unittest.TestCase):
+    def test_empty_doc_reports_zero_counts(self):
+        report = ar.build_report({}, 10)
+        for name in ar.CLASSES:
+            self.assertEqual(report[name]["count"], 0)
+        text = ar.render_report(report)
+        self.assertIn("prediction audit", text)
+        self.assertIn("repr regret 0/0", text)
+
+    def test_report_is_deterministic(self):
+        doc = {"density": [
+            {"op": 2, "bi": i, "bj": 0, "pred": 0.1 * i, "actual": 0.05 * i}
+            for i in range(6)
+        ]}
+        self.assertEqual(ar.render_report(ar.build_report(doc, 5)),
+                         ar.render_report(ar.build_report(doc, 5)))
+
+    def test_gate_passes_own_envelope_then_fails_after_injection(self):
+        doc = {"density": [
+            {"op": 0, "bi": i, "bj": 0, "pred": 0.4, "actual": 0.5}
+            for i in range(16)
+        ]}
+        report = ar.build_report(doc, 0)
+        envelope = json.loads(ar.render_envelope(report, 1.5))
+        ok, regressions, text = ar.evaluate_gate(report, envelope)
+        self.assertTrue(ok, text)
+        self.assertEqual(regressions, 0)
+
+        ar.inject_density_misestimate(doc, 2.0)
+        worse = ar.build_report(doc, 0)
+        self.assertGreater(worse["density"]["p50"], report["density"]["p50"])
+        ok, regressions, text = ar.evaluate_gate(worse, envelope)
+        self.assertFalse(ok)
+        self.assertGreaterEqual(regressions, 1)
+        self.assertIn("REGRESSION", text)
+
+    def test_gate_skips_empty_classes(self):
+        baseline = {
+            "schema_version": 1, "kind": "atmx_audit_baseline",
+            "classes": {"density": {"p50": 0.1, "p95": 0.2, "max": 0.3}},
+            "max_repr_regret_fraction": 0.05,
+        }
+        ok, regressions, text = ar.evaluate_gate(ar.build_report({}, 0),
+                                                 baseline)
+        self.assertTrue(ok)
+        self.assertEqual(regressions, 0)
+        self.assertIn("SKIP", text)
+
+    def test_gate_rejects_invalid_baseline(self):
+        ok, regressions, _ = ar.evaluate_gate(ar.build_report({}, 0),
+                                              {"kind": "wrong"})
+        self.assertFalse(ok)
+        self.assertEqual(regressions, 1)
+
+
+class LoadLedgerTest(unittest.TestCase):
+    def test_rejects_wrong_kind_and_schema(self):
+        with tempfile.TemporaryDirectory() as d:
+            bad_kind = os.path.join(d, "bad_kind.json")
+            with open(bad_kind, "w", encoding="utf-8") as f:
+                json.dump({"kind": "something_else", "schema_version": 1}, f)
+            with self.assertRaises(ValueError):
+                ar.load_ledger(bad_kind)
+            bad_schema = os.path.join(d, "bad_schema.json")
+            with open(bad_schema, "w", encoding="utf-8") as f:
+                json.dump({"kind": "atmx_audit_ledger",
+                           "schema_version": 999}, f)
+            with self.assertRaises(ValueError):
+                ar.load_ledger(bad_schema)
+
+    def test_accepts_minimal_ledger(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "ok.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump({"kind": "atmx_audit_ledger", "schema_version": 1,
+                           "density": []}, f)
+            self.assertEqual(ar.load_ledger(path)["density"], [])
+
+
+if __name__ == "__main__":
+    unittest.main()
