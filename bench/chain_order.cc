@@ -10,11 +10,14 @@
 // planner parenthesizes right-to-left and wins by the ratio of the
 // intermediate sizes; for balanced chains the two orders tie.
 
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 
 #include "bench/bench_common.h"
 #include "gen/synthetic.h"
 #include "ops/chain.h"
+#include "ops/chain_exec.h"
 #include "storage/convert.h"
 #include "tile/partitioner.h"
 
@@ -119,6 +122,76 @@ void Run() {
                       "x"});
   }
   table.Print();
+
+  // Finite memory budget: the chain-scope water level plans per-product
+  // write thresholds against a shared resident-set budget and the fused
+  // DAG admission-gates tile tasks, so a finite result_mem_limit_bytes
+  // keeps the chain fused instead of silently downgrading it. The budget
+  // is bracketed between the memory-minimal floor (1-byte probe) and the
+  // unconstrained projection (huge probe) so the case is feasible by
+  // construction yet as binding as the plan allows.
+  std::printf("\n=== Finite memory budget (fused, admission-gated) ===\n");
+  {
+    std::vector<CooMatrix> coos;
+    coos.push_back(GenerateUniform(n, n, n * 12, 14));
+    coos.push_back(GenerateUniform(n, n, n * 12, 15));
+    coos.push_back(GenerateUniform(n, n, n * 12, 16));
+    coos.push_back(GenerateUniform(n, n, n * 12, 17));
+    std::vector<ATMatrix> atms;
+    atms.reserve(coos.size());
+    for (CooMatrix& coo : coos) {
+      atms.push_back(PartitionToAtm(coo, env.config));
+    }
+    std::vector<const ATMatrix*> chain;
+    for (const ATMatrix& atm : atms) chain.push_back(&atm);
+    // Left-to-right keeps every intermediate live into the peak step, so
+    // the shared budget genuinely constrains the water level.
+    ChainPlan plan = LeftToRightPlan(static_cast<int>(chain.size()));
+
+    AtmConfig fused_config = env.config;
+    fused_config.fused_chains = true;
+    AtmConfig floor_config = fused_config;
+    floor_config.result_mem_limit_bytes = 1;
+    const internal::ChainBudgetPlan floor_plan = internal::PlanChainBudget(
+        chain, plan, AtMult(floor_config, env.cost_model));
+    AtmConfig wide_config = fused_config;
+    wide_config.result_mem_limit_bytes =
+        std::numeric_limits<std::size_t>::max() / 2;
+    const internal::ChainBudgetPlan wide_plan = internal::PlanChainBudget(
+        chain, plan, AtMult(wide_config, env.cost_model));
+    const std::size_t budget =
+        floor_plan.projected_peak_bytes +
+        (wide_plan.projected_peak_bytes - floor_plan.projected_peak_bytes) /
+            2;
+
+    AtmConfig budget_config = fused_config;
+    budget_config.result_mem_limit_bytes = budget;
+    AtMult budget_op(budget_config, env.cost_model);
+    AtmConfig fallback_config = env.config;
+    fallback_config.fused_chains = false;
+    fallback_config.result_mem_limit_bytes = budget;
+    AtMult fallback_op(fallback_config, env.cost_model);
+
+    ChainExecStats stats;
+    ExecuteChain(chain, plan, budget_op, &stats);  // warm-up + stats
+    const double t_budget =
+        MeasurePlan("budget.fused", chain, plan, budget_op);
+    ExecuteChain(chain, plan, fallback_op);
+    const double t_fallback =
+        MeasurePlan("budget.unfused", chain, plan, fallback_op);
+
+    TablePrinter btable({"case", "budget", "projected", "resident peak",
+                         "fused", "time[s]"});
+    btable.AddRow(
+        {"admission-gated", TablePrinter::FmtBytes(budget),
+         TablePrinter::FmtBytes(stats.projected_peak_bytes),
+         TablePrinter::FmtBytes(stats.resident_peak_bytes),
+         stats.fused ? "yes" : "no(" + stats.fallback_reason + ")",
+         TablePrinter::Fmt(t_budget, 4)});
+    btable.AddRow({"unfused fallback", TablePrinter::FmtBytes(budget), "-",
+                   "-", "no", TablePrinter::Fmt(t_fallback, 4)});
+    btable.Print();
+  }
 }
 
 }  // namespace

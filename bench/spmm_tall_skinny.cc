@@ -22,7 +22,9 @@
 // reference points, at three sparse topologies.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "gen/workloads.h"
 #include "kernels/simd/simd_dispatch.h"
 #include "ops/chain.h"
+#include "ops/chain_exec.h"
 #include "storage/convert.h"
 #include "tile/partitioner.h"
 
@@ -58,7 +61,7 @@ void Run() {
   cases.push_back({"uniform", GenerateUniform(n, n, n * 16, 23)});
 
   TablePrinter table({"topology", "n", "nnz(A)", "spmm[s]", "vs spspd",
-                      "fused[s]", "unfused[s]", "two-step[s]",
+                      "fused[s]", "budget[s]", "unfused[s]", "two-step[s]",
                       "fused speedup"});
   for (SpmmCase& c : cases) {
     const index_t rows = c.a.rows();
@@ -119,6 +122,36 @@ void Run() {
           ChainExecStats stats;
           ExecuteChain(chain, plan, unfused_op, &stats);
         });
+
+    // Fused under a finite memory budget: the chain-scope water level +
+    // admission gating must keep the chain fused (and faster than the
+    // unfused fallback) instead of silently downgrading it. The budget is
+    // bracketed between the memory-minimal floor and the unconstrained
+    // projection, so it is feasible by construction yet binding when the
+    // plan leaves the water level room to move.
+    AtmConfig floor_config = fused_config;
+    floor_config.result_mem_limit_bytes = 1;
+    const internal::ChainBudgetPlan floor_plan = internal::PlanChainBudget(
+        chain, plan, AtMult(floor_config, env.cost_model));
+    AtmConfig wide_config = fused_config;
+    wide_config.result_mem_limit_bytes =
+        std::numeric_limits<std::size_t>::max() / 2;
+    const internal::ChainBudgetPlan wide_plan = internal::PlanChainBudget(
+        chain, plan, AtMult(wide_config, env.cost_model));
+    AtmConfig budget_config = fused_config;
+    budget_config.result_mem_limit_bytes =
+        floor_plan.projected_peak_bytes +
+        (wide_plan.projected_peak_bytes - floor_plan.projected_peak_bytes) /
+            2;
+    AtMult budget_op(budget_config, env.cost_model);
+    ExecuteChain(chain, plan, budget_op);
+    ChainExecStats budget_stats;
+    ExecuteChain(chain, plan, budget_op, &budget_stats);
+    const double t_budget = BenchReporter::Global().MeasureCase(
+        c.name + ".chain.fused_budget", [&] {
+          ChainExecStats stats;
+          ExecuteChain(chain, plan, budget_op, &stats);
+        });
     simd::SetSpmmPanelEnabled(false);
     ExecuteChain(chain, plan, two_step_op);
     const double t_two_step =
@@ -131,6 +164,8 @@ void Run() {
     table.AddRow({c.name, std::to_string(rows),
                   std::to_string(c.a.nnz()), TablePrinter::Fmt(t_spmm, 4),
                   FmtSpeedup(spspd, t_spmm), TablePrinter::Fmt(t_fused, 4),
+                  TablePrinter::Fmt(t_budget, 4) +
+                      (budget_stats.fused ? "" : "(unfused!)"),
                   TablePrinter::Fmt(t_unfused, 4),
                   TablePrinter::Fmt(t_two_step, 4),
                   TablePrinter::Fmt(t_two_step / std::max(t_fused, 1e-12),

@@ -74,9 +74,12 @@ struct AtmConfig {
   // start as soon as their input result-tiles complete, and intermediate
   // tiles are dropped after their last consumer finishes. Results are
   // bitwise identical to product-at-a-time execution; off restores the
-  // per-product barrier. Ignored (falls back to unfused) when
-  // result_mem_limit_bytes is finite, since the water-level method needs
-  // each product's full estimate before any of its tiles run.
+  // per-product barrier. A finite result_mem_limit_bytes stays fused: the
+  // chain-scope water level plans every product's write threshold up front
+  // from the estimated density maps and the scheduler admission-gates tile
+  // tasks against the shared budget (docs/CHAINS.md "Memory budget");
+  // only estimation disabled or a budget below the minimum achievable
+  // footprint downgrades to product-at-a-time.
   bool fused_chains = true;
 
   // --- Parallelism (section III-F) ---------------------------------------

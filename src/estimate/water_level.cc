@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "estimate/density_estimator.h"
+#include "obs/obs.h"
 
 namespace atmx {
 
@@ -65,6 +66,7 @@ WaterLevelResult SolveWaterLevel(const DensityMap& estimate,
   }
   if (!result.feasible) {
     result.threshold = min_threshold;
+    ATMX_COUNTER_INC("waterlevel.infeasible");
   }
   // Re-derive the projection from the committed threshold instead of
   // keeping the incrementally updated running sum: the incremental updates
@@ -78,11 +80,187 @@ WaterLevelResult SolveWaterLevel(const DensityMap& estimate,
 
 double EffectiveWriteThreshold(const DensityMap& estimate, double rho_write,
                                std::size_t mem_limit_bytes) {
+  return EffectiveWriteThreshold(estimate, rho_write, mem_limit_bytes,
+                                 nullptr);
+}
+
+double EffectiveWriteThreshold(const DensityMap& estimate, double rho_write,
+                               std::size_t mem_limit_bytes, bool* feasible) {
+  if (feasible != nullptr) *feasible = true;
   // Fast path: unlimited memory keeps the performance-optimal threshold.
   const std::size_t optimistic = EstimateMemoryBytes(estimate, rho_write);
   if (optimistic <= mem_limit_bytes) return rho_write;
   const WaterLevelResult wl = SolveWaterLevel(estimate, mem_limit_bytes);
+  if (feasible != nullptr) *feasible = wl.feasible;
   return std::max(rho_write, wl.threshold);
+}
+
+namespace {
+
+// Per-product density histogram with the bars sorted descending and prefix
+// sums, so the projected bytes at a threshold resolve in O(log bars). The
+// arithmetic mirrors EstimateMemoryBytes (8 B/elem dense where rho >= t,
+// 16 B/elem * rho sparse below), but the solver's own sums are
+// authoritative for feasibility: prefix sums accumulate in density order
+// while EstimateMemoryBytes accumulates in block order, and the two can
+// drift by rounding.
+struct ProductBars {
+  std::vector<double> density;       // descending
+  std::vector<double> dense_area;    // prefix: sum of area over bars [0, j)
+  std::vector<double> sparse_bytes;  // prefix: sum of rho*area*16 over [0, j)
+
+  explicit ProductBars(const DensityMap& map) {
+    struct Bar {
+      double density;
+      double area;
+    };
+    std::vector<Bar> bars;
+    bars.reserve(static_cast<std::size_t>(map.grid_rows()) *
+                 static_cast<std::size_t>(map.grid_cols()));
+    for (index_t bi = 0; bi < map.grid_rows(); ++bi) {
+      for (index_t bj = 0; bj < map.grid_cols(); ++bj) {
+        bars.push_back({map.At(bi, bj),
+                        static_cast<double>(map.BlockArea(bi, bj))});
+      }
+    }
+    std::sort(bars.begin(), bars.end(), [](const Bar& a, const Bar& b) {
+      return a.density > b.density;
+    });
+    density.reserve(bars.size());
+    dense_area.assign(1, 0.0);
+    sparse_bytes.assign(1, 0.0);
+    for (const Bar& b : bars) {
+      density.push_back(b.density);
+      dense_area.push_back(dense_area.back() + b.area);
+      sparse_bytes.push_back(sparse_bytes.back() +
+                             b.density * b.area * kSparseElemBytes);
+    }
+  }
+
+  // Projected bytes with blocks of density >= t stored dense.
+  double BytesAt(double t) const {
+    // First bar strictly below the level; all bars before it are dense.
+    const auto it = std::lower_bound(
+        density.begin(), density.end(), t,
+        [](double bar, double level) { return bar >= level; });
+    const std::size_t k = static_cast<std::size_t>(it - density.begin());
+    return dense_area[k] * kDenseElemBytes +
+           (sparse_bytes.back() - sparse_bytes[k]);
+  }
+};
+
+}  // namespace
+
+ChainWaterLevelResult SolveChainWaterLevel(
+    const std::vector<const DensityMap*>& products,
+    const std::vector<int>& last_consumer, double rho_write,
+    std::size_t budget_bytes) {
+  const std::size_t n = products.size();
+  ChainWaterLevelResult result;
+  result.thresholds.assign(n, rho_write);
+  if (n == 0) return result;
+
+  std::vector<ProductBars> bars;
+  bars.reserve(n);
+  for (const DensityMap* map : products) bars.emplace_back(*map);
+
+  // Product i is resident from its production step i through the step of
+  // its last consumer; the root (negative last_consumer) outlives the
+  // chain and stays resident through the final step.
+  std::vector<std::vector<std::size_t>> live(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t last = n - 1;
+    if (i < last_consumer.size() && last_consumer[i] >= 0) {
+      last = std::min(n - 1, static_cast<std::size_t>(last_consumer[i]));
+    }
+    for (std::size_t p = i; p <= last; ++p) live[p].push_back(i);
+  }
+
+  // Candidate levels: the performance-optimal floor, every distinct block
+  // density above it (the threshold comparison is `>=`, so only block
+  // densities change the projection), and "above all bars" (everything
+  // sparse). Ascending, so a scan commits the lowest workable level.
+  std::vector<double> candidates;
+  candidates.push_back(rho_write);
+  for (const ProductBars& pb : bars) {
+    for (double d : pb.density) {
+      if (d > rho_write) candidates.push_back(d);
+    }
+  }
+  candidates.push_back(1.0 + 1e-12);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  const std::size_t num_candidates = candidates.size();
+
+  // bytes[i][c]: projected bytes of product i at candidate level c.
+  std::vector<std::vector<double>> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i].reserve(num_candidates);
+    for (std::size_t c = 0; c < num_candidates; ++c) {
+      bytes[i].push_back(bars[i].BytesAt(candidates[c]));
+    }
+  }
+
+  // Peak over steps of the resident-set footprint for a level assignment.
+  const auto peak_of = [&](const std::vector<std::size_t>& lvl, int* step) {
+    double peak = 0.0;
+    int peak_step = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      double sum = 0.0;
+      for (std::size_t i : live[p]) sum += bytes[i][lvl[i]];
+      if (sum > peak) {
+        peak = sum;
+        peak_step = static_cast<int>(p);
+      }
+    }
+    if (step != nullptr) *step = peak_step;
+    return peak;
+  };
+  const double budget = static_cast<double>(budget_bytes);
+
+  // Fast path: the performance-optimal level everywhere already fits.
+  std::vector<std::size_t> lvl(n, 0);
+  double peak = peak_of(lvl, &result.peak_step);
+  if (peak <= budget) {
+    result.projected_peak_bytes = static_cast<std::size_t>(peak);
+    return result;
+  }
+
+  // The peak is separable: each product's bytes enter every step it is
+  // live in with positive sign, so the minimum-achievable peak is reached
+  // with every product at its own memory-minimal level. If even that
+  // misses the budget no assignment can fit — clamp to the floor and
+  // report infeasible.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 1; c < num_candidates; ++c) {
+      if (bytes[i][c] < bytes[i][lvl[i]]) lvl[i] = c;
+    }
+  }
+  peak = peak_of(lvl, &result.peak_step);
+  if (peak > budget) {
+    result.feasible = false;
+    ATMX_COUNTER_INC("waterlevel.infeasible");
+  } else {
+    // Feasible: relax each product in turn to the lowest candidate level
+    // that keeps the peak within the budget given the other products'
+    // current levels. The product's own memory-minimal level always
+    // qualifies (the budget held entering each step), so the scan
+    // terminates with a valid assignment.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < num_candidates; ++c) {
+        lvl[i] = c;
+        if (peak_of(lvl, nullptr) <= budget) break;
+      }
+    }
+    peak = peak_of(lvl, &result.peak_step);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.thresholds[i] = std::max(rho_write, candidates[lvl[i]]);
+  }
+  result.projected_peak_bytes = static_cast<std::size_t>(peak);
+  return result;
 }
 
 }  // namespace atmx

@@ -11,6 +11,7 @@
 #define ATMX_ESTIMATE_WATER_LEVEL_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "estimate/density_map.h"
 
@@ -43,6 +44,40 @@ WaterLevelResult SolveWaterLevel(const DensityMap& estimate,
 // favor of a lower memory consumption").
 double EffectiveWriteThreshold(const DensityMap& estimate, double rho_write,
                                std::size_t mem_limit_bytes);
+
+// Same, with an infeasibility report: `*feasible` (when non-null) is set to
+// false when even the memory-minimal layout misses the limit and the
+// returned threshold is the clamped floor.
+double EffectiveWriteThreshold(const DensityMap& estimate, double rho_write,
+                               std::size_t mem_limit_bytes, bool* feasible);
+
+// Chain-scope water level: one shared memory budget for a whole product
+// chain instead of a per-product limit. Product i (post-order id) is
+// resident from its production step i through the step of its last
+// consumer (`last_consumer[i]`; the root, which outlives the chain, uses
+// the final step). The solver picks one write threshold per product so
+// that at every step the summed footprint of the resident products stays
+// within the budget.
+struct ChainWaterLevelResult {
+  // Per-product write thresholds, indexed by post-order product id. Never
+  // below rho_write: the performance-optimal level is only ever raised to
+  // meet the budget (the max semantics of EffectiveWriteThreshold).
+  std::vector<double> thresholds;
+  // Projected resident-set peak at the committed thresholds, and the
+  // production step where it occurs.
+  std::size_t projected_peak_bytes = 0;
+  int peak_step = 0;
+  // False when no assignment of thresholds keeps the peak within the
+  // budget; thresholds are then clamped to the memory-minimal level and
+  // the `waterlevel.infeasible` counter is bumped. Callers decide whether
+  // to accept the SLA miss or fall back to unfused execution.
+  bool feasible = true;
+};
+
+ChainWaterLevelResult SolveChainWaterLevel(
+    const std::vector<const DensityMap*>& products,
+    const std::vector<int>& last_consumer, double rho_write,
+    std::size_t budget_bytes);
 
 }  // namespace atmx
 

@@ -257,7 +257,8 @@ void RenderWaterLevel(std::ostringstream& os,
   os << "{\"op\":" << FmtU64(r.op) << ",\"rho_w\":" << FmtD(r.rho_w)
      << ",\"projected_bytes\":" << FmtU64(r.projected_bytes)
      << ",\"result_bytes\":" << FmtU64(r.result_bytes)
-     << ",\"high_water_bytes\":" << FmtU64(r.high_water_bytes) << '}';
+     << ",\"high_water_bytes\":" << FmtU64(r.high_water_bytes)
+     << ",\"feasible\":" << (r.feasible ? "true" : "false") << '}';
 }
 
 void RenderSpaMode(std::ostringstream& os, const SpaModeAuditRecord& r) {
@@ -295,7 +296,15 @@ void RenderChain(std::ostringstream& os, const ChainAuditRecord& r) {
      << ",\"planned_cost\":" << FmtD(r.planned_cost)
      << ",\"alternative_cost\":" << FmtD(r.alternative_cost)
      << ",\"fused\":" << (r.fused ? "true" : "false")
-     << ",\"seconds\":" << FmtD(r.measured_seconds) << '}';
+     << ",\"seconds\":" << FmtD(r.measured_seconds)
+     << ",\"budget_bytes\":" << FmtU64(r.budget_bytes)
+     << ",\"resident_peak_bytes\":" << FmtU64(r.resident_peak_bytes)
+     << ",\"rho_w\":[";
+  for (std::size_t i = 0; i < r.rho_w.size(); ++i) {
+    if (i > 0) os << ',';
+    os << FmtD(r.rho_w[i]);
+  }
+  os << "]}";
 }
 
 template <typename Record, typename Renderer>
@@ -436,6 +445,7 @@ Result<AuditLedgerDoc> ParseAuditLedgerJson(std::string_view text) {
       r.projected_bytes = U64Field(v, "projected_bytes");
       r.result_bytes = U64Field(v, "result_bytes");
       r.high_water_bytes = U64Field(v, "high_water_bytes");
+      r.feasible = v.BoolOr("feasible", true);
       doc.waterlevel.push_back(r);
     }
   }
@@ -494,6 +504,14 @@ Result<AuditLedgerDoc> ParseAuditLedgerJson(std::string_view text) {
       r.alternative_cost = v.NumberOr("alternative_cost", 0.0);
       r.fused = v.BoolOr("fused", false);
       r.measured_seconds = v.NumberOr("seconds", 0.0);
+      r.budget_bytes = U64Field(v, "budget_bytes");
+      r.resident_peak_bytes = U64Field(v, "resident_peak_bytes");
+      if (const JsonValue* rw = v.Find("rho_w");
+          rw != nullptr && rw->is_array()) {
+        for (const JsonValue& t : rw->array) {
+          r.rho_w.push_back(t.is_number() ? t.number_value : 0.0);
+        }
+      }
       doc.chain.push_back(r);
     }
   }
@@ -589,6 +607,7 @@ AuditReport BuildAuditReport(const AuditLedgerDoc& doc, std::size_t worst_n) {
     std::vector<double> errs;
     errs.reserve(doc.waterlevel.size());
     for (const WaterLevelAuditRecord& r : doc.waterlevel) {
+      if (!r.feasible) ++rep.waterlevel_infeasible;
       const double err =
           SymmetricRelError(static_cast<double>(r.projected_bytes),
                             static_cast<double>(r.result_bytes));
@@ -721,6 +740,13 @@ std::string RenderAuditReportText(const AuditReport& rep) {
                 rep.repr_regret, rep.repr_considered, rep.repr_regret_cost,
                 rep.spa_regret, rep.spa_considered);
   os << buf;
+  if (rep.waterlevel_infeasible > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "waterlevel: %zu/%zu records under an infeasible memory "
+                  "SLA (threshold clamped to floor)\n",
+                  rep.waterlevel_infeasible, rep.waterlevel.count);
+    os << buf;
+  }
   if (rep.cost_scale > 0.0) {
     std::snprintf(buf, sizeof(buf), "fitted cost scale: %.3g s/unit\n",
                   rep.cost_scale);

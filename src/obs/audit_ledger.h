@@ -79,6 +79,10 @@ struct WaterLevelAuditRecord {
   std::uint64_t projected_bytes = 0;     // water-level projection
   std::uint64_t result_bytes = 0;        // materialized result
   std::uint64_t high_water_bytes = 0;    // MemTracker high water at close
+  // False when the SLA sat below the minimum achievable footprint and the
+  // threshold was clamped to the memory-minimal floor (the
+  // `waterlevel.infeasible` counter ticks alongside).
+  bool feasible = true;
 };
 
 struct SpaModeAuditRecord {
@@ -116,6 +120,13 @@ struct ChainAuditRecord {
   double alternative_cost = 0.0;   // left-to-right baseline
   bool fused = false;
   double measured_seconds = 0.0;
+  // Chain-scope memory budget (0 = unbounded) and the measured resident
+  // peak the execution reached under it.
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t resident_peak_bytes = 0;
+  // Effective write threshold per product (post-order; joins against the
+  // waterlevel class per product via `atmx audit`).
+  std::vector<double> rho_w;
 };
 
 // Everything one ledger holds: the in-memory snapshot and the parsed
@@ -170,6 +181,9 @@ struct AuditReport {
   // SPA ChooseMode replayed with the realized rows-nnz.
   std::size_t spa_considered = 0;
   std::size_t spa_regret = 0;
+  // Water-level records whose memory SLA was below the minimum achievable
+  // footprint (threshold clamped to the memory-minimal floor).
+  std::size_t waterlevel_infeasible = 0;
   // Seconds per cost unit fitted over the ledger (cost / chain classes
   // compare model units against wall time through this scale).
   double cost_scale = 0.0;

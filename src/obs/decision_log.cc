@@ -153,8 +153,11 @@ std::string RenderChainDecisionRecordsJson(
                   r.planned_cost, r.left_to_right_cost, r.total_seconds);
     os << buf;
     os << ",\"fused\":" << (r.fused ? "true" : "false")
-       << ",\"fused_tasks\":" << r.fused_tasks
+       << ",\"fallback_reason\":\"" << EscapeJson(r.fallback_reason)
+       << "\",\"fused_tasks\":" << r.fused_tasks
        << ",\"resident_peak_bytes\":" << r.resident_peak_bytes
+       << ",\"budget_bytes\":" << r.budget_bytes
+       << ",\"projected_peak_bytes\":" << r.projected_peak_bytes
        << ",\"products\":[";
     bool pfirst = true;
     for (const std::string& s : r.product_summaries) {

@@ -58,8 +58,13 @@ struct ChainDecisionRecord {
   double planned_cost = 0.0;        // DP-optimal estimated cost
   double left_to_right_cost = 0.0;  // naive evaluation order, for contrast
   bool fused = false;               // tile-granular dataflow execution
+  // Why fusion was declined ("" when fused): "disabled", "short_chain",
+  // "no_estimation", or "budget_infeasible".
+  std::string fallback_reason;
   index_t fused_tasks = 0;          // tile tasks in the DAG (0 unfused)
   std::uint64_t resident_peak_bytes = 0;  // peak resident intermediates
+  std::uint64_t budget_bytes = 0;   // chain-scope memory budget (0 = none)
+  std::uint64_t projected_peak_bytes = 0;  // water-level projected peak
   double total_seconds = 0.0;
   // One line per product in execution order (post-order of the plan
   // tree), e.g. "pairs=12 kernels=34 multiply=0.01s".

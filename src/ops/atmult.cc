@@ -86,6 +86,13 @@ ATMatrix AtMult::Multiply(const ATMatrix& a, const ATMatrix& b,
   return MultiplyImpl(nullptr, a, b, stats, a_cache, b_cache);
 }
 
+ATMatrix AtMult::Multiply(const ATMatrix& a, const ATMatrix& b,
+                          AtMultStats* stats, ConversionCache* a_cache,
+                          ConversionCache* b_cache,
+                          double rho_w_override) const {
+  return MultiplyImpl(nullptr, a, b, stats, a_cache, b_cache, rho_w_override);
+}
+
 ATMatrix AtMult::Multiply(const CsrMatrix& a, const ATMatrix& b,
                           AtMultStats* stats) const {
   return MultiplyImpl(nullptr, AtmFromCsr(a, config_), b, stats);
@@ -117,7 +124,8 @@ ATMatrix AtMult::MultiplyAdd(const ATMatrix& c, const ATMatrix& a,
 ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
                               const ATMatrix& b, AtMultStats* stats,
                               ConversionCache* a_cache,
-                              ConversionCache* b_cache) const {
+                              ConversionCache* b_cache,
+                              double rho_w_override) const {
   ATMX_CHECK_EQ(a.cols(), b.rows());
   ATMX_CHECK_EQ(a.b_atomic(), b.b_atomic());
   AtMultStats local_stats;
@@ -140,6 +148,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
   // --- Density estimation + flexible write threshold (Alg. 2 l. 2-3). ---
   DensityMap estimate;
   double rho_w = config_.rho_write;
+  bool wl_feasible = true;
   const bool use_estimate = config_.density_estimation;
   if (use_estimate) {
     ATMX_TRACE_SPAN("op", "estimate_density");
@@ -148,8 +157,15 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
     if (c_init != nullptr) {
       estimate = CombineAdditive(estimate, c_init->density_map());
     }
-    rho_w = EffectiveWriteThreshold(estimate, config_.rho_write,
-                                    config_.result_mem_limit_bytes);
+    if (rho_w_override >= 0.0) {
+      // The caller (chain executor) already solved the water level
+      // chain-wide; its per-product threshold replaces the local solve.
+      rho_w = rho_w_override;
+    } else {
+      rho_w = EffectiveWriteThreshold(estimate, config_.rho_write,
+                                      config_.result_mem_limit_bytes,
+                                      &wl_feasible);
+    }
     stats->estimate_seconds = est_timer.ElapsedSeconds();
   }
   stats->effective_write_threshold = rho_w;
@@ -401,6 +417,7 @@ ATMatrix AtMult::MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
       w.projected_bytes = projected_bytes;
       w.result_bytes = result.MemoryBytes();
       w.high_water_bytes = obs::MemTracker::Global().high_water_bytes();
+      w.feasible = wl_feasible;
       obs::AuditLedger::Global().RecordWaterLevel(w);
     }
     // Placement balance across the worker teams (first-touch home nodes of

@@ -120,6 +120,16 @@ class AtMult {
   ATMatrix Multiply(const ATMatrix& a, const ATMatrix& b, AtMultStats* stats,
                     ConversionCache* a_cache, ConversionCache* b_cache) const;
 
+  // Same, with a caller-imposed effective write threshold. A non-negative
+  // `rho_w_override` replaces the operator's own water-level solution —
+  // the chain executor plans thresholds chain-wide against one shared
+  // budget and imposes them on every product so the fused and
+  // product-at-a-time paths make bitwise-identical representation
+  // decisions. Negative means "decide normally".
+  ATMatrix Multiply(const ATMatrix& a, const ATMatrix& b, AtMultStats* stats,
+                    ConversionCache* a_cache, ConversionCache* b_cache,
+                    double rho_w_override) const;
+
   // C' = C + A * B — the full operator signature of section III. The
   // accumulator C must have shape a.rows() x b.cols() and the same atomic
   // block size; its tiling may be arbitrary (it is re-tiled into the
@@ -145,7 +155,8 @@ class AtMult {
   ATMatrix MultiplyImpl(const ATMatrix* c_init, const ATMatrix& a,
                         const ATMatrix& b, AtMultStats* stats,
                         ConversionCache* a_cache = nullptr,
-                        ConversionCache* b_cache = nullptr) const;
+                        ConversionCache* b_cache = nullptr,
+                        double rho_w_override = -1.0) const;
 
   AtmConfig config_;
   CostModel cost_model_;

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "estimate/density_estimator.h"
+#include "estimate/water_level.h"
 #include "obs/obs.h"
 #if defined(ATMX_OBS_ENABLED)
 #include "obs/audit_ledger.h"
@@ -20,7 +21,8 @@ namespace atmx {
 
 double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
                             const CostModel& model, double rho_write,
-                            double write_factor) {
+                            double write_factor,
+                            std::size_t mem_limit_bytes) {
   ATMX_CHECK_EQ(x.cols(), y.rows());
   ATMX_CHECK_EQ(x.block(), y.block());
   const CostParams& p = model.params();
@@ -45,14 +47,21 @@ double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
 
   // Write side from the estimated result topology: dense blocks pay the
   // array-touch rate, sparse blocks pay the SPA rate per stored element.
+  // A finite memory limit raises the classification threshold to the
+  // water level this product's estimate would force, so the DP sees the
+  // (costlier) sparse writes the SLA will actually impose.
   DensityMap result = EstimateProductDensity(x, y);
+  const double threshold =
+      mem_limit_bytes == std::numeric_limits<std::size_t>::max()
+          ? rho_write
+          : EffectiveWriteThreshold(result, rho_write, mem_limit_bytes);
   double write_cost = 0.0;
   for (index_t bi = 0; bi < result.grid_rows(); ++bi) {
     for (index_t bj = 0; bj < result.grid_cols(); ++bj) {
       const double area =
           static_cast<double>(result.BlockArea(bi, bj));
       const double rho = result.At(bi, bj);
-      if (rho >= rho_write) {
+      if (rho >= threshold) {
         write_cost += p.dense_write * area;
       } else {
         write_cost += p.sparse_write * rho * area;
@@ -131,7 +140,8 @@ ChainPlan PlanChain(const std::vector<const DensityMap*>& maps,
         const double candidate =
             cost[i][k] + cost[k + 1][j] +
             EstimateMultiplyCost(map_of(i, k), map_of(k + 1, j), model,
-                                 rho_write, write_factor);
+                                 rho_write, write_factor,
+                                 options.result_mem_limit_bytes);
         if (candidate < cost[i][j]) {
           cost[i][j] = candidate;
           plan.split[i][j] = k;
@@ -155,7 +165,8 @@ double EstimateLeftToRightCost(const std::vector<const DensityMap*>& maps,
   DensityMap running = *maps[0];
   for (int i = 1; i < n; ++i) {
     total += EstimateMultiplyCost(running, *maps[i], model, rho_write,
-                                  WriteFactorFor(options, 0, i, n));
+                                  WriteFactorFor(options, 0, i, n),
+                                  options.result_mem_limit_bytes);
     running = EstimateProductDensity(running, *maps[i]);
   }
   return total;
@@ -177,26 +188,37 @@ NodeResult ExecuteSubchain(
     const std::vector<const ATMatrix*>& chain, const ChainPlan& plan,
     const AtMult& op, int i, int j,
     std::map<const ATMatrix*, std::unique_ptr<ConversionCache>>* caches,
-    ChainExecStats* stats) {
+    const internal::ChainBudgetPlan& budget, ChainExecStats* stats) {
   if (i == j) {
     NodeResult leaf;
     leaf.view = chain[i];
     return leaf;
   }
   const int k = plan.split[i][j];
-  NodeResult left = ExecuteSubchain(chain, plan, op, i, k, caches, stats);
+  NodeResult left =
+      ExecuteSubchain(chain, plan, op, i, k, caches, budget, stats);
   NodeResult right =
-      ExecuteSubchain(chain, plan, op, k + 1, j, caches, stats);
+      ExecuteSubchain(chain, plan, op, k + 1, j, caches, budget, stats);
   auto cache_for = [caches](const ATMatrix* m) {
     auto& slot = (*caches)[m];
     if (slot == nullptr) slot = std::make_unique<ConversionCache>();
     return slot.get();
   };
+  // Post-order product id — per_product holds exactly this node's
+  // completed subtree products at this point. Under an active chain
+  // budget the planned threshold replaces the operator's own water
+  // level, mirroring the fused executor decision for decision.
+  const std::size_t product_index = stats->per_product.size();
+  const double rho_override =
+      budget.active && product_index < budget.rho_w.size()
+          ? budget.rho_w[product_index]
+          : -1.0;
   AtMultStats product_stats;
   NodeResult result;
   result.owned = std::make_unique<ATMatrix>(
       op.Multiply(*left.view, *right.view, &product_stats,
-                  cache_for(left.view), cache_for(right.view)));
+                  cache_for(left.view), cache_for(right.view),
+                  rho_override));
   result.view = result.owned.get();
   // Intermediate operands are dead now; drop their conversions with them.
   if (left.owned != nullptr) caches->erase(left.view);
@@ -232,6 +254,12 @@ void RecordChainDecision(const std::vector<const ATMatrix*>& chain,
     audit.alternative_cost = left_to_right_cost;
     audit.fused = stats.fused;
     audit.measured_seconds = total_seconds;
+    audit.budget_bytes = stats.budget_bytes;
+    audit.resident_peak_bytes = stats.resident_peak_bytes;
+    audit.rho_w.reserve(stats.per_product.size());
+    for (const AtMultStats& p : stats.per_product) {
+      audit.rho_w.push_back(p.effective_write_threshold);
+    }
     obs::AuditLedger::Global().RecordChain(audit);
   }
   if (!log.enabled()) return;
@@ -242,8 +270,11 @@ void RecordChainDecision(const std::vector<const ATMatrix*>& chain,
   rec.planned_cost = plan.estimated_cost;
   rec.left_to_right_cost = left_to_right_cost;
   rec.fused = stats.fused;
+  rec.fallback_reason = stats.fallback_reason;
   rec.fused_tasks = stats.fused_tasks;
   rec.resident_peak_bytes = stats.resident_peak_bytes;
+  rec.budget_bytes = stats.budget_bytes;
+  rec.projected_peak_bytes = stats.projected_peak_bytes;
   rec.total_seconds = total_seconds;
   rec.product_summaries.reserve(stats.per_product.size());
   for (const AtMultStats& p : stats.per_product) {
@@ -253,7 +284,8 @@ void RecordChainDecision(const std::vector<const ATMatrix*>& chain,
        << " conv=" << (p.sparse_to_dense_conversions +
                        p.dense_to_sparse_conversions)
        << " c_tiles(d/sp)=" << p.dense_result_tiles << "/"
-       << p.sparse_result_tiles << " multiply=" << p.multiply_seconds << "s";
+       << p.sparse_result_tiles << " rho_w=" << p.effective_write_threshold
+       << " multiply=" << p.multiply_seconds << "s";
     rec.product_summaries.push_back(os.str());
   }
   log.RecordChain(rec);
@@ -275,15 +307,39 @@ ATMatrix ExecuteChain(const std::vector<const ATMatrix*>& chain,
   ATMatrix result;
   if (chain.size() == 1) {
     result = *chain[0];  // deep copy: chain inputs are reusable
-  } else if (op.config().fused_chains &&
-             internal::CanFuseChain(chain, op.config())) {
-    result = internal::ExecuteChainFused(chain, plan, op, stats);
   } else {
-    std::map<const ATMatrix*, std::unique_ptr<ConversionCache>> caches;
-    NodeResult root =
-        ExecuteSubchain(chain, plan, op, 0,
-                        static_cast<int>(chain.size()) - 1, &caches, stats);
-    result = std::move(*root.owned);
+    // One chain-scope memory plan drives BOTH executors: under a finite
+    // budget the per-product thresholds it commits are imposed on the
+    // fused DAG and the product-at-a-time path alike, which is what keeps
+    // the two bitwise identical at every budget.
+    const internal::ChainBudgetPlan budget =
+        internal::PlanChainBudget(chain, plan, op);
+    stats->budget_bytes = budget.active ? budget.budget_bytes : 0;
+    stats->projected_peak_bytes = budget.projected_peak_bytes;
+    stats->budget_feasible = budget.feasible;
+    bool fuse = false;
+    if (!op.config().fused_chains) {
+      stats->fallback_reason = "disabled";
+    } else if (!internal::CanFuseChain(chain, op.config(),
+                                       &stats->fallback_reason)) {
+      // reason filled by CanFuseChain
+    } else if (budget.active && !budget.feasible) {
+      // Last-resort downgrade: no threshold assignment fits the budget,
+      // so fusion's resident set cannot be bounded — run
+      // product-at-a-time at the clamped floor thresholds.
+      stats->fallback_reason = "budget_infeasible";
+    } else {
+      fuse = true;
+    }
+    if (fuse) {
+      result = internal::ExecuteChainFused(chain, plan, op, budget, stats);
+    } else {
+      std::map<const ATMatrix*, std::unique_ptr<ConversionCache>> caches;
+      NodeResult root = ExecuteSubchain(chain, plan, op, 0,
+                                        static_cast<int>(chain.size()) - 1,
+                                        &caches, budget, stats);
+      result = std::move(*root.owned);
+    }
   }
   const double total_seconds = timer.ElapsedSeconds();
 #if defined(ATMX_OBS_ENABLED)

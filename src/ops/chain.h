@@ -11,6 +11,8 @@
 #ifndef ATMX_OPS_CHAIN_H_
 #define ATMX_OPS_CHAIN_H_
 
+#include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -28,10 +30,15 @@ namespace atmx {
 // `write_factor` scales the write-side term — fused execution keeps an
 // intermediate's tiles resident and feeds them straight into the consuming
 // product, so their materialization cost is discounted (see
-// ChainCostOptions::fused_write_factor).
-double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
-                            const CostModel& model, double rho_write,
-                            double write_factor = 1.0);
+// ChainCostOptions::fused_write_factor). A finite `mem_limit_bytes`
+// prices the write side at the water-level threshold that limit forces on
+// this product alone — a per-candidate heuristic so the DP prefers plans
+// whose intermediates stay cheap under the memory SLA (the chain-scope
+// solver commits the final thresholds on the chosen tree).
+double EstimateMultiplyCost(
+    const DensityMap& x, const DensityMap& y, const CostModel& model,
+    double rho_write, double write_factor = 1.0,
+    std::size_t mem_limit_bytes = std::numeric_limits<std::size_t>::max());
 
 // Fusion-aware chain pricing. When `fused` is set, every *intermediate*
 // product's write cost is scaled by `fused_write_factor` (< 1: resident
@@ -42,6 +49,12 @@ double EstimateMultiplyCost(const DensityMap& x, const DensityMap& y,
 struct ChainCostOptions {
   bool fused = false;
   double fused_write_factor = 0.35;
+  // Memory SLA the executing operator will run under. When finite, every
+  // candidate product is priced at its own water-level threshold instead
+  // of the raw rho_write (see EstimateMultiplyCost), steering the DP away
+  // from parenthesizations whose intermediates would be forced sparse.
+  std::size_t result_mem_limit_bytes =
+      std::numeric_limits<std::size_t>::max();
 };
 
 struct ChainPlan {
@@ -74,18 +87,36 @@ struct ChainExecStats {
   std::vector<AtMultStats> per_product;
 
   bool fused = false;
+  // Why fused execution was declined ("" when fused): "disabled",
+  // "short_chain", "no_estimation", or "budget_infeasible". Recorded in
+  // the DecisionLog chain ring and shown by `atmx decisions`.
+  std::string fallback_reason;
   // Tile tasks in the fused DAG (0 when executed product-at-a-time).
   index_t fused_tasks = 0;
-  // Peak bytes of intermediate result tiles simultaneously resident
-  // during fused execution (tiles are dropped after their last consumer).
+  // Peak bytes of result tiles simultaneously resident during fused
+  // execution — intermediates (dropped after their last consumer) plus
+  // the accumulating root result.
   std::uint64_t resident_peak_bytes = 0;
+  // Chain-scope memory budget (0 = unbounded): the shared
+  // result_mem_limit_bytes the chain-scope water level planned
+  // per-product write thresholds against, its projected resident-set
+  // peak, and whether any threshold assignment could meet it.
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t projected_peak_bytes = 0;
+  bool budget_feasible = true;
 };
 
 // Executes the chain according to the plan using the given operator.
 // When the operator's config has `fused_chains` set (and the chain has at
-// least two products under an unbounded memory budget), the whole chain
-// runs as one tile-granular task DAG — see docs/CHAINS.md; otherwise
-// product-at-a-time. Both paths produce bitwise-identical results.
+// least two products), the whole chain runs as one tile-granular task DAG
+// — see docs/CHAINS.md; otherwise product-at-a-time. A finite
+// result_mem_limit_bytes becomes a chain-scope budget: per-product write
+// thresholds are planned against the shared limit (charging each
+// intermediate for its resident lifetime) and imposed on BOTH executors,
+// and the fused DAG admission-gates tile tasks against it — only a
+// budget no threshold assignment can meet downgrades the chain to
+// product-at-a-time (reason "budget_infeasible" in stats/DecisionLog).
+// Both paths produce bitwise-identical results at every budget.
 // Intermediate-operand JIT conversions go through one shared
 // ConversionCache per distinct source matrix either way, so a matrix
 // appearing in several products converts each tile at most once per

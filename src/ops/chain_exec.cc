@@ -13,6 +13,7 @@
 #include "common/mutex.h"
 #include "common/timer.h"
 #include "estimate/density_estimator.h"
+#include "estimate/water_level.h"
 #include "obs/obs.h"
 #if defined(ATMX_OBS_ENABLED)
 #include "obs/audit_ledger.h"
@@ -25,13 +26,19 @@
 namespace atmx::internal {
 
 bool CanFuseChain(const std::vector<const ATMatrix*>& chain,
-                  const AtmConfig& config) {
-  if (chain.size() < 3) return false;  // fewer than two products
-  // A finite memory SLA requires the water-level method over each
-  // product's *complete* estimate before its first tile runs — a
-  // per-product barrier, i.e. unfused execution.
+                  const AtmConfig& config, std::string* reason) {
+  if (chain.size() < 3) {  // fewer than two products
+    if (reason != nullptr) *reason = "short_chain";
+    return false;
+  }
+  // A finite memory SLA is served by the chain-scope water level
+  // (PlanChainBudget), which needs the density estimator for the
+  // planning-time intermediate topologies; without estimation nothing can
+  // bound the resident set, so those chains stay product-at-a-time.
   if (config.result_mem_limit_bytes !=
-      std::numeric_limits<std::size_t>::max()) {
+          std::numeric_limits<std::size_t>::max() &&
+      !config.density_estimation) {
+    if (reason != nullptr) *reason = "no_estimation";
     return false;
   }
   return true;
@@ -42,7 +49,14 @@ void AccumulateProductStats(const AtMultStats& s, AtMultStats* total) {
   total->optimize_seconds += s.optimize_seconds;
   total->multiply_seconds += s.multiply_seconds;
   total->total_seconds += s.total_seconds;
-  total->effective_write_threshold = s.effective_write_threshold;
+  // The chain's threshold is the minimum across its products — the
+  // binding one for representation decisions (0.0 means "not set yet").
+  if (total->effective_write_threshold == 0.0) {
+    total->effective_write_threshold = s.effective_write_threshold;
+  } else if (s.effective_write_threshold > 0.0) {
+    total->effective_write_threshold = std::min(
+        total->effective_write_threshold, s.effective_write_threshold);
+  }
   total->pair_multiplications += s.pair_multiplications;
   total->sparse_to_dense_conversions += s.sparse_to_dense_conversions;
   total->dense_to_sparse_conversions += s.dense_to_sparse_conversions;
@@ -171,10 +185,70 @@ const DensityMap& RightPlannedMap(const std::vector<const ATMatrix*>& chain,
              : nodes[static_cast<std::size_t>(node.right_node)]->planned_map;
 }
 
+// Post-order walk of the plan tree for the subchain (i..j): estimates
+// every product's topology bottom-up (leaves use the inputs' actual maps)
+// and records each product's consuming parent. Returns the subchain
+// root's product id; ids match BuildNodes' post-order.
+int WalkPlannedProducts(const std::vector<const ATMatrix*>& chain,
+                        const ChainPlan& plan, int i, int j,
+                        std::vector<DensityMap>* maps,
+                        std::vector<int>* parents) {
+  const int k = plan.split[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+  const int left =
+      i < k ? WalkPlannedProducts(chain, plan, i, k, maps, parents) : -1;
+  const int right =
+      k + 1 < j ? WalkPlannedProducts(chain, plan, k + 1, j, maps, parents)
+                : -1;
+  DensityMap product = EstimateProductDensity(
+      left >= 0 ? (*maps)[static_cast<std::size_t>(left)]
+                : chain[static_cast<std::size_t>(i)]->density_map(),
+      right >= 0 ? (*maps)[static_cast<std::size_t>(right)]
+                 : chain[static_cast<std::size_t>(k) + 1]->density_map());
+  const int id = static_cast<int>(maps->size());
+  maps->push_back(std::move(product));
+  parents->push_back(-1);
+  if (left >= 0) (*parents)[static_cast<std::size_t>(left)] = id;
+  if (right >= 0) (*parents)[static_cast<std::size_t>(right)] = id;
+  return id;
+}
+
 }  // namespace
+
+ChainBudgetPlan PlanChainBudget(const std::vector<const ATMatrix*>& chain,
+                                const ChainPlan& plan, const AtMult& op) {
+  ChainBudgetPlan budget;
+  const AtmConfig& config = op.config();
+  const int n = static_cast<int>(chain.size());
+  if (n < 2) return budget;
+  std::vector<int> parents;
+  WalkPlannedProducts(chain, plan, 0, n - 1, &budget.planned_maps, &parents);
+  budget.rho_w.assign(budget.planned_maps.size(), config.rho_write);
+  // Chain-scope budgeting needs a finite limit, the estimator for the
+  // planned topologies, and at least two products — a single product is
+  // exactly the operator's own per-product water level, which MultiplyImpl
+  // already runs.
+  if (config.result_mem_limit_bytes ==
+          std::numeric_limits<std::size_t>::max() ||
+      !config.density_estimation || budget.planned_maps.size() < 2) {
+    return budget;
+  }
+  budget.active = true;
+  budget.budget_bytes = config.result_mem_limit_bytes;
+  std::vector<const DensityMap*> maps;
+  maps.reserve(budget.planned_maps.size());
+  for (const DensityMap& m : budget.planned_maps) maps.push_back(&m);
+  const ChainWaterLevelResult wl = SolveChainWaterLevel(
+      maps, parents, config.rho_write, budget.budget_bytes);
+  budget.rho_w = wl.thresholds;
+  budget.feasible = wl.feasible;
+  budget.projected_peak_bytes = wl.projected_peak_bytes;
+  return budget;
+}
 
 ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
                            const ChainPlan& plan, const AtMult& op,
+                           const ChainBudgetPlan& budget,
                            ChainExecStats* stats) {
   ATMX_CHECK(stats != nullptr);
   const AtmConfig& config = op.config();
@@ -185,6 +259,7 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
   nodes.reserve(static_cast<std::size_t>(n) - 1);
   const int root_id = BuildNodes(plan, 0, n - 1, &nodes);
   ATMX_CHECK_EQ(root_id, static_cast<int>(nodes.size()) - 1);
+  ATMX_CHECK(!budget.active || budget.rho_w.size() == nodes.size());
 
 #if defined(ATMX_OBS_ENABLED)
   const bool audit_enabled = obs::DecisionLog::Global().enabled();
@@ -192,10 +267,10 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
   if (ledger_enabled) {
     obs::AuditLedger::Global().SetCostParams(op.cost_model().params());
   }
-  std::atomic<std::uint64_t> root_tracked_bytes{0};
 #endif
   Mutex stats_mutex;
   ResidentTileSet resident;
+  if (budget.active) resident.set_budget_bytes(budget.budget_bytes);
 
   // Shared JIT conversion caches, one per distinct input matrix, addressed
   // with the kLeft key space on both operand sides — a matrix appearing in
@@ -210,8 +285,8 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
 
   // --- Per-node setup (children before parents: post-order ids). --------
   index_t total_tasks = 0;
-  for (auto& node_ptr : nodes) {
-    ProductNode& node = *node_ptr;
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    ProductNode& node = *nodes[id];
     node.row_bounds =
         node.left_leaf >= 0
             ? chain[static_cast<std::size_t>(node.left_leaf)]->row_bounds()
@@ -261,10 +336,15 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
     ctx.block = block;
     ctx.use_estimate = config.density_estimation;
     ctx.estimate = &node.estimate;
-    // The unbounded memory budget (CanFuseChain) keeps the water level at
-    // the performance-optimal threshold, exactly as the unfused path's
-    // EffectiveWriteThreshold fast path does.
-    ctx.rho_w = config.rho_write;
+    // Unbounded budget: the performance-optimal threshold, exactly as the
+    // unfused path's EffectiveWriteThreshold fast path. Finite budget: the
+    // chain-scope water level's per-product threshold, which the unfused
+    // path imposes identically (rho_w_override) — same representation
+    // decisions, bitwise-identical results.
+    ctx.rho_w = budget.active ? budget.rho_w[id] : config.rho_write;
+    if (id < budget.planned_maps.size()) {
+      node.planned_map = budget.planned_maps[id];
+    }
     ctx.dynamic_conversion = config.dynamic_conversion;
     ctx.cost_model = &op.cost_model();
     ctx.a_cache_side = ConversionCache::kLeft;
@@ -281,7 +361,6 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
     ctx.op_id = (audit_enabled || ledger_enabled)
                     ? obs::DecisionLog::Global().NextOpId()
                     : 0;
-    if (node.parent < 0) ctx.tracked_bytes = &root_tracked_bytes;
 #endif
   }
   // Retire countdowns: sized by the operand band the parent consumes;
@@ -366,7 +445,9 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
       ProductNode& node = *node_ptr;
       const DensityMap& amap = LeftPlannedMap(chain, nodes, node);
       const DensityMap& bmap = RightPlannedMap(chain, nodes, node);
-      node.planned_map = EstimateProductDensity(amap, bmap);
+      if (node.planned_map.rows() == 0) {  // not seeded by the budget plan
+        node.planned_map = EstimateProductDensity(amap, bmap);
+      }
       const index_t k = amap.cols();
       const index_t k_blocks = CeilDiv(k, block);
       std::vector<double> rho_a_band(static_cast<std::size_t>(node.num_ti));
@@ -409,6 +490,64 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
     }
     sched_options.cost_of = [task_cost](index_t task) {
       return (*task_cost)[static_cast<std::size_t>(task)];
+    };
+  }
+
+  // --- Admission control against the chain budget. ----------------------
+  // Each task's projected output bytes at its product's planned threshold
+  // (the same 8 B/elem dense, 16 B/elem sparse pricing the water level
+  // used). A ready task reserves its projection before launching; the
+  // reservation converts to real charges as tiles materialize and is
+  // dropped when the task finishes, so parked tasks re-enter as completed
+  // consumers retire upstream tiles. ScheduleOptions::admit guarantees
+  // forward progress by force-admitting the oldest parked task when
+  // nothing is in flight.
+  std::vector<std::uint64_t> task_bytes;
+  if (budget.active) {
+    task_bytes.assign(static_cast<std::size_t>(total_tasks), 0);
+    for (auto& node_ptr : nodes) {
+      ProductNode& node = *node_ptr;
+      const DensityMap& pm = node.planned_map;
+      for (index_t ti = 0; ti < node.num_ti; ++ti) {
+        const index_t bi0 =
+            node.row_bounds[static_cast<std::size_t>(ti)] / block;
+        const index_t bi1 =
+            CeilDiv(node.row_bounds[static_cast<std::size_t>(ti) + 1], block);
+        for (index_t tj = 0; tj < node.num_tj; ++tj) {
+          const index_t bj0 =
+              node.col_bounds[static_cast<std::size_t>(tj)] / block;
+          const index_t bj1 = CeilDiv(
+              node.col_bounds[static_cast<std::size_t>(tj) + 1], block);
+          double bytes = 0.0;
+          for (index_t bi = bi0; bi < bi1; ++bi) {
+            for (index_t bj = bj0; bj < bj1; ++bj) {
+              const double area = static_cast<double>(pm.BlockArea(bi, bj));
+              const double rho = pm.At(bi, bj);
+              bytes += rho >= node.ctx.rho_w
+                           ? area * kDenseElemBytes
+                           : rho * area * kSparseElemBytes;
+            }
+          }
+          task_bytes[static_cast<std::size_t>(node.task_offset +
+                                              ti * node.num_tj + tj)] =
+              static_cast<std::uint64_t>(bytes);
+        }
+      }
+    }
+    sched_options.admit = [&resident, &task_bytes](index_t task,
+                                                   bool force) {
+      const std::uint64_t bytes =
+          task_bytes[static_cast<std::size_t>(task)];
+      if (force) {
+        resident.ForceReserve(bytes);
+        ATMX_COUNTER_INC("atmult.fused.admission.forced");
+        return true;
+      }
+      if (!resident.TryReserve(bytes)) {
+        ATMX_COUNTER_INC("atmult.fused.admission.parked");
+        return false;
+      }
+      return true;
     };
   }
 
@@ -474,9 +613,10 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
         node.stats.sparse_result_tiles++;
       }
     }
-    if (node.parent >= 0) {
-      resident.Charge(produced.MemoryBytes());
-    }
+    // Root tiles charge too: the budget (and the resident peak) covers the
+    // whole footprint the fused chain holds, result included — the root's
+    // charge is released at the end when ownership passes to the caller.
+    resident.Charge(produced.MemoryBytes());
 
     // Retire operand bands whose last consumer this task was. acq_rel on
     // the countdown orders every consumer's reads before the release.
@@ -501,6 +641,12 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
         }
         resident.Retire(&r.tiles, band);
       }
+    }
+    if (budget.active) {
+      // The projection is real charges now (or never materialized): hand
+      // the reservation back so parked tasks can re-enter.
+      resident.ReleaseReservation(
+          task_bytes[static_cast<std::size_t>(task)]);
     }
   };
 
@@ -573,8 +719,15 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
 #endif
 
   ProductNode& root = *nodes[static_cast<std::size_t>(root_id)];
+  std::uint64_t root_bytes = 0;
+  for (const Tile& t : root.tiles) root_bytes += t.MemoryBytes();
   ATMatrix result(root.row_bounds.back(), root.col_bounds.back(), block,
                   std::move(root.tiles), std::move(root.map));
+  // Ownership of the root tiles passes to the caller: uncharge them from
+  // the resident set (the peak keeps the high-water mark; with the
+  // observability layer in, ReleaseCharge also returns the bytes to the
+  // MemTracker exactly as their Charge recorded them).
+  resident.ReleaseCharge(root_bytes);
 
 #if defined(ATMX_OBS_ENABLED)
   ATMX_COUNTER_INC("atmult.fused.chains");
@@ -582,8 +735,10 @@ ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
                    static_cast<std::uint64_t>(nodes.size()));
   ATMX_GAUGE_SET("atmult.fused.resident_bytes_peak",
                  static_cast<double>(stats->resident_peak_bytes));
-  obs::MemTracker::Global().RecordFree(
-      root_tracked_bytes.load(std::memory_order_relaxed));
+  if (budget.active) {
+    ATMX_GAUGE_SET("atmult.fused.budget_bytes",
+                   static_cast<double>(budget.budget_bytes));
+  }
   obs::MemTracker::SampleProcess();
 #endif
   return result;

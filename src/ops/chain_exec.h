@@ -11,37 +11,83 @@
 // Both paths run the identical per-tile pipeline (RunProductTileTask) on
 // bitwise-identical inputs — same operand tiles, same band iteration
 // order, same region-by-region density estimates, same write threshold —
-// so fused results are bitwise identical to unfused ones.
+// so fused results are bitwise identical to unfused ones. Under a finite
+// memory budget the chain-scope water level (ChainBudgetPlan) plans one
+// threshold per product and imposes it on BOTH executors, keeping that
+// identity; the fused DAG additionally admission-gates ready tile tasks
+// against the budget (scheduling order never affects results).
 
 #ifndef ATMX_OPS_CHAIN_EXEC_H_
 #define ATMX_OPS_CHAIN_EXEC_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "estimate/density_map.h"
 #include "ops/chain.h"
 #include "tile/at_matrix.h"
 
 namespace atmx::internal {
 
 // True when the chain is eligible for fused execution: at least two
-// products (three matrices) under an unbounded result-memory budget. A
-// finite budget needs each product's complete density estimate for the
-// water-level method before any of its tiles may run, which reinstates
-// the per-product barrier — those chains fall back to product-at-a-time.
+// products (three matrices), and — when the result-memory budget is
+// finite — density estimation enabled, since the chain-scope water level
+// plans against estimated intermediate topologies. When declining, fills
+// `*reason` (if non-null) with the DecisionLog fallback reason
+// ("short_chain", "no_estimation").
 bool CanFuseChain(const std::vector<const ATMatrix*>& chain,
-                  const AtmConfig& config);
+                  const AtmConfig& config, std::string* reason = nullptr);
+
+// Chain-scope memory plan: per-product write thresholds solved against the
+// shared result_mem_limit_bytes budget, charging each intermediate for its
+// resident lifetime (producer through last consumer; see
+// SolveChainWaterLevel). Products are indexed in post-order of the plan
+// tree — the same order as ChainExecStats::per_product.
+struct ChainBudgetPlan {
+  // True when a finite budget (with density estimation) drives
+  // chain-scope thresholds; false leaves both executors on the
+  // performance-optimal rho_write.
+  bool active = false;
+  // False when even the memory-minimal thresholds miss the budget; the
+  // thresholds are then the clamped floor and ExecuteChain downgrades to
+  // product-at-a-time execution as a last resort.
+  bool feasible = true;
+  std::size_t budget_bytes = 0;
+  std::size_t projected_peak_bytes = 0;
+  std::vector<double> rho_w;              // per product, post-order
+  std::vector<DensityMap> planned_maps;   // per product, post-order
+};
+
+// Builds the budget plan for the chain: estimates every product's
+// topology bottom-up along the plan tree and, when the operator's budget
+// is finite, solves the chain-scope water level over the products'
+// resident lifetimes. With an unbounded budget (or estimation disabled)
+// the plan comes back inactive with only the planned maps filled.
+ChainBudgetPlan PlanChainBudget(const std::vector<const ATMatrix*>& chain,
+                                const ChainPlan& plan, const AtMult& op);
 
 // Executes the planned chain as one dependency-scheduled tile-task DAG.
+// When `budget.active`, each product writes at its chain-planned
+// threshold and the scheduler admission-gates ready tile tasks against
+// the shared budget (projected bytes reserved up front, released as
+// consumers retire tiles; see ScheduleOptions::admit).
 // Preconditions: CanFuseChain() holds, chain.size() == plan.split.size(),
 // and `stats` is non-null (the caller owns reporting).
 ATMatrix ExecuteChainFused(const std::vector<const ATMatrix*>& chain,
                            const ChainPlan& plan, const AtMult& op,
+                           const ChainBudgetPlan& budget,
                            ChainExecStats* stats);
 
 // Adds one product's operator stats into the chain total (timings,
-// counters, kernel invocations, per-team seconds, locality bytes). Shared
-// by the fused and product-at-a-time executors.
+// counters, kernel invocations, per-team seconds, locality bytes). The
+// total's effective_write_threshold becomes the *minimum* across the
+// accumulated products — the binding threshold of the chain — with 0.0
+// treated as "unset"; per-product values live in
+// ChainExecStats::per_product. Shared by the fused and product-at-a-time
+// executors.
 void AccumulateProductStats(const AtMultStats& s, AtMultStats* total);
 
 }  // namespace atmx::internal

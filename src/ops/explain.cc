@@ -102,7 +102,7 @@ std::string FormatChainDecisions(
   if (records.empty()) return os.str();
 
   TablePrinter table({"op", "plan", "len", "planned", "left-to-right",
-                      "fused", "tasks", "resident peak", "time"});
+                      "fused", "tasks", "resident peak", "budget", "time"});
   const index_t total = static_cast<index_t>(records.size());
   const index_t shown = std::min<index_t>(max_rows, total);
   // Newest records are the interesting ones; the snapshot is oldest-first.
@@ -111,8 +111,11 @@ std::string FormatChainDecisions(
     table.AddRow({std::to_string(r.op_id), r.plan, std::to_string(r.length),
                   TablePrinter::Fmt(r.planned_cost, 0),
                   TablePrinter::Fmt(r.left_to_right_cost, 0),
-                  r.fused ? "yes" : "no", std::to_string(r.fused_tasks),
+                  r.fused ? "yes" : "no(" + r.fallback_reason + ")",
+                  std::to_string(r.fused_tasks),
                   TablePrinter::FmtBytes(r.resident_peak_bytes),
+                  r.budget_bytes == 0 ? "-"
+                                      : TablePrinter::FmtBytes(r.budget_bytes),
                   TablePrinter::Fmt(r.total_seconds, 4) + "s"});
   }
   os << table.ToString();

@@ -18,6 +18,23 @@ void ResidentTileSet::Charge(std::uint64_t bytes) {
 #endif
 }
 
+bool ResidentTileSet::TryReserve(std::uint64_t bytes) {
+  const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+  std::uint64_t reserved = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t charged = current_.load(std::memory_order_relaxed);
+    if (charged + reserved + bytes > budget) return false;
+    if (reserved_.compare_exchange_weak(reserved, reserved + bytes,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
 std::uint64_t ResidentTileSet::Retire(std::vector<Tile>* tiles,
                                       std::span<const index_t> indices) {
   std::uint64_t released = 0;

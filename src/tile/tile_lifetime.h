@@ -42,8 +42,41 @@ class ResidentTileSet {
   // ownership passes to the caller at the end of the chain).
   void ReleaseCharge(std::uint64_t bytes);
 
+  // --- Admission budget (fused chains under a finite memory SLA) ---
+  // Before launching a tile task, the fused executor reserves the task's
+  // projected output bytes against the budget; the reservation stays in
+  // place until the task finishes (its produced tiles Charge() real bytes
+  // meanwhile, so current + reserved briefly double-counts a running
+  // task's output — a conservative overestimate, never an undercount).
+
+  // 0 means unlimited: every TryReserve succeeds.
+  void set_budget_bytes(std::uint64_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t budget_bytes() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  // Admits `bytes` if charged + reserved + bytes stays within the budget;
+  // returns false (reserving nothing) otherwise.
+  bool TryReserve(std::uint64_t bytes);
+
+  // Unconditional admission — the deadlock-free fallback for the oldest
+  // blocked task when nothing is in flight. May push the projection past
+  // the budget; callers count these (`atmult.fused.admission.forced`).
+  void ForceReserve(std::uint64_t bytes) {
+    reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void ReleaseReservation(std::uint64_t bytes) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
   std::uint64_t current_bytes() const {
     return current_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
   }
   std::uint64_t peak_bytes() const {
     return peak_.load(std::memory_order_relaxed);
@@ -51,7 +84,9 @@ class ResidentTileSet {
 
  private:
   std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> reserved_{0};
   std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> budget_{0};
 };
 
 }  // namespace atmx

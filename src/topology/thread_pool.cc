@@ -181,12 +181,23 @@ void TeamScheduler::RunTaskGraph(
   // One mutex for the whole graph state: releases are rare (one lock round
   // per task) next to the tile-sized tasks, and a single lock keeps the
   // ready/dependency protocol trivially race-free.
+  struct ParkedTask {
+    index_t task;
+    std::uint64_t epoch;  // completion epoch when the task was parked
+  };
   struct GraphState {
     Mutex mu;
     CondVar ready_cv;
     std::vector<index_t> deps ATMX_GUARDED_BY(mu);
     std::vector<std::deque<index_t>> queues ATMX_GUARDED_BY(mu);
     index_t completed ATMX_GUARDED_BY(mu) = 0;
+    // Admission-control state (options.admit only). `parked` holds tasks
+    // the gate rejected, oldest first; epochs are non-decreasing front to
+    // back (tasks re-park at the then-current epoch), so the front entry
+    // alone decides whether any parked task has a pending retry.
+    std::deque<ParkedTask> parked ATMX_GUARDED_BY(mu);
+    index_t in_flight ATMX_GUARDED_BY(mu) = 0;
+    std::uint64_t epoch ATMX_GUARDED_BY(mu) = 0;  // bumped per completion
   };
   // Initially-ready tasks enter in submission order; with a cost model
   // they are re-ordered longest-first like RunTasks, so the expensive
@@ -261,9 +272,21 @@ void TeamScheduler::RunTaskGraph(
       for (;;) {
         index_t task = -1;
         int source = -1;
+        bool forced = false;
         {
           MutexLock lock(state.mu);
           for (;;) {
+            // A completed task may have freed resources: retry the oldest
+            // parked task before dequeuing new work, at most once per
+            // completion epoch (the front entry carries the minimal epoch,
+            // so a fresh front means nothing parked is retryable yet).
+            if (options.admit && !state.parked.empty() &&
+                state.parked.front().epoch < state.epoch) {
+              task = state.parked.front().task;
+              state.parked.pop_front();
+              source = homes[static_cast<std::size_t>(task)];
+              break;
+            }
             if (!state.queues[self].empty()) {
               task = state.queues[self].front();
               state.queues[self].pop_front();
@@ -282,13 +305,40 @@ void TeamScheduler::RunTaskGraph(
               }
               if (source >= 0) break;
             }
+            if (options.admit && !state.parked.empty() &&
+                state.in_flight == 0) {
+              bool any_queued = false;
+              for (const auto& q : state.queues) {
+                if (!q.empty()) any_queued = true;
+              }
+              if (!any_queued) {
+                // Deadlock-free fallback: every ready task is parked and
+                // nothing is running that could release resources — admit
+                // the oldest parked task unconditionally.
+                task = state.parked.front().task;
+                state.parked.pop_front();
+                source = homes[static_cast<std::size_t>(task)];
+                forced = true;
+                break;
+              }
+            }
             if (state.completed == num_tasks) break;
             // Nothing ready anywhere but tasks still in flight: their
             // completions will release successors (or finish the batch).
             state.ready_cv.Wait(state.mu);
           }
+          if (source >= 0) ++state.in_flight;
         }
         if (source < 0) break;
+        if (options.admit && !options.admit(task, forced)) {
+          // Gate rejected (never with forced set): park the task at the
+          // current epoch and rejoin the claim loop — if this rejection
+          // left nothing in flight, the force branch above fires next.
+          MutexLock lock(state.mu);
+          --state.in_flight;
+          state.parked.push_back({task, state.epoch});
+          continue;
+        }
         const bool was_stolen = source != t;
         WallTimer task_timer;
         ThreadCpuTimer task_cpu_timer;
@@ -312,6 +362,10 @@ void TeamScheduler::RunTaskGraph(
         {
           MutexLock lock(state.mu);
           ++state.completed;
+          --state.in_flight;
+          // A completion is the only event that frees admission resources:
+          // bump the epoch so every currently parked task earns one retry.
+          ++state.epoch;
           for (index_t succ : successors[static_cast<std::size_t>(task)]) {
             ATMX_CHECK(succ >= 0 && succ < num_tasks);
             index_t& remaining = state.deps[static_cast<std::size_t>(succ)];
@@ -342,6 +396,8 @@ void TeamScheduler::RunTaskGraph(
     // the drivers above; an unreleased task here means the caller passed
     // counts larger than the edges actually delivered.
     ATMX_CHECK_EQ(state.completed, num_tasks);
+    ATMX_CHECK(state.parked.empty());
+    ATMX_CHECK_EQ(state.in_flight, 0);
   }
 #if defined(ATMX_OBS_ENABLED)
   if (options.work_stealing) {

@@ -83,6 +83,16 @@ struct ScheduleOptions {
   // home-local and thieves take the cheap cold tail. Evaluated once per
   // task before execution starts.
   std::function<double(index_t)> cost_of;
+  // Optional admission gate, honored by RunTaskGraph only: a
+  // dependency-ready task is offered to `admit` before it runs (outside
+  // any scheduler lock). Returning false parks the task; it is offered
+  // again after the next task completion (at most one retry per parked
+  // task per completion). When every queue is empty, nothing is in
+  // flight, and parked tasks remain, the oldest parked task is admitted
+  // with force=true — the callback must accept it (backpressure may never
+  // deadlock the graph; callers over budget count these forced
+  // admissions instead of refusing).
+  std::function<bool(index_t task, bool force)> admit;
 };
 
 // Per-batch outcome of TeamScheduler::RunTasks, sized by num_teams().
@@ -150,8 +160,13 @@ class TeamScheduler {
   // their home queue so consumers run while their producer's output is
   // still cache-hot; the initially-ready set keeps submission order (LPT
   // when `options.cost_of` is set). Stealing takes from the back, as in
-  // RunTasks. The graph must be acyclic with consistent counts/edges or
-  // the call deadlocks its drivers; both are checked on completion.
+  // RunTasks. When `options.admit` is set, ready tasks pass the admission
+  // gate before running (see ScheduleOptions::admit); rejected tasks park
+  // until a completion frees resources, with a forced admission of the
+  // oldest parked task whenever nothing is in flight so backpressure can
+  // never deadlock the batch. The graph must be acyclic with consistent
+  // counts/edges or the call deadlocks its drivers; both are checked on
+  // completion.
   void RunTaskGraph(index_t num_tasks,
                     const std::vector<index_t>& dep_count,
                     const std::vector<std::vector<index_t>>& successors,

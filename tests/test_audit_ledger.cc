@@ -351,6 +351,7 @@ AuditLedgerDoc OneOfEachDoc() {
   w.projected_bytes = 1 << 20;
   w.result_bytes = (1 << 20) + 17;
   w.high_water_bytes = 1 << 22;
+  w.feasible = false;
   doc.waterlevel.push_back(w);
   SpaModeAuditRecord s;
   s.op = 7;
@@ -389,6 +390,9 @@ AuditLedgerDoc OneOfEachDoc() {
   ch.alternative_cost = 750.0;
   ch.fused = true;
   ch.measured_seconds = 0.0125;
+  ch.budget_bytes = 1 << 21;
+  ch.resident_peak_bytes = (1 << 21) - 4096;
+  ch.rho_w = {0.03, 0.5, 1.0 / 3.0};
   doc.chain.push_back(ch);
   return doc;
 }
@@ -417,6 +421,7 @@ TEST(AuditLedgerJson, RoundTripPreservesEveryField) {
   ASSERT_EQ(1u, back.waterlevel.size());
   EXPECT_EQ(doc.waterlevel[0].projected_bytes,
             back.waterlevel[0].projected_bytes);
+  EXPECT_EQ(doc.waterlevel[0].feasible, back.waterlevel[0].feasible);
   ASSERT_EQ(1u, back.spa_mode.size());
   EXPECT_EQ(doc.spa_mode[0].chosen_mode, back.spa_mode[0].chosen_mode);
   EXPECT_EQ(doc.spa_mode[0].predicted_row_nnz,
@@ -429,6 +434,10 @@ TEST(AuditLedgerJson, RoundTripPreservesEveryField) {
   ASSERT_EQ(1u, back.chain.size());
   EXPECT_EQ(doc.chain[0].fused, back.chain[0].fused);
   EXPECT_EQ(doc.chain[0].measured_seconds, back.chain[0].measured_seconds);
+  EXPECT_EQ(doc.chain[0].budget_bytes, back.chain[0].budget_bytes);
+  EXPECT_EQ(doc.chain[0].resident_peak_bytes,
+            back.chain[0].resident_peak_bytes);
+  EXPECT_EQ(doc.chain[0].rho_w, back.chain[0].rho_w);
 }
 
 TEST(AuditLedgerJson, ReplayIsDeterministic) {

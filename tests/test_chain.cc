@@ -2,14 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <limits>
 #include <optional>
+#include <string>
 
 #include "gen/synthetic.h"
 #include "kernels/sparse_kernels.h"
+#include "obs/obs.h"
+#include "ops/chain_exec.h"
 #include "ops/reference_mult.h"
 #include "storage/convert.h"
 #include "tests/test_util.h"
 #include "tile/partitioner.h"
+
+#ifdef ATMX_OBS_ENABLED
+#include "obs/mem_tracker.h"
+#endif
 
 namespace atmx {
 namespace {
@@ -275,6 +284,334 @@ TEST(ChainExecuteTest, FusedResultIdenticalAcrossTeamCounts) {
     EXPECT_EQ(result.values(), reference->values()) << "teams=" << teams;
   }
 }
+
+// Helper for the budget tests: a 4-matrix chain whose intermediates have
+// mixed-density blocks, so the chain-scope water level has real choices.
+std::vector<CooMatrix> BudgetChainCoos() {
+  // Sparse enough (~5% fill) that intermediate blocks land well below
+  // rho 0.5: dense is the performance-optimal representation at rho_write
+  // but NOT the memory-minimal one, so a budget genuinely moves the
+  // water level instead of clamping at an all-dense floor.
+  std::vector<CooMatrix> coos;
+  coos.push_back(RandomCoo(96, 64, 350, 50));
+  coos.push_back(RandomCoo(64, 96, 350, 51));
+  coos.push_back(RandomCoo(96, 48, 260, 52));
+  coos.push_back(RandomCoo(48, 80, 220, 53));
+  return coos;
+}
+
+// A finite memory SLA must no longer silently disable fusion: the
+// chain-scope water level plans per-product write thresholds against the
+// shared budget, BOTH executors run at those thresholds, and results stay
+// bitwise identical at every budget. A budget below the minimum
+// achievable footprint downgrades to product-at-a-time with reason
+// "budget_infeasible" — and stays bitwise identical even then.
+TEST(ChainExecuteTest, FiniteBudgetFusedMatchesUnfusedBitwise) {
+  const std::vector<CooMatrix> coos = BudgetChainCoos();
+
+  // Probe the memory-minimal floor: a 1-byte budget is unachievable, and
+  // the plan reports the peak of the clamped floor assignment.
+  std::size_t floor_bytes = 0;
+  {
+    AtmConfig probe_config = ChainConfig();
+    probe_config.result_mem_limit_bytes = 1;
+    std::vector<ATMatrix> atms;
+    for (const CooMatrix& coo : coos) {
+      atms.push_back(PartitionToAtm(coo, probe_config));
+    }
+    std::vector<const ATMatrix*> chain;
+    std::vector<const DensityMap*> maps;
+    for (const ATMatrix& atm : atms) {
+      chain.push_back(&atm);
+      maps.push_back(&atm.density_map());
+    }
+    ChainPlan plan =
+        PlanChain(maps, CostModel(), probe_config.rho_write);
+    AtMult probe_op(probe_config);
+    internal::ChainBudgetPlan probe =
+        internal::PlanChainBudget(chain, plan, probe_op);
+    ASSERT_TRUE(probe.active);
+    ASSERT_FALSE(probe.feasible);
+    floor_bytes = probe.projected_peak_bytes;
+    ASSERT_GT(floor_bytes, 0u);
+  }
+
+  struct BudgetCase {
+    const char* name;
+    std::size_t budget;
+    bool expect_fused;
+  };
+  const BudgetCase cases[] = {
+      // Loose: thresholds stay at (or near) the performance optimum.
+      {"loose", floor_bytes * 8, true},
+      // Tight: barely achievable — thresholds forced to the memory-min
+      // levels (+2 absorbs the solver's double->size_t truncation).
+      {"tight", floor_bytes + 2, true},
+      // Below the floor: no assignment fits; downgrade, don't crash.
+      {"infeasible", floor_bytes / 2, false},
+  };
+
+  for (int teams : {1, 2, 4}) {
+    for (const BudgetCase& bc : cases) {
+      AtmConfig config = ChainConfig();
+      config.num_sockets = teams;
+      config.cores_per_socket = 2;
+      config.result_mem_limit_bytes = bc.budget;
+
+      std::vector<ATMatrix> atms;
+      for (const CooMatrix& coo : coos) {
+        atms.push_back(PartitionToAtm(coo, config));
+      }
+      std::vector<const ATMatrix*> chain;
+      std::vector<const DensityMap*> maps;
+      for (const ATMatrix& atm : atms) {
+        chain.push_back(&atm);
+        maps.push_back(&atm.density_map());
+      }
+      ChainPlan plan = PlanChain(maps, CostModel(), config.rho_write);
+
+      AtmConfig fused_config = config;
+      fused_config.fused_chains = true;
+      AtmConfig unfused_config = config;
+      unfused_config.fused_chains = false;
+
+      ChainExecStats fused_stats;
+      ChainExecStats unfused_stats;
+      CsrMatrix fused =
+          ExecuteChain(chain, plan, AtMult(fused_config), &fused_stats)
+              .ToCsr();
+      CsrMatrix unfused =
+          ExecuteChain(chain, plan, AtMult(unfused_config), &unfused_stats)
+              .ToCsr();
+      const std::string tag =
+          std::string(bc.name) + " teams=" + std::to_string(teams);
+
+      EXPECT_EQ(fused_stats.fused, bc.expect_fused) << tag;
+      EXPECT_EQ(fused_stats.budget_bytes, bc.budget) << tag;
+      if (bc.expect_fused) {
+        EXPECT_TRUE(fused_stats.budget_feasible) << tag;
+        EXPECT_GT(fused_stats.fused_tasks, 0) << tag;
+        EXPECT_TRUE(fused_stats.fallback_reason.empty()) << tag;
+      } else {
+        EXPECT_FALSE(fused_stats.budget_feasible) << tag;
+        EXPECT_EQ(fused_stats.fallback_reason, "budget_infeasible") << tag;
+      }
+
+      // Both executors committed the same chain-planned thresholds.
+      ASSERT_EQ(fused_stats.per_product.size(),
+                unfused_stats.per_product.size())
+          << tag;
+      for (std::size_t p = 0; p < fused_stats.per_product.size(); ++p) {
+        EXPECT_EQ(fused_stats.per_product[p].effective_write_threshold,
+                  unfused_stats.per_product[p].effective_write_threshold)
+            << tag << " product " << p;
+      }
+
+      ASSERT_EQ(fused.rows(), unfused.rows()) << tag;
+      ASSERT_EQ(fused.cols(), unfused.cols()) << tag;
+      ASSERT_EQ(fused.nnz(), unfused.nnz()) << tag;
+      EXPECT_EQ(fused.row_ptr(), unfused.row_ptr()) << tag;
+      EXPECT_EQ(fused.col_idx(), unfused.col_idx()) << tag;
+      for (std::size_t i = 0; i < fused.values().size(); ++i) {
+        ASSERT_EQ(fused.values()[i], unfused.values()[i])
+            << tag << " value index " << i;
+      }
+    }
+  }
+}
+
+// Left-to-right parenthesization (((A0*A1)*A2)*A3): keeps the sparse,
+// water-level-movable first intermediate on the peak step, so a budget
+// bracketed between the floor and the unconstrained projection genuinely
+// binds (the DP-optimal plan can park the movable product off-peak).
+ChainPlan LeftToRightPlan(int n) {
+  ChainPlan plan;
+  plan.split.assign(n, std::vector<int>(n, 0));
+  for (int j = 1; j < n; ++j) {
+    for (int i = 0; i < j; ++i) plan.split[i][j] = j - 1;
+  }
+  return plan;
+}
+
+// The fused executor's measured resident peak must respect an achievable
+// budget up to the estimator's slack: admission control reserves each
+// task's projected output before launch, so the realized peak can only
+// exceed the budget by what the density estimate under-predicted.
+TEST(ChainExecuteTest, FusedBudgetBoundsResidentPeak) {
+  const std::vector<CooMatrix> coos = BudgetChainCoos();
+  AtmConfig config = ChainConfig();
+  config.fused_chains = true;
+
+  std::vector<ATMatrix> atms;
+  for (const CooMatrix& coo : coos) {
+    atms.push_back(PartitionToAtm(coo, config));
+  }
+  std::vector<const ATMatrix*> chain;
+  std::vector<const DensityMap*> maps;
+  for (const ATMatrix& atm : atms) {
+    chain.push_back(&atm);
+    maps.push_back(&atm.density_map());
+  }
+  ChainPlan plan = LeftToRightPlan(static_cast<int>(chain.size()));
+
+  // Bracket the budget between the memory-minimal floor (probe with an
+  // unachievable 1-byte budget) and the unconstrained projection (probe
+  // with a huge one), then aim for the middle: feasible by construction,
+  // but binding — the thresholds must actually move.
+  AtmConfig floor_config = config;
+  floor_config.result_mem_limit_bytes = 1;
+  const internal::ChainBudgetPlan floor_plan =
+      internal::PlanChainBudget(chain, plan, AtMult(floor_config));
+  ASSERT_FALSE(floor_plan.feasible);
+  AtmConfig wide_config = config;
+  wide_config.result_mem_limit_bytes =
+      std::numeric_limits<std::size_t>::max() / 2;
+  const internal::ChainBudgetPlan wide_plan =
+      internal::PlanChainBudget(chain, plan, AtMult(wide_config));
+  ASSERT_TRUE(wide_plan.feasible);
+  ASSERT_LT(floor_plan.projected_peak_bytes, wide_plan.projected_peak_bytes)
+      << "workload leaves the water level no room to move";
+
+  const std::size_t budget = floor_plan.projected_peak_bytes +
+                             (wide_plan.projected_peak_bytes -
+                              floor_plan.projected_peak_bytes) /
+                                 2;
+  config.result_mem_limit_bytes = budget;
+  ChainExecStats stats;
+  ExecuteChain(chain, plan, AtMult(config), &stats);
+  ASSERT_TRUE(stats.budget_feasible);
+  ASSERT_TRUE(stats.fused);
+  EXPECT_LE(stats.projected_peak_bytes, budget);
+  // 25% slack for sparse blocks whose realized nnz exceeds the estimate.
+  EXPECT_LE(stats.resident_peak_bytes, budget + budget / 4);
+}
+
+TEST(ChainExecuteTest, FallbackReasonsAreRecorded) {
+  const AtmConfig base = ChainConfig();
+  CooMatrix a_coo = RandomCoo(48, 48, 400, 60);
+  CooMatrix b_coo = RandomCoo(48, 48, 400, 61);
+  CooMatrix c_coo = RandomCoo(48, 48, 400, 62);
+
+  // Two matrices: one product — nothing to fuse.
+  {
+    ATMatrix a = PartitionToAtm(a_coo, base);
+    ATMatrix b = PartitionToAtm(b_coo, base);
+    ChainPlan plan = PlanChain({&a.density_map(), &b.density_map()},
+                               CostModel(), base.rho_write);
+    ChainExecStats stats;
+    ExecuteChain({&a, &b}, plan, AtMult(base), &stats);
+    EXPECT_FALSE(stats.fused);
+    EXPECT_EQ(stats.fallback_reason, "short_chain");
+  }
+
+  // Finite budget without density estimation: the chain-scope water
+  // level has no maps to plan from.
+  {
+    AtmConfig config = base;
+    config.density_estimation = false;
+    config.result_mem_limit_bytes = 1 << 20;
+    ATMatrix a = PartitionToAtm(a_coo, config);
+    ATMatrix b = PartitionToAtm(b_coo, config);
+    ATMatrix c = PartitionToAtm(c_coo, config);
+    ChainPlan plan = PlanChain(
+        {&a.density_map(), &b.density_map(), &c.density_map()}, CostModel(),
+        config.rho_write);
+    ChainExecStats stats;
+    ExecuteChain({&a, &b, &c}, plan, AtMult(config), &stats);
+    EXPECT_FALSE(stats.fused);
+    EXPECT_EQ(stats.fallback_reason, "no_estimation");
+  }
+
+  // Fusion switched off entirely.
+  {
+    AtmConfig config = base;
+    config.fused_chains = false;
+    ATMatrix a = PartitionToAtm(a_coo, config);
+    ATMatrix b = PartitionToAtm(b_coo, config);
+    ATMatrix c = PartitionToAtm(c_coo, config);
+    ChainPlan plan = PlanChain(
+        {&a.density_map(), &b.density_map(), &c.density_map()}, CostModel(),
+        config.rho_write);
+    ChainExecStats stats;
+    ExecuteChain({&a, &b, &c}, plan, AtMult(config), &stats);
+    EXPECT_FALSE(stats.fused);
+    EXPECT_EQ(stats.fallback_reason, "disabled");
+  }
+}
+
+TEST(ChainExecStatsTest, AccumulateReportsMinimumWriteThreshold) {
+  AtMultStats total;
+  AtMultStats first;
+  first.effective_write_threshold = 0.4;
+  AtMultStats second;
+  second.effective_write_threshold = 0.1;
+  AtMultStats third;
+  third.effective_write_threshold = 0.7;
+  internal::AccumulateProductStats(first, &total);
+  EXPECT_DOUBLE_EQ(total.effective_write_threshold, 0.4);
+  internal::AccumulateProductStats(second, &total);
+  EXPECT_DOUBLE_EQ(total.effective_write_threshold, 0.1);
+  // Later, higher thresholds must not overwrite the binding minimum
+  // (the old behavior was last-write-wins).
+  internal::AccumulateProductStats(third, &total);
+  EXPECT_DOUBLE_EQ(total.effective_write_threshold, 0.1);
+}
+
+#ifdef ATMX_OBS_ENABLED
+// End-to-end memory SLA check: the process-wide logical high water of a
+// budgeted fused chain stays within budget + operand overhead. The
+// MemTracker also counts JIT-converted operand copies (outside the
+// result budget's scope), so the bound allows for the operands once.
+TEST(ChainExecuteTest, FusedBudgetBoundsTrackedHighWater) {
+  const std::vector<CooMatrix> coos = BudgetChainCoos();
+  AtmConfig config = ChainConfig();
+  config.fused_chains = true;
+
+  std::vector<ATMatrix> atms;
+  std::size_t operand_bytes = 0;
+  for (const CooMatrix& coo : coos) {
+    atms.push_back(PartitionToAtm(coo, config));
+    operand_bytes += atms.back().MemoryBytes();
+  }
+  std::vector<const ATMatrix*> chain;
+  std::vector<const DensityMap*> maps;
+  for (const ATMatrix& atm : atms) {
+    chain.push_back(&atm);
+    maps.push_back(&atm.density_map());
+  }
+  ChainPlan plan = LeftToRightPlan(static_cast<int>(chain.size()));
+
+  // Same bracket as FusedBudgetBoundsResidentPeak: midway between the
+  // memory-minimal floor and the unconstrained projection.
+  AtmConfig floor_config = config;
+  floor_config.result_mem_limit_bytes = 1;
+  const internal::ChainBudgetPlan floor_plan =
+      internal::PlanChainBudget(chain, plan, AtMult(floor_config));
+  AtmConfig wide_config = config;
+  wide_config.result_mem_limit_bytes =
+      std::numeric_limits<std::size_t>::max() / 2;
+  const internal::ChainBudgetPlan wide_plan =
+      internal::PlanChainBudget(chain, plan, AtMult(wide_config));
+  ASSERT_LT(floor_plan.projected_peak_bytes, wide_plan.projected_peak_bytes);
+  const std::size_t budget = floor_plan.projected_peak_bytes +
+                             (wide_plan.projected_peak_bytes -
+                              floor_plan.projected_peak_bytes) /
+                                 2;
+
+  config.result_mem_limit_bytes = budget;
+  obs::MemTracker::Global().ResetForTesting();
+  ChainExecStats stats;
+  ExecuteChain(chain, plan, AtMult(config), &stats);
+  ASSERT_TRUE(stats.budget_feasible);
+  ASSERT_TRUE(stats.fused);
+  const std::uint64_t high_water =
+      obs::MemTracker::Global().high_water_bytes();
+  // Budget governs result tiles; operands may be JIT-converted once, and
+  // sparse estimates carry ~25% slack.
+  EXPECT_LE(high_water, budget + budget / 4 + operand_bytes);
+  EXPECT_GT(high_water, 0u);
+}
+#endif  // ATMX_OBS_ENABLED
 
 }  // namespace
 }  // namespace atmx

@@ -207,5 +207,104 @@ TEST(TeamSchedulerTest, TaskGraphEmpty) {
       ScheduleOptions(), nullptr);
 }
 
+TEST(TeamSchedulerTest, TaskGraphAdmitGateLimitsConcurrency) {
+  // Admission gate modeling a 1-slot memory budget: only one task may be
+  // in flight at a time. Every task must still run exactly once, and the
+  // gate's view of concurrency must never exceed the slot count.
+  TeamScheduler scheduler(2, 2);
+  const index_t n = 24;
+  std::vector<index_t> deps(n, 0);
+  std::vector<std::vector<index_t>> successors(n);
+  std::atomic<int> slots{1};
+  std::atomic<bool> over_admitted{false};
+  std::vector<std::atomic<int>> runs(n);
+  ScheduleOptions options;
+  options.admit = [&slots](index_t, bool force) {
+    int have = slots.load(std::memory_order_relaxed);
+    while (have > 0) {
+      if (slots.compare_exchange_weak(have, have - 1,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    if (force) {
+      slots.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  scheduler.RunTaskGraph(
+      n, deps, successors,
+      [](index_t task) { return static_cast<int>(task % 2); },
+      [&](WorkerTeam&, index_t task) {
+        if (slots.load(std::memory_order_relaxed) < 0) {
+          over_admitted.store(true, std::memory_order_relaxed);
+        }
+        runs[task].fetch_add(1);
+        slots.fetch_add(1, std::memory_order_relaxed);
+      },
+      options, nullptr);
+  for (index_t t = 0; t < n; ++t) EXPECT_EQ(runs[t].load(), 1);
+  EXPECT_FALSE(over_admitted.load());
+}
+
+TEST(TeamSchedulerTest, TaskGraphAdmitAlwaysRejectFallsBackToForced) {
+  // A gate that refuses every speculative admission must not deadlock:
+  // whenever nothing is in flight and every queue is drained, the
+  // scheduler force-admits the oldest parked task, so the graph still
+  // completes — one forced task at a time.
+  TeamScheduler scheduler(2, 1);
+  const index_t n = 8;
+  std::vector<index_t> deps(n, 0);
+  std::vector<std::vector<index_t>> successors(n);
+  std::atomic<int> forced_count{0};
+  std::vector<std::atomic<int>> runs(n);
+  ScheduleOptions options;
+  options.admit = [&forced_count](index_t, bool force) {
+    if (force) {
+      forced_count.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  scheduler.RunTaskGraph(
+      n, deps, successors,
+      [](index_t task) { return static_cast<int>(task % 2); },
+      [&](WorkerTeam&, index_t task) { runs[task].fetch_add(1); },
+      options, nullptr);
+  for (index_t t = 0; t < n; ++t) EXPECT_EQ(runs[t].load(), 1);
+  // Every task needed the forced path.
+  EXPECT_EQ(forced_count.load(), static_cast<int>(n));
+}
+
+TEST(TeamSchedulerTest, TaskGraphAdmitGateHonorsDependencies) {
+  // Chain with a flaky gate (rejects each task's first attempt): parked
+  // tasks are retried after completions and dependency order still holds.
+  TeamScheduler scheduler(2, 2);
+  const index_t n = 6;
+  std::vector<index_t> deps(n, 1);
+  deps[0] = 0;
+  std::vector<std::vector<index_t>> successors(n);
+  for (index_t t = 0; t + 1 < n; ++t) successors[t] = {t + 1};
+  std::vector<std::atomic<int>> attempts(n);
+  std::vector<index_t> sequence;
+  Mutex mu;
+  ScheduleOptions options;
+  options.admit = [&attempts](index_t task, bool force) {
+    if (force) return true;
+    return attempts[task].fetch_add(1, std::memory_order_relaxed) > 0;
+  };
+  scheduler.RunTaskGraph(
+      n, deps, successors,
+      [](index_t task) { return static_cast<int>(task % 2); },
+      [&](WorkerTeam&, index_t task) {
+        MutexLock lock(mu);
+        sequence.push_back(task);
+      },
+      options, nullptr);
+  ASSERT_EQ(sequence.size(), static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) EXPECT_EQ(sequence[t], t);
+}
+
 }  // namespace
 }  // namespace atmx

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -83,6 +84,67 @@ TEST(ResidentTileSetTest, ConcurrentChargesKeepConsistentPeak) {
   EXPECT_EQ(resident.current_bytes(), total);
   // All charges and no releases: the peak is exactly the total.
   EXPECT_EQ(resident.peak_bytes(), total);
+}
+
+TEST(ResidentTileSetTest, UnlimitedBudgetAdmitsEverything) {
+  ResidentTileSet resident;
+  EXPECT_EQ(resident.budget_bytes(), 0u);
+  EXPECT_TRUE(resident.TryReserve(1ull << 40));
+  EXPECT_EQ(resident.reserved_bytes(), 1ull << 40);
+  resident.ReleaseReservation(1ull << 40);
+  EXPECT_EQ(resident.reserved_bytes(), 0u);
+}
+
+TEST(ResidentTileSetTest, TryReserveChecksChargedPlusReserved) {
+  ResidentTileSet resident;
+  resident.set_budget_bytes(1000);
+  resident.Charge(400);
+  EXPECT_TRUE(resident.TryReserve(500));   // 400 + 500 <= 1000
+  EXPECT_FALSE(resident.TryReserve(200));  // 400 + 500 + 200 > 1000
+  EXPECT_EQ(resident.reserved_bytes(), 500u);
+  // Releasing the reservation (the task finished; its output is now pure
+  // charge) makes room again.
+  resident.ReleaseReservation(500);
+  EXPECT_TRUE(resident.TryReserve(600));
+  resident.ReleaseReservation(600);
+  resident.ReleaseCharge(400);
+}
+
+TEST(ResidentTileSetTest, ForceReserveIgnoresBudget) {
+  ResidentTileSet resident;
+  resident.set_budget_bytes(100);
+  EXPECT_FALSE(resident.TryReserve(200));
+  resident.ForceReserve(200);  // deadlock-free fallback: always admitted
+  EXPECT_EQ(resident.reserved_bytes(), 200u);
+  // Over budget now: further speculative admissions are refused.
+  EXPECT_FALSE(resident.TryReserve(1));
+  resident.ReleaseReservation(200);
+  EXPECT_TRUE(resident.TryReserve(50));
+  resident.ReleaseReservation(50);
+}
+
+TEST(ResidentTileSetTest, ConcurrentTryReserveNeverOverAdmits) {
+  // N threads race to reserve 100-byte slots against a 1000-byte budget:
+  // at most 10 may win, and reserved_bytes must never exceed the budget.
+  ResidentTileSet resident;
+  resident.set_budget_bytes(1000);
+  constexpr int kThreads = 8;
+  constexpr int kAttemptsPerThread = 64;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&resident, &admitted] {
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        if (resident.TryReserve(100)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 10);
+  EXPECT_EQ(resident.reserved_bytes(), 1000u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 
 #include "estimate/density_estimator.h"
@@ -180,6 +182,115 @@ TEST(EffectiveWriteThresholdTest, RaisedUnderMemoryPressure) {
   EXPECT_GT(threshold, 0.03);
   // Complies with the limit.
   EXPECT_LE(EstimateMemoryBytes(map, threshold), 7000u);
+}
+
+TEST(EffectiveWriteThresholdTest, ReportsFeasibility) {
+  DensityMap map = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  bool feasible = false;
+  EffectiveWriteThreshold(map, 0.03, 7000, &feasible);
+  EXPECT_TRUE(feasible);
+
+  // All blocks at rho 0.3: the all-sparse layout (the memory minimum for
+  // rho < 0.5) needs 4 * 0.3 * 256 * 16 = 4915 bytes — a 4000-byte SLA is
+  // unachievable and the threshold clamps above all bars.
+  DensityMap sparse = FourBlockMap(0.3, 0.3, 0.3, 0.3);
+  const double clamped =
+      EffectiveWriteThreshold(sparse, 0.03, 4000, &feasible);
+  EXPECT_FALSE(feasible);
+  EXPECT_GT(clamped, 1.0);
+}
+
+// ---- Chain-scope water level ----
+//
+// Block arithmetic for FourBlockMap(0.9, 0.5, 0.2, 0.05) (16x16 blocks,
+// area 256): dense block = 2048 B, sparse block = rho * 4096 B. All-dense
+// (any threshold <= 0.05) = 8192 B; memory minimum (threshold 0.5) =
+// 2048 + 2048 + 819.2 + 204.8 = 5120 B.
+
+TEST(ChainWaterLevelTest, GenerousBudgetKeepsRhoWriteEverywhere) {
+  DensityMap p0 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  DensityMap p1 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  ChainWaterLevelResult result =
+      SolveChainWaterLevel({&p0, &p1}, {1, -1}, 0.03, 1 << 20);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.thresholds.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.thresholds[0], 0.03);
+  EXPECT_DOUBLE_EQ(result.thresholds[1], 0.03);
+  // Both products overlap at step 1: the peak is the all-dense sum.
+  EXPECT_EQ(result.projected_peak_bytes, 16384u);
+}
+
+TEST(ChainWaterLevelTest, SharedBudgetRaisesOverlappingThresholds) {
+  // Product 0 is consumed by product 1, so both are resident at step 1
+  // (peak 16384 at the optimal level, over a 12000-byte budget). The
+  // solver must raise thresholds — but only as far as the budget demands.
+  DensityMap p0 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  DensityMap p1 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  ChainWaterLevelResult result =
+      SolveChainWaterLevel({&p0, &p1}, {1, -1}, 0.03, 12000);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.thresholds.size(), 2u);
+  EXPECT_GT(result.thresholds[0], 0.03);
+  EXPECT_GT(result.thresholds[1], 0.03);
+  EXPECT_LE(result.projected_peak_bytes, 12000u);
+  EXPECT_EQ(result.peak_step, 1);
+}
+
+TEST(ChainWaterLevelTest, DisjointLifetimesDoNotShareTheBudget) {
+  // p0 dies feeding p1, p1 dies feeding p2: at most two products overlap
+  // at any step, so a budget that holds a pair (but not all three)
+  // requires no threshold raise.
+  DensityMap p0 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  DensityMap p1 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  DensityMap p2 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  ChainWaterLevelResult pairwise =
+      SolveChainWaterLevel({&p0, &p1, &p2}, {1, 2, -1}, 0.03, 16500);
+  EXPECT_TRUE(pairwise.feasible);
+  for (double t : pairwise.thresholds) EXPECT_DOUBLE_EQ(t, 0.03);
+  EXPECT_EQ(pairwise.projected_peak_bytes, 16384u);
+
+  // Same budget, but p0 now lives until the root consumes it: all three
+  // overlap at step 2 (24576 all-dense) and thresholds must rise.
+  ChainWaterLevelResult overlapped =
+      SolveChainWaterLevel({&p0, &p1, &p2}, {2, 2, -1}, 0.03, 16500);
+  EXPECT_TRUE(overlapped.feasible);
+  EXPECT_LE(overlapped.projected_peak_bytes, 16500u);
+  double raised = 0.0;
+  for (double t : overlapped.thresholds) raised = std::max(raised, t);
+  EXPECT_GT(raised, 0.03);
+}
+
+TEST(ChainWaterLevelTest, InfeasibleBudgetClampsToMemoryMinimalFloor) {
+  // Two overlapping products bottom out at 2 * 5120 = 10240 bytes; a
+  // 6000-byte budget is unachievable at any threshold assignment.
+  DensityMap p0 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+  DensityMap p1 = FourBlockMap(0.9, 0.5, 0.2, 0.05);
+#if defined(ATMX_OBS_ENABLED)
+  const std::uint64_t before = obs::MetricsRegistry::Global()
+                                   .GetCounter("waterlevel.infeasible")
+                                   .Value();
+#endif
+  ChainWaterLevelResult result =
+      SolveChainWaterLevel({&p0, &p1}, {1, -1}, 0.03, 6000);
+  EXPECT_FALSE(result.feasible);
+  ASSERT_EQ(result.thresholds.size(), 2u);
+  // Clamped to the memory-minimal level (dense exactly where rho >= 0.5).
+  EXPECT_DOUBLE_EQ(result.thresholds[0], 0.5);
+  EXPECT_DOUBLE_EQ(result.thresholds[1], 0.5);
+  EXPECT_EQ(result.projected_peak_bytes, 10240u);
+#if defined(ATMX_OBS_ENABLED)
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetCounter("waterlevel.infeasible")
+                .Value(),
+            before + 1);
+#endif
+}
+
+TEST(ChainWaterLevelTest, EmptyChainIsTriviallyFeasible) {
+  ChainWaterLevelResult result = SolveChainWaterLevel({}, {}, 0.03, 0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.thresholds.empty());
+  EXPECT_EQ(result.projected_peak_bytes, 0u);
 }
 
 }  // namespace

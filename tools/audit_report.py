@@ -214,7 +214,10 @@ def build_report(doc, worst_n):
     report["cost"] = stats_of(errs)
 
     errs = []
+    report["waterlevel_infeasible"] = 0
     for r in doc.get("waterlevel", []):
+        if not r.get("feasible", True):
+            report["waterlevel_infeasible"] += 1
         err = symmetric_rel_error(float(r["projected_bytes"]),
                                   float(r["result_bytes"]))
         errs.append(err)
@@ -313,6 +316,11 @@ def render_report(report):
                  % (report["repr_regret"], report["repr_considered"],
                     report["repr_regret_cost"], report["spa_regret"],
                     report["spa_considered"]))
+    if report["waterlevel_infeasible"] > 0:
+        lines.append("waterlevel: %d/%d records under an infeasible memory "
+                     "SLA (threshold clamped to floor)"
+                     % (report["waterlevel_infeasible"],
+                        report["waterlevel"]["count"]))
     if report["cost_scale"] > 0.0:
         lines.append("fitted cost scale: %.3g s/unit" % report["cost_scale"])
     if report["worst"]:

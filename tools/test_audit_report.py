@@ -136,6 +136,17 @@ class ReportAndGateTest(unittest.TestCase):
         self.assertIn("prediction audit", text)
         self.assertIn("repr regret 0/0", text)
 
+    def test_waterlevel_infeasible_counted_and_rendered(self):
+        doc = {"waterlevel": [
+            {"op": 0, "projected_bytes": 100, "result_bytes": 100,
+             "feasible": False},
+            {"op": 1, "projected_bytes": 100, "result_bytes": 100},
+        ]}
+        report = ar.build_report(doc, 0)
+        self.assertEqual(report["waterlevel_infeasible"], 1)
+        self.assertIn("waterlevel: 1/2 records under an infeasible memory "
+                      "SLA", ar.render_report(report))
+
     def test_report_is_deterministic(self):
         doc = {"density": [
             {"op": 2, "bi": i, "bj": 0, "pred": 0.1 * i, "actual": 0.05 * i}
